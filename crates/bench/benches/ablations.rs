@@ -1,0 +1,120 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! - eager amplification on/off (Section 3.2.3);
+//! - subpage protection vs whole-page protection (Section 3.2.4);
+//! - the DSM extension under each delivery path;
+//! - hardware vectoring vs the software fast path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::{
+    DeliveryPath, ExceptionKind, HandlerAction, HostConfig, HostProcess, Prot, System,
+};
+use efex_gc::{workloads as gcw, BarrierKind, Gc, GcConfig};
+use std::hint::black_box;
+
+/// Simulated µs of the array workload under a given barrier granularity.
+fn gc_barrier_granularity(barrier: BarrierKind) -> f64 {
+    let mut gc = Gc::new(GcConfig {
+        path: DeliveryPath::FastUser,
+        barrier,
+        eager_amplification: barrier == BarrierKind::PageProtection,
+        heap_bytes: 4 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })
+    .expect("gc");
+    gcw::array_test(
+        &mut gc,
+        gcw::ArrayTestParams {
+            array_words: 32 * 1024,
+            replacements: 1_500,
+            mutator_cycles: 200,
+            seed: 5,
+        },
+    )
+    .expect("workload")
+    .micros
+}
+
+/// Simulated cycles for a protect-store-fault-reprotect loop with and
+/// without eager amplification.
+fn barrier_loop(eager: bool, rounds: u32) -> u64 {
+    let mut h = HostProcess::with_config(HostConfig {
+        path: DeliveryPath::FastUser,
+        eager_amplification: eager,
+        ..HostConfig::default()
+    })
+    .expect("host");
+    let base = h.alloc_region(4096, Prot::ReadWrite).expect("region");
+    h.store_u32(base, 0).expect("touch");
+    if eager {
+        h.set_handler(|_, _| HandlerAction::Retry);
+    } else {
+        h.set_handler(|ctx, info| {
+            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                .expect("amplify");
+            HandlerAction::Retry
+        });
+    }
+    let start = h.cycles();
+    for i in 0..rounds {
+        h.protect(base, 4096, Prot::Read).expect("protect");
+        h.store_u32(base, i).expect("store");
+    }
+    h.cycles() - start
+}
+
+fn bench(c: &mut Criterion) {
+    println!(
+        "[ablation] eager amplification: {} cycles/fault vs {} without",
+        barrier_loop(true, 50) / 50,
+        barrier_loop(false, 50) / 50
+    );
+    {
+        let mut s = System::builder()
+            .delivery(DeliveryPath::FastUser)
+            .build()
+            .expect("boot");
+        let emul = s.measure_subpage_emulation().expect("emulation");
+        println!("[ablation] subpage kernel emulation: {emul} cycles per store");
+    }
+    println!(
+        "[ablation] GC barrier granularity: page {:.0} us, subpage {:.0} us, checks {:.0} us",
+        gc_barrier_granularity(BarrierKind::PageProtection),
+        gc_barrier_granularity(BarrierKind::SubpageProtection),
+        gc_barrier_granularity(BarrierKind::SoftwareCheck),
+    );
+    for r in efex_bench::dsm_comparison(30).expect("dsm") {
+        println!(
+            "[ablation] dsm ping-pong on {:<18} {:>9.0} us ({} faults)",
+            r.path.to_string(),
+            r.total_us,
+            r.faults
+        );
+    }
+
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    g.bench_function("eager_amplification_on", |b| {
+        b.iter(|| black_box(barrier_loop(true, 20)))
+    });
+    g.bench_function("eager_amplification_off", |b| {
+        b.iter(|| black_box(barrier_loop(false, 20)))
+    });
+    g.bench_function("hw_vectoring_roundtrip", |b| {
+        b.iter(|| {
+            let us = System::builder()
+                .delivery(DeliveryPath::HardwareVectored)
+                .build()
+                .expect("boot")
+                .measure_null_roundtrip(ExceptionKind::Breakpoint)
+                .expect("measure")
+                .total_micros();
+            black_box(us)
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

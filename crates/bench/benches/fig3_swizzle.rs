@@ -1,0 +1,46 @@
+//! Figure 3 bench: software checks vs exception-based residency detection
+//! in the persistent store.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::DeliveryPath;
+use efex_pstore::{workloads, Policy, PstoreConfig, StableGraph, Strategy};
+use std::hint::black_box;
+
+fn run(strategy: Strategy, path: DeliveryPath, uses: u32) -> f64 {
+    workloads::pointer_uses(
+        StableGraph::random(20, 50, 40, 0xf3),
+        PstoreConfig {
+            strategy,
+            policy: Policy::Lazy,
+            path,
+            ..PstoreConfig::default()
+        },
+        uses,
+    )
+    .expect("workload")
+    .micros
+}
+
+fn bench(c: &mut Criterion) {
+    for m in efex_bench::figure3_measured(&[1, 20, 60]).expect("fig3") {
+        println!(
+            "[fig3] u={:<3} checks {:>6.0} us, fast exc {:>6.0} us, signals {:>6.0} us",
+            m.uses_per_pointer, m.checks_us, m.fast_exceptions_us, m.signal_exceptions_us
+        );
+    }
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    for (name, strategy, path, uses) in [
+        ("checks_u20", Strategy::SoftwareCheck, DeliveryPath::FastUser, 20),
+        ("fast_exceptions_u20", Strategy::Unaligned, DeliveryPath::FastUser, 20),
+        ("signal_exceptions_u20", Strategy::Unaligned, DeliveryPath::UnixSignals, 20),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(strategy, path, uses)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Figure 4 bench: eager vs lazy swizzling at several use densities.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::DeliveryPath;
+use efex_pstore::{workloads, Policy, PstoreConfig, StableGraph, Strategy};
+use std::hint::black_box;
+
+fn run(strategy: Strategy, policy: Policy, used: u32) -> f64 {
+    workloads::sparse_traversal(
+        StableGraph::random(32, 50, 50, 0xf4),
+        PstoreConfig {
+            strategy,
+            policy,
+            path: DeliveryPath::FastUser,
+            ..PstoreConfig::default()
+        },
+        used,
+        16,
+    )
+    .expect("workload")
+    .micros
+}
+
+fn bench(c: &mut Criterion) {
+    for m in efex_bench::figure4_measured(&[2, 25, 50]).expect("fig4") {
+        println!(
+            "[fig4] pu={:<3} eager {:>7.0} us, lazy {:>7.0} us",
+            m.pointers_used, m.eager_us, m.lazy_us
+        );
+    }
+    let mut g = c.benchmark_group("fig4");
+    g.sample_size(10);
+    for (name, strategy, policy, used) in [
+        ("eager_dense", Strategy::ProtFault, Policy::Eager, 50),
+        ("lazy_dense", Strategy::Unaligned, Policy::Lazy, 50),
+        ("eager_sparse", Strategy::ProtFault, Policy::Eager, 2),
+        ("lazy_sparse", Strategy::Unaligned, Policy::Lazy, 2),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run(strategy, policy, used)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

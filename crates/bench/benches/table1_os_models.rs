@@ -1,0 +1,28 @@
+//! Table 1 bench: evaluating the conventional-OS delivery cost models.
+//!
+//! The scientific output is the `tables --table1` binary; this bench keeps
+//! the model evaluation itself under the timer so regressions in the model
+//! code are caught.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    // Print the simulated results once, so `cargo bench` output documents
+    // the table alongside the host-time measurement.
+    for r in efex_bench::table1() {
+        println!(
+            "[table1] {:<44} round trip {:>7.0} us",
+            r.system, r.round_trip_us
+        );
+    }
+    c.bench_function("table1/model_evaluation", |b| {
+        b.iter(|| {
+            let rows = efex_bench::table1();
+            black_box(rows.len())
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

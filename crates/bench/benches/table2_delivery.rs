@@ -1,0 +1,45 @@
+//! Table 2 bench: the guest microbenchmarks measuring exception delivery
+//! and return on each path.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::{DeliveryPath, ExceptionKind, System};
+use std::hint::black_box;
+
+fn measure(path: DeliveryPath, kind: ExceptionKind) -> f64 {
+    System::builder()
+        .delivery(path)
+        .build()
+        .expect("boot")
+        .measure_null_roundtrip(kind)
+        .expect("measure")
+        .total_micros()
+}
+
+fn bench(c: &mut Criterion) {
+    for r in efex_bench::table2().expect("table2") {
+        println!(
+            "[table2] {:<48} fast {:>5.1} us (paper {:>3.0})",
+            r.operation, r.fast_us, r.paper_fast_us
+        );
+    }
+    let mut g = c.benchmark_group("table2");
+    g.sample_size(10);
+    for (name, path, kind) in [
+        ("unix_simple", DeliveryPath::UnixSignals, ExceptionKind::Breakpoint),
+        ("fast_simple", DeliveryPath::FastUser, ExceptionKind::Breakpoint),
+        ("hw_simple", DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint),
+        ("fast_write_prot", DeliveryPath::FastUser, ExceptionKind::WriteProtect),
+        ("fast_subpage", DeliveryPath::FastUser, ExceptionKind::Subpage),
+        (
+            "fast_unaligned_specialized",
+            DeliveryPath::FastUser,
+            ExceptionKind::UnalignedSpecialized,
+        ),
+    ] {
+        g.bench_function(name, |b| b.iter(|| black_box(measure(path, kind))));
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

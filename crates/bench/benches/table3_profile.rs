@@ -1,0 +1,33 @@
+//! Table 3 bench: profiling the guest kernel fast-path handler's phase
+//! instruction counts.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::{DeliveryPath, System};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let rows = efex_bench::table3().expect("table3");
+    for r in &rows {
+        println!(
+            "[table3] {:<28} measured {:>3} (paper {:>3})",
+            r.name, r.measured_instructions, r.paper_instructions
+        );
+    }
+    let mut g = c.benchmark_group("table3");
+    g.sample_size(10);
+    g.bench_function("profile_one_delivery", |b| {
+        b.iter(|| {
+            let rows = System::builder()
+                .delivery(DeliveryPath::FastUser)
+                .build()
+                .expect("boot")
+                .measure_table3()
+                .expect("profile");
+            black_box(rows.len())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

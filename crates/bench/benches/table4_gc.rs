@@ -1,0 +1,64 @@
+//! Table 4 bench: the generational-GC workloads under each barrier and
+//! delivery mechanism (reduced scale under the timer; the full-scale
+//! numbers come from `tables --table4`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_core::DeliveryPath;
+use efex_gc::{workloads, BarrierKind, Gc, GcConfig};
+use std::hint::black_box;
+
+fn run_lisp(path: DeliveryPath, barrier: BarrierKind, eager: bool) -> f64 {
+    let mut gc = Gc::new(GcConfig {
+        path,
+        barrier,
+        eager_amplification: eager,
+        heap_bytes: 4 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })
+    .expect("gc");
+    workloads::lisp_ops(
+        &mut gc,
+        workloads::LispOpsParams {
+            iterations: 10,
+            depth: 6,
+            table_pages: 32,
+            stores_per_iteration: 20,
+            mutator_cycles: 10_000,
+            seed: 1,
+        },
+    )
+    .expect("workload")
+    .micros
+}
+
+fn bench(c: &mut Criterion) {
+    let rows = efex_bench::table4(efex_bench::Table4Scale {
+        lisp_iterations: 20,
+        lisp_depth: 6,
+        array_words: 32 * 1024,
+        array_replacements: 2_000,
+    })
+    .expect("table4");
+    for r in &rows {
+        println!(
+            "[table4-small] {:<18} improvement {:>5.1}% (paper {:>3.0}%), {} faults",
+            r.application, r.improvement_pct, r.paper_improvement_pct, r.faults
+        );
+    }
+    let mut g = c.benchmark_group("table4");
+    g.sample_size(10);
+    for (name, path, barrier, eager) in [
+        ("lisp_sigsegv_mprotect", DeliveryPath::UnixSignals, BarrierKind::PageProtection, false),
+        ("lisp_fast_eager", DeliveryPath::FastUser, BarrierKind::PageProtection, true),
+        ("lisp_software_checks", DeliveryPath::FastUser, BarrierKind::SoftwareCheck, false),
+    ] {
+        g.bench_function(name, |b| {
+            b.iter(|| black_box(run_lisp(path, barrier, eager)))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Table 5 bench: the write-barrier break-even model over the Hosking &
+//! Moss application parameters.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use efex_analysis::gc::{breakeven_exception_micros, table5_apps};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    for r in efex_bench::table5() {
+        println!(
+            "[table5] {:<14} breakeven {:>6.1} us  fast wins: {}",
+            r.application, r.breakeven_us, r.fast_wins
+        );
+    }
+    c.bench_function("table5/breakeven_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for (_, p) in table5_apps() {
+                acc += breakeven_exception_micros(black_box(p));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

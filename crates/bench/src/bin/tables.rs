@@ -1,0 +1,175 @@
+//! Regenerates every table and figure of the paper on the simulator.
+//!
+//! ```text
+//! tables [--table1] [--table2] [--table3] [--table4] [--table5]
+//!        [--fig3] [--fig4] [--dsm] [--all]
+//! ```
+//!
+//! With no arguments, prints everything. Output is paper-value vs measured
+//! wherever the paper reports a number.
+
+use std::env;
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag || a == "--all");
+
+    if want("--table1") {
+        table1();
+    }
+    if want("--table2") {
+        table2();
+    }
+    if want("--table3") {
+        table3();
+    }
+    if want("--table4") {
+        table4();
+    }
+    if want("--table5") {
+        table5();
+    }
+    if want("--fig3") {
+        fig3();
+    }
+    if want("--fig4") {
+        fig4();
+    }
+    if want("--dsm") {
+        dsm();
+    }
+}
+
+fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+fn table1() {
+    banner("Table 1: exception delivery on conventional systems (modeled)");
+    println!(
+        "{:<44} {:>10} {:>10} {:>9} {:>11}",
+        "system", "simple us", "wprot us", "ret us", "roundtrip"
+    );
+    for r in efex_bench::table1() {
+        println!(
+            "{:<44} {:>10.0} {:>10.0} {:>9.0} {:>11.0}",
+            r.system, r.deliver_simple_us, r.deliver_write_prot_us, r.return_us, r.round_trip_us
+        );
+    }
+    println!("anchors from the paper: Ultrix ~80, Mach/UX ~2000, raw Mach 256, SunOS 69 (best)");
+}
+
+fn table2() {
+    banner("Table 2: fast exceptions vs Ultrix signals (measured on the simulator)");
+    let rows = efex_bench::table2().expect("microbenchmarks");
+    println!(
+        "{:<48} {:>9} {:>11} {:>10} {:>12}",
+        "operation", "fast us", "paper fast", "unix us", "paper unix"
+    );
+    for r in rows {
+        let unix = r.unix_us.map_or("-".to_string(), |v| format!("{v:.1}"));
+        let punix = r.paper_unix_us.map_or("-".to_string(), |v| format!("{v:.0}"));
+        println!(
+            "{:<48} {:>9.1} {:>11.0} {:>10} {:>12}",
+            r.operation, r.fast_us, r.paper_fast_us, unix, punix
+        );
+    }
+}
+
+fn table3() {
+    banner("Table 3: kernel fast-path handler instruction counts (measured)");
+    let rows = efex_bench::table3().expect("profile");
+    println!("{:<28} {:>9} {:>7}", "phase", "measured", "paper");
+    let (mut m, mut p) = (0, 0);
+    for r in rows {
+        println!("{:<28} {:>9} {:>7}", r.name, r.measured_instructions, r.paper_instructions);
+        m += r.measured_instructions;
+        p += r.paper_instructions;
+    }
+    println!("{:<28} {:>9} {:>7}", "total", m, p);
+    println!("(our handler is smaller because the comm page is addressed via its");
+    println!(" unmapped KSEG0 alias, removing the paper's TLB-miss-protection saves)");
+}
+
+fn table4() {
+    banner("Table 4: generational GC, SIGSEGV+mprotect vs fast exceptions (measured)");
+    let rows = efex_bench::table4(efex_bench::Table4Scale::default()).expect("workloads");
+    println!(
+        "{:<18} {:>12} {:>12} {:>8} {:>9} {:>11}",
+        "application", "sigsegv us", "fast us", "improv%", "paper%", "faults"
+    );
+    for r in rows {
+        println!(
+            "{:<18} {:>12.0} {:>12.0} {:>7.1}% {:>8.0}% {:>11}",
+            r.application, r.sigsegv_us, r.fast_us, r.improvement_pct, r.paper_improvement_pct, r.faults
+        );
+    }
+}
+
+fn table5() {
+    banner("Table 5: break-even exception cost vs software checks (analytic)");
+    println!(
+        "{:<14} {:>13} {:>22} {:>22}",
+        "application", "breakeven us", "fast(18us) beats checks", "ultrix(80us) beats"
+    );
+    for r in efex_bench::table5() {
+        println!(
+            "{:<14} {:>13.1} {:>22} {:>22}",
+            r.application, r.breakeven_us, r.fast_wins, r.ultrix_wins
+        );
+    }
+}
+
+fn fig3() {
+    banner("Figure 3: swizzling checks vs exceptions — breakeven uses per pointer");
+    let (ultrix, fast) = efex_bench::figure3_curves();
+    println!("{:>8} {:>16} {:>16}", "c (cyc)", "ultrix breakeven", "fast breakeven");
+    for (u, f) in ultrix.iter().zip(&fast).step_by(3) {
+        println!(
+            "{:>8.0} {:>16.1} {:>16.1}",
+            u.check_cycles, u.breakeven_uses, f.breakeven_uses
+        );
+    }
+    println!("\nmeasured companion points (simulated us for the same workload):");
+    println!(
+        "{:>6} {:>12} {:>12} {:>12}",
+        "u", "checks", "fast exc", "signal exc"
+    );
+    for m in efex_bench::figure3_measured(&[1, 5, 20, 60]).expect("measure") {
+        println!(
+            "{:>6} {:>12.0} {:>12.0} {:>12.0}",
+            m.uses_per_pointer, m.checks_us, m.fast_exceptions_us, m.signal_exceptions_us
+        );
+    }
+}
+
+fn fig4() {
+    banner("Figure 4: eager vs lazy swizzling — breakeven used-fraction (pn = 50)");
+    let (ultrix, fast) = efex_bench::figure4_curves();
+    println!(
+        "{:>9} {:>18} {:>18}",
+        "s (us)", "ultrix frac", "fast frac"
+    );
+    for (u, f) in ultrix.iter().zip(&fast).step_by(5) {
+        println!(
+            "{:>9.1} {:>18.2} {:>18.2}",
+            u.swizzle_us, u.breakeven_fraction, f.breakeven_fraction
+        );
+    }
+    println!("\nmeasured companion points (fast path, simulated us per traversal):");
+    println!("{:>10} {:>12} {:>12}", "pu (of 50)", "eager", "lazy");
+    for m in efex_bench::figure4_measured(&[2, 10, 25, 50]).expect("measure") {
+        println!(
+            "{:>10} {:>12.0} {:>12.0}",
+            m.pointers_used, m.eager_us, m.lazy_us
+        );
+    }
+}
+
+fn dsm() {
+    banner("Extension: DSM ping-pong under each delivery path (measured)");
+    println!("{:>20} {:>12} {:>8}", "path", "total us", "faults");
+    for r in efex_bench::dsm_comparison(40).expect("dsm") {
+        println!("{:>20} {:>12.0} {:>8}", r.path.to_string(), r.total_us, r.faults);
+    }
+}

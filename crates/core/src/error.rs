@@ -1,0 +1,53 @@
+//! The crate error type.
+
+use std::error::Error;
+use std::fmt;
+
+use efex_simos::KernelError;
+
+/// Errors surfaced by the efex-core API.
+#[derive(Debug)]
+pub enum CoreError {
+    /// An underlying kernel/machine failure.
+    Kernel(KernelError),
+    /// A guest microbenchmark did not behave as expected (simulator bug).
+    Measurement(String),
+    /// Invalid configuration or argument.
+    Invalid(String),
+    /// A fault was raised while already inside a fault handler — the
+    /// recursive-exception case the paper routes to the kernel as an error
+    /// (Section 2.2).
+    RecursiveFault(crate::host::FaultInfo),
+    /// The handler aborted the access.
+    Aborted(crate::host::FaultInfo),
+    /// An access faulted with no handler registered.
+    Unhandled(crate::host::FaultInfo),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Kernel(e) => write!(f, "kernel error: {e}"),
+            CoreError::Measurement(s) => write!(f, "measurement failed: {s}"),
+            CoreError::Invalid(s) => write!(f, "invalid argument: {s}"),
+            CoreError::RecursiveFault(i) => write!(f, "recursive fault: {i}"),
+            CoreError::Aborted(i) => write!(f, "access aborted by handler: {i}"),
+            CoreError::Unhandled(i) => write!(f, "unhandled fault: {i}"),
+        }
+    }
+}
+
+impl Error for CoreError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CoreError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<KernelError> for CoreError {
+    fn from(e: KernelError) -> CoreError {
+        CoreError::Kernel(e)
+    }
+}

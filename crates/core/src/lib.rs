@@ -1,0 +1,63 @@
+//! # efex-core — user-level exception handling (Thekkath & Levy, ASPLOS 1994)
+//!
+//! The paper's primary contribution as a library: efficient delivery of
+//! program-synchronous exceptions to user-level code, over the simulated
+//! MIPS machine (`efex-mips`) and kernel (`efex-simos`).
+//!
+//! Three delivery paths are provided, matching the paper:
+//!
+//! - [`DeliveryPath::UnixSignals`] — the conventional baseline: full state
+//!   save, signal post/recognize/deliver, trampoline, `sigreturn`
+//!   (Section 3.1; ~80 µs per round trip at 25 MHz).
+//! - [`DeliveryPath::FastUser`] — the paper's software implementation: the
+//!   kernel's modified trap handler saves minimal state into a pinned
+//!   communication page and returns from the exception directly into the
+//!   user handler, which returns by jumping back — no kernel re-entry
+//!   (Section 3.2; ~8 µs per round trip).
+//! - [`DeliveryPath::HardwareVectored`] — the architectural proposal: the
+//!   CPU exchanges PC with a user exception target register, Tera-style;
+//!   the kernel is never entered (Section 2; the further 2–3× the paper
+//!   estimates).
+//!
+//! # Two ways to use it
+//!
+//! **Guest level** ([`System`]): assemble real guest programs and handlers;
+//! every instruction of the delivery path executes on the simulator. The
+//! microbenchmarks that regenerate the paper's Tables 2 and 3 run this way.
+//!
+//! **Host level** ([`HostProcess`]): applications written in Rust (the
+//! garbage collector, persistent store, DSM, lazy data structures) perform
+//! memory accesses through the simulated MMU and receive faults in Rust
+//! closures; delivery costs are charged from the guest-level measurements.
+//!
+//! ```no_run
+//! use efex_core::{DeliveryPath, ExceptionKind, System};
+//!
+//! # fn main() -> Result<(), efex_core::CoreError> {
+//! let mut sys = System::builder().delivery(DeliveryPath::FastUser).build()?;
+//! let r = sys.measure_null_roundtrip(ExceptionKind::Breakpoint)?;
+//! println!("deliver {:.1} us + return {:.1} us", r.deliver_micros(), r.return_micros());
+//! # Ok(())
+//! # }
+//! ```
+
+mod delivery;
+mod error;
+mod host;
+pub(crate) mod progs;
+mod system;
+
+pub use delivery::{DeliveryCosts, DeliveryPath};
+pub use error::CoreError;
+pub use host::{FaultCtx, FaultInfo, HandlerAction, HostConfig, HostProcess, HostStats};
+pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
+
+pub use efex_mips::ExcCode;
+pub use efex_simos::Prot;
+
+/// Internal benchmark program sources, exposed for integration tests and
+/// the bench harness.
+#[doc(hidden)]
+pub mod debug_progs {
+    pub use crate::progs::*;
+}

@@ -1,0 +1,467 @@
+//! Guest assembly programs for the microbenchmarks (Tables 2 and 3).
+//!
+//! Every program follows the same shape: set up a delivery path, then take
+//! `n` exceptions in a loop between the labels `fault_site` and
+//! `after_fault`. The user-side handler is a low-level veneer that saves
+//! "the same state as Ultrix" (the caller-saved register set) before
+//! calling a null C-style handler — mirroring the paper's methodology so
+//! the comparison with the signal path is fair.
+
+use efex_mips::ExcCode;
+
+/// The user stack frame the veneer builds: $ra, $at, $v0-$v1, $a0-$a3,
+/// $t0-$t9 — 18 registers.
+const VENEER_SAVE: &str = r#"
+    addiu $sp, $sp, -80
+    sw  $ra, 0($sp)
+    sw  $at, 4($sp)
+    sw  $v0, 8($sp)
+    sw  $v1, 12($sp)
+    sw  $a0, 16($sp)
+    sw  $a1, 20($sp)
+    sw  $a2, 24($sp)
+    sw  $a3, 28($sp)
+    sw  $t0, 32($sp)
+    sw  $t1, 36($sp)
+    sw  $t2, 40($sp)
+    sw  $t3, 44($sp)
+    sw  $t4, 48($sp)
+    sw  $t5, 52($sp)
+    sw  $t6, 56($sp)
+    sw  $t7, 60($sp)
+    sw  $t8, 64($sp)
+    sw  $t9, 68($sp)
+"#;
+
+const VENEER_RESTORE: &str = r#"
+    lw  $ra, 0($sp)
+    lw  $at, 4($sp)
+    lw  $v0, 8($sp)
+    lw  $v1, 12($sp)
+    lw  $a0, 16($sp)
+    lw  $a1, 20($sp)
+    lw  $a2, 24($sp)
+    lw  $a3, 28($sp)
+    lw  $t0, 32($sp)
+    lw  $t1, 36($sp)
+    lw  $t2, 40($sp)
+    lw  $t3, 44($sp)
+    lw  $t4, 48($sp)
+    lw  $t5, 52($sp)
+    lw  $t6, 56($sp)
+    lw  $t7, 60($sp)
+    lw  $t8, 64($sp)
+    lw  $t9, 68($sp)
+    addiu $sp, $sp, 80
+"#;
+
+/// The communication page user virtual address used by all benches.
+pub const COMM: u32 = efex_simos::layout::COMM_PAGE_VADDR;
+
+/// Offset of the saved EPC in the comm frame for `code`.
+fn frame_epc_off(code: ExcCode) -> u32 {
+    code.code() * efex_simos::layout::COMM_FRAME_SIZE
+}
+
+/// Fast-path benchmark: `n` breakpoints delivered to a null handler via
+/// the software fast path. Labels: `fault_site`, `after_fault`,
+/// `uh_entry` (veneer), `null_handler`, `null_ret`.
+pub fn fast_simple_bench(n: u32) -> String {
+    let mask = 1u32 << ExcCode::Breakpoint.code();
+    let epc_off = frame_epc_off(ExcCode::Breakpoint);
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, {mask}
+    la  $a1, uh_entry
+    li  $a2, {COMM:#x}
+    li  $v0, 7              # uexc_enable
+    syscall
+    li  $s0, {n}
+loop:
+fault_site:
+    break 0
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+uh_entry:
+{VENEER_SAVE}
+    jal null_handler
+    nop
+uh_restore:
+{VENEER_RESTORE}
+    lui $k0, {comm_hi:#x}
+    lw  $k1, {epc_lo}($k0)  # saved EPC from the comm frame
+    addiu $k1, $k1, 4       # skip the break
+    jr  $k1                 # return directly: no kernel re-entry
+    nop
+
+null_handler:
+    nop                     # the null handler body
+null_ret:
+    jr  $ra
+    nop
+"#,
+        comm_hi = COMM >> 16,
+        epc_lo = (COMM & 0xffff) + epc_off,
+    )
+}
+
+/// Hardware-vectored benchmark: same shape, but the CPU exchanges PC with
+/// the UXT register; the handler returns with `xpcu`. The kernel only sets
+/// the enable bit and mask (done by `System` before running).
+pub fn hw_simple_bench(n: u32) -> String {
+    format!(
+        r#"
+.org 0x00400000
+main:
+    la  $t0, uh_entry
+    mtc0 $t0, $uxt          # user loads its exception target (Section 2.1)
+    li  $s0, {n}
+loop:
+fault_site:
+    break 0
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+uh_entry:
+{VENEER_SAVE}
+    jal null_handler
+    nop
+uh_restore:
+{VENEER_RESTORE}
+    mfc0 $k0, $uxt          # faulting PC
+    addiu $k0, $k0, 4       # skip the break
+    mtc0 $k0, $uxt
+    xpcu                    # exchange PC and UXT: return, clear active flag
+    # The exchange leaves UXT pointing here, so the NEXT exception enters
+    # at this instruction: loop back to the handler entry (the indirect-
+    # jump-in-first-instruction idiom of Section 2.2).
+    b   uh_entry
+    nop
+
+null_handler:
+    nop                     # the null handler body
+null_ret:
+    jr  $ra
+    nop
+"#
+    )
+}
+
+/// Unix-signal benchmark: `n` breakpoints through `sigaction` +
+/// trampoline + `sigreturn`. The handler advances the saved PC in the
+/// sigcontext (offset 136 = word 34).
+pub fn unix_simple_bench(n: u32) -> String {
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, 5              # SIGTRAP
+    la  $a1, handler
+    li  $v0, 4              # sigaction
+    syscall
+    li  $s0, {n}
+loop:
+fault_site:
+    break 0
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+handler:
+null_handler:
+    lw  $t1, 136($a2)       # sigcontext saved PC
+    addiu $t1, $t1, 4       # skip the break
+    sw  $t1, 136($a2)
+null_ret:
+    jr  $ra
+    nop
+"#
+    )
+}
+
+/// Fast-path write-protection benchmark with eager amplification:
+/// each iteration re-protects a page (lean call) and stores to it; the
+/// fault is amplified by the kernel and delivered; the handler returns to
+/// retry the store.
+pub fn fast_prot_bench(n: u32) -> String {
+    let mask = (1u32 << ExcCode::TlbMod.code())
+        | (1 << ExcCode::TlbLoad.code())
+        | (1 << ExcCode::TlbStore.code());
+    let epc_off = frame_epc_off(ExcCode::TlbMod);
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, {mask}
+    la  $a1, uh_entry
+    li  $a2, {COMM:#x}
+    li  $v0, 7              # uexc_enable
+    syscall
+    li  $a0, 1
+    li  $v0, 10             # eager amplification on
+    syscall
+    li  $a0, 4096
+    li  $v0, 13             # sbrk one page
+    syscall
+    move $s1, $v0           # the test page
+    sw  $zero, 0($s1)       # touch: make it resident
+    li  $s0, {n}
+loop:
+    move $a0, $s1
+    li  $a1, 4096
+    li  $a2, 1              # read-only
+    li  $v0, 9              # lean protect call
+    syscall
+fault_site:
+    sw  $s0, 0($s1)         # write-protection fault -> fast delivery
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+uh_entry:
+{VENEER_SAVE}
+    jal null_handler
+    nop
+uh_restore:
+{VENEER_RESTORE}
+    lui $k0, {comm_hi:#x}
+    lw  $k1, {epc_lo}($k0)  # saved EPC (the faulting store)
+    jr  $k1                 # retry: eager amplification made it legal
+    nop
+
+null_handler:
+    nop                     # the null handler body
+null_ret:
+    jr  $ra
+    nop
+"#,
+        comm_hi = COMM >> 16,
+        epc_lo = (COMM & 0xffff) + epc_off,
+    )
+}
+
+/// Unix-path write-protection benchmark: `mprotect` + SIGSEGV handler that
+/// un-protects from inside the handler (conventional GC-barrier style).
+pub fn unix_prot_bench(n: u32) -> String {
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, 11             # SIGSEGV
+    la  $a1, handler
+    li  $v0, 4              # sigaction
+    syscall
+    li  $a0, 4096
+    li  $v0, 13             # sbrk one page
+    syscall
+    move $s1, $v0
+    sw  $zero, 0($s1)
+    li  $s0, {n}
+loop:
+    move $a0, $s1
+    li  $a1, 4096
+    li  $a2, 1              # read-only
+    li  $v0, 6              # mprotect
+    syscall
+fault_site:
+    sw  $s0, 0($s1)
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+handler:
+null_handler:
+    move $s2, $ra           # sigreturn will restore the app's $s2
+    move $a0, $s1
+    li  $a1, 4096
+    li  $a2, 2              # read-write again
+    li  $v0, 6              # mprotect from the handler
+    syscall
+null_ret:
+    jr  $s2
+    nop
+"#
+    )
+}
+
+/// Subpage benchmark: protect one 1 KB logical page, store into it
+/// (delivered), and separately store into an unprotected subpage of the
+/// same hardware page (kernel-emulated, invisible). Labels add
+/// `emul_site` / `after_emul`.
+pub fn fast_subpage_bench(n: u32) -> String {
+    let mask = (1u32 << ExcCode::TlbMod.code())
+        | (1 << ExcCode::TlbLoad.code())
+        | (1 << ExcCode::TlbStore.code());
+    let epc_off = frame_epc_off(ExcCode::TlbMod);
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, {mask}
+    la  $a1, uh_entry
+    li  $a2, {COMM:#x}
+    li  $v0, 7              # uexc_enable
+    syscall
+    li  $a0, 1
+    li  $v0, 10             # eager amplification on
+    syscall
+    li  $a0, 4096
+    li  $v0, 13             # sbrk one page
+    syscall
+    move $s1, $v0
+    sw  $zero, 0($s1)       # resident
+    li  $s0, {n}
+loop:
+    move $a0, $s1
+    li  $a1, 1024           # protect ONLY the first logical subpage
+    li  $a2, 1
+    li  $v0, 11             # subpage_protect
+    syscall
+emul_site:
+    sw  $s0, 2048($s1)      # unprotected subpage: kernel emulates silently
+after_emul:
+fault_site:
+    sw  $s0, 0($s1)         # protected subpage: delivered to the handler
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+uh_entry:
+{VENEER_SAVE}
+    jal null_handler
+    nop
+uh_restore:
+{VENEER_RESTORE}
+    lui $k0, {comm_hi:#x}
+    lw  $k1, {epc_lo}($k0)
+    jr  $k1                 # retry the store (page was amplified)
+    nop
+
+null_handler:
+    nop                     # the null handler body
+null_ret:
+    jr  $ra
+    nop
+"#,
+        comm_hi = COMM >> 16,
+        epc_lo = (COMM & 0xffff) + epc_off,
+    )
+}
+
+/// The specialized swizzling handler of Section 4.2.2: an unaligned load
+/// is delivered to a handler that saves only a few registers before
+/// calling a null procedure ("callee-saved registers are not saved"),
+/// giving the paper's 6 µs figure.
+pub fn fast_unaligned_specialized_bench(n: u32) -> String {
+    let mask = (1u32 << ExcCode::AddrErrLoad.code()) | (1 << ExcCode::AddrErrStore.code());
+    let epc_off = frame_epc_off(ExcCode::AddrErrLoad);
+    format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, {mask}
+    la  $a1, uh_entry
+    li  $a2, {COMM:#x}
+    li  $v0, 7              # uexc_enable
+    syscall
+    li  $a0, 4096
+    li  $v0, 13             # sbrk
+    syscall
+    move $s1, $v0
+    addiu $s1, $s1, 2       # a deliberately unaligned pointer
+    li  $s0, {n}
+loop:
+fault_site:
+    lw  $t0, 0($s1)         # unaligned -> AddrErrLoad, fast delivery
+after_fault:
+    addiu $s0, $s0, -1
+    bnez $s0, loop
+    nop
+    li  $v0, 2
+    li  $a0, 0
+    syscall
+    nop
+
+uh_entry:
+    addiu $sp, $sp, -16     # specialized: save only what we use
+    sw  $ra, 0($sp)
+    sw  $t0, 4($sp)
+    jal null_handler
+    nop
+    lw  $ra, 0($sp)
+    lw  $t0, 4($sp)
+    addiu $sp, $sp, 16
+    lui $k0, {comm_hi:#x}
+    lw  $k1, {epc_lo}($k0)
+    addiu $k1, $k1, 4       # skip the unaligned load
+    jr  $k1
+    nop
+
+null_handler:
+    nop                     # the null handler body
+null_ret:
+    jr  $ra
+    nop
+"#,
+        comm_hi = COMM >> 16,
+        epc_lo = (COMM & 0xffff) + epc_off,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use efex_mips::asm::assemble;
+
+    #[test]
+    fn all_bench_programs_assemble() {
+        for (name, src) in [
+            ("fast_simple", super::fast_simple_bench(3)),
+            ("hw_simple", super::hw_simple_bench(3)),
+            ("unix_simple", super::unix_simple_bench(3)),
+            ("fast_prot", super::fast_prot_bench(3)),
+            ("unix_prot", super::unix_prot_bench(3)),
+            ("fast_subpage", super::fast_subpage_bench(3)),
+            ("fast_unaligned", super::fast_unaligned_specialized_bench(3)),
+        ] {
+            let prog = assemble(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+            for label in ["fault_site", "after_fault", "null_ret"] {
+                assert!(prog.symbol(label).is_some(), "{name} missing {label}");
+            }
+        }
+    }
+}

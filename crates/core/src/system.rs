@@ -1,0 +1,474 @@
+//! Guest-level systems and the Table 2 / Table 3 microbenchmarks.
+//!
+//! A [`System`] boots the simulated kernel, loads a guest measurement
+//! program for the configured [`DeliveryPath`], and measures delivery and
+//! return costs by stepping the machine instruction-by-instruction and
+//! recording the cycle counter as the PC crosses the program's labels —
+//! the simulator equivalent of the logic-analyzer measurements a 1994
+//! paper would make.
+
+use efex_mips::cycles::to_micros;
+
+use efex_mips::profile::Profiler;
+use efex_simos::fastexc::TABLE3_PHASES;
+use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
+
+use crate::delivery::DeliveryPath;
+use crate::error::CoreError;
+use crate::progs;
+
+/// The exception classes the microbenchmarks exercise (Table 2 rows).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExceptionKind {
+    /// A simple synchronous exception (`break`): Table 2 row 1.
+    Breakpoint,
+    /// A write-protection fault (with eager amplification): row 2.
+    WriteProtect,
+    /// A protection fault on a subpage-managed page: row 3.
+    Subpage,
+    /// An unaligned access delivered to the specialized swizzling handler
+    /// of Section 4.2.2 (the 6 µs figure).
+    UnalignedSpecialized,
+}
+
+/// One measured exception round trip, in cycles.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RoundTrip {
+    /// Fault occurrence → first instruction of the null handler.
+    pub deliver_cycles: u64,
+    /// Null-handler return → next application instruction.
+    pub return_cycles: u64,
+    /// Simulated clock (MHz) for µs conversion.
+    clock_mhz_x100: u32,
+}
+
+impl RoundTrip {
+    /// Delivery time in µs.
+    pub fn deliver_micros(&self) -> f64 {
+        to_micros(self.deliver_cycles, self.clock())
+    }
+
+    /// Return time in µs.
+    pub fn return_micros(&self) -> f64 {
+        to_micros(self.return_cycles, self.clock())
+    }
+
+    /// Round trip in µs.
+    pub fn total_micros(&self) -> f64 {
+        to_micros(self.deliver_cycles + self.return_cycles, self.clock())
+    }
+
+    fn clock(&self) -> f64 {
+        f64::from(self.clock_mhz_x100) / 100.0
+    }
+}
+
+/// One row of the regenerated Table 3: a kernel fast-path handler phase.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Table3Row {
+    /// Phase label in the guest source (`fexc_*`).
+    pub label: &'static str,
+    /// The paper's name for the phase.
+    pub name: &'static str,
+    /// Dynamic instructions we measure for one delivery.
+    pub measured_instructions: u64,
+    /// The paper's reported count.
+    pub paper_instructions: u64,
+}
+
+/// Builds a [`System`].
+#[derive(Clone, Copy, Debug)]
+pub struct SystemBuilder {
+    path: DeliveryPath,
+    phys_bytes: usize,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> SystemBuilder {
+        SystemBuilder {
+            path: DeliveryPath::FastUser,
+            phys_bytes: efex_simos::layout::DEFAULT_PHYS_BYTES,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// Selects the delivery path.
+    pub fn delivery(mut self, path: DeliveryPath) -> SystemBuilder {
+        self.path = path;
+        self
+    }
+
+    /// Sets the physical memory size.
+    pub fn phys_bytes(mut self, bytes: usize) -> SystemBuilder {
+        self.phys_bytes = bytes;
+        self
+    }
+
+    /// Boots the system.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel cannot boot.
+    pub fn build(self) -> Result<System, CoreError> {
+        let kernel = Kernel::boot(KernelConfig {
+            phys_bytes: self.phys_bytes,
+            ..KernelConfig::default()
+        })?;
+        Ok(System {
+            kernel,
+            path: self.path,
+        })
+    }
+}
+
+/// A booted guest-level system.
+pub struct System {
+    kernel: Kernel,
+    path: DeliveryPath,
+}
+
+impl std::fmt::Debug for System {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("System")
+            .field("path", &self.path)
+            .finish_non_exhaustive()
+    }
+}
+
+impl System {
+    /// Starts building a system.
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// The configured delivery path.
+    pub fn path(&self) -> DeliveryPath {
+        self.path
+    }
+
+    /// The underlying kernel.
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Mutable kernel access.
+    pub fn kernel_mut(&mut self) -> &mut Kernel {
+        &mut self.kernel
+    }
+
+    /// Runs a guest program to completion (convenience for examples and
+    /// tests).
+    ///
+    /// # Errors
+    ///
+    /// Fails on assembly or kernel errors.
+    pub fn run_program(&mut self, source: &str, max_steps: u64) -> Result<RunOutcome, CoreError> {
+        let prog = self.kernel.load_user_program(source)?;
+        let sp = self.kernel.setup_stack(16)?;
+        self.prepare_path();
+        self.kernel.exec(prog.entry(), sp);
+        Ok(self.kernel.run_user(max_steps)?)
+    }
+
+    fn prepare_path(&mut self) {
+        if self.path == DeliveryPath::HardwareVectored {
+            // The kernel grants direct user vectoring: enable bit + mask.
+            let cp0 = self.kernel.machine_mut().cp0_mut();
+            cp0.status |= efex_mips::cp0::status::UXE;
+            cp0.uxm = efex_simos::fastexc::FastExcState::allowed_mask();
+        }
+    }
+
+    /// Measures the delivery and return cost of one exception round trip to
+    /// a null handler — the paper's Table 2 methodology. Several warm-up
+    /// iterations run first (warm caches and TLB, as in the paper); the
+    /// last iteration is measured.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the guest program misbehaves (a simulator bug).
+    pub fn measure_null_roundtrip(&mut self, kind: ExceptionKind) -> Result<RoundTrip, CoreError> {
+        const ITERS: u32 = 6;
+        let source = match (self.path, kind) {
+            (DeliveryPath::FastUser, ExceptionKind::Breakpoint) => progs::fast_simple_bench(ITERS),
+            (DeliveryPath::FastUser, ExceptionKind::WriteProtect) => progs::fast_prot_bench(ITERS),
+            (DeliveryPath::FastUser, ExceptionKind::Subpage) => progs::fast_subpage_bench(ITERS),
+            (DeliveryPath::FastUser, ExceptionKind::UnalignedSpecialized) => {
+                progs::fast_unaligned_specialized_bench(ITERS)
+            }
+            (DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint) => {
+                progs::hw_simple_bench(ITERS)
+            }
+            (DeliveryPath::UnixSignals, ExceptionKind::Breakpoint) => {
+                progs::unix_simple_bench(ITERS)
+            }
+            (DeliveryPath::UnixSignals, ExceptionKind::WriteProtect) => {
+                progs::unix_prot_bench(ITERS)
+            }
+            (path, kind) => {
+                return Err(CoreError::Invalid(format!(
+                    "no guest microbenchmark for {kind:?} on the {path} path"
+                )))
+            }
+        };
+        let prog = self.kernel.load_user_program(&source)?;
+        let sp = self.kernel.setup_stack(16)?;
+        self.prepare_path();
+        self.kernel.exec(prog.entry(), sp);
+
+        let fault_site = prog.symbol("fault_site").expect("bench label");
+        let after_fault = prog.symbol("after_fault").expect("bench label");
+        let null_entry = prog.symbol("null_handler").expect("bench label");
+        let null_ret = prog.symbol("null_ret").expect("bench label");
+
+        // Warm up: run all but the last iteration.
+        for _ in 0..ITERS - 1 {
+            self.step_until(after_fault, 2_000_000)?;
+        }
+        // Measured iteration.
+        let t0 = self.step_until(fault_site, 2_000_000)?;
+        let t1 = self.step_until(null_entry, 2_000_000)?;
+        let t2 = self.step_until(null_ret, 2_000_000)?;
+        let t3 = self.step_until(after_fault, 2_000_000)?;
+        let _ = t2;
+        let clock = self.kernel.clock_mhz();
+        Ok(RoundTrip {
+            deliver_cycles: t1 - t0,
+            return_cycles: t3 - t2.max(t1),
+            clock_mhz_x100: (clock * 100.0) as u32,
+        })
+    }
+
+    /// Measures the kernel's subpage *emulation* cost: a store to an
+    /// unprotected logical subpage of a managed page, serviced invisibly
+    /// (Section 3.2.4). Returns cycles per emulated store.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is not `FastUser` or the guest misbehaves.
+    pub fn measure_subpage_emulation(&mut self) -> Result<u64, CoreError> {
+        if self.path != DeliveryPath::FastUser {
+            return Err(CoreError::Invalid(
+                "subpage emulation is a fast-path feature".into(),
+            ));
+        }
+        const ITERS: u32 = 6;
+        let source = progs::fast_subpage_bench(ITERS);
+        let prog = self.kernel.load_user_program(&source)?;
+        let sp = self.kernel.setup_stack(16)?;
+        self.kernel.exec(prog.entry(), sp);
+        let emul_site = prog.symbol("emul_site").expect("bench label");
+        let after_emul = prog.symbol("after_emul").expect("bench label");
+        let after_fault = prog.symbol("after_fault").expect("bench label");
+        for _ in 0..ITERS - 1 {
+            self.step_until(after_fault, 2_000_000)?;
+        }
+        let t0 = self.step_until(emul_site, 2_000_000)?;
+        let t1 = self.step_until(after_emul, 2_000_000)?;
+        Ok(t1 - t0)
+    }
+
+    /// Regenerates Table 3: per-phase dynamic instruction counts of the
+    /// guest kernel fast-path handler for one simple-exception delivery.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is not `FastUser` or the guest misbehaves.
+    pub fn measure_table3(&mut self) -> Result<Vec<Table3Row>, CoreError> {
+        if self.path != DeliveryPath::FastUser {
+            return Err(CoreError::Invalid("Table 3 profiles the fast path".into()));
+        }
+        const ITERS: u32 = 3;
+        let source = progs::fast_simple_bench(ITERS);
+        let prog = self.kernel.load_user_program(&source)?;
+        let sp = self.kernel.setup_stack(16)?;
+        self.kernel.exec(prog.entry(), sp);
+
+        // Build profiler regions from the handler's phase labels.
+        let end = self
+            .kernel
+            .kernel_symbol("fexc_end")
+            .ok_or_else(|| CoreError::Measurement("missing fexc_end".into()))?;
+        let mut labels: Vec<(&str, u32)> = Vec::new();
+        for (label, _, _) in TABLE3_PHASES {
+            let addr = self
+                .kernel
+                .kernel_symbol(label)
+                .ok_or_else(|| CoreError::Measurement(format!("missing {label}")))?;
+            labels.push((label, addr));
+        }
+        let profiler = Profiler::from_labels(labels, end);
+        self.kernel.machine_mut().set_profiler(Some(profiler));
+
+        // Warm up one iteration, then reset counts and measure exactly one
+        // delivery.
+        let after_fault = prog.symbol("after_fault").expect("bench label");
+        self.step_until(after_fault, 2_000_000)?;
+        if let Some(p) = self.kernel.machine_mut().profiler_mut() {
+            p.reset();
+        }
+        self.step_until(after_fault, 2_000_000)?;
+
+        let report = self
+            .kernel
+            .machine()
+            .profiler()
+            .expect("attached above")
+            .report();
+        let rows = TABLE3_PHASES
+            .iter()
+            .map(|(label, name, paper)| Table3Row {
+                label,
+                name,
+                measured_instructions: report.get(*label).map_or(0, |c| c.instructions),
+                paper_instructions: *paper,
+            })
+            .collect();
+        self.kernel.machine_mut().set_profiler(None);
+        Ok(rows)
+    }
+
+    /// Steps the machine until the PC *next* reaches `target` (at least one
+    /// instruction executes), returning the cycle counter at that point.
+    fn step_until(&mut self, target: u32, max: u64) -> Result<u64, CoreError> {
+        for _ in 0..max {
+            match self.kernel.run_user(1)? {
+                RunOutcome::StepLimit => {}
+                other => {
+                    return Err(CoreError::Measurement(format!(
+                        "program ended ({other:?}) before reaching {target:#x}"
+                    )))
+                }
+            }
+            if self.kernel.machine().cpu().pc == target {
+                return Ok(self.kernel.cycles());
+            }
+        }
+        Err(CoreError::Measurement(format!(
+            "PC never reached {target:#x} within {max} steps"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn system(path: DeliveryPath) -> System {
+        System::builder().delivery(path).build().unwrap()
+    }
+
+    #[test]
+    fn fast_simple_roundtrip_is_order_of_magnitude_under_unix() {
+        let fast = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        let unix = system(DeliveryPath::UnixSignals)
+            .measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        assert!(
+            unix.total_micros() / fast.total_micros() >= 5.0,
+            "unix {:.1}us vs fast {:.1}us",
+            unix.total_micros(),
+            fast.total_micros()
+        );
+        // Fast path in the single-digit microseconds, as in Table 2.
+        assert!(fast.total_micros() < 20.0, "got {:.1}", fast.total_micros());
+        // Unix path near the paper's 80us.
+        assert!(
+            (40.0..160.0).contains(&unix.total_micros()),
+            "got {:.1}",
+            unix.total_micros()
+        );
+    }
+
+    #[test]
+    fn hardware_vectoring_beats_software_fast_path() {
+        let hw = system(DeliveryPath::HardwareVectored)
+            .measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        let fast = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        assert!(
+            hw.total_micros() < fast.total_micros(),
+            "hw {:.1}us vs fast {:.1}us",
+            hw.total_micros(),
+            fast.total_micros()
+        );
+    }
+
+    #[test]
+    fn write_protect_costs_more_than_simple() {
+        let mut s = system(DeliveryPath::FastUser);
+        let prot = s.measure_null_roundtrip(ExceptionKind::WriteProtect).unwrap();
+        let simple = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        assert!(
+            prot.deliver_cycles > simple.deliver_cycles,
+            "prot {} vs simple {}",
+            prot.deliver_cycles,
+            simple.deliver_cycles
+        );
+    }
+
+    #[test]
+    fn subpage_delivery_adds_lookup_over_write_protect() {
+        let sub = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::Subpage)
+            .unwrap();
+        let prot = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::WriteProtect)
+            .unwrap();
+        assert!(
+            sub.deliver_cycles > prot.deliver_cycles,
+            "subpage {} vs prot {}",
+            sub.deliver_cycles,
+            prot.deliver_cycles
+        );
+    }
+
+    #[test]
+    fn table3_counts_sum_to_a_small_handler() {
+        let rows = system(DeliveryPath::FastUser).measure_table3().unwrap();
+        let total: u64 = rows.iter().map(|r| r.measured_instructions).sum();
+        assert!(total > 20, "phases must actually execute: {total}");
+        assert!(total < 80, "handler must stay small: {total}");
+        // Save-state dominates, as in the paper.
+        let save = rows
+            .iter()
+            .find(|r| r.label == "fexc_save")
+            .unwrap()
+            .measured_instructions;
+        for r in &rows {
+            assert!(save >= r.measured_instructions, "{} > save", r.label);
+        }
+    }
+
+    #[test]
+    fn subpage_emulation_is_cheaper_than_delivery() {
+        let mut s = system(DeliveryPath::FastUser);
+        let emul = s.measure_subpage_emulation().unwrap();
+        let deliver = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::Subpage)
+            .unwrap();
+        assert!(
+            emul < deliver.deliver_cycles + deliver.return_cycles,
+            "emulation {} vs delivery {}",
+            emul,
+            deliver.deliver_cycles + deliver.return_cycles
+        );
+    }
+
+    #[test]
+    fn specialized_unaligned_handler_is_cheap() {
+        let r = system(DeliveryPath::FastUser)
+            .measure_null_roundtrip(ExceptionKind::UnalignedSpecialized)
+            .unwrap();
+        // The paper quotes 6us; allow generous slack but keep it well under
+        // the conventional path.
+        assert!(r.total_micros() < 15.0, "got {:.1}", r.total_micros());
+    }
+}

@@ -1,0 +1,87 @@
+//! Tests of `HandlerAction::Emulate`: the handler completes the access
+//! with kernel rights and the protection stays in place.
+
+use efex_core::{CoreError, DeliveryPath, HandlerAction, HostProcess, Prot};
+
+#[test]
+fn emulated_stores_land_and_keep_protection() {
+    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+    h.store_u32(base, 0).unwrap();
+    h.protect(base, 4096, Prot::Read).unwrap();
+    h.set_handler(|_, _| HandlerAction::Emulate);
+    for i in 1..=5 {
+        h.store_u32(base + 4 * i, i).unwrap();
+    }
+    assert_eq!(h.stats().faults_delivered, 5, "every store still faults");
+    for i in 1..=5 {
+        assert_eq!(h.load_u32(base + 4 * i).unwrap(), i);
+    }
+}
+
+#[test]
+fn emulated_loads_return_the_real_value() {
+    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+    h.store_u32(base + 8, 77).unwrap();
+    // Revoke ALL access: loads fault too (read-watchpoint style).
+    h.protect(base, 4096, Prot::None).unwrap();
+    h.set_handler(|_, _| HandlerAction::Emulate);
+    assert_eq!(h.load_u32(base + 8).unwrap(), 77);
+    assert_eq!(h.stats().faults_delivered, 1);
+    // Still protected: the next load faults again.
+    assert_eq!(h.load_u32(base + 8).unwrap(), 77);
+    assert_eq!(h.stats().faults_delivered, 2);
+}
+
+#[test]
+fn store_value_reaches_the_handler() {
+    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+    h.store_u32(base, 0).unwrap();
+    h.protect(base, 4096, Prot::Read).unwrap();
+    use std::cell::Cell;
+    use std::rc::Rc;
+    let seen: Rc<Cell<Option<u32>>> = Rc::default();
+    let s2 = seen.clone();
+    h.set_handler(move |_, info| {
+        s2.set(info.value);
+        HandlerAction::Emulate
+    });
+    h.store_u32(base, 0xabcd).unwrap();
+    assert_eq!(seen.get(), Some(0xabcd));
+}
+
+#[test]
+fn loads_carry_no_store_value() {
+    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let base = h.alloc_region(4096, Prot::None).unwrap();
+    use std::cell::Cell;
+    use std::rc::Rc;
+    let seen: Rc<Cell<Option<Option<u32>>>> = Rc::default();
+    let s2 = seen.clone();
+    h.set_handler(move |_, info| {
+        s2.set(Some(info.value));
+        HandlerAction::Emulate
+    });
+    let _ = h.load_u32(base);
+    assert_eq!(seen.get(), Some(None));
+}
+
+#[test]
+fn abort_from_emulating_handler_possible() {
+    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let base = h.alloc_region(4096, Prot::Read).unwrap();
+    h.set_handler(|_, info| {
+        if info.vaddr % 8 == 0 {
+            HandlerAction::Emulate
+        } else {
+            HandlerAction::Abort
+        }
+    });
+    assert!(h.store_u32(base, 1).is_ok());
+    assert!(matches!(
+        h.store_u32(base + 4, 1),
+        Err(CoreError::Aborted(_))
+    ));
+}

@@ -1,0 +1,86 @@
+//! DSM measurement workloads.
+//!
+//! [`false_sharing`] demonstrates the problem the paper raises in
+//! Section 3.2.4: "architects are increasing page size at the same time
+//! that software wants smaller pages, in order to reduce protection
+//! granularity and false sharing". Two nodes each write a *disjoint* word;
+//! when those words share a page, every write steals exclusive ownership
+//! from the other node — pure protocol overhead with no true data sharing.
+
+use crate::dsm::{Dsm, DsmConfig, DsmError};
+use efex_core::DeliveryPath;
+use efex_simos::layout::PAGE_SIZE;
+
+/// Result of one false-sharing run.
+#[derive(Clone, Copy, Debug)]
+pub struct FalseSharingReport {
+    /// Total simulated time across nodes, µs.
+    pub total_us: f64,
+    /// Coherence faults taken.
+    pub faults: u64,
+    /// Pages shipped.
+    pub page_transfers: u64,
+}
+
+/// Two nodes alternate writes to their own private word for `rounds`
+/// rounds. With `same_page`, the words live on one page (false sharing);
+/// otherwise on separate pages.
+///
+/// # Errors
+///
+/// Propagates DSM errors.
+pub fn false_sharing(
+    path: DeliveryPath,
+    rounds: u32,
+    same_page: bool,
+) -> Result<FalseSharingReport, DsmError> {
+    let mut d = Dsm::new(DsmConfig {
+        nodes: 2,
+        pages: 2,
+        path,
+        ..DsmConfig::default()
+    })?;
+    let a = d.base();
+    let b = if same_page { a + 64 } else { a + PAGE_SIZE };
+    for i in 0..rounds {
+        d.write(0, a, i)?;
+        d.write(1, b, i)?;
+    }
+    Ok(FalseSharingReport {
+        total_us: d.total_micros(),
+        faults: d.stats().faults,
+        page_transfers: d.stats().page_transfers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_page_thrashes_separate_pages_settle() {
+        let shared = false_sharing(DeliveryPath::FastUser, 30, true).unwrap();
+        let split = false_sharing(DeliveryPath::FastUser, 30, false).unwrap();
+        // Disjoint pages: each node takes ownership once and keeps it.
+        assert!(
+            split.faults <= 4,
+            "split should settle: {} faults",
+            split.faults
+        );
+        // Same page: ownership ping-pongs on every round.
+        assert!(
+            shared.faults >= 2 * 30 - 4,
+            "false sharing should thrash: {} faults",
+            shared.faults
+        );
+        assert!(shared.total_us > 5.0 * split.total_us);
+    }
+
+    #[test]
+    fn fast_delivery_shrinks_the_false_sharing_penalty() {
+        let slow = false_sharing(DeliveryPath::UnixSignals, 25, true).unwrap();
+        let fast = false_sharing(DeliveryPath::FastUser, 25, true).unwrap();
+        assert_eq!(slow.faults, fast.faults, "identical protocol traffic");
+        assert!(fast.total_us < slow.total_us);
+    }
+}

@@ -1,0 +1,76 @@
+//! Collector configuration.
+
+use efex_core::DeliveryPath;
+
+/// Which write-barrier mechanism tracks old-to-young pointer stores.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum BarrierKind {
+    /// Page-protection barrier: old-generation pages are write-protected;
+    /// the first store into one faults and marks the page dirty
+    /// (Section 4.1 of the paper).
+    PageProtection,
+    /// Subpage-protection barrier (Section 3.2.4 applied to the write
+    /// barrier): dirty tracking at 1 KB granularity, so collections scan a
+    /// quarter of the memory per barrier fault — at the cost of kernel
+    /// emulation for stores landing on a page's already-dirty neighbours.
+    SubpageProtection,
+    /// Software checks before every store (Hosking & Moss), charged at
+    /// [`GcConfig::check_cycles`] per store.
+    SoftwareCheck,
+}
+
+/// Collector configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct GcConfig {
+    /// Exception delivery path for the page-protection barrier.
+    pub path: DeliveryPath,
+    /// The write-barrier mechanism.
+    pub barrier: BarrierKind,
+    /// Eager amplification (Section 3.2.3): the kernel grants write access
+    /// before vectoring, so the handler makes no protection call.
+    pub eager_amplification: bool,
+    /// Heap size in bytes (page rounded).
+    pub heap_bytes: u32,
+    /// A minor collection triggers after this many bytes of allocation.
+    pub minor_threshold: u32,
+    /// Every `n`th collection is a major (full) collection.
+    pub major_every: u32,
+    /// Cycles per software check (the paper assumes 5).
+    pub check_cycles: u64,
+    /// Cycles charged per object allocation (the allocator's own work).
+    pub alloc_cycles: u64,
+    /// Cycles charged per object visited during marking.
+    pub mark_cycles: u64,
+    /// Cycles charged per word scanned in dirty pages / the store buffer.
+    pub scan_cycles: u64,
+}
+
+impl Default for GcConfig {
+    fn default() -> GcConfig {
+        GcConfig {
+            path: DeliveryPath::FastUser,
+            barrier: BarrierKind::PageProtection,
+            eager_amplification: true,
+            heap_bytes: 4 * 1024 * 1024,
+            minor_threshold: 256 * 1024,
+            major_every: 4,
+            check_cycles: 5,
+            alloc_cycles: 15,
+            mark_cycles: 8,
+            scan_cycles: 2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_the_paper_configuration() {
+        let c = GcConfig::default();
+        assert_eq!(c.barrier, BarrierKind::PageProtection);
+        assert_eq!(c.check_cycles, 5, "the paper's x = 5 cycles");
+        assert!(c.eager_amplification);
+    }
+}

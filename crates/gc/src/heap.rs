@@ -1,0 +1,207 @@
+//! The heap's host-side metadata: object table, block map, free pages.
+//!
+//! Object *fields* live in simulated guest memory (so stores can fault);
+//! object *metadata* (size, generation, mark bit) lives host-side, modeling
+//! the collector's internal tables whose costs are charged explicitly.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use efex_simos::layout::PAGE_SIZE;
+
+/// A reference to a heap object: the guest virtual address of its first
+/// field. Word-aligned by construction, so a tagged integer (odd) can never
+/// collide with one.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct ObjRef(pub(crate) u32);
+
+impl ObjRef {
+    /// The guest virtual address of the object's first field.
+    pub fn addr(self) -> u32 {
+        self.0
+    }
+}
+
+/// A field value: a small integer or an object reference.
+///
+/// Integers are stored tagged (`2n + 1`), so a conservative scan never
+/// mistakes them for pointers (heap addresses are word-aligned).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Value {
+    /// A 31-bit integer: values outside `-(2^30) .. 2^30` wrap on the
+    /// encode/decode round trip, exactly as in tagged Lisp systems.
+    Int(i32),
+    /// A heap reference.
+    Ref(ObjRef),
+    /// The null reference.
+    Nil,
+}
+
+impl Value {
+    /// Encodes to the in-memory word.
+    pub fn encode(self) -> u32 {
+        match self {
+            Value::Int(n) => ((n as u32) << 1) | 1,
+            Value::Ref(r) => r.0,
+            Value::Nil => 0,
+        }
+    }
+
+    /// Decodes from the in-memory word. Any even non-zero word is treated
+    /// as a reference (the conservative interpretation; validity is checked
+    /// against the object table at use).
+    pub fn decode(word: u32) -> Value {
+        if word == 0 {
+            Value::Nil
+        } else if word & 1 == 1 {
+            Value::Int((word as i32) >> 1)
+        } else {
+            Value::Ref(ObjRef(word))
+        }
+    }
+}
+
+/// Host-side per-object record.
+#[derive(Clone, Copy, Debug)]
+pub struct Obj {
+    /// Size in words (fields only).
+    pub words: u32,
+    /// Old generation?
+    pub old: bool,
+    /// Mark bit for the current collection.
+    pub marked: bool,
+}
+
+/// Host-side per-page record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BlockGen {
+    /// Currently receiving allocations.
+    Young,
+    /// Holds promoted (old) objects and is write-protected between
+    /// collections under the page-protection barrier.
+    Old,
+}
+
+/// The heap's bookkeeping state (shared with the fault handler through an
+/// `Rc<RefCell<_>>` in [`crate::Gc`]).
+#[derive(Debug, Default)]
+pub struct HeapState {
+    /// Region bounds in guest memory.
+    pub base: u32,
+    pub limit: u32,
+    /// Object table: field address → record.
+    pub objects: BTreeMap<u32, Obj>,
+    /// Page address → generation, for pages in use.
+    pub blocks: BTreeMap<u32, BlockGen>,
+    /// Pages available for allocation.
+    pub free_pages: Vec<u32>,
+    /// Current young allocation page and offset.
+    pub cur_page: Option<u32>,
+    pub cur_off: u32,
+    /// Pages dirtied since the last collection (page-protection barrier).
+    pub dirty_pages: BTreeSet<u32>,
+    /// Sequential store buffer (software-check barrier): slot addresses.
+    pub ssb: Vec<u32>,
+    /// Bytes allocated since the last minor collection.
+    pub bytes_since_minor: u32,
+    /// Explicitly registered root objects (a stack).
+    pub roots: Vec<u32>,
+}
+
+impl HeapState {
+    /// Initializes bookkeeping over a guest region `[base, base+len)`.
+    pub fn new(base: u32, len: u32) -> HeapState {
+        let mut s = HeapState {
+            base,
+            limit: base + len,
+            ..HeapState::default()
+        };
+        for page in (base..base + len).step_by(PAGE_SIZE as usize) {
+            s.free_pages.push(page);
+        }
+        // Allocate low pages first.
+        s.free_pages.reverse();
+        s
+    }
+
+    /// Whether `addr` lies within the heap region.
+    pub fn contains(&self, addr: u32) -> bool {
+        (self.base..self.limit).contains(&addr)
+    }
+
+    /// Conservative pointer test: does `word` point at (or into) a live
+    /// object? Returns the object's base address.
+    pub fn find_object(&self, word: u32) -> Option<u32> {
+        if word & 3 != 0 || !self.contains(word) {
+            return None;
+        }
+        let (base, obj) = self.objects.range(..=word).next_back()?;
+        (word < base + obj.words * 4).then_some(*base)
+    }
+
+    /// The page holding an address.
+    pub fn page_of(addr: u32) -> u32 {
+        addr & !(PAGE_SIZE - 1)
+    }
+
+    /// All pages currently marked old.
+    pub fn old_pages(&self) -> Vec<u32> {
+        self.blocks
+            .iter()
+            .filter(|(_, g)| **g == BlockGen::Old)
+            .map(|(p, _)| *p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_encoding_round_trips() {
+        for v in [
+            Value::Int(0),
+            Value::Int(42),
+            Value::Int(-7),
+            Value::Ref(ObjRef(0x1000_0010)),
+            Value::Nil,
+        ] {
+            assert_eq!(Value::decode(v.encode()), v, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn tagged_ints_never_look_like_pointers() {
+        for n in [-1000, -1, 0, 1, 123456] {
+            let w = Value::Int(n).encode();
+            assert_eq!(w & 1, 1, "int {n} must be odd-tagged");
+        }
+    }
+
+    #[test]
+    fn find_object_handles_interior_pointers() {
+        let mut s = HeapState::new(0x1000_0000, 0x10000);
+        s.objects.insert(
+            0x1000_0100,
+            Obj {
+                words: 4,
+                old: false,
+                marked: false,
+            },
+        );
+        assert_eq!(s.find_object(0x1000_0100), Some(0x1000_0100));
+        assert_eq!(s.find_object(0x1000_0108), Some(0x1000_0100), "interior");
+        assert_eq!(s.find_object(0x1000_0110), None, "past the end");
+        assert_eq!(s.find_object(0x1000_00f0), None, "before");
+        assert_eq!(s.find_object(0x1000_0102), None, "unaligned");
+        assert_eq!(s.find_object(0x2000_0000), None, "outside heap");
+    }
+
+    #[test]
+    fn new_state_tracks_all_pages_free() {
+        let s = HeapState::new(0x1000_0000, 4 * PAGE_SIZE);
+        assert_eq!(s.free_pages.len(), 4);
+        assert!(s.contains(0x1000_0000));
+        assert!(!s.contains(0x1000_4000));
+    }
+}

@@ -1,0 +1,295 @@
+//! The two synthetic benchmarks of the paper's Table 4.
+//!
+//! - [`lisp_ops`] — "simulates the behavior of simple Lisp operators, such
+//!   as `cons`, `car`, and `cdr`. It repeatedly creates large Lisp-like
+//!   data structures without explicit garbage collection", running the
+//!   collector tens of times and taking thousands of protection faults.
+//! - [`array_test`] — "creates a large array (1 MB) and randomly replaces
+//!   elements in the array", creating many more old-to-young pointer
+//!   stores relative to run time.
+//!
+//! Workload sizes are scaled down from the paper's multi-second 1994 runs
+//! (the simulator executes every heap access through the MMU); the
+//! *proportions* — which barrier wins and by roughly how much — are what
+//! Table 4 checks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gc::{Gc, GcError, GcStats};
+use crate::heap::Value;
+
+/// The outcome of one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct WorkloadReport {
+    /// Simulated CPU time, µs.
+    pub micros: f64,
+    /// Collector statistics at the end of the run.
+    pub stats: GcStats,
+}
+
+/// Parameters for [`lisp_ops`].
+#[derive(Clone, Copy, Debug)]
+pub struct LispOpsParams {
+    /// Outer iterations (structures built).
+    pub iterations: u32,
+    /// Depth of each binary cons tree (2^(depth+1) - 1 cells).
+    pub depth: u32,
+    /// Size of the persistent (old-generation) registry table, in pages.
+    /// Stores into it are the old-to-young pointers the barrier tracks.
+    pub table_pages: u32,
+    /// Random registry stores per iteration.
+    pub stores_per_iteration: u32,
+    /// Mutator compute charged per iteration, cycles — models the Lisp
+    /// interpreter work the scaled-down workload does not perform, so the
+    /// barrier-time fraction matches the paper's application (see
+    /// EXPERIMENTS.md).
+    pub mutator_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for LispOpsParams {
+    fn default() -> LispOpsParams {
+        LispOpsParams {
+            iterations: 60,
+            depth: 7,
+            table_pages: 128,
+            stores_per_iteration: 40,
+            mutator_cycles: 700_000,
+            seed: 0x11ee,
+        }
+    }
+}
+
+/// Runs the Lisp-operators benchmark on a configured collector.
+///
+/// # Errors
+///
+/// Propagates collector errors (out of memory is a configuration problem).
+pub fn lisp_ops(gc: &mut Gc, p: LispOpsParams) -> Result<WorkloadReport, GcError> {
+    let start = gc.micros();
+    let mut rng = StdRng::seed_from_u64(p.seed);
+
+    // The persistent registry: an old-generation table of roots into which
+    // the workload keeps storing young structure — the source of the
+    // old-to-young pointers the paper's barrier tracks.
+    let table_words = p.table_pages * 1024;
+    let registry = gc.alloc_large(table_words)?;
+    gc.push_root(registry);
+    gc.promote(registry);
+    gc.collect_minor(); // write-protect the registry
+
+    for _ in 0..p.iterations {
+        // Build a binary tree of cons cells bottom-up (car/cdr churn).
+        let tree = build_tree(gc, p.depth, &mut rng)?;
+        gc.push_root(tree);
+
+        // Walk it (car/cdr reads), summing leaves.
+        let mut sum = 0i64;
+        walk(gc, tree, &mut sum)?;
+
+        // Keep only a small subtree: descend a few links so the bulk of the
+        // structure becomes garbage (the paper's churn), while the kept
+        // piece creates old-to-young stores spread across the table.
+        let mut keep = tree;
+        for _ in 0..p.depth.saturating_sub(2) {
+            match gc.load(keep, 0)? {
+                Value::Ref(next) => keep = next,
+                _ => break,
+            }
+        }
+        for _ in 0..p.stores_per_iteration {
+            let idx = rng.gen_range(0..table_words);
+            gc.store(registry, idx, Value::Ref(keep))?;
+        }
+        // The interpreter's own work for this iteration.
+        gc.charge_app(p.mutator_cycles);
+        gc.pop_root();
+        // The tree stays reachable only through the registry slots it
+        // landed in; older attachments die as slots are overwritten.
+    }
+    gc.pop_root();
+    Ok(WorkloadReport {
+        micros: gc.micros() - start,
+        stats: gc.stats(),
+    })
+}
+
+fn build_tree(gc: &mut Gc, depth: u32, rng: &mut StdRng) -> Result<crate::ObjRef, GcError> {
+    if depth == 0 {
+        let leaf = gc.alloc(2)?;
+        gc.store(leaf, 0, Value::Int(rng.gen_range(0..1000)))?;
+        return Ok(leaf);
+    }
+    let left = build_tree(gc, depth - 1, rng)?;
+    gc.push_root(left);
+    let right = build_tree(gc, depth - 1, rng)?;
+    gc.push_root(right);
+    let node = gc.alloc(2)?;
+    gc.store(node, 0, Value::Ref(left))?;
+    gc.store(node, 1, Value::Ref(right))?;
+    gc.pop_root();
+    gc.pop_root();
+    Ok(node)
+}
+
+fn walk(gc: &mut Gc, node: crate::ObjRef, sum: &mut i64) -> Result<(), GcError> {
+    // Charge the traversal's compute alongside the loads it performs.
+    gc.charge_app(2);
+    match gc.load(node, 0)? {
+        Value::Int(n) => *sum += i64::from(n),
+        Value::Ref(l) => walk(gc, l, sum)?,
+        Value::Nil => {}
+    }
+    if let Value::Ref(r) = gc.load(node, 1)? {
+        walk(gc, r, sum)?;
+    }
+    Ok(())
+}
+
+/// Parameters for [`array_test`].
+#[derive(Clone, Copy, Debug)]
+pub struct ArrayTestParams {
+    /// Array size in words (the paper uses 1 MB = 262144 words).
+    pub array_words: u32,
+    /// Number of random replacements.
+    pub replacements: u32,
+    /// Mutator compute charged per replacement, cycles (see
+    /// [`LispOpsParams::mutator_cycles`]).
+    pub mutator_cycles: u64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ArrayTestParams {
+    fn default() -> ArrayTestParams {
+        ArrayTestParams {
+            array_words: 256 * 1024,
+            replacements: 12_000,
+            mutator_cycles: 2_500,
+            seed: 0xa77a,
+        }
+    }
+}
+
+/// Runs the array-replacement benchmark: a large old-generation array whose
+/// elements are randomly replaced with fresh young cons cells.
+///
+/// # Errors
+///
+/// Propagates collector errors.
+pub fn array_test(gc: &mut Gc, p: ArrayTestParams) -> Result<WorkloadReport, GcError> {
+    let start = gc.micros();
+    let mut rng = StdRng::seed_from_u64(p.seed);
+
+    let array = gc.alloc_large(p.array_words)?;
+    gc.push_root(array);
+    gc.promote(array);
+    gc.collect_minor(); // protect the (old) array pages
+
+    for i in 0..p.replacements {
+        // A fresh young cell replacing a random element: each replacement
+        // creates garbage (the old element) and an old-to-young store.
+        let cell = gc.alloc(2)?;
+        gc.store(cell, 0, Value::Int(i as i32))?;
+        let idx = rng.gen_range(0..p.array_words);
+        gc.store(array, idx, Value::Ref(cell))?;
+        gc.charge_app(p.mutator_cycles); // the application's own work
+    }
+    gc.pop_root();
+    Ok(WorkloadReport {
+        micros: gc.micros() - start,
+        stats: gc.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{BarrierKind, GcConfig};
+    use efex_core::DeliveryPath;
+
+    fn run_lisp(path: DeliveryPath, barrier: BarrierKind, eager: bool) -> WorkloadReport {
+        let mut gc = Gc::new(GcConfig {
+            path,
+            barrier,
+            eager_amplification: eager,
+            heap_bytes: 2 * 1024 * 1024,
+            minor_threshold: 16 * 1024,
+            ..GcConfig::default()
+        })
+        .unwrap();
+        lisp_ops(
+            &mut gc,
+            LispOpsParams {
+                iterations: 40,
+                depth: 7,
+                table_pages: 16,
+                stores_per_iteration: 10,
+                mutator_cycles: 1_000,
+                seed: 7,
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn lisp_ops_runs_collections_and_faults() {
+        let r = run_lisp(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
+        assert!(r.stats.minor_collections + r.stats.major_collections >= 2);
+        assert!(r.stats.barrier_faults > 0, "must exercise the barrier");
+        assert!(r.stats.objects_freed > 0, "garbage must be collected");
+    }
+
+    #[test]
+    fn lisp_ops_identical_heap_work_across_barriers() {
+        let a = run_lisp(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
+        let b = run_lisp(DeliveryPath::FastUser, BarrierKind::SoftwareCheck, false);
+        // Same workload, same allocations; only the barrier differs.
+        assert_eq!(a.stats.objects_allocated, b.stats.objects_allocated);
+        assert_eq!(b.stats.barrier_faults, 0);
+        assert!(b.stats.software_checks > 0);
+    }
+
+    #[test]
+    fn fast_exceptions_beat_signals_on_the_same_workload() {
+        let fast = run_lisp(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
+        let slow = run_lisp(DeliveryPath::UnixSignals, BarrierKind::PageProtection, false);
+        assert_eq!(
+            fast.stats.barrier_faults, slow.stats.barrier_faults,
+            "identical fault counts (the paper's controlled variable)"
+        );
+        assert!(
+            fast.micros < slow.micros,
+            "fast {:.0}us vs signals {:.0}us",
+            fast.micros,
+            slow.micros
+        );
+    }
+
+    #[test]
+    fn array_test_generates_many_barrier_faults() {
+        let mut gc = Gc::new(GcConfig {
+            heap_bytes: 4 * 1024 * 1024,
+            minor_threshold: 8 * 1024,
+            ..GcConfig::default()
+        })
+        .unwrap();
+        let r = array_test(
+            &mut gc,
+            ArrayTestParams {
+                array_words: 64 * 1024, // 256 KB scaled-down array
+                replacements: 4000,
+                mutator_cycles: 100,
+                seed: 3,
+            },
+        )
+        .unwrap();
+        assert!(
+            r.stats.barrier_faults > 100,
+            "random replacements must dirty many pages: {}",
+            r.stats.barrier_faults
+        );
+    }
+}

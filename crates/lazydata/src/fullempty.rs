@@ -1,0 +1,198 @@
+//! Full/empty-bit synchronization via paired pointers (Section 4.2.1).
+//!
+//! Tera and Alewife attach a full/empty tag bit to every memory word:
+//! reading an empty word or writing a full word traps. The paper observes
+//! the same semantics can be had on conventional hardware with **two
+//! pointers per synchronized word**: a read pointer and a write pointer,
+//! where the pointer for the currently-forbidden direction is unaligned.
+//! The forbidden access then raises an unaligned-access exception instead
+//! of proceeding.
+//!
+//! In this single-address-space simulation a blocked access surfaces as
+//! [`SyncError::WouldBlock`] (a thread scheduler would park the accessor);
+//! the allowed direction proceeds at full speed with no checks.
+
+use std::error::Error;
+use std::fmt;
+
+use efex_core::CoreError;
+
+use crate::runtime::{LazyError, LazyRuntime};
+
+/// A word with full/empty semantics.
+///
+/// Layout: one data cell plus a descriptor of two pointer slots
+/// (read pointer, write pointer). Exactly one of the two is aligned at any
+/// time.
+#[derive(Clone, Copy, Debug)]
+pub struct SyncVar {
+    /// Slot holding the read pointer.
+    read_slot: u32,
+    /// Slot holding the write pointer.
+    write_slot: u32,
+    /// The data cell both point at (possibly tagged).
+    data: u32,
+}
+
+/// Synchronization errors.
+#[derive(Debug)]
+pub enum SyncError {
+    /// The access direction is currently forbidden (read-on-empty or
+    /// write-on-full); a scheduler would block the thread here.
+    WouldBlock,
+    /// Underlying simulation error.
+    Core(CoreError),
+    /// Runtime error.
+    Lazy(LazyError),
+}
+
+impl fmt::Display for SyncError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SyncError::WouldBlock => f.write_str("access would block (full/empty)"),
+            SyncError::Core(e) => write!(f, "simulation error: {e}"),
+            SyncError::Lazy(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for SyncError {}
+
+impl From<CoreError> for SyncError {
+    fn from(e: CoreError) -> SyncError {
+        SyncError::Core(e)
+    }
+}
+
+impl From<LazyError> for SyncError {
+    fn from(e: LazyError) -> SyncError {
+        SyncError::Lazy(e)
+    }
+}
+
+impl SyncVar {
+    /// Creates an *empty* synchronized word.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the heap is exhausted.
+    pub fn new(rt: &mut LazyRuntime) -> Result<SyncVar, SyncError> {
+        let slots = rt.alloc_raw()?;
+        let data = rt.alloc_raw()?;
+        let var = SyncVar {
+            read_slot: slots,
+            write_slot: slots + 4,
+            data,
+        };
+        // Empty: reads forbidden (tagged), writes allowed (aligned).
+        rt.host_mut().write_raw(var.read_slot, data + 2)?;
+        rt.host_mut().write_raw(var.write_slot, data)?;
+        Ok(var)
+    }
+
+    /// Whether the word is currently full.
+    ///
+    /// # Errors
+    ///
+    /// Fails on simulation errors.
+    pub fn is_full(&self, rt: &mut LazyRuntime) -> Result<bool, SyncError> {
+        let r = rt.host_mut().load_u32(self.read_slot)?;
+        Ok(r % 4 == 0)
+    }
+
+    /// Reads the word; empties it (consuming read, as on the Tera).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::WouldBlock`] if the word is empty.
+    pub fn read(&self, rt: &mut LazyRuntime) -> Result<i32, SyncError> {
+        let ptr = rt.host_mut().load_u32(self.read_slot)?;
+        if ptr % 4 != 0 {
+            // The trapped path: on real hardware the load through the
+            // unaligned pointer faults; the handler would park the thread.
+            return Err(SyncError::WouldBlock);
+        }
+        let v = rt.host_mut().load_u32(ptr)? as i32;
+        // Flip to empty: forbid reads, allow writes.
+        rt.host_mut().write_raw(self.read_slot, self.data + 2)?;
+        rt.host_mut().write_raw(self.write_slot, self.data)?;
+        Ok(v)
+    }
+
+    /// Writes the word; fills it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SyncError::WouldBlock`] if the word is already full.
+    pub fn write(&self, rt: &mut LazyRuntime, value: i32) -> Result<(), SyncError> {
+        let ptr = rt.host_mut().load_u32(self.write_slot)?;
+        if ptr % 4 != 0 {
+            return Err(SyncError::WouldBlock);
+        }
+        rt.host_mut().store_u32(ptr, value as u32)?;
+        // Flip to full: allow reads, forbid writes.
+        rt.host_mut().write_raw(self.read_slot, self.data)?;
+        rt.host_mut().write_raw(self.write_slot, self.data + 2)?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use efex_core::DeliveryPath;
+
+    fn rt() -> LazyRuntime {
+        LazyRuntime::new(DeliveryPath::FastUser, 64 * 1024).unwrap()
+    }
+
+    #[test]
+    fn starts_empty_and_blocks_reads() {
+        let mut rt = rt();
+        let v = SyncVar::new(&mut rt).unwrap();
+        assert!(!v.is_full(&mut rt).unwrap());
+        assert!(matches!(v.read(&mut rt), Err(SyncError::WouldBlock)));
+    }
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let mut rt = rt();
+        let v = SyncVar::new(&mut rt).unwrap();
+        v.write(&mut rt, 123).unwrap();
+        assert!(v.is_full(&mut rt).unwrap());
+        assert_eq!(v.read(&mut rt).unwrap(), 123);
+        assert!(!v.is_full(&mut rt).unwrap(), "consuming read empties");
+    }
+
+    #[test]
+    fn double_write_blocks() {
+        let mut rt = rt();
+        let v = SyncVar::new(&mut rt).unwrap();
+        v.write(&mut rt, 1).unwrap();
+        assert!(matches!(v.write(&mut rt, 2), Err(SyncError::WouldBlock)));
+        // The original value is preserved.
+        assert_eq!(v.read(&mut rt).unwrap(), 1);
+    }
+
+    #[test]
+    fn producer_consumer_sequence() {
+        let mut rt = rt();
+        let v = SyncVar::new(&mut rt).unwrap();
+        for i in 0..10 {
+            v.write(&mut rt, i).unwrap();
+            assert_eq!(v.read(&mut rt).unwrap(), i);
+        }
+    }
+
+    #[test]
+    fn independent_vars_do_not_interfere() {
+        let mut rt = rt();
+        let a = SyncVar::new(&mut rt).unwrap();
+        let b = SyncVar::new(&mut rt).unwrap();
+        a.write(&mut rt, 5).unwrap();
+        assert!(!b.is_full(&mut rt).unwrap());
+        b.write(&mut rt, 6).unwrap();
+        assert_eq!(a.read(&mut rt).unwrap(), 5);
+        assert_eq!(b.read(&mut rt).unwrap(), 6);
+    }
+}

@@ -1,0 +1,41 @@
+//! # efex-lazydata — language features built on unaligned-access exceptions
+//!
+//! Section 4.2.1 of Thekkath & Levy (ASPLOS 1994) argues that cheap
+//! user-level delivery of unaligned-access exceptions makes several
+//! language mechanisms practical on conventional hardware:
+//!
+//! - **Unbounded data structures** ([`runtime::LazyRuntime::new_stream`]):
+//!   the unevaluated tail of a list is denoted by an *unaligned* pointer in
+//!   the last evaluated cell; touching it faults, and the handler extends
+//!   the list on demand — no explicit "force" calls in the program.
+//! - **Futures** ([`runtime::LazyRuntime::make_future`]): an unresolved
+//!   future is an unaligned pointer; first touch faults and resolves it
+//!   (the APRIL/Alewife representation the paper cites).
+//! - **Full/empty bits** ([`fullempty`]): Tera-style synchronized words
+//!   emulated with a pair of read/write pointers, where the blocked
+//!   direction's pointer is unaligned so the access traps.
+//!
+//! Everything runs over [`efex_core::HostProcess`]: the faults are real
+//! simulated unaligned-access exceptions paying the configured delivery
+//! path's costs.
+//!
+//! # Example
+//!
+//! ```
+//! use efex_core::DeliveryPath;
+//! use efex_lazydata::LazyRuntime;
+//!
+//! # fn main() -> Result<(), efex_lazydata::LazyError> {
+//! let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 64 * 1024)?;
+//! let naturals = rt.new_stream(|i| i as i32)?;
+//! assert_eq!(rt.take(naturals, 4)?, vec![0, 1, 2, 3]);
+//! assert_eq!(rt.stats().faults, 4, "one fault per materialized cell");
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod fullempty;
+pub mod runtime;
+
+pub use fullempty::{SyncError, SyncVar};
+pub use runtime::{LazyError, LazyList, LazyRuntime, LazyStats};

@@ -1,0 +1,240 @@
+//! Line tokenizer for the assembler.
+
+/// One token of an assembly line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Token {
+    /// Bare identifier: mnemonic, label, or symbol reference.
+    Ident(String),
+    /// `.directive` name, without the dot.
+    Directive(String),
+    /// `$`-prefixed register name (GPR or CP0 alias), without the `$`.
+    Reg(String),
+    /// Integer literal (decimal, `0x…`, or negative); value as i64 so both
+    /// signed and unsigned 32-bit ranges fit.
+    Int(i64),
+    /// Quoted string (escapes processed).
+    Str(String),
+    Comma,
+    Colon,
+    LParen,
+    RParen,
+    Plus,
+    Minus,
+}
+
+/// Tokenizes a single source line; comments (`#`, `;`) are stripped.
+pub fn tokenize(line: &str) -> Result<Vec<Token>, String> {
+    let mut out = Vec::new();
+    let bytes = line.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        match c {
+            '#' | ';' => break,
+            ' ' | '\t' | '\r' => i += 1,
+            ',' => {
+                out.push(Token::Comma);
+                i += 1;
+            }
+            ':' => {
+                out.push(Token::Colon);
+                i += 1;
+            }
+            '(' => {
+                out.push(Token::LParen);
+                i += 1;
+            }
+            ')' => {
+                out.push(Token::RParen);
+                i += 1;
+            }
+            '+' => {
+                out.push(Token::Plus);
+                i += 1;
+            }
+            '-' => {
+                // Negative literal or operator; decide by lookahead.
+                if i + 1 < bytes.len() && (bytes[i + 1] as char).is_ascii_digit() {
+                    let (v, next) = scan_int(line, i + 1)?;
+                    out.push(Token::Int(-v));
+                    i = next;
+                } else {
+                    out.push(Token::Minus);
+                    i += 1;
+                }
+            }
+            '"' => {
+                let (s, next) = scan_string(line, i + 1)?;
+                out.push(Token::Str(s));
+                i = next;
+            }
+            '$' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("empty register name after `$`".into());
+                }
+                out.push(Token::Reg(line[start..j].to_string()));
+                i = j;
+            }
+            '.' => {
+                let start = i + 1;
+                let mut j = start;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                if j == start {
+                    return Err("empty directive name after `.`".into());
+                }
+                out.push(Token::Directive(line[start..j].to_string()));
+                i = j;
+            }
+            _ if c.is_ascii_digit() => {
+                let (v, next) = scan_int(line, i)?;
+                out.push(Token::Int(v));
+                i = next;
+            }
+            _ if is_ident_start(c) => {
+                let start = i;
+                let mut j = i;
+                while j < bytes.len() && is_ident_char(bytes[j] as char) {
+                    j += 1;
+                }
+                out.push(Token::Ident(line[start..j].to_string()));
+                i = j;
+            }
+            _ => return Err(format!("unexpected character `{c}`")),
+        }
+    }
+    Ok(out)
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_ascii_alphabetic() || c == '_'
+}
+
+fn is_ident_char(c: char) -> bool {
+    c.is_ascii_alphanumeric() || c == '_'
+}
+
+fn scan_int(line: &str, start: usize) -> Result<(i64, usize), String> {
+    let bytes = line.as_bytes();
+    let mut j = start;
+    while j < bytes.len() && (bytes[j] as char).is_ascii_alphanumeric() {
+        j += 1;
+    }
+    let text = &line[start..j];
+    let v = if let Some(hex) = text.strip_prefix("0x").or_else(|| text.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else if let Some(bin) = text.strip_prefix("0b").or_else(|| text.strip_prefix("0B")) {
+        i64::from_str_radix(bin, 2)
+    } else {
+        text.parse::<i64>()
+    }
+    .map_err(|_| format!("bad integer literal `{text}`"))?;
+    Ok((v, j))
+}
+
+fn scan_string(line: &str, start: usize) -> Result<(String, usize), String> {
+    let bytes = line.as_bytes();
+    let mut out = String::new();
+    let mut i = start;
+    while i < bytes.len() {
+        match bytes[i] as char {
+            '"' => return Ok((out, i + 1)),
+            '\\' => {
+                i += 1;
+                let esc = *bytes.get(i).ok_or("unterminated escape")? as char;
+                out.push(match esc {
+                    'n' => '\n',
+                    't' => '\t',
+                    '0' => '\0',
+                    '\\' => '\\',
+                    '"' => '"',
+                    other => return Err(format!("unknown escape `\\{other}`")),
+                });
+                i += 1;
+            }
+            c => {
+                out.push(c);
+                i += 1;
+            }
+        }
+    }
+    Err("unterminated string literal".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenizes_instructions() {
+        let t = tokenize("  lw $t0, -8($sp)  # load").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("lw".into()),
+                Token::Reg("t0".into()),
+                Token::Comma,
+                Token::Int(-8),
+                Token::LParen,
+                Token::Reg("sp".into()),
+                Token::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_labels_and_directives() {
+        let t = tokenize("main: .word 0x10, 2").unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Ident("main".into()),
+                Token::Colon,
+                Token::Directive("word".into()),
+                Token::Int(0x10),
+                Token::Comma,
+                Token::Int(2),
+            ]
+        );
+    }
+
+    #[test]
+    fn tokenizes_strings_with_escapes() {
+        let t = tokenize(r#".asciiz "a\n\"b""#).unwrap();
+        assert_eq!(
+            t,
+            vec![
+                Token::Directive("asciiz".into()),
+                Token::Str("a\n\"b".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_stripped() {
+        assert!(tokenize("# whole line").unwrap().is_empty());
+        assert!(tokenize("; semicolon too").unwrap().is_empty());
+        assert_eq!(tokenize("nop ; tail").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn plus_minus_between_symbols() {
+        let t = tokenize("la $t0, sym + 4").unwrap();
+        assert!(t.contains(&Token::Plus));
+        let t = tokenize("la $t0, sym - 4").unwrap();
+        assert!(t.contains(&Token::Minus));
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(tokenize("mov $t0, @").is_err());
+        assert!(tokenize("li $t0, 0xzz").is_err());
+        assert!(tokenize(r#".asciiz "oops"#).is_err());
+    }
+}

@@ -1,0 +1,910 @@
+//! Statement parser and instruction emitter for the assembler.
+
+use std::collections::BTreeMap;
+
+use super::{Emitted, Token};
+use crate::isa::{Instruction, Reg, TlbProtOp};
+
+/// A parsed line item: a label definition or a statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Item {
+    Label(String),
+    Stmt(Stmt),
+}
+
+/// A symbolic expression: a signed sum of integers and symbols.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Expr {
+    terms: Vec<(bool, Term)>, // (negated, term)
+}
+
+#[derive(Clone, PartialEq, Eq, Debug)]
+enum Term {
+    Int(i64),
+    Sym(String),
+}
+
+impl Expr {
+    fn int(v: i64) -> Expr {
+        Expr {
+            terms: vec![(false, Term::Int(v))],
+        }
+    }
+
+    /// Evaluates with a symbol table.
+    pub fn eval(&self, symbols: &BTreeMap<String, u32>) -> Result<i64, String> {
+        let mut total: i64 = 0;
+        for (neg, term) in &self.terms {
+            let v = match term {
+                Term::Int(v) => *v,
+                Term::Sym(s) => i64::from(
+                    *symbols
+                        .get(s)
+                        .ok_or_else(|| format!("undefined symbol `{s}`"))?,
+                ),
+            };
+            total += if *neg { -v } else { v };
+        }
+        Ok(total)
+    }
+
+    /// Evaluates when the expression contains no symbols.
+    fn eval_literal(&self) -> Option<i64> {
+        self.eval(&BTreeMap::new()).ok()
+    }
+
+    /// If the expression is a single bare symbol, its name.
+    fn as_bare_symbol(&self) -> Option<&str> {
+        match self.terms.as_slice() {
+            [(false, Term::Sym(s))] => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed operand.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Operand {
+    /// `$name` — a GPR or CP0 register alias; resolved per position.
+    Reg(String),
+    /// A symbolic/integer expression.
+    Expr(Expr),
+    /// `offset(base)` memory operand.
+    Mem { offset: Expr, base: String },
+}
+
+/// A parsed statement.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum Stmt {
+    Org(u32),
+    Entry(String),
+    Align(u32),
+    /// `.equ NAME, expr` — defines a symbol (expr may use earlier symbols).
+    Equ(String, Expr),
+    Word(Vec<Expr>),
+    Half(Vec<Expr>),
+    Byte(Vec<Expr>),
+    Asciiz(String),
+    Space(u32),
+    Inst {
+        mnemonic: String,
+        operands: Vec<Operand>,
+    },
+}
+
+impl Stmt {
+    /// Whether the statement emits executable instructions.
+    pub fn is_instruction(&self) -> bool {
+        matches!(self, Stmt::Inst { .. })
+    }
+
+    /// Bytes this statement will occupy (layout pass).
+    pub fn size_bytes(&self) -> Result<u32, String> {
+        Ok(match self {
+            Stmt::Org(_) | Stmt::Entry(_) | Stmt::Align(_) | Stmt::Equ(..) => 0,
+            Stmt::Word(v) => 4 * v.len() as u32,
+            Stmt::Half(v) => 2 * v.len() as u32,
+            Stmt::Byte(v) => v.len() as u32,
+            Stmt::Asciiz(s) => s.len() as u32 + 1,
+            Stmt::Space(n) => *n,
+            Stmt::Inst { mnemonic, operands } => inst_size(mnemonic, operands)?,
+        })
+    }
+
+    /// Emits instructions or bytes at `addr` with all symbols known.
+    pub fn emit(&self, addr: u32, symbols: &BTreeMap<String, u32>) -> Result<Emitted, String> {
+        match self {
+            Stmt::Org(_) | Stmt::Entry(_) | Stmt::Align(_) | Stmt::Equ(..) => {
+                Ok(Emitted::Bytes(Vec::new()))
+            }
+            Stmt::Word(v) => {
+                let mut bytes = Vec::with_capacity(4 * v.len());
+                for e in v {
+                    let val = e.eval(symbols)?;
+                    bytes.extend_from_slice(&(val as u32).to_le_bytes());
+                }
+                Ok(Emitted::Bytes(bytes))
+            }
+            Stmt::Half(v) => {
+                let mut bytes = Vec::with_capacity(2 * v.len());
+                for e in v {
+                    let val = e.eval(symbols)?;
+                    bytes.extend_from_slice(&(val as u16).to_le_bytes());
+                }
+                Ok(Emitted::Bytes(bytes))
+            }
+            Stmt::Byte(v) => {
+                let mut bytes = Vec::with_capacity(v.len());
+                for e in v {
+                    bytes.push(e.eval(symbols)? as u8);
+                }
+                Ok(Emitted::Bytes(bytes))
+            }
+            Stmt::Asciiz(s) => {
+                let mut bytes = s.clone().into_bytes();
+                bytes.push(0);
+                Ok(Emitted::Bytes(bytes))
+            }
+            Stmt::Space(n) => Ok(Emitted::Bytes(vec![0; *n as usize])),
+            Stmt::Inst { mnemonic, operands } => {
+                emit_inst(mnemonic, operands, addr, symbols).map(Emitted::Insts)
+            }
+        }
+    }
+}
+
+/// Parses one tokenized line into items (labels then at most one statement).
+pub fn parse_line(tokens: &[Token]) -> Result<Vec<Item>, String> {
+    let mut items = Vec::new();
+    let mut toks = tokens;
+    // Leading labels.
+    while let [Token::Ident(name), Token::Colon, rest @ ..] = toks {
+        items.push(Item::Label(name.clone()));
+        toks = rest;
+    }
+    if toks.is_empty() {
+        return Ok(items);
+    }
+    let stmt = match &toks[0] {
+        Token::Directive(d) => parse_directive(d, &toks[1..])?,
+        Token::Ident(m) => Some(Stmt::Inst {
+            mnemonic: m.to_ascii_lowercase(),
+            operands: parse_operands(&toks[1..])?,
+        }),
+        other => return Err(format!("unexpected token {other:?}")),
+    };
+    if let Some(s) = stmt {
+        items.push(Item::Stmt(s));
+    }
+    Ok(items)
+}
+
+fn parse_directive(name: &str, rest: &[Token]) -> Result<Option<Stmt>, String> {
+    let exprs = || -> Result<Vec<Expr>, String> {
+        let ops = parse_operands(rest)?;
+        ops.into_iter()
+            .map(|o| match o {
+                Operand::Expr(e) => Ok(e),
+                other => Err(format!("expected expression, got {other:?}")),
+            })
+            .collect()
+    };
+    let one_int = || -> Result<i64, String> {
+        match rest {
+            [Token::Int(v)] => Ok(*v),
+            _ => Err(format!(".{name} expects one integer")),
+        }
+    };
+    Ok(Some(match name {
+        "org" => Stmt::Org(one_int()? as u32),
+        "align" => Stmt::Align(one_int()? as u32),
+        "space" => Stmt::Space(one_int()? as u32),
+        "word" => Stmt::Word(exprs()?),
+        "half" => Stmt::Half(exprs()?),
+        "byte" => Stmt::Byte(exprs()?),
+        "asciiz" => match rest {
+            [Token::Str(s)] => Stmt::Asciiz(s.clone()),
+            _ => return Err(".asciiz expects one string".into()),
+        },
+        "entry" => match rest {
+            [Token::Ident(s)] => Stmt::Entry(s.clone()),
+            _ => return Err(".entry expects a symbol".into()),
+        },
+        "equ" | "set" => match rest {
+            [Token::Ident(name), Token::Comma, expr_toks @ ..] if !expr_toks.is_empty() => {
+                let (op, used) = parse_operand(expr_toks, 0)?;
+                if used != expr_toks.len() {
+                    return Err(".equ has trailing tokens".into());
+                }
+                match op {
+                    Operand::Expr(e) => Stmt::Equ(name.clone(), e),
+                    other => return Err(format!(".equ expects an expression, got {other:?}")),
+                }
+            }
+            _ => return Err(".equ expects `NAME, expression`".into()),
+        },
+        "globl" | "global" | "text" | "data" => return Ok(None), // accepted, ignored
+        other => return Err(format!("unknown directive `.{other}`")),
+    }))
+}
+
+fn parse_operands(tokens: &[Token]) -> Result<Vec<Operand>, String> {
+    let mut ops = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (op, next) = parse_operand(tokens, i)?;
+        ops.push(op);
+        i = next;
+        match tokens.get(i) {
+            None => break,
+            Some(Token::Comma) => i += 1,
+            Some(t) => return Err(format!("expected `,`, got {t:?}")),
+        }
+    }
+    Ok(ops)
+}
+
+fn parse_operand(tokens: &[Token], mut i: usize) -> Result<(Operand, usize), String> {
+    match &tokens[i] {
+        Token::Reg(name) => Ok((Operand::Reg(name.clone()), i + 1)),
+        Token::LParen => {
+            // `(base)` — zero-offset memory operand.
+            if let (Some(Token::Reg(base)), Some(Token::RParen)) =
+                (tokens.get(i + 1), tokens.get(i + 2))
+            {
+                Ok((
+                    Operand::Mem {
+                        offset: Expr::int(0),
+                        base: base.clone(),
+                    },
+                    i + 3,
+                ))
+            } else {
+                Err("malformed memory operand".into())
+            }
+        }
+        Token::Int(_) | Token::Ident(_) | Token::Minus => {
+            let mut terms = Vec::new();
+            let mut negate = false;
+            loop {
+                match tokens.get(i) {
+                    Some(Token::Minus) => {
+                        negate = !negate;
+                        i += 1;
+                    }
+                    Some(Token::Plus) => {
+                        i += 1;
+                    }
+                    _ => {}
+                }
+                match tokens.get(i) {
+                    Some(Token::Int(v)) => terms.push((negate, Term::Int(*v))),
+                    Some(Token::Ident(s)) => terms.push((negate, Term::Sym(s.clone()))),
+                    other => return Err(format!("expected expression term, got {other:?}")),
+                }
+                i += 1;
+                negate = false;
+                match tokens.get(i) {
+                    Some(Token::Plus) => {
+                        i += 1;
+                    }
+                    Some(Token::Minus) => {
+                        negate = true;
+                        i += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let expr = Expr { terms };
+            // `expr(base)` memory operand?
+            if let (Some(Token::LParen), Some(Token::Reg(base)), Some(Token::RParen)) =
+                (tokens.get(i), tokens.get(i + 1), tokens.get(i + 2))
+            {
+                Ok((
+                    Operand::Mem {
+                        offset: expr,
+                        base: base.clone(),
+                    },
+                    i + 3,
+                ))
+            } else {
+                Ok((Operand::Expr(expr), i))
+            }
+        }
+        other => Err(format!("unexpected operand token {other:?}")),
+    }
+}
+
+// --- emission --------------------------------------------------------------
+
+fn gpr(name: &str) -> Result<Reg, String> {
+    Reg::parse(name).ok_or_else(|| format!("unknown register `${name}`"))
+}
+
+fn cp0_number(name: &str) -> Result<u8, String> {
+    if let Ok(n) = name.parse::<u8>() {
+        return Ok(n);
+    }
+    Ok(match name {
+        "index" => 0,
+        "random" => 1,
+        "entrylo" => 2,
+        "context" => 4,
+        "badvaddr" => 8,
+        "entryhi" => 10,
+        "status" => 12,
+        "cause" => 13,
+        "epc" => 14,
+        "prid" => 15,
+        "uxt" => 24,
+        "uxc" => 25,
+        "uxm" => 26,
+        other => return Err(format!("unknown CP0 register `${other}`")),
+    })
+}
+
+fn want_reg(op: &Operand) -> Result<Reg, String> {
+    match op {
+        Operand::Reg(name) => gpr(name),
+        other => Err(format!("expected register, got {other:?}")),
+    }
+}
+
+fn want_cp0(op: &Operand) -> Result<u8, String> {
+    match op {
+        Operand::Reg(name) => cp0_number(name),
+        other => Err(format!("expected CP0 register, got {other:?}")),
+    }
+}
+
+fn want_expr(op: &Operand) -> Result<&Expr, String> {
+    match op {
+        Operand::Expr(e) => Ok(e),
+        other => Err(format!("expected expression, got {other:?}")),
+    }
+}
+
+fn want_mem(op: &Operand) -> Result<(&Expr, Reg), String> {
+    match op {
+        Operand::Mem { offset, base } => Ok((offset, gpr(base)?)),
+        other => Err(format!("expected memory operand, got {other:?}")),
+    }
+}
+
+fn imm16s(v: i64) -> Result<i16, String> {
+    i16::try_from(v).map_err(|_| format!("immediate {v} does not fit in 16 signed bits"))
+}
+
+/// Sign-extended immediates also accept the 0..0xffff bit-pattern form
+/// (`sltiu $t0, $t1, 0xffff` is idiomatic for "compare against -1
+/// sign-extended"), as conventional MIPS assemblers do.
+fn imm16s_or_bits(v: i64) -> Result<i16, String> {
+    if let Ok(s) = i16::try_from(v) {
+        return Ok(s);
+    }
+    u16::try_from(v)
+        .map(|u| u as i16)
+        .map_err(|_| format!("immediate {v} does not fit in 16 bits"))
+}
+
+fn imm16u(v: i64) -> Result<u16, String> {
+    u16::try_from(v).map_err(|_| format!("immediate {v} does not fit in 16 unsigned bits"))
+}
+
+fn arity(ops: &[Operand], n: usize, mnemonic: &str) -> Result<(), String> {
+    if ops.len() == n {
+        Ok(())
+    } else {
+        Err(format!(
+            "`{mnemonic}` expects {n} operand(s), got {}",
+            ops.len()
+        ))
+    }
+}
+
+/// Size in bytes of one instruction statement (pseudo-expansion aware).
+fn inst_size(mnemonic: &str, operands: &[Operand]) -> Result<u32, String> {
+    match mnemonic {
+        "li" => {
+            arity(operands, 2, "li")?;
+            // Literal values pick the short form when they fit; symbolic
+            // values (e.g. `.equ` constants) always take the two-instruction
+            // form so the layout is known in pass 1.
+            match want_expr(&operands[1])?.eval_literal() {
+                Some(v) if i16::try_from(v).is_ok() || u16::try_from(v).is_ok() => Ok(4),
+                _ => Ok(8),
+            }
+        }
+        "la" => Ok(8),
+        // Comparison branches expand to slt/sltu + beq/bne through $at.
+        "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" | "bgtu" | "bleu" => Ok(8),
+        _ => Ok(4),
+    }
+}
+
+fn emit_inst(
+    mnemonic: &str,
+    ops: &[Operand],
+    addr: u32,
+    symbols: &BTreeMap<String, u32>,
+) -> Result<Vec<Instruction>, String> {
+    use Instruction::*;
+
+    let branch_off = |e: &Expr| -> Result<i16, String> {
+        let target = e.eval(symbols)? as u32;
+        let delta = target.wrapping_sub(addr.wrapping_add(4)) as i32;
+        if delta % 4 != 0 {
+            return Err("branch target is not word-aligned".into());
+        }
+        i16::try_from(delta / 4).map_err(|_| "branch target out of range".into())
+    };
+    let jump_target = |e: &Expr| -> Result<u32, String> {
+        let target = e.eval(symbols)? as u32;
+        if target & 3 != 0 {
+            return Err("jump target is not word-aligned".into());
+        }
+        if (target & 0xf000_0000) != (addr.wrapping_add(4) & 0xf000_0000) {
+            return Err("jump target outside the current 256MB region".into());
+        }
+        Ok((target >> 2) & 0x03ff_ffff)
+    };
+
+    let one = |i: Instruction| Ok(vec![i]);
+
+    match mnemonic {
+        // --- three-register ALU ---
+        "add" | "addu" | "sub" | "subu" | "and" | "or" | "xor" | "nor" | "slt" | "sltu" => {
+            arity(ops, 3, mnemonic)?;
+            let rd = want_reg(&ops[0])?;
+            let rs = want_reg(&ops[1])?;
+            let rt = want_reg(&ops[2])?;
+            one(match mnemonic {
+                "add" => Add { rd, rs, rt },
+                "addu" => Addu { rd, rs, rt },
+                "sub" => Sub { rd, rs, rt },
+                "subu" => Subu { rd, rs, rt },
+                "and" => And { rd, rs, rt },
+                "or" => Or { rd, rs, rt },
+                "xor" => Xor { rd, rs, rt },
+                "nor" => Nor { rd, rs, rt },
+                "slt" => Slt { rd, rs, rt },
+                _ => Sltu { rd, rs, rt },
+            })
+        }
+        // --- shifts ---
+        "sll" | "srl" | "sra" => {
+            arity(ops, 3, mnemonic)?;
+            let rd = want_reg(&ops[0])?;
+            let rt = want_reg(&ops[1])?;
+            let sh = want_expr(&ops[2])?.eval(symbols)?;
+            let shamt =
+                u8::try_from(sh).ok().filter(|s| *s < 32).ok_or("shift amount out of range")?;
+            one(match mnemonic {
+                "sll" => Sll { rd, rt, shamt },
+                "srl" => Srl { rd, rt, shamt },
+                _ => Sra { rd, rt, shamt },
+            })
+        }
+        "sllv" | "srlv" | "srav" => {
+            arity(ops, 3, mnemonic)?;
+            let rd = want_reg(&ops[0])?;
+            let rt = want_reg(&ops[1])?;
+            let rs = want_reg(&ops[2])?;
+            one(match mnemonic {
+                "sllv" => Sllv { rd, rt, rs },
+                "srlv" => Srlv { rd, rt, rs },
+                _ => Srav { rd, rt, rs },
+            })
+        }
+        // --- jumps through registers ---
+        "jr" => {
+            arity(ops, 1, "jr")?;
+            one(Jr {
+                rs: want_reg(&ops[0])?,
+            })
+        }
+        "jalr" => match ops.len() {
+            1 => one(Jalr {
+                rd: Reg::RA,
+                rs: want_reg(&ops[0])?,
+            }),
+            2 => one(Jalr {
+                rd: want_reg(&ops[0])?,
+                rs: want_reg(&ops[1])?,
+            }),
+            n => Err(format!("`jalr` expects 1 or 2 operands, got {n}")),
+        },
+        // --- traps ---
+        "syscall" => one(Syscall {
+            code: match ops {
+                [] => 0,
+                [op] => want_expr(op)?.eval(symbols)? as u32,
+                _ => return Err("`syscall` expects at most one operand".into()),
+            },
+        }),
+        "break" => one(Break {
+            code: match ops {
+                [] => 0,
+                [op] => want_expr(op)?.eval(symbols)? as u32,
+                _ => return Err("`break` expects at most one operand".into()),
+            },
+        }),
+        "hcall" => {
+            arity(ops, 1, "hcall")?;
+            one(Hcall {
+                code: want_expr(&ops[0])?.eval(symbols)? as u32,
+            })
+        }
+        // --- HI/LO ---
+        "mfhi" => one(Mfhi {
+            rd: want_reg(&ops[0])?,
+        }),
+        "mflo" => one(Mflo {
+            rd: want_reg(&ops[0])?,
+        }),
+        "mthi" => one(Mthi {
+            rs: want_reg(&ops[0])?,
+        }),
+        "mtlo" => one(Mtlo {
+            rs: want_reg(&ops[0])?,
+        }),
+        "mult" | "multu" | "div" | "divu" => {
+            arity(ops, 2, mnemonic)?;
+            let rs = want_reg(&ops[0])?;
+            let rt = want_reg(&ops[1])?;
+            one(match mnemonic {
+                "mult" => Mult { rs, rt },
+                "multu" => Multu { rs, rt },
+                "div" => Div { rs, rt },
+                _ => Divu { rs, rt },
+            })
+        }
+        // --- immediate ALU ---
+        "addi" | "addiu" | "slti" | "sltiu" => {
+            arity(ops, 3, mnemonic)?;
+            let rt = want_reg(&ops[0])?;
+            let rs = want_reg(&ops[1])?;
+            let imm = imm16s_or_bits(want_expr(&ops[2])?.eval(symbols)?)?;
+            one(match mnemonic {
+                "addi" => Addi { rt, rs, imm },
+                "addiu" => Addiu { rt, rs, imm },
+                "slti" => Slti { rt, rs, imm },
+                _ => Sltiu { rt, rs, imm },
+            })
+        }
+        "andi" | "ori" | "xori" => {
+            arity(ops, 3, mnemonic)?;
+            let rt = want_reg(&ops[0])?;
+            let rs = want_reg(&ops[1])?;
+            let imm = imm16u(want_expr(&ops[2])?.eval(symbols)?)?;
+            one(match mnemonic {
+                "andi" => Andi { rt, rs, imm },
+                "ori" => Ori { rt, rs, imm },
+                _ => Xori { rt, rs, imm },
+            })
+        }
+        "lui" => {
+            arity(ops, 2, "lui")?;
+            one(Lui {
+                rt: want_reg(&ops[0])?,
+                imm: imm16u(want_expr(&ops[1])?.eval(symbols)?)?,
+            })
+        }
+        // --- branches ---
+        "beq" | "bne" => {
+            arity(ops, 3, mnemonic)?;
+            let rs = want_reg(&ops[0])?;
+            let rt = want_reg(&ops[1])?;
+            let imm = branch_off(want_expr(&ops[2])?)?;
+            one(if mnemonic == "beq" {
+                Beq { rs, rt, imm }
+            } else {
+                Bne { rs, rt, imm }
+            })
+        }
+        "blez" | "bgtz" | "bltz" | "bgez" | "bltzal" | "bgezal" => {
+            arity(ops, 2, mnemonic)?;
+            let rs = want_reg(&ops[0])?;
+            let imm = branch_off(want_expr(&ops[1])?)?;
+            one(match mnemonic {
+                "blez" => Blez { rs, imm },
+                "bgtz" => Bgtz { rs, imm },
+                "bltz" => Bltz { rs, imm },
+                "bgez" => Bgez { rs, imm },
+                "bltzal" => Bltzal { rs, imm },
+                _ => Bgezal { rs, imm },
+            })
+        }
+        // --- memory ---
+        "lb" | "lh" | "lw" | "lbu" | "lhu" | "sb" | "sh" | "sw" => {
+            arity(ops, 2, mnemonic)?;
+            let rt = want_reg(&ops[0])?;
+            let (off, base) = want_mem(&ops[1])?;
+            let imm = imm16s(off.eval(symbols)?)?;
+            one(match mnemonic {
+                "lb" => Lb { rt, base, imm },
+                "lh" => Lh { rt, base, imm },
+                "lw" => Lw { rt, base, imm },
+                "lbu" => Lbu { rt, base, imm },
+                "lhu" => Lhu { rt, base, imm },
+                "sb" => Sb { rt, base, imm },
+                "sh" => Sh { rt, base, imm },
+                _ => Sw { rt, base, imm },
+            })
+        }
+        // --- absolute jumps ---
+        "j" => {
+            arity(ops, 1, "j")?;
+            one(J {
+                target: jump_target(want_expr(&ops[0])?)?,
+            })
+        }
+        "jal" => {
+            arity(ops, 1, "jal")?;
+            one(Jal {
+                target: jump_target(want_expr(&ops[0])?)?,
+            })
+        }
+        // --- CP0 ---
+        "mfc0" => {
+            arity(ops, 2, "mfc0")?;
+            one(Mfc0 {
+                rt: want_reg(&ops[0])?,
+                rd: want_cp0(&ops[1])?,
+            })
+        }
+        "mtc0" => {
+            arity(ops, 2, "mtc0")?;
+            one(Mtc0 {
+                rt: want_reg(&ops[0])?,
+                rd: want_cp0(&ops[1])?,
+            })
+        }
+        "tlbr" => one(Tlbr),
+        "tlbwi" => one(Tlbwi),
+        "tlbwr" => one(Tlbwr),
+        "tlbp" => one(Tlbp),
+        "rfe" => one(Rfe),
+        "xpcu" => one(Xpcu),
+        "utlbp" => {
+            arity(ops, 2, "utlbp")?;
+            let rs = want_reg(&ops[0])?;
+            let name = want_expr(&ops[1])?
+                .as_bare_symbol()
+                .ok_or("`utlbp` expects a protection op: wp, we, pa, re")?;
+            let op = match name {
+                "wp" => TlbProtOp::WriteProtect,
+                "we" => TlbProtOp::WriteEnable,
+                "pa" => TlbProtOp::ProtectAll,
+                "re" => TlbProtOp::ReadEnable,
+                other => return Err(format!("unknown protection op `{other}`")),
+            };
+            one(Utlbp { rs, op })
+        }
+        // --- pseudo-instructions ---
+        "nop" => one(Instruction::NOP),
+        "move" => {
+            arity(ops, 2, "move")?;
+            one(Addu {
+                rd: want_reg(&ops[0])?,
+                rs: want_reg(&ops[1])?,
+                rt: Reg::ZERO,
+            })
+        }
+        "not" => {
+            arity(ops, 2, "not")?;
+            one(Nor {
+                rd: want_reg(&ops[0])?,
+                rs: want_reg(&ops[1])?,
+                rt: Reg::ZERO,
+            })
+        }
+        "neg" => {
+            arity(ops, 2, "neg")?;
+            one(Sub {
+                rd: want_reg(&ops[0])?,
+                rs: Reg::ZERO,
+                rt: want_reg(&ops[1])?,
+            })
+        }
+        "b" => {
+            arity(ops, 1, "b")?;
+            one(Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: branch_off(want_expr(&ops[0])?)?,
+            })
+        }
+        "beqz" => {
+            arity(ops, 2, "beqz")?;
+            one(Beq {
+                rs: want_reg(&ops[0])?,
+                rt: Reg::ZERO,
+                imm: branch_off(want_expr(&ops[1])?)?,
+            })
+        }
+        "bnez" => {
+            arity(ops, 2, "bnez")?;
+            one(Bne {
+                rs: want_reg(&ops[0])?,
+                rt: Reg::ZERO,
+                imm: branch_off(want_expr(&ops[1])?)?,
+            })
+        }
+        "blt" | "bge" | "bgt" | "ble" | "bltu" | "bgeu" | "bgtu" | "bleu" => {
+            arity(ops, 3, mnemonic)?;
+            let rs = want_reg(&ops[0])?;
+            let rt = want_reg(&ops[1])?;
+            // The branch is the second emitted instruction, at addr + 4.
+            let target = want_expr(&ops[2])?.eval(symbols)? as u32;
+            let delta = target.wrapping_sub(addr.wrapping_add(8)) as i32;
+            if delta % 4 != 0 {
+                return Err("branch target is not word-aligned".into());
+            }
+            let imm = i16::try_from(delta / 4).map_err(|_| "branch target out of range")?;
+            let unsigned = mnemonic.ends_with('u');
+            // blt: at = rs < rt ; bgt: at = rt < rs (operands swapped).
+            let (cmp_rs, cmp_rt) = match mnemonic.trim_end_matches('u') {
+                "blt" | "bge" => (rs, rt),
+                _ => (rt, rs),
+            };
+            let cmp = if unsigned {
+                Sltu { rd: Reg::AT, rs: cmp_rs, rt: cmp_rt }
+            } else {
+                Slt { rd: Reg::AT, rs: cmp_rs, rt: cmp_rt }
+            };
+            // blt/bgt branch when the comparison is true; bge/ble when false.
+            let br = match mnemonic.trim_end_matches('u') {
+                "blt" | "bgt" => Bne { rs: Reg::AT, rt: Reg::ZERO, imm },
+                _ => Beq { rs: Reg::AT, rt: Reg::ZERO, imm },
+            };
+            Ok(vec![cmp, br])
+        }
+        "li" => {
+            arity(ops, 2, "li")?;
+            let rt = want_reg(&ops[0])?;
+            let expr = want_expr(&ops[1])?;
+            // Mirror the pass-1 sizing rule exactly: only literals use the
+            // short forms.
+            if let Some(v) = expr.eval_literal() {
+                if let Ok(s) = i16::try_from(v) {
+                    return one(Addiu {
+                        rt,
+                        rs: Reg::ZERO,
+                        imm: s,
+                    });
+                }
+                if let Ok(u) = u16::try_from(v) {
+                    return one(Ori {
+                        rt,
+                        rs: Reg::ZERO,
+                        imm: u,
+                    });
+                }
+            }
+            let v = expr.eval(symbols)?;
+            let w = u32::try_from(v)
+                .or_else(|_| i32::try_from(v).map(|s| s as u32))
+                .map_err(|_| format!("`li` value {v} does not fit in 32 bits"))?;
+            Ok(vec![
+                Lui {
+                    rt,
+                    imm: (w >> 16) as u16,
+                },
+                Ori {
+                    rt,
+                    rs: rt,
+                    imm: (w & 0xffff) as u16,
+                },
+            ])
+        }
+        "la" => {
+            arity(ops, 2, "la")?;
+            let rt = want_reg(&ops[0])?;
+            let v = want_expr(&ops[1])?.eval(symbols)? as u32;
+            Ok(vec![
+                Lui {
+                    rt,
+                    imm: (v >> 16) as u16,
+                },
+                Ori {
+                    rt,
+                    rs: rt,
+                    imm: (v & 0xffff) as u16,
+                },
+            ])
+        }
+        other => Err(format!("unknown mnemonic `{other}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::super::tokenize;
+    use super::*;
+
+    fn parse(line: &str) -> Vec<Item> {
+        parse_line(&tokenize(line).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn parses_label_and_statement_on_one_line() {
+        let items = parse("start: addiu $t0, $zero, 1");
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0], Item::Label("start".into()));
+        assert!(matches!(items[1], Item::Stmt(Stmt::Inst { .. })));
+    }
+
+    #[test]
+    fn parses_memory_operands() {
+        let items = parse("lw $t0, 4($sp)");
+        let Item::Stmt(Stmt::Inst { operands, .. }) = &items[0] else {
+            panic!()
+        };
+        assert!(matches!(operands[1], Operand::Mem { .. }));
+        // Zero-offset shorthand.
+        let items = parse("lw $t0, ($sp)");
+        let Item::Stmt(Stmt::Inst { operands, .. }) = &items[0] else {
+            panic!()
+        };
+        assert!(matches!(operands[1], Operand::Mem { .. }));
+    }
+
+    #[test]
+    fn expr_eval_with_symbols() {
+        let items = parse("la $t0, base + 8 - 4");
+        let Item::Stmt(Stmt::Inst { operands, .. }) = &items[0] else {
+            panic!()
+        };
+        let Operand::Expr(e) = &operands[1] else { panic!() };
+        let mut syms = BTreeMap::new();
+        syms.insert("base".to_string(), 0x100u32);
+        assert_eq!(e.eval(&syms).unwrap(), 0x104);
+        assert!(e.eval(&BTreeMap::new()).is_err());
+    }
+
+    #[test]
+    fn directive_parsing() {
+        assert!(matches!(
+            parse(".org 0x80000000")[0],
+            Item::Stmt(Stmt::Org(0x8000_0000))
+        ));
+        assert!(matches!(
+            parse(".space 16")[0],
+            Item::Stmt(Stmt::Space(16))
+        ));
+        // globl is accepted and ignored.
+        assert!(parse(".globl main").is_empty());
+    }
+
+    #[test]
+    fn size_of_pseudo_instructions() {
+        let size = |line: &str| -> u32 {
+            let items = parse(line);
+            let Item::Stmt(s) = &items[0] else { panic!() };
+            s.size_bytes().unwrap()
+        };
+        assert_eq!(size("li $t0, 1"), 4);
+        assert_eq!(size("li $t0, 0x8000"), 4); // fits unsigned
+        assert_eq!(size("li $t0, 0x10000"), 8);
+        assert_eq!(size("la $t0, x"), 8);
+        assert_eq!(size("nop"), 4);
+    }
+
+    #[test]
+    fn emit_rejects_bad_arity_and_ranges() {
+        let syms = BTreeMap::new();
+        let emit = |line: &str| -> Result<(), String> {
+            let items = parse_line(&tokenize(line).unwrap())?;
+            let Item::Stmt(s) = &items[0] else { panic!() };
+            s.emit(0x8000_0000, &syms).map(|_| ())
+        };
+        assert!(emit("add $t0, $t1").is_err());
+        // 40000 is accepted as a 16-bit pattern; 70000 fits nowhere.
+        assert!(emit("addiu $t0, $zero, 40000").is_ok());
+        assert!(emit("addiu $t0, $zero, 70000").is_err());
+        assert!(emit("addiu $t0, $zero, -40000").is_err());
+        assert!(emit("sll $t0, $t1, 32").is_err());
+        assert!(emit("utlbp $a0, zz").is_err());
+    }
+}

@@ -1,0 +1,327 @@
+//! System coprocessor (CP0) state.
+//!
+//! Implements the R3000 registers the simulated kernel needs — Status,
+//! Cause, EPC, BadVaddr, EntryHi/EntryLo, Index/Random, Context — plus the
+//! paper's proposed user-exception extension (Section 2):
+//!
+//! - **UXT** (user exception target): loaded by user software with its
+//!   handler address; the hardware *exchanges* PC and UXT on a user-vectored
+//!   exception, exactly as in the Tera machine (Section 2.1).
+//! - **UXC** (user exception condition): loaded by hardware with the cause
+//!   and bad address of a user-vectored exception.
+//! - **UXM** (user exception mask): which synchronous exceptions are
+//!   delivered directly to user mode.
+//! - A *user-exception-active* flag in the status word, so that recursive
+//!   exceptions fall back to the kernel (Section 2.2).
+
+use crate::exception::ExcCode;
+
+/// CP0 register numbers (the `rd` field of `mfc0`/`mtc0`).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[repr(u8)]
+pub enum Cp0Reg {
+    /// TLB index for `tlbwi`/`tlbr`.
+    Index = 0,
+    /// Pseudo-random TLB index for `tlbwr`.
+    Random = 1,
+    /// TLB entry low half (PFN + protection bits).
+    EntryLo = 2,
+    /// Page-table context helper (kernel convention).
+    Context = 4,
+    /// Faulting virtual address.
+    BadVaddr = 8,
+    /// TLB entry high half (VPN + ASID).
+    EntryHi = 10,
+    /// Processor status word.
+    Status = 12,
+    /// Exception cause.
+    Cause = 13,
+    /// Exception program counter.
+    Epc = 14,
+    /// Processor identity.
+    Prid = 15,
+    /// efex extension: user exception target.
+    Uxt = 24,
+    /// efex extension: user exception condition.
+    Uxc = 25,
+    /// efex extension: user exception mask.
+    Uxm = 26,
+}
+
+impl Cp0Reg {
+    /// Decodes an `mfc0`/`mtc0` register field.
+    pub fn from_number(n: u8) -> Option<Cp0Reg> {
+        use Cp0Reg::*;
+        Some(match n {
+            0 => Index,
+            1 => Random,
+            2 => EntryLo,
+            4 => Context,
+            8 => BadVaddr,
+            10 => EntryHi,
+            12 => Status,
+            13 => Cause,
+            14 => Epc,
+            15 => Prid,
+            24 => Uxt,
+            25 => Uxc,
+            26 => Uxm,
+            _ => return None,
+        })
+    }
+}
+
+/// Status register bit positions (R3000 layout).
+pub mod status {
+    /// Current interrupt enable.
+    pub const IEC: u32 = 1 << 0;
+    /// Current mode: 1 = user, 0 = kernel.
+    pub const KUC: u32 = 1 << 1;
+    /// Previous interrupt enable.
+    pub const IEP: u32 = 1 << 2;
+    /// Previous mode.
+    pub const KUP: u32 = 1 << 3;
+    /// Old interrupt enable.
+    pub const IEO: u32 = 1 << 4;
+    /// Old mode.
+    pub const KUO: u32 = 1 << 5;
+    /// efex extension: user-level exception vectoring enabled.
+    pub const UXE: u32 = 1 << 16;
+    /// efex extension: a user-level handler is currently active
+    /// (set by hardware on user vectoring, cleared by `xpcu`).
+    pub const UXA: u32 = 1 << 17;
+    /// Mask of the six-bit mode/interrupt stack.
+    pub const KU_IE_STACK: u32 = 0x3f;
+}
+
+/// Cause register fields.
+pub mod cause {
+    /// Exception code shift/mask.
+    pub const EXC_SHIFT: u32 = 2;
+    pub const EXC_MASK: u32 = 0x1f;
+    /// Branch-delay bit: the exception occurred in a delay slot and EPC
+    /// points at the branch.
+    pub const BD: u32 = 1 << 31;
+}
+
+/// The system coprocessor.
+#[derive(Clone, Debug, Default)]
+pub struct Cp0 {
+    pub index: u32,
+    pub random: u32,
+    pub entry_lo: u32,
+    pub context: u32,
+    pub bad_vaddr: u32,
+    pub entry_hi: u32,
+    pub status: u32,
+    pub cause: u32,
+    pub epc: u32,
+    /// User exception target (paper extension).
+    pub uxt: u32,
+    /// User exception condition (paper extension).
+    pub uxc: u32,
+    /// User exception mask (paper extension): bit *n* set means `ExcCode`
+    /// *n* is delivered directly to user level.
+    pub uxm: u32,
+}
+
+impl Cp0 {
+    /// A freshly reset coprocessor: kernel mode, interrupts disabled.
+    pub fn new() -> Cp0 {
+        Cp0::default()
+    }
+
+    /// Reads a register by number; unknown registers read as zero, matching
+    /// the forgiving behaviour real kernels rely on.
+    pub fn read(&self, reg: u8) -> u32 {
+        match Cp0Reg::from_number(reg) {
+            Some(Cp0Reg::Index) => self.index,
+            Some(Cp0Reg::Random) => self.random,
+            Some(Cp0Reg::EntryLo) => self.entry_lo,
+            Some(Cp0Reg::Context) => self.context,
+            Some(Cp0Reg::BadVaddr) => self.bad_vaddr,
+            Some(Cp0Reg::EntryHi) => self.entry_hi,
+            Some(Cp0Reg::Status) => self.status,
+            Some(Cp0Reg::Cause) => self.cause,
+            Some(Cp0Reg::Epc) => self.epc,
+            Some(Cp0Reg::Prid) => 0x0000_0230, // R3000A-ish
+            Some(Cp0Reg::Uxt) => self.uxt,
+            Some(Cp0Reg::Uxc) => self.uxc,
+            Some(Cp0Reg::Uxm) => self.uxm,
+            None => 0,
+        }
+    }
+
+    /// Writes a register by number. Read-only registers (BadVaddr, Random,
+    /// PRId) and unknown numbers are ignored.
+    pub fn write(&mut self, reg: u8, value: u32) {
+        match Cp0Reg::from_number(reg) {
+            Some(Cp0Reg::Index) => self.index = value & 0x3f00, // index in bits 13..8
+            Some(Cp0Reg::EntryLo) => self.entry_lo = value,
+            Some(Cp0Reg::Context) => self.context = value,
+            Some(Cp0Reg::EntryHi) => self.entry_hi = value,
+            Some(Cp0Reg::Status) => self.status = value,
+            Some(Cp0Reg::Cause) => {
+                // Only the software interrupt bits are writable on a real
+                // R3000; we allow none, and so ignore the write.
+            }
+            Some(Cp0Reg::Epc) => self.epc = value,
+            Some(Cp0Reg::Uxt) => self.uxt = value,
+            Some(Cp0Reg::Uxc) => self.uxc = value,
+            Some(Cp0Reg::Uxm) => self.uxm = value,
+            _ => {}
+        }
+    }
+
+    /// Whether the processor is currently in user mode.
+    pub fn user_mode(&self) -> bool {
+        self.status & status::KUC != 0
+    }
+
+    /// Whether hardware user-level exception vectoring is enabled and not
+    /// already active.
+    pub fn user_vectoring_available(&self) -> bool {
+        self.status & status::UXE != 0 && self.status & status::UXA == 0
+    }
+
+    /// Whether the user exception mask enables direct delivery of `code`.
+    pub fn user_mask_allows(&self, code: ExcCode) -> bool {
+        self.uxm & (1 << code.code()) != 0
+    }
+
+    /// Hardware exception entry: pushes the mode/interrupt stack (entering
+    /// kernel mode with interrupts disabled), records the cause, EPC and
+    /// bad address.
+    pub fn enter_exception(&mut self, code: ExcCode, epc: u32, bad_vaddr: Option<u32>, bd: bool) {
+        let stack = self.status & status::KU_IE_STACK;
+        self.status = (self.status & !status::KU_IE_STACK) | ((stack << 2) & status::KU_IE_STACK);
+        self.cause = (code.code() & cause::EXC_MASK) << cause::EXC_SHIFT;
+        if bd {
+            self.cause |= cause::BD;
+        }
+        self.epc = epc;
+        if let Some(v) = bad_vaddr {
+            self.bad_vaddr = v;
+            // EntryHi.VPN latches the faulting page on TLB exceptions; doing
+            // it unconditionally is harmless and simplifies the kernel.
+            self.entry_hi = (v & 0xffff_f000) | (self.entry_hi & 0xfff);
+            self.context = (self.context & 0xffe0_0000) | ((v >> 10) & 0x001f_fffc);
+        }
+        self.random = self.random.wrapping_add(7) % 56;
+    }
+
+    /// `rfe`: pops the mode/interrupt stack.
+    pub fn rfe(&mut self) {
+        let stack = self.status & status::KU_IE_STACK;
+        self.status = (self.status & !0x0f) | ((stack >> 2) & 0x0f);
+    }
+
+    /// The exception code currently latched in `Cause`.
+    pub fn exc_code(&self) -> Option<ExcCode> {
+        ExcCode::from_code((self.cause >> cause::EXC_SHIFT) & cause::EXC_MASK)
+    }
+
+    /// Whether `Cause.BD` is set (faulting instruction was in a delay slot).
+    pub fn cause_bd(&self) -> bool {
+        self.cause & cause::BD != 0
+    }
+
+    /// Builds the UXC (user exception condition) value delivered on
+    /// hardware user-level vectoring: cause code in the low bits, delay-slot
+    /// flag in bit 31 — mirroring `Cause` so user handlers can share decode
+    /// logic with the kernel.
+    pub fn make_uxc(code: ExcCode, bd: bool) -> u32 {
+        let mut v = (code.code() & cause::EXC_MASK) << cause::EXC_SHIFT;
+        if bd {
+            v |= cause::BD;
+        }
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exception_entry_pushes_mode_stack() {
+        let mut cp0 = Cp0::new();
+        cp0.status = status::KUC | status::IEC; // user mode, interrupts on
+        cp0.enter_exception(ExcCode::Breakpoint, 0x1000, None, false);
+        assert!(!cp0.user_mode(), "exception entry must enter kernel mode");
+        assert_eq!(cp0.status & status::KUP, status::KUP);
+        assert_eq!(cp0.status & status::IEP, status::IEP);
+        assert_eq!(cp0.epc, 0x1000);
+        assert_eq!(cp0.exc_code(), Some(ExcCode::Breakpoint));
+    }
+
+    #[test]
+    fn rfe_pops_mode_stack() {
+        let mut cp0 = Cp0::new();
+        cp0.status = status::KUC | status::IEC;
+        cp0.enter_exception(ExcCode::Syscall, 0x2000, None, false);
+        cp0.rfe();
+        assert!(cp0.user_mode());
+        assert_eq!(cp0.status & status::IEC, status::IEC);
+    }
+
+    #[test]
+    fn double_exception_preserves_old_mode() {
+        let mut cp0 = Cp0::new();
+        cp0.status = status::KUC | status::IEC;
+        cp0.enter_exception(ExcCode::Syscall, 0x2000, None, false);
+        cp0.enter_exception(ExcCode::TlbLoad, 0x3000, Some(0x4000), false);
+        // Two pops restore the original user mode.
+        cp0.rfe();
+        cp0.rfe();
+        assert!(cp0.user_mode());
+    }
+
+    #[test]
+    fn bad_vaddr_latches_entry_hi_vpn() {
+        let mut cp0 = Cp0::new();
+        cp0.entry_hi = 0x0000_00c0; // some ASID
+        cp0.enter_exception(ExcCode::TlbStore, 0x1000, Some(0x1234_5678), false);
+        assert_eq!(cp0.bad_vaddr, 0x1234_5678);
+        assert_eq!(cp0.entry_hi & 0xffff_f000, 0x1234_5000);
+        assert_eq!(cp0.entry_hi & 0xfff, 0x0c0, "ASID must be preserved");
+    }
+
+    #[test]
+    fn bd_flag_recorded_in_cause() {
+        let mut cp0 = Cp0::new();
+        cp0.enter_exception(ExcCode::AddrErrLoad, 0x1000, Some(2), true);
+        assert!(cp0.cause_bd());
+    }
+
+    #[test]
+    fn user_mask_gating() {
+        let mut cp0 = Cp0::new();
+        cp0.uxm = 1 << ExcCode::Breakpoint.code();
+        assert!(cp0.user_mask_allows(ExcCode::Breakpoint));
+        assert!(!cp0.user_mask_allows(ExcCode::Overflow));
+    }
+
+    #[test]
+    fn user_vectoring_needs_uxe_and_not_uxa() {
+        let mut cp0 = Cp0::new();
+        assert!(!cp0.user_vectoring_available());
+        cp0.status |= status::UXE;
+        assert!(cp0.user_vectoring_available());
+        cp0.status |= status::UXA;
+        assert!(!cp0.user_vectoring_available());
+    }
+
+    #[test]
+    fn read_write_round_trip() {
+        let mut cp0 = Cp0::new();
+        cp0.write(Cp0Reg::Uxt as u8, 0xdead_beec);
+        assert_eq!(cp0.read(Cp0Reg::Uxt as u8), 0xdead_beec);
+        cp0.write(Cp0Reg::Epc as u8, 0x42);
+        assert_eq!(cp0.read(Cp0Reg::Epc as u8), 0x42);
+        // BadVaddr is read-only.
+        cp0.bad_vaddr = 7;
+        cp0.write(Cp0Reg::BadVaddr as u8, 0);
+        assert_eq!(cp0.read(Cp0Reg::BadVaddr as u8), 7);
+    }
+}

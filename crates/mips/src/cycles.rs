@@ -1,0 +1,83 @@
+//! The cycle cost model and its calibration.
+//!
+//! The paper's measurements were taken on a 25 MHz DECstation 5000/200 with
+//! warm caches. We model that machine with a simple single-issue cost model:
+//! every instruction takes [`BASE`] cycle, memory instructions pay
+//! [`MEM_ACCESS`] extra (warm-cache load/store), multiplies and divides pay
+//! their R3000 latencies, TLB management ops pay a small CP0 cost, and
+//! exception entry flushes the pipeline for [`EXCEPTION_ENTRY`] cycles.
+//!
+//! ## Calibration anchors (from the paper)
+//!
+//! - *"the architectural limit for an exception that enters the kernel and
+//!   returns immediately is about 2 µs"* — 50 cycles at 25 MHz. Our
+//!   entry flush (30) + a minimal decode-and-`rfe` sequence (~10
+//!   instructions ≈ 15 cycles) + return redirect ≈ 50.
+//! - *"an Ultrix null kernel call (e.g. getpid) is 12 µs"* — 300 cycles;
+//!   the simulated kernel charges [`ULTRIX_NULL_SYSCALL`] for its
+//!   general-purpose syscall wrapper.
+//!
+//! All reported microseconds are `cycles / clock_mhz`.
+
+/// Default simulated clock, MHz (DECstation 5000/200).
+pub const CLOCK_MHZ: f64 = 25.0;
+
+/// Cycles for any instruction's issue.
+pub const BASE: u64 = 1;
+
+/// Extra cycles for a warm-cache memory access (load or store).
+pub const MEM_ACCESS: u64 = 1;
+
+/// Extra cycles for `mult`/`multu` (R3000 latency, result interlock).
+pub const MULT: u64 = 11;
+
+/// Extra cycles for `div`/`divu`.
+pub const DIV: u64 = 34;
+
+/// Extra cycles for TLB management co-functions (`tlbwi`, `tlbwr`, `tlbr`,
+/// `tlbp`) and the efex `utlbp`.
+pub const TLB_OP: u64 = 2;
+
+/// Pipeline flush + vectoring cost charged when the hardware takes an
+/// exception into kernel mode.
+pub const EXCEPTION_ENTRY: u64 = 30;
+
+/// Hardware user-level vectoring (the Tera-style PC/UXT exchange) skips the
+/// kernel-mode flush and mode change; entry costs only a short redirect.
+pub const USER_VECTOR_ENTRY: u64 = 4;
+
+/// Cycles the Ultrix-style kernel charges for a null system call
+/// (12 µs at 25 MHz), used as the calibration for the conventional kernel's
+/// general-purpose entry/exit wrapper.
+pub const ULTRIX_NULL_SYSCALL: u64 = 300;
+
+/// Converts a cycle count to microseconds at a given clock.
+pub fn to_micros(cycles: u64, clock_mhz: f64) -> f64 {
+    cycles as f64 / clock_mhz
+}
+
+/// Converts microseconds to cycles at a given clock (rounded).
+pub fn from_micros(micros: f64, clock_mhz: f64) -> u64 {
+    (micros * clock_mhz).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn micros_round_trip() {
+        assert_eq!(to_micros(250, CLOCK_MHZ), 10.0);
+        assert_eq!(from_micros(10.0, CLOCK_MHZ), 250);
+        assert_eq!(from_micros(to_micros(12345, CLOCK_MHZ), CLOCK_MHZ), 12345);
+    }
+
+    #[test]
+    fn architectural_limit_anchor_holds() {
+        // Entry flush + ~10 minimal kernel instructions + rfe return must be
+        // near the paper's 2 us architectural limit.
+        let approx = EXCEPTION_ENTRY + 15 + 5;
+        let us = to_micros(approx, CLOCK_MHZ);
+        assert!((1.5..=2.5).contains(&us), "got {us}");
+    }
+}

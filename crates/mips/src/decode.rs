@@ -1,0 +1,217 @@
+//! Decoding of 32-bit machine words into [`Instruction`]s.
+//!
+//! [`decode`] is total over valid encodings and returns
+//! [`DecodeError::Reserved`] for anything else; the machine turns that into
+//! a reserved-instruction exception, exactly as the R3000 does.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::encode::{cop0, funct, op, regimm};
+use crate::isa::{Instruction, Reg, TlbProtOp};
+
+/// Failure to decode a machine word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The word is not a defined instruction; hardware raises a
+    /// reserved-instruction exception.
+    Reserved(u32),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Reserved(w) => write!(f, "reserved instruction word {w:#010x}"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+/// Decodes a 32-bit machine word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::Reserved`] if the word is not a defined encoding.
+///
+/// ```
+/// use efex_mips::decode::decode;
+/// use efex_mips::isa::{Instruction, Reg};
+/// assert_eq!(
+///     decode(0x03e0_0008)?,
+///     Instruction::Jr { rs: Reg::RA },
+/// );
+/// # Ok::<(), efex_mips::decode::DecodeError>(())
+/// ```
+pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
+    let opcode = word >> 26;
+    let rs = Reg::from_field(word >> 21);
+    let rt = Reg::from_field(word >> 16);
+    let rd = Reg::from_field(word >> 11);
+    let shamt = ((word >> 6) & 0x1f) as u8;
+    let imm = (word & 0xffff) as u16;
+    let simm = imm as i16;
+
+    use Instruction::*;
+    let inst = match opcode {
+        op::SPECIAL => match word & 0x3f {
+            funct::SLL => Sll { rd, rt, shamt },
+            funct::SRL => Srl { rd, rt, shamt },
+            funct::SRA => Sra { rd, rt, shamt },
+            funct::SLLV => Sllv { rd, rt, rs },
+            funct::SRLV => Srlv { rd, rt, rs },
+            funct::SRAV => Srav { rd, rt, rs },
+            funct::JR => Jr { rs },
+            funct::JALR => Jalr { rd, rs },
+            funct::SYSCALL => Syscall {
+                code: (word >> 6) & 0xf_ffff,
+            },
+            funct::BREAK => Break {
+                code: (word >> 6) & 0xf_ffff,
+            },
+            funct::MFHI => Mfhi { rd },
+            funct::MTHI => Mthi { rs },
+            funct::MFLO => Mflo { rd },
+            funct::MTLO => Mtlo { rs },
+            funct::MULT => Mult { rs, rt },
+            funct::MULTU => Multu { rs, rt },
+            funct::DIV => Div { rs, rt },
+            funct::DIVU => Divu { rs, rt },
+            funct::ADD => Add { rd, rs, rt },
+            funct::ADDU => Addu { rd, rs, rt },
+            funct::SUB => Sub { rd, rs, rt },
+            funct::SUBU => Subu { rd, rs, rt },
+            funct::AND => And { rd, rs, rt },
+            funct::OR => Or { rd, rs, rt },
+            funct::XOR => Xor { rd, rs, rt },
+            funct::NOR => Nor { rd, rs, rt },
+            funct::SLT => Slt { rd, rs, rt },
+            funct::SLTU => Sltu { rd, rs, rt },
+            _ => return Err(DecodeError::Reserved(word)),
+        },
+        op::REGIMM => match (word >> 16) & 0x1f {
+            regimm::BLTZ => Bltz { rs, imm: simm },
+            regimm::BGEZ => Bgez { rs, imm: simm },
+            regimm::BLTZAL => Bltzal { rs, imm: simm },
+            regimm::BGEZAL => Bgezal { rs, imm: simm },
+            _ => return Err(DecodeError::Reserved(word)),
+        },
+        op::J => J {
+            target: word & 0x03ff_ffff,
+        },
+        op::JAL => Jal {
+            target: word & 0x03ff_ffff,
+        },
+        op::BEQ => Beq { rs, rt, imm: simm },
+        op::BNE => Bne { rs, rt, imm: simm },
+        op::BLEZ => Blez { rs, imm: simm },
+        op::BGTZ => Bgtz { rs, imm: simm },
+        op::ADDI => Addi { rt, rs, imm: simm },
+        op::ADDIU => Addiu { rt, rs, imm: simm },
+        op::SLTI => Slti { rt, rs, imm: simm },
+        op::SLTIU => Sltiu { rt, rs, imm: simm },
+        op::ANDI => Andi { rt, rs, imm },
+        op::ORI => Ori { rt, rs, imm },
+        op::XORI => Xori { rt, rs, imm },
+        op::LUI => Lui { rt, imm },
+        op::COP0 => match (word >> 21) & 0x1f {
+            cop0::MF => Mfc0 {
+                rt,
+                rd: rd.number(),
+            },
+            cop0::MT => Mtc0 {
+                rt,
+                rd: rd.number(),
+            },
+            f if f & cop0::CO != 0 => match word & 0x3f {
+                cop0::TLBR => Tlbr,
+                cop0::TLBWI => Tlbwi,
+                cop0::TLBWR => Tlbwr,
+                cop0::TLBP => Tlbp,
+                cop0::RFE => Rfe,
+                cop0::XPCU => Xpcu,
+                cop0::UTLBP => Utlbp {
+                    rs: rt,
+                    op: TlbProtOp::from_field(word >> 6),
+                },
+                _ => return Err(DecodeError::Reserved(word)),
+            },
+            _ => return Err(DecodeError::Reserved(word)),
+        },
+        op::HCALL => Hcall {
+            code: word & 0x03ff_ffff,
+        },
+        op::LB => Lb { rt, base: rs, imm: simm },
+        op::LH => Lh { rt, base: rs, imm: simm },
+        op::LW => Lw { rt, base: rs, imm: simm },
+        op::LBU => Lbu { rt, base: rs, imm: simm },
+        op::LHU => Lhu { rt, base: rs, imm: simm },
+        op::SB => Sb { rt, base: rs, imm: simm },
+        op::SH => Sh { rt, base: rs, imm: simm },
+        op::SW => Sw { rt, base: rs, imm: simm },
+        _ => return Err(DecodeError::Reserved(word)),
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    #[test]
+    fn decodes_reference_words() {
+        assert_eq!(
+            decode(0x27bd_ffe0).unwrap(),
+            Instruction::Addiu {
+                rt: Reg::SP,
+                rs: Reg::SP,
+                imm: -32
+            }
+        );
+        assert_eq!(decode(0x0000_0000).unwrap(), Instruction::NOP);
+    }
+
+    #[test]
+    fn reserved_words_error() {
+        // SPECIAL with an undefined funct.
+        assert!(decode(0x0000_003f).is_err());
+        // Primary opcode 0x3f is undefined.
+        assert!(decode(0xfc00_0000).is_err());
+        // COP0 with an undefined rs field.
+        assert!(decode((0x10 << 26) | (0x08 << 21)).is_err());
+    }
+
+    #[test]
+    fn round_trips_a_representative_sample() {
+        let sample = vec![
+            Instruction::Add {
+                rd: Reg::T0,
+                rs: Reg::T1,
+                rt: Reg::T2,
+            },
+            Instruction::Beq {
+                rs: Reg::A0,
+                rt: Reg::ZERO,
+                imm: -5,
+            },
+            Instruction::Jal { target: 0x123456 },
+            Instruction::Lui {
+                rt: Reg::GP,
+                imm: 0xdead,
+            },
+            Instruction::Mfc0 { rt: Reg::K0, rd: 14 },
+            Instruction::Rfe,
+            Instruction::Xpcu,
+            Instruction::Utlbp {
+                rs: Reg::A1,
+                op: TlbProtOp::ReadEnable,
+            },
+            Instruction::Hcall { code: 0x2abcde },
+            Instruction::Syscall { code: 42 },
+        ];
+        for inst in sample {
+            assert_eq!(decode(encode(inst)).unwrap(), inst, "{inst}");
+        }
+    }
+}

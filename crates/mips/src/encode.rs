@@ -1,0 +1,268 @@
+//! Binary encoding of [`Instruction`]s into 32-bit machine words.
+//!
+//! Encodings follow the MIPS-I manual for the standard subset. The three
+//! efex extensions occupy otherwise-unused encodings:
+//!
+//! - `xpcu`  — COP0 co-function `0x20`
+//! - `utlbp` — COP0 co-function `0x21`, with the address register in the
+//!   `rt` field and the protection op in bits 7..6
+//! - `hcall` — the unused COP3 primary opcode (`0x13`) with a 26-bit code
+
+use crate::isa::{Instruction, Reg};
+
+pub(crate) mod op {
+    pub const SPECIAL: u32 = 0x00;
+    pub const REGIMM: u32 = 0x01;
+    pub const J: u32 = 0x02;
+    pub const JAL: u32 = 0x03;
+    pub const BEQ: u32 = 0x04;
+    pub const BNE: u32 = 0x05;
+    pub const BLEZ: u32 = 0x06;
+    pub const BGTZ: u32 = 0x07;
+    pub const ADDI: u32 = 0x08;
+    pub const ADDIU: u32 = 0x09;
+    pub const SLTI: u32 = 0x0a;
+    pub const SLTIU: u32 = 0x0b;
+    pub const ANDI: u32 = 0x0c;
+    pub const ORI: u32 = 0x0d;
+    pub const XORI: u32 = 0x0e;
+    pub const LUI: u32 = 0x0f;
+    pub const COP0: u32 = 0x10;
+    pub const HCALL: u32 = 0x13;
+    pub const LB: u32 = 0x20;
+    pub const LH: u32 = 0x21;
+    pub const LW: u32 = 0x23;
+    pub const LBU: u32 = 0x24;
+    pub const LHU: u32 = 0x25;
+    pub const SB: u32 = 0x28;
+    pub const SH: u32 = 0x29;
+    pub const SW: u32 = 0x2b;
+}
+
+pub(crate) mod funct {
+    pub const SLL: u32 = 0x00;
+    pub const SRL: u32 = 0x02;
+    pub const SRA: u32 = 0x03;
+    pub const SLLV: u32 = 0x04;
+    pub const SRLV: u32 = 0x06;
+    pub const SRAV: u32 = 0x07;
+    pub const JR: u32 = 0x08;
+    pub const JALR: u32 = 0x09;
+    pub const SYSCALL: u32 = 0x0c;
+    pub const BREAK: u32 = 0x0d;
+    pub const MFHI: u32 = 0x10;
+    pub const MTHI: u32 = 0x11;
+    pub const MFLO: u32 = 0x12;
+    pub const MTLO: u32 = 0x13;
+    pub const MULT: u32 = 0x18;
+    pub const MULTU: u32 = 0x19;
+    pub const DIV: u32 = 0x1a;
+    pub const DIVU: u32 = 0x1b;
+    pub const ADD: u32 = 0x20;
+    pub const ADDU: u32 = 0x21;
+    pub const SUB: u32 = 0x22;
+    pub const SUBU: u32 = 0x23;
+    pub const AND: u32 = 0x24;
+    pub const OR: u32 = 0x25;
+    pub const XOR: u32 = 0x26;
+    pub const NOR: u32 = 0x27;
+    pub const SLT: u32 = 0x2a;
+    pub const SLTU: u32 = 0x2b;
+}
+
+pub(crate) mod cop0 {
+    /// `rs` field values inside the COP0 opcode.
+    pub const MF: u32 = 0x00;
+    pub const MT: u32 = 0x04;
+    /// Co-function marker (bit 25 set).
+    pub const CO: u32 = 0x10;
+    /// Co-function codes.
+    pub const TLBR: u32 = 0x01;
+    pub const TLBWI: u32 = 0x02;
+    pub const TLBWR: u32 = 0x06;
+    pub const TLBP: u32 = 0x08;
+    pub const RFE: u32 = 0x10;
+    /// efex extension: exchange PC with the user exception target register.
+    pub const XPCU: u32 = 0x20;
+    /// efex extension: user-level TLB protection modification.
+    pub const UTLBP: u32 = 0x21;
+}
+
+pub(crate) mod regimm {
+    pub const BLTZ: u32 = 0x00;
+    pub const BGEZ: u32 = 0x01;
+    pub const BLTZAL: u32 = 0x10;
+    pub const BGEZAL: u32 = 0x11;
+}
+
+fn r(rs: Reg, rt: Reg, rd: Reg, shamt: u8, funct: u32) -> u32 {
+    (u32::from(rs.number()) << 21)
+        | (u32::from(rt.number()) << 16)
+        | (u32::from(rd.number()) << 11)
+        | (u32::from(shamt & 0x1f) << 6)
+        | funct
+}
+
+fn i(op: u32, rs: Reg, rt: Reg, imm: u16) -> u32 {
+    (op << 26) | (u32::from(rs.number()) << 21) | (u32::from(rt.number()) << 16) | u32::from(imm)
+}
+
+/// Encodes an instruction into its 32-bit machine word.
+///
+/// ```
+/// use efex_mips::isa::{Instruction, Reg};
+/// use efex_mips::encode::encode;
+/// // addu $t1, $t0, $t0
+/// let word = encode(Instruction::Addu { rd: Reg::T1, rs: Reg::T0, rt: Reg::T0 });
+/// assert_eq!(word, 0x0108_4821);
+/// ```
+pub fn encode(inst: Instruction) -> u32 {
+    use Instruction::*;
+    match inst {
+        Sll { rd, rt, shamt } => r(Reg::ZERO, rt, rd, shamt, funct::SLL),
+        Srl { rd, rt, shamt } => r(Reg::ZERO, rt, rd, shamt, funct::SRL),
+        Sra { rd, rt, shamt } => r(Reg::ZERO, rt, rd, shamt, funct::SRA),
+        Sllv { rd, rt, rs } => r(rs, rt, rd, 0, funct::SLLV),
+        Srlv { rd, rt, rs } => r(rs, rt, rd, 0, funct::SRLV),
+        Srav { rd, rt, rs } => r(rs, rt, rd, 0, funct::SRAV),
+        Jr { rs } => r(rs, Reg::ZERO, Reg::ZERO, 0, funct::JR),
+        Jalr { rd, rs } => r(rs, Reg::ZERO, rd, 0, funct::JALR),
+        Syscall { code } => ((code & 0xf_ffff) << 6) | funct::SYSCALL,
+        Break { code } => ((code & 0xf_ffff) << 6) | funct::BREAK,
+        Mfhi { rd } => r(Reg::ZERO, Reg::ZERO, rd, 0, funct::MFHI),
+        Mthi { rs } => r(rs, Reg::ZERO, Reg::ZERO, 0, funct::MTHI),
+        Mflo { rd } => r(Reg::ZERO, Reg::ZERO, rd, 0, funct::MFLO),
+        Mtlo { rs } => r(rs, Reg::ZERO, Reg::ZERO, 0, funct::MTLO),
+        Mult { rs, rt } => r(rs, rt, Reg::ZERO, 0, funct::MULT),
+        Multu { rs, rt } => r(rs, rt, Reg::ZERO, 0, funct::MULTU),
+        Div { rs, rt } => r(rs, rt, Reg::ZERO, 0, funct::DIV),
+        Divu { rs, rt } => r(rs, rt, Reg::ZERO, 0, funct::DIVU),
+        Add { rd, rs, rt } => r(rs, rt, rd, 0, funct::ADD),
+        Addu { rd, rs, rt } => r(rs, rt, rd, 0, funct::ADDU),
+        Sub { rd, rs, rt } => r(rs, rt, rd, 0, funct::SUB),
+        Subu { rd, rs, rt } => r(rs, rt, rd, 0, funct::SUBU),
+        And { rd, rs, rt } => r(rs, rt, rd, 0, funct::AND),
+        Or { rd, rs, rt } => r(rs, rt, rd, 0, funct::OR),
+        Xor { rd, rs, rt } => r(rs, rt, rd, 0, funct::XOR),
+        Nor { rd, rs, rt } => r(rs, rt, rd, 0, funct::NOR),
+        Slt { rd, rs, rt } => r(rs, rt, rd, 0, funct::SLT),
+        Sltu { rd, rs, rt } => r(rs, rt, rd, 0, funct::SLTU),
+        Beq { rs, rt, imm } => i(op::BEQ, rs, rt, imm as u16),
+        Bne { rs, rt, imm } => i(op::BNE, rs, rt, imm as u16),
+        Blez { rs, imm } => i(op::BLEZ, rs, Reg::ZERO, imm as u16),
+        Bgtz { rs, imm } => i(op::BGTZ, rs, Reg::ZERO, imm as u16),
+        Bltz { rs, imm } => i(op::REGIMM, rs, Reg::from_field(regimm::BLTZ), imm as u16),
+        Bgez { rs, imm } => i(op::REGIMM, rs, Reg::from_field(regimm::BGEZ), imm as u16),
+        Bltzal { rs, imm } => i(op::REGIMM, rs, Reg::from_field(regimm::BLTZAL), imm as u16),
+        Bgezal { rs, imm } => i(op::REGIMM, rs, Reg::from_field(regimm::BGEZAL), imm as u16),
+        Addi { rt, rs, imm } => i(op::ADDI, rs, rt, imm as u16),
+        Addiu { rt, rs, imm } => i(op::ADDIU, rs, rt, imm as u16),
+        Slti { rt, rs, imm } => i(op::SLTI, rs, rt, imm as u16),
+        Sltiu { rt, rs, imm } => i(op::SLTIU, rs, rt, imm as u16),
+        Andi { rt, rs, imm } => i(op::ANDI, rs, rt, imm),
+        Ori { rt, rs, imm } => i(op::ORI, rs, rt, imm),
+        Xori { rt, rs, imm } => i(op::XORI, rs, rt, imm),
+        Lui { rt, imm } => i(op::LUI, Reg::ZERO, rt, imm),
+        Lb { rt, base, imm } => i(op::LB, base, rt, imm as u16),
+        Lh { rt, base, imm } => i(op::LH, base, rt, imm as u16),
+        Lw { rt, base, imm } => i(op::LW, base, rt, imm as u16),
+        Lbu { rt, base, imm } => i(op::LBU, base, rt, imm as u16),
+        Lhu { rt, base, imm } => i(op::LHU, base, rt, imm as u16),
+        Sb { rt, base, imm } => i(op::SB, base, rt, imm as u16),
+        Sh { rt, base, imm } => i(op::SH, base, rt, imm as u16),
+        Sw { rt, base, imm } => i(op::SW, base, rt, imm as u16),
+        J { target } => (op::J << 26) | (target & 0x03ff_ffff),
+        Jal { target } => (op::JAL << 26) | (target & 0x03ff_ffff),
+        Mfc0 { rt, rd } => {
+            (op::COP0 << 26)
+                | (cop0::MF << 21)
+                | (u32::from(rt.number()) << 16)
+                | (u32::from(rd & 0x1f) << 11)
+        }
+        Mtc0 { rt, rd } => {
+            (op::COP0 << 26)
+                | (cop0::MT << 21)
+                | (u32::from(rt.number()) << 16)
+                | (u32::from(rd & 0x1f) << 11)
+        }
+        Tlbr => co(cop0::TLBR),
+        Tlbwi => co(cop0::TLBWI),
+        Tlbwr => co(cop0::TLBWR),
+        Tlbp => co(cop0::TLBP),
+        Rfe => co(cop0::RFE),
+        Xpcu => co(cop0::XPCU),
+        Utlbp { rs, op: p } => {
+            co(cop0::UTLBP) | (u32::from(rs.number()) << 16) | (p.to_field() << 6)
+        }
+        Hcall { code } => (op::HCALL << 26) | (code & 0x03ff_ffff),
+    }
+}
+
+fn co(f: u32) -> u32 {
+    (op::COP0 << 26) | (cop0::CO << 21) | f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::TlbProtOp;
+
+    #[test]
+    fn encodes_reference_words() {
+        // Cross-checked against the MIPS-I manual encodings.
+        assert_eq!(
+            encode(Instruction::Addiu {
+                rt: Reg::SP,
+                rs: Reg::SP,
+                imm: -32
+            }),
+            0x27bd_ffe0
+        );
+        assert_eq!(
+            encode(Instruction::Lw {
+                rt: Reg::RA,
+                base: Reg::SP,
+                imm: 28
+            }),
+            0x8fbf_001c
+        );
+        assert_eq!(encode(Instruction::Jr { rs: Reg::RA }), 0x03e0_0008);
+        assert_eq!(encode(Instruction::NOP), 0x0000_0000);
+        assert_eq!(
+            encode(Instruction::Lui {
+                rt: Reg::T0,
+                imm: 0x8000
+            }),
+            0x3c08_8000
+        );
+        assert_eq!(encode(Instruction::J { target: 0x10 }), 0x0800_0010);
+    }
+
+    #[test]
+    fn cop0_encodings_are_distinct() {
+        let words = [
+            encode(Instruction::Tlbr),
+            encode(Instruction::Tlbwi),
+            encode(Instruction::Tlbwr),
+            encode(Instruction::Tlbp),
+            encode(Instruction::Rfe),
+            encode(Instruction::Xpcu),
+            encode(Instruction::Utlbp {
+                rs: Reg::A0,
+                op: TlbProtOp::WriteProtect,
+            }),
+        ];
+        for (i, a) in words.iter().enumerate() {
+            for b in &words[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn syscall_and_break_carry_codes() {
+        assert_eq!(encode(Instruction::Syscall { code: 7 }) & 0x3f, 0x0c);
+        assert_eq!((encode(Instruction::Syscall { code: 7 }) >> 6) & 0xf_ffff, 7);
+        assert_eq!((encode(Instruction::Break { code: 99 }) >> 6) & 0xf_ffff, 99);
+    }
+}

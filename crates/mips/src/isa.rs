@@ -1,0 +1,487 @@
+//! The instruction set: registers, instructions, and disassembly.
+//!
+//! The simulator implements the MIPS-I integer subset that the paper's
+//! mechanisms exercise, plus two extensions proposed in Section 2 of the
+//! paper:
+//!
+//! - [`Instruction::Xpcu`] — exchange the program counter with the
+//!   user-exception-target register (the Tera-style return-from-user-handler
+//!   primitive).
+//! - [`Instruction::Utlbp`] — user-mode modification of the protection bits
+//!   of a TLB entry, permitted only when the kernel has set the entry's
+//!   *user-modifiable* bit.
+//! - [`Instruction::Hcall`] — a simulator-only "host call" escape used by the
+//!   simulated kernel to hand control to host-level (Rust) kernel services.
+//!   It occupies the unused COP3 opcode and is privileged: executing it in
+//!   user mode raises a coprocessor-unusable exception.
+
+use std::fmt;
+
+/// A general-purpose register, `$0` through `$31`.
+///
+/// `Reg` is a validated newtype: values are always in `0..32`. Construct via
+/// [`Reg::new`] or one of the named constants.
+///
+/// ```
+/// use efex_mips::isa::Reg;
+/// assert_eq!(Reg::new(8), Some(Reg::T0));
+/// assert_eq!(Reg::SP.to_string(), "$sp");
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero register.
+    pub const ZERO: Reg = Reg(0);
+    /// Assembler temporary.
+    pub const AT: Reg = Reg(1);
+    /// Function result registers.
+    pub const V0: Reg = Reg(2);
+    pub const V1: Reg = Reg(3);
+    /// Argument registers.
+    pub const A0: Reg = Reg(4);
+    pub const A1: Reg = Reg(5);
+    pub const A2: Reg = Reg(6);
+    pub const A3: Reg = Reg(7);
+    /// Caller-saved temporaries.
+    pub const T0: Reg = Reg(8);
+    pub const T1: Reg = Reg(9);
+    pub const T2: Reg = Reg(10);
+    pub const T3: Reg = Reg(11);
+    pub const T4: Reg = Reg(12);
+    pub const T5: Reg = Reg(13);
+    pub const T6: Reg = Reg(14);
+    pub const T7: Reg = Reg(15);
+    /// Callee-saved registers.
+    pub const S0: Reg = Reg(16);
+    pub const S1: Reg = Reg(17);
+    pub const S2: Reg = Reg(18);
+    pub const S3: Reg = Reg(19);
+    pub const S4: Reg = Reg(20);
+    pub const S5: Reg = Reg(21);
+    pub const S6: Reg = Reg(22);
+    pub const S7: Reg = Reg(23);
+    /// More caller-saved temporaries.
+    pub const T8: Reg = Reg(24);
+    pub const T9: Reg = Reg(25);
+    /// Reserved for the kernel; the fast exception path uses these as the
+    /// scratch registers whose contents the kernel saves for the user
+    /// (Section 3.2.1).
+    pub const K0: Reg = Reg(26);
+    pub const K1: Reg = Reg(27);
+    /// Global pointer.
+    pub const GP: Reg = Reg(28);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(29);
+    /// Frame pointer.
+    pub const FP: Reg = Reg(30);
+    /// Return address.
+    pub const RA: Reg = Reg(31);
+
+    /// Creates a register from its number, returning `None` if `n >= 32`.
+    pub fn new(n: u8) -> Option<Reg> {
+        (n < 32).then_some(Reg(n))
+    }
+
+    /// Creates a register from the low five bits of `n`, as hardware decode
+    /// does.
+    pub fn from_field(n: u32) -> Reg {
+        Reg((n & 0x1f) as u8)
+    }
+
+    /// The register number, in `0..32`.
+    pub fn number(self) -> u8 {
+        self.0
+    }
+
+    /// All 32 registers in numeric order.
+    pub fn all() -> impl Iterator<Item = Reg> {
+        (0..32).map(Reg)
+    }
+
+    /// The conventional assembler name, without the leading `$`.
+    pub fn name(self) -> &'static str {
+        const NAMES: [&str; 32] = [
+            "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3", "t0", "t1", "t2", "t3", "t4", "t5",
+            "t6", "t7", "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7", "t8", "t9", "k0", "k1",
+            "gp", "sp", "fp", "ra",
+        ];
+        NAMES[self.0 as usize]
+    }
+
+    /// Parses `"t0"`, `"$t0"`, `"8"`, or `"$8"`.
+    pub fn parse(s: &str) -> Option<Reg> {
+        let s = s.strip_prefix('$').unwrap_or(s);
+        if let Ok(n) = s.parse::<u8>() {
+            return Reg::new(n);
+        }
+        Reg::all().find(|r| r.name() == s)
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "${}", self.name())
+    }
+}
+
+/// A protection operation requested by [`Instruction::Utlbp`], the paper's
+/// user-level TLB protection-modification primitive (Section 2.2).
+///
+/// User code may only *amplify or restrict read and write permission*; it can
+/// never change the translation itself.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TlbProtOp {
+    /// Remove write permission (clear the dirty/writable bit).
+    WriteProtect,
+    /// Grant write permission (set the dirty/writable bit).
+    WriteEnable,
+    /// Remove all access (clear the valid bit).
+    ProtectAll,
+    /// Restore read access (set the valid bit).
+    ReadEnable,
+}
+
+impl TlbProtOp {
+    /// Encodes the operation into the 2-bit field used by the instruction.
+    pub fn to_field(self) -> u32 {
+        match self {
+            TlbProtOp::WriteProtect => 0,
+            TlbProtOp::WriteEnable => 1,
+            TlbProtOp::ProtectAll => 2,
+            TlbProtOp::ReadEnable => 3,
+        }
+    }
+
+    /// Decodes the 2-bit instruction field.
+    pub fn from_field(f: u32) -> TlbProtOp {
+        match f & 3 {
+            0 => TlbProtOp::WriteProtect,
+            1 => TlbProtOp::WriteEnable,
+            2 => TlbProtOp::ProtectAll,
+            _ => TlbProtOp::ReadEnable,
+        }
+    }
+}
+
+impl fmt::Display for TlbProtOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TlbProtOp::WriteProtect => "wp",
+            TlbProtOp::WriteEnable => "we",
+            TlbProtOp::ProtectAll => "pa",
+            TlbProtOp::ReadEnable => "re",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A decoded machine instruction.
+///
+/// Field conventions follow the MIPS manuals: `rs`/`rt` are sources, `rd` is
+/// the destination of R-type instructions, `imm` is the 16-bit immediate
+/// (sign- or zero-extended according to the instruction), `target` is the
+/// 26-bit jump field, and `shamt` the 5-bit shift amount.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Instruction {
+    // --- ALU, R-type ---
+    Sll { rd: Reg, rt: Reg, shamt: u8 },
+    Srl { rd: Reg, rt: Reg, shamt: u8 },
+    Sra { rd: Reg, rt: Reg, shamt: u8 },
+    Sllv { rd: Reg, rt: Reg, rs: Reg },
+    Srlv { rd: Reg, rt: Reg, rs: Reg },
+    Srav { rd: Reg, rt: Reg, rs: Reg },
+    Jr { rs: Reg },
+    Jalr { rd: Reg, rs: Reg },
+    Syscall { code: u32 },
+    Break { code: u32 },
+    Mfhi { rd: Reg },
+    Mthi { rs: Reg },
+    Mflo { rd: Reg },
+    Mtlo { rs: Reg },
+    Mult { rs: Reg, rt: Reg },
+    Multu { rs: Reg, rt: Reg },
+    Div { rs: Reg, rt: Reg },
+    Divu { rs: Reg, rt: Reg },
+    Add { rd: Reg, rs: Reg, rt: Reg },
+    Addu { rd: Reg, rs: Reg, rt: Reg },
+    Sub { rd: Reg, rs: Reg, rt: Reg },
+    Subu { rd: Reg, rs: Reg, rt: Reg },
+    And { rd: Reg, rs: Reg, rt: Reg },
+    Or { rd: Reg, rs: Reg, rt: Reg },
+    Xor { rd: Reg, rs: Reg, rt: Reg },
+    Nor { rd: Reg, rs: Reg, rt: Reg },
+    Slt { rd: Reg, rs: Reg, rt: Reg },
+    Sltu { rd: Reg, rs: Reg, rt: Reg },
+
+    // --- branches ---
+    Beq { rs: Reg, rt: Reg, imm: i16 },
+    Bne { rs: Reg, rt: Reg, imm: i16 },
+    Blez { rs: Reg, imm: i16 },
+    Bgtz { rs: Reg, imm: i16 },
+    Bltz { rs: Reg, imm: i16 },
+    Bgez { rs: Reg, imm: i16 },
+    Bltzal { rs: Reg, imm: i16 },
+    Bgezal { rs: Reg, imm: i16 },
+
+    // --- ALU, I-type ---
+    Addi { rt: Reg, rs: Reg, imm: i16 },
+    Addiu { rt: Reg, rs: Reg, imm: i16 },
+    Slti { rt: Reg, rs: Reg, imm: i16 },
+    Sltiu { rt: Reg, rs: Reg, imm: i16 },
+    Andi { rt: Reg, rs: Reg, imm: u16 },
+    Ori { rt: Reg, rs: Reg, imm: u16 },
+    Xori { rt: Reg, rs: Reg, imm: u16 },
+    Lui { rt: Reg, imm: u16 },
+
+    // --- loads and stores ---
+    Lb { rt: Reg, base: Reg, imm: i16 },
+    Lh { rt: Reg, base: Reg, imm: i16 },
+    Lw { rt: Reg, base: Reg, imm: i16 },
+    Lbu { rt: Reg, base: Reg, imm: i16 },
+    Lhu { rt: Reg, base: Reg, imm: i16 },
+    Sb { rt: Reg, base: Reg, imm: i16 },
+    Sh { rt: Reg, base: Reg, imm: i16 },
+    Sw { rt: Reg, base: Reg, imm: i16 },
+
+    // --- jumps ---
+    J { target: u32 },
+    Jal { target: u32 },
+
+    // --- system coprocessor ---
+    Mfc0 { rt: Reg, rd: u8 },
+    Mtc0 { rt: Reg, rd: u8 },
+    Tlbr,
+    Tlbwi,
+    Tlbwr,
+    Tlbp,
+    Rfe,
+
+    // --- efex architectural extensions (Section 2 of the paper) ---
+    /// Exchange PC and the user exception target register, clearing the
+    /// in-user-handler flag: the Tera-style return from a user-level handler.
+    Xpcu,
+    /// User-level TLB protection modification: apply `op` to the protection
+    /// bits of the TLB entry translating the virtual address in `rs`.
+    /// Requires the entry's user-modifiable bit; raises an address error
+    /// otherwise.
+    Utlbp { rs: Reg, op: TlbProtOp },
+
+    // --- simulator escape ---
+    /// Privileged host call: stops the simulation loop and yields
+    /// `StopReason::HostCall(code)` so host (Rust) kernel services can run.
+    Hcall { code: u32 },
+}
+
+impl Instruction {
+    /// A canonical no-op (`sll $zero, $zero, 0`).
+    pub const NOP: Instruction = Instruction::Sll {
+        rd: Reg::ZERO,
+        rt: Reg::ZERO,
+        shamt: 0,
+    };
+
+    /// Whether the instruction is a branch or jump (and therefore has a
+    /// delay slot).
+    pub fn is_control_transfer(self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Jr { .. }
+                | Jalr { .. }
+                | Beq { .. }
+                | Bne { .. }
+                | Blez { .. }
+                | Bgtz { .. }
+                | Bltz { .. }
+                | Bgez { .. }
+                | Bltzal { .. }
+                | Bgezal { .. }
+                | J { .. }
+                | Jal { .. }
+        )
+    }
+
+    /// Whether the instruction reads or writes memory.
+    pub fn is_memory_access(self) -> bool {
+        use Instruction::*;
+        matches!(
+            self,
+            Lb { .. }
+                | Lh { .. }
+                | Lw { .. }
+                | Lbu { .. }
+                | Lhu { .. }
+                | Sb { .. }
+                | Sh { .. }
+                | Sw { .. }
+        )
+    }
+
+    /// Whether the instruction is a store.
+    pub fn is_store(self) -> bool {
+        use Instruction::*;
+        matches!(self, Sb { .. } | Sh { .. } | Sw { .. })
+    }
+}
+
+impl fmt::Display for Instruction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instruction::*;
+        match *self {
+            Sll { rd, rt, shamt } if rd == Reg::ZERO && rt == Reg::ZERO && shamt == 0 => {
+                write!(f, "nop")
+            }
+            Sll { rd, rt, shamt } => write!(f, "sll {rd}, {rt}, {shamt}"),
+            Srl { rd, rt, shamt } => write!(f, "srl {rd}, {rt}, {shamt}"),
+            Sra { rd, rt, shamt } => write!(f, "sra {rd}, {rt}, {shamt}"),
+            Sllv { rd, rt, rs } => write!(f, "sllv {rd}, {rt}, {rs}"),
+            Srlv { rd, rt, rs } => write!(f, "srlv {rd}, {rt}, {rs}"),
+            Srav { rd, rt, rs } => write!(f, "srav {rd}, {rt}, {rs}"),
+            Jr { rs } => write!(f, "jr {rs}"),
+            Jalr { rd, rs } => write!(f, "jalr {rd}, {rs}"),
+            Syscall { code } => write!(f, "syscall {code}"),
+            Break { code } => write!(f, "break {code}"),
+            Mfhi { rd } => write!(f, "mfhi {rd}"),
+            Mthi { rs } => write!(f, "mthi {rs}"),
+            Mflo { rd } => write!(f, "mflo {rd}"),
+            Mtlo { rs } => write!(f, "mtlo {rs}"),
+            Mult { rs, rt } => write!(f, "mult {rs}, {rt}"),
+            Multu { rs, rt } => write!(f, "multu {rs}, {rt}"),
+            Div { rs, rt } => write!(f, "div {rs}, {rt}"),
+            Divu { rs, rt } => write!(f, "divu {rs}, {rt}"),
+            Add { rd, rs, rt } => write!(f, "add {rd}, {rs}, {rt}"),
+            Addu { rd, rs, rt } => write!(f, "addu {rd}, {rs}, {rt}"),
+            Sub { rd, rs, rt } => write!(f, "sub {rd}, {rs}, {rt}"),
+            Subu { rd, rs, rt } => write!(f, "subu {rd}, {rs}, {rt}"),
+            And { rd, rs, rt } => write!(f, "and {rd}, {rs}, {rt}"),
+            Or { rd, rs, rt } => write!(f, "or {rd}, {rs}, {rt}"),
+            Xor { rd, rs, rt } => write!(f, "xor {rd}, {rs}, {rt}"),
+            Nor { rd, rs, rt } => write!(f, "nor {rd}, {rs}, {rt}"),
+            Slt { rd, rs, rt } => write!(f, "slt {rd}, {rs}, {rt}"),
+            Sltu { rd, rs, rt } => write!(f, "sltu {rd}, {rs}, {rt}"),
+            Beq { rs, rt, imm } => write!(f, "beq {rs}, {rt}, {imm}"),
+            Bne { rs, rt, imm } => write!(f, "bne {rs}, {rt}, {imm}"),
+            Blez { rs, imm } => write!(f, "blez {rs}, {imm}"),
+            Bgtz { rs, imm } => write!(f, "bgtz {rs}, {imm}"),
+            Bltz { rs, imm } => write!(f, "bltz {rs}, {imm}"),
+            Bgez { rs, imm } => write!(f, "bgez {rs}, {imm}"),
+            Bltzal { rs, imm } => write!(f, "bltzal {rs}, {imm}"),
+            Bgezal { rs, imm } => write!(f, "bgezal {rs}, {imm}"),
+            Addi { rt, rs, imm } => write!(f, "addi {rt}, {rs}, {imm}"),
+            Addiu { rt, rs, imm } => write!(f, "addiu {rt}, {rs}, {imm}"),
+            Slti { rt, rs, imm } => write!(f, "slti {rt}, {rs}, {imm}"),
+            Sltiu { rt, rs, imm } => write!(f, "sltiu {rt}, {rs}, {imm}"),
+            Andi { rt, rs, imm } => write!(f, "andi {rt}, {rs}, {imm:#x}"),
+            Ori { rt, rs, imm } => write!(f, "ori {rt}, {rs}, {imm:#x}"),
+            Xori { rt, rs, imm } => write!(f, "xori {rt}, {rs}, {imm:#x}"),
+            Lui { rt, imm } => write!(f, "lui {rt}, {imm:#x}"),
+            Lb { rt, base, imm } => write!(f, "lb {rt}, {imm}({base})"),
+            Lh { rt, base, imm } => write!(f, "lh {rt}, {imm}({base})"),
+            Lw { rt, base, imm } => write!(f, "lw {rt}, {imm}({base})"),
+            Lbu { rt, base, imm } => write!(f, "lbu {rt}, {imm}({base})"),
+            Lhu { rt, base, imm } => write!(f, "lhu {rt}, {imm}({base})"),
+            Sb { rt, base, imm } => write!(f, "sb {rt}, {imm}({base})"),
+            Sh { rt, base, imm } => write!(f, "sh {rt}, {imm}({base})"),
+            Sw { rt, base, imm } => write!(f, "sw {rt}, {imm}({base})"),
+            J { target } => write!(f, "j {:#x}", target << 2),
+            Jal { target } => write!(f, "jal {:#x}", target << 2),
+            Mfc0 { rt, rd } => write!(f, "mfc0 {rt}, ${rd}"),
+            Mtc0 { rt, rd } => write!(f, "mtc0 {rt}, ${rd}"),
+            Tlbr => write!(f, "tlbr"),
+            Tlbwi => write!(f, "tlbwi"),
+            Tlbwr => write!(f, "tlbwr"),
+            Tlbp => write!(f, "tlbp"),
+            Rfe => write!(f, "rfe"),
+            Xpcu => write!(f, "xpcu"),
+            Utlbp { rs, op } => write!(f, "utlbp {rs}, {op}"),
+            Hcall { code } => write!(f, "hcall {code}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reg_new_rejects_out_of_range() {
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(31), Some(Reg::RA));
+    }
+
+    #[test]
+    fn reg_from_field_masks() {
+        assert_eq!(Reg::from_field(0x3f), Reg::RA);
+        assert_eq!(Reg::from_field(8), Reg::T0);
+    }
+
+    #[test]
+    fn reg_parse_accepts_all_forms() {
+        assert_eq!(Reg::parse("$t0"), Some(Reg::T0));
+        assert_eq!(Reg::parse("t0"), Some(Reg::T0));
+        assert_eq!(Reg::parse("$8"), Some(Reg::T0));
+        assert_eq!(Reg::parse("8"), Some(Reg::T0));
+        assert_eq!(Reg::parse("$nope"), None);
+        assert_eq!(Reg::parse("$32"), None);
+    }
+
+    #[test]
+    fn reg_names_round_trip() {
+        for r in Reg::all() {
+            assert_eq!(Reg::parse(r.name()), Some(r), "{r}");
+        }
+    }
+
+    #[test]
+    fn nop_displays_as_nop() {
+        assert_eq!(Instruction::NOP.to_string(), "nop");
+    }
+
+    #[test]
+    fn display_formats_loads_with_offset_syntax() {
+        let i = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            imm: -4,
+        };
+        assert_eq!(i.to_string(), "lw $t0, -4($sp)");
+    }
+
+    #[test]
+    fn control_transfer_classification() {
+        assert!(Instruction::J { target: 0 }.is_control_transfer());
+        assert!(Instruction::Jr { rs: Reg::RA }.is_control_transfer());
+        assert!(!Instruction::NOP.is_control_transfer());
+        assert!(!Instruction::Syscall { code: 0 }.is_control_transfer());
+    }
+
+    #[test]
+    fn memory_access_classification() {
+        let lw = Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            imm: 0,
+        };
+        let sw = Instruction::Sw {
+            rt: Reg::T0,
+            base: Reg::SP,
+            imm: 0,
+        };
+        assert!(lw.is_memory_access() && !lw.is_store());
+        assert!(sw.is_memory_access() && sw.is_store());
+        assert!(!Instruction::NOP.is_memory_access());
+    }
+
+    #[test]
+    fn tlb_prot_op_field_round_trip() {
+        for op in [
+            TlbProtOp::WriteProtect,
+            TlbProtOp::WriteEnable,
+            TlbProtOp::ProtectAll,
+            TlbProtOp::ReadEnable,
+        ] {
+            assert_eq!(TlbProtOp::from_field(op.to_field()), op);
+        }
+    }
+}

@@ -1,0 +1,1537 @@
+//! The machine: fetch/decode/execute with precise exceptions.
+//!
+//! [`Machine`] ties together the CPU register file, CP0, the TLB, and
+//! physical memory. It implements:
+//!
+//! - the R3000 memory map (KUSEG mapped through the TLB; KSEG0/KSEG1
+//!   unmapped kernel windows; KSEG2 mapped kernel space);
+//! - branch delay slots, including the `Cause.BD` / EPC-at-the-branch
+//!   behaviour that the paper's subpage emulation must deal with
+//!   (Section 3.2.4);
+//! - precise synchronous exceptions vectored to the kernel at the R3000
+//!   addresses (`0x8000_0000` for user TLB refill, `0x8000_0080` general);
+//! - the paper's **hardware user-level vectoring** (Section 2): when
+//!   enabled, a synchronous exception in user mode whose kind is in the
+//!   user exception mask is delivered by *exchanging PC with the UXT
+//!   register* — no mode change, no kernel;
+//! - cycle accounting per the [`crate::cycles`] model and optional
+//!   per-region instruction attribution via [`crate::profile::Profiler`].
+
+use std::error::Error;
+use std::fmt;
+
+use crate::asm::Program;
+use crate::cp0::{status, Cp0, Cp0Reg};
+use crate::cycles;
+use crate::decode::decode;
+use crate::exception::{ExcCode, Exception};
+use crate::isa::{Instruction, Reg, TlbProtOp};
+use crate::mem::Memory;
+use crate::profile::Profiler;
+use crate::tlb::{Tlb, TlbFault};
+
+/// General exception vector (all exceptions except user-space TLB refills).
+pub const GENERAL_VECTOR: u32 = 0x8000_0080;
+/// User TLB refill vector.
+pub const UTLB_VECTOR: u32 = 0x8000_0000;
+
+/// Why [`Machine::run`] stopped.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum StopReason {
+    /// A privileged `hcall` instruction executed; the host kernel services
+    /// the request and may resume the machine. The PC has already advanced
+    /// past the `hcall`.
+    HostCall(u32),
+    /// The step budget was exhausted.
+    StepLimit,
+}
+
+/// A fatal simulation error (not an architectural exception).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum MachineError {
+    /// An image segment referred to an address outside KSEG0/KSEG1.
+    UnmappedImageSegment(u32),
+    /// An image segment fell outside physical memory.
+    ImageOutOfRange(u32),
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::UnmappedImageSegment(a) => {
+                write!(f, "image segment at {a:#010x} is not in KSEG0/KSEG1")
+            }
+            MachineError::ImageOutOfRange(a) => {
+                write!(f, "image segment at {a:#010x} exceeds physical memory")
+            }
+        }
+    }
+}
+
+impl Error for MachineError {}
+
+/// The CPU register file and program counters.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    regs: [u32; 32],
+    hi: u32,
+    lo: u32,
+    /// Address of the next instruction to execute.
+    pub pc: u32,
+    /// Address of the instruction after that (differs from `pc + 4` when a
+    /// branch is pending — i.e., while executing a delay slot).
+    pub next_pc: u32,
+}
+
+impl Cpu {
+    fn new() -> Cpu {
+        Cpu {
+            regs: [0; 32],
+            hi: 0,
+            lo: 0,
+            pc: 0,
+            next_pc: 4,
+        }
+    }
+
+    /// Reads a general-purpose register (`$zero` always reads 0).
+    pub fn reg(&self, r: Reg) -> u32 {
+        self.regs[r.number() as usize]
+    }
+
+    /// Writes a general-purpose register (writes to `$zero` are ignored).
+    pub fn set_reg(&mut self, r: Reg, v: u32) {
+        if r != Reg::ZERO {
+            self.regs[r.number() as usize] = v;
+        }
+    }
+
+    /// The multiply/divide HI register.
+    pub fn hi(&self) -> u32 {
+        self.hi
+    }
+
+    /// The multiply/divide LO register.
+    pub fn lo(&self) -> u32 {
+        self.lo
+    }
+
+    /// Snapshot of all 32 registers.
+    pub fn regs(&self) -> [u32; 32] {
+        self.regs
+    }
+}
+
+/// Classifies a memory access for exception reporting.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Access {
+    /// Instruction fetch.
+    Fetch,
+    /// Data load.
+    Load,
+    /// Data store.
+    Store,
+}
+
+impl Access {
+    fn addr_err(self) -> ExcCode {
+        match self {
+            Access::Store => ExcCode::AddrErrStore,
+            _ => ExcCode::AddrErrLoad,
+        }
+    }
+
+    fn tlb_err(self) -> ExcCode {
+        match self {
+            Access::Store => ExcCode::TlbStore,
+            _ => ExcCode::TlbLoad,
+        }
+    }
+
+    fn bus_err(self) -> ExcCode {
+        match self {
+            Access::Fetch => ExcCode::BusErrFetch,
+            _ => ExcCode::BusErrData,
+        }
+    }
+}
+
+/// How an exception was (or would be) delivered.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Vectored {
+    /// Entered kernel mode at the given vector.
+    Kernel(u32),
+    /// Delivered directly to the user handler via the UXT exchange.
+    User(u32),
+}
+
+/// The simulated machine.
+#[derive(Clone, Debug)]
+pub struct Machine {
+    cpu: Cpu,
+    cp0: Cp0,
+    tlb: Tlb,
+    mem: Memory,
+    cycles: u64,
+    instret: u64,
+    exceptions_taken: u64,
+    /// The previous executed instruction was a branch/jump, so the current
+    /// one sits in its delay slot.
+    prev_was_branch: bool,
+    profiler: Option<Profiler>,
+    trace: Option<crate::trace::Trace>,
+}
+
+impl Machine {
+    /// Creates a machine with `phys_bytes` of physical memory, in kernel
+    /// mode at PC 0.
+    pub fn new(phys_bytes: usize) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            cp0: Cp0::new(),
+            tlb: Tlb::new(),
+            mem: Memory::new(phys_bytes),
+            cycles: 0,
+            instret: 0,
+            exceptions_taken: 0,
+            prev_was_branch: false,
+            profiler: None,
+            trace: None,
+        }
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// The CPU register file.
+    pub fn cpu(&self) -> &Cpu {
+        &self.cpu
+    }
+
+    /// Mutable CPU register file (host kernel services use this).
+    pub fn cpu_mut(&mut self) -> &mut Cpu {
+        &mut self.cpu
+    }
+
+    /// The system coprocessor.
+    pub fn cp0(&self) -> &Cp0 {
+        &self.cp0
+    }
+
+    /// Mutable system coprocessor.
+    pub fn cp0_mut(&mut self) -> &mut Cp0 {
+        &mut self.cp0
+    }
+
+    /// The TLB.
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// Mutable TLB (host kernel services use this).
+    pub fn tlb_mut(&mut self) -> &mut Tlb {
+        &mut self.tlb
+    }
+
+    /// Physical memory.
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable physical memory.
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Total cycles executed.
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Adds externally-modeled cycles (host-level kernel services charge
+    /// their costs through this).
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.cycles += cycles;
+    }
+
+    /// Total instructions retired.
+    pub fn instructions_retired(&self) -> u64 {
+        self.instret
+    }
+
+    /// Number of exceptions taken (kernel- or user-vectored).
+    pub fn exceptions_taken(&self) -> u64 {
+        self.exceptions_taken
+    }
+
+    /// Attaches a profiler; returns the previous one.
+    pub fn set_profiler(&mut self, p: Option<Profiler>) -> Option<Profiler> {
+        std::mem::replace(&mut self.profiler, p)
+    }
+
+    /// The attached profiler, if any.
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.profiler.as_ref()
+    }
+
+    /// Attaches an execution trace; returns the previous one.
+    pub fn set_trace(&mut self, t: Option<crate::trace::Trace>) -> Option<crate::trace::Trace> {
+        std::mem::replace(&mut self.trace, t)
+    }
+
+    /// The attached execution trace, if any.
+    pub fn trace(&self) -> Option<&crate::trace::Trace> {
+        self.trace.as_ref()
+    }
+
+    /// Mutable access to the attached profiler.
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.profiler.as_mut()
+    }
+
+    /// Current ASID (from `EntryHi`).
+    pub fn asid(&self) -> u8 {
+        ((self.cp0.entry_hi >> 6) & 0x3f) as u8
+    }
+
+    /// Sets the current ASID.
+    pub fn set_asid(&mut self, asid: u8) {
+        self.cp0.entry_hi = (self.cp0.entry_hi & !0xfc0) | (u32::from(asid & 0x3f) << 6);
+    }
+
+    /// Sets the PC (and the sequential next-PC).
+    pub fn set_pc(&mut self, pc: u32) {
+        self.cpu.pc = pc;
+        self.cpu.next_pc = pc.wrapping_add(4);
+        self.prev_was_branch = false;
+    }
+
+    /// Whether the machine is in user mode.
+    pub fn user_mode(&self) -> bool {
+        self.cp0.user_mode()
+    }
+
+    // --- image loading ---------------------------------------------------
+
+    /// Loads an assembled program image. Segment addresses must be KSEG0 or
+    /// KSEG1 virtual addresses (the kernel's unmapped windows).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a segment lies outside KSEG0/KSEG1 or past physical memory.
+    pub fn load_image(&mut self, prog: &Program) -> Result<(), MachineError> {
+        for seg in prog.segments() {
+            let paddr = kseg_to_phys(seg.addr).ok_or(MachineError::UnmappedImageSegment(seg.addr))?;
+            self.mem
+                .write_bytes(paddr, &seg.bytes)
+                .map_err(|_| MachineError::ImageOutOfRange(seg.addr))?;
+        }
+        Ok(())
+    }
+
+    // --- address translation --------------------------------------------
+
+    /// Translates a virtual address for the given access, raising no
+    /// exception: returns the fault that *would* be raised.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception code and bad address on failure.
+    pub fn translate(
+        &self,
+        vaddr: u32,
+        access: Access,
+        user_mode: bool,
+    ) -> Result<u32, (ExcCode, u32)> {
+        // Alignment is checked by callers (it depends on access width).
+        if vaddr < 0x8000_0000 {
+            // KUSEG: TLB-mapped for everyone.
+            self.tlb
+                .translate(vaddr, self.asid(), access == Access::Store)
+                .map_err(|f| (tlb_fault_code(f, access), vaddr))
+        } else if user_mode {
+            // User access to kernel space: address error.
+            Err((access.addr_err(), vaddr))
+        } else if vaddr < 0xc000_0000 {
+            // KSEG0 / KSEG1: unmapped.
+            Ok(vaddr & 0x1fff_ffff)
+        } else {
+            // KSEG2: TLB-mapped kernel space.
+            self.tlb
+                .translate(vaddr, self.asid(), access == Access::Store)
+                .map_err(|f| (tlb_fault_code(f, access), vaddr))
+        }
+    }
+
+    // --- execution -------------------------------------------------------
+
+    /// Runs until a host call, or until `max_steps` instructions retire.
+    pub fn run(&mut self, max_steps: u64) -> Result<StopReason, MachineError> {
+        for _ in 0..max_steps {
+            if let Some(stop) = self.step()? {
+                return Ok(stop);
+            }
+        }
+        Ok(StopReason::StepLimit)
+    }
+
+    /// Executes one instruction (or takes one exception).
+    ///
+    /// Returns `Some(StopReason::HostCall(..))` if the instruction was a
+    /// privileged `hcall`.
+    pub fn step(&mut self) -> Result<Option<StopReason>, MachineError> {
+        let pc = self.cpu.pc;
+        let in_delay = self.prev_was_branch;
+        let user = self.cp0.user_mode();
+
+        // Fetch: alignment, translation, then memory.
+        if pc & 3 != 0 {
+            self.raise(ExcCode::AddrErrLoad, pc, Some(pc), in_delay);
+            return Ok(None);
+        }
+        let paddr = match self.translate(pc, Access::Fetch, user) {
+            Ok(p) => p,
+            Err((code, bad)) => {
+                self.raise(code, pc, Some(bad), in_delay);
+                return Ok(None);
+            }
+        };
+        let word = match self.mem.read_u32(paddr) {
+            Ok(w) => w,
+            Err(_) => {
+                self.raise(ExcCode::BusErrFetch, pc, Some(pc), in_delay);
+                return Ok(None);
+            }
+        };
+        let inst = match decode(word) {
+            Ok(i) => i,
+            Err(_) => {
+                self.raise(ExcCode::ReservedInstr, pc, None, in_delay);
+                return Ok(None);
+            }
+        };
+        if let Some(t) = self.trace.as_mut() {
+            t.record(pc, word, user);
+        }
+
+        // Advance sequentially; branches below overwrite next_pc.
+        self.cpu.pc = self.cpu.next_pc;
+        self.cpu.next_pc = self.cpu.next_pc.wrapping_add(4);
+        self.prev_was_branch = inst.is_control_transfer();
+
+        let mut cost = cycles::BASE;
+        if inst.is_memory_access() {
+            cost += cycles::MEM_ACCESS;
+        }
+
+        let outcome = self.execute(inst, pc, in_delay, user, &mut cost);
+
+        self.cycles += cost;
+        match outcome {
+            Exec::Ok => {
+                self.instret += 1;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(pc, cost);
+                }
+                Ok(None)
+            }
+            Exec::HostCall(code) => {
+                self.instret += 1;
+                if let Some(p) = self.profiler.as_mut() {
+                    p.record(pc, cost);
+                }
+                Ok(Some(StopReason::HostCall(code)))
+            }
+            Exec::Fault(code, bad) => {
+                // The faulting instruction must not retire: rewind the
+                // sequential advance (raise() sets the PC anyway).
+                self.raise(code, pc, bad, in_delay);
+                Ok(None)
+            }
+        }
+    }
+
+    fn execute(
+        &mut self,
+        inst: Instruction,
+        pc: u32,
+        in_delay: bool,
+        user: bool,
+        cost: &mut u64,
+    ) -> Exec {
+        use Instruction::*;
+        let c = &mut self.cpu;
+        match inst {
+            Sll { rd, rt, shamt } => c.set_reg(rd, c.reg(rt) << shamt),
+            Srl { rd, rt, shamt } => c.set_reg(rd, c.reg(rt) >> shamt),
+            Sra { rd, rt, shamt } => c.set_reg(rd, ((c.reg(rt) as i32) >> shamt) as u32),
+            Sllv { rd, rt, rs } => c.set_reg(rd, c.reg(rt) << (c.reg(rs) & 31)),
+            Srlv { rd, rt, rs } => c.set_reg(rd, c.reg(rt) >> (c.reg(rs) & 31)),
+            Srav { rd, rt, rs } => {
+                c.set_reg(rd, ((c.reg(rt) as i32) >> (c.reg(rs) & 31)) as u32)
+            }
+            Jr { rs } => c.next_pc = c.reg(rs),
+            Jalr { rd, rs } => {
+                let target = c.reg(rs);
+                c.set_reg(rd, pc.wrapping_add(8));
+                c.next_pc = target;
+            }
+            Syscall { .. } => return Exec::Fault(ExcCode::Syscall, None),
+            Break { .. } => return Exec::Fault(ExcCode::Breakpoint, None),
+            Mfhi { rd } => c.set_reg(rd, c.hi),
+            Mthi { rs } => c.hi = c.reg(rs),
+            Mflo { rd } => c.set_reg(rd, c.lo),
+            Mtlo { rs } => c.lo = c.reg(rs),
+            Mult { rs, rt } => {
+                *cost += cycles::MULT;
+                let p = i64::from(c.reg(rs) as i32) * i64::from(c.reg(rt) as i32);
+                c.lo = p as u32;
+                c.hi = (p >> 32) as u32;
+            }
+            Multu { rs, rt } => {
+                *cost += cycles::MULT;
+                let p = u64::from(c.reg(rs)) * u64::from(c.reg(rt));
+                c.lo = p as u32;
+                c.hi = (p >> 32) as u32;
+            }
+            Div { rs, rt } => {
+                *cost += cycles::DIV;
+                let (a, b) = (c.reg(rs) as i32, c.reg(rt) as i32);
+                // MIPS-I: division by zero is silent; HI/LO stay undefined.
+                #[allow(clippy::manual_checked_ops)]
+                if b != 0 {
+                    c.lo = a.wrapping_div(b) as u32;
+                    c.hi = a.wrapping_rem(b) as u32;
+                }
+                // Division by zero leaves HI/LO undefined; we leave them be.
+            }
+            Divu { rs, rt } => {
+                *cost += cycles::DIV;
+                let (a, b) = (c.reg(rs), c.reg(rt));
+                // MIPS-I: division by zero is silent; HI/LO stay undefined.
+                #[allow(clippy::manual_checked_ops)]
+                if b != 0 {
+                    c.lo = a / b;
+                    c.hi = a % b;
+                }
+            }
+            Add { rd, rs, rt } => {
+                match (c.reg(rs) as i32).checked_add(c.reg(rt) as i32) {
+                    Some(v) => c.set_reg(rd, v as u32),
+                    None => return Exec::Fault(ExcCode::Overflow, None),
+                }
+            }
+            Addu { rd, rs, rt } => c.set_reg(rd, c.reg(rs).wrapping_add(c.reg(rt))),
+            Sub { rd, rs, rt } => {
+                match (c.reg(rs) as i32).checked_sub(c.reg(rt) as i32) {
+                    Some(v) => c.set_reg(rd, v as u32),
+                    None => return Exec::Fault(ExcCode::Overflow, None),
+                }
+            }
+            Subu { rd, rs, rt } => c.set_reg(rd, c.reg(rs).wrapping_sub(c.reg(rt))),
+            And { rd, rs, rt } => c.set_reg(rd, c.reg(rs) & c.reg(rt)),
+            Or { rd, rs, rt } => c.set_reg(rd, c.reg(rs) | c.reg(rt)),
+            Xor { rd, rs, rt } => c.set_reg(rd, c.reg(rs) ^ c.reg(rt)),
+            Nor { rd, rs, rt } => c.set_reg(rd, !(c.reg(rs) | c.reg(rt))),
+            Slt { rd, rs, rt } => {
+                c.set_reg(rd, ((c.reg(rs) as i32) < (c.reg(rt) as i32)) as u32)
+            }
+            Sltu { rd, rs, rt } => c.set_reg(rd, (c.reg(rs) < c.reg(rt)) as u32),
+            Beq { rs, rt, imm } => {
+                if c.reg(rs) == c.reg(rt) {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bne { rs, rt, imm } => {
+                if c.reg(rs) != c.reg(rt) {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Blez { rs, imm } => {
+                if (c.reg(rs) as i32) <= 0 {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bgtz { rs, imm } => {
+                if (c.reg(rs) as i32) > 0 {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bltz { rs, imm } => {
+                if (c.reg(rs) as i32) < 0 {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bgez { rs, imm } => {
+                if (c.reg(rs) as i32) >= 0 {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bltzal { rs, imm } => {
+                let taken = (c.reg(rs) as i32) < 0;
+                c.set_reg(Reg::RA, pc.wrapping_add(8));
+                if taken {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Bgezal { rs, imm } => {
+                let taken = (c.reg(rs) as i32) >= 0;
+                c.set_reg(Reg::RA, pc.wrapping_add(8));
+                if taken {
+                    c.next_pc = branch_target(pc, imm);
+                }
+            }
+            Addi { rt, rs, imm } => {
+                match (c.reg(rs) as i32).checked_add(i32::from(imm)) {
+                    Some(v) => c.set_reg(rt, v as u32),
+                    None => return Exec::Fault(ExcCode::Overflow, None),
+                }
+            }
+            Addiu { rt, rs, imm } => {
+                c.set_reg(rt, c.reg(rs).wrapping_add(imm as i32 as u32))
+            }
+            Slti { rt, rs, imm } => {
+                c.set_reg(rt, ((c.reg(rs) as i32) < i32::from(imm)) as u32)
+            }
+            Sltiu { rt, rs, imm } => {
+                c.set_reg(rt, (c.reg(rs) < (imm as i32 as u32)) as u32)
+            }
+            Andi { rt, rs, imm } => c.set_reg(rt, c.reg(rs) & u32::from(imm)),
+            Ori { rt, rs, imm } => c.set_reg(rt, c.reg(rs) | u32::from(imm)),
+            Xori { rt, rs, imm } => c.set_reg(rt, c.reg(rs) ^ u32::from(imm)),
+            Lui { rt, imm } => c.set_reg(rt, u32::from(imm) << 16),
+            Lb { rt, base, imm } => return self.load(rt, base, imm, 1, true, user),
+            Lh { rt, base, imm } => return self.load(rt, base, imm, 2, true, user),
+            Lw { rt, base, imm } => return self.load(rt, base, imm, 4, false, user),
+            Lbu { rt, base, imm } => return self.load(rt, base, imm, 1, false, user),
+            Lhu { rt, base, imm } => return self.load(rt, base, imm, 2, false, user),
+            Sb { rt, base, imm } => return self.store(rt, base, imm, 1, user),
+            Sh { rt, base, imm } => return self.store(rt, base, imm, 2, user),
+            Sw { rt, base, imm } => return self.store(rt, base, imm, 4, user),
+            J { target } => c.next_pc = (pc.wrapping_add(4) & 0xf000_0000) | (target << 2),
+            Jal { target } => {
+                c.set_reg(Reg::RA, pc.wrapping_add(8));
+                c.next_pc = (pc.wrapping_add(4) & 0xf000_0000) | (target << 2);
+            }
+            Mfc0 { rt, rd } => {
+                if user && !user_cp0_reg(rd) {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                let v = self.cp0.read(rd);
+                self.cpu.set_reg(rt, v);
+            }
+            Mtc0 { rt, rd } => {
+                if user && !user_cp0_reg_writable(rd) {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                let v = self.cpu.reg(rt);
+                self.cp0.write(rd, v);
+            }
+            Tlbr => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                *cost += cycles::TLB_OP;
+                let idx = ((self.cp0.index >> 8) & 0x3f) as usize;
+                let e = self.tlb.read(idx % crate::tlb::TLB_ENTRIES);
+                self.cp0.entry_hi = e.entry_hi();
+                self.cp0.entry_lo = e.entry_lo();
+            }
+            Tlbwi => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                *cost += cycles::TLB_OP;
+                let idx = ((self.cp0.index >> 8) & 0x3f) as usize;
+                let e = crate::tlb::TlbEntry::from_raw(self.cp0.entry_hi, self.cp0.entry_lo);
+                self.tlb.write(idx % crate::tlb::TLB_ENTRIES, e);
+            }
+            Tlbwr => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                *cost += cycles::TLB_OP;
+                // Random replacement avoids the 8 wired entries, like the
+                // R3000; the CP0 "random" value is a deterministic counter.
+                let idx = 8 + (self.cp0.random as usize % (crate::tlb::TLB_ENTRIES - 8));
+                let e = crate::tlb::TlbEntry::from_raw(self.cp0.entry_hi, self.cp0.entry_lo);
+                self.tlb.write(idx, e);
+                self.cp0.random = self.cp0.random.wrapping_add(13) % 56;
+            }
+            Tlbp => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                *cost += cycles::TLB_OP;
+                let vaddr = self.cp0.entry_hi & 0xffff_f000;
+                let asid = ((self.cp0.entry_hi >> 6) & 0x3f) as u8;
+                match self.tlb.probe(vaddr, asid) {
+                    Some(i) => self.cp0.index = (i as u32) << 8,
+                    None => self.cp0.index = 1 << 31,
+                }
+            }
+            Rfe => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                self.cp0.rfe();
+            }
+            Xpcu => {
+                // The Tera-style return: exchange PC and UXT, clearing the
+                // in-handler flag. Legal from user mode — that is its point.
+                let target = self.cp0.uxt;
+                self.cp0.uxt = pc.wrapping_add(4);
+                self.cpu.pc = target;
+                self.cpu.next_pc = target.wrapping_add(4);
+                self.prev_was_branch = false;
+                self.cp0.status &= !status::UXA;
+            }
+            Utlbp { rs, op } => {
+                *cost += cycles::TLB_OP;
+                let vaddr = self.cpu.reg(rs);
+                return self.utlbp(vaddr, op, user);
+            }
+            Hcall { code } => {
+                if user {
+                    return Exec::Fault(ExcCode::CopUnusable, None);
+                }
+                return Exec::HostCall(code);
+            }
+        }
+        if in_delay {
+            // Delay-slot instruction executed normally; nothing special.
+        }
+        Exec::Ok
+    }
+
+    fn load(&mut self, rt: Reg, base: Reg, imm: i16, width: u32, sign: bool, user: bool) -> Exec {
+        let vaddr = self.cpu.reg(base).wrapping_add(imm as i32 as u32);
+        if !vaddr.is_multiple_of(width) {
+            return Exec::Fault(ExcCode::AddrErrLoad, Some(vaddr));
+        }
+        let paddr = match self.translate(vaddr, Access::Load, user) {
+            Ok(p) => p,
+            Err((code, bad)) => return Exec::Fault(code, Some(bad)),
+        };
+        let raw = match width {
+            1 => self.mem.read_u8(paddr).map(u32::from),
+            2 => self.mem.read_u16(paddr).map(u32::from),
+            _ => self.mem.read_u32(paddr),
+        };
+        let v = match raw {
+            Ok(v) => v,
+            Err(_) => return Exec::Fault(Access::Load.bus_err(), Some(vaddr)),
+        };
+        let v = if sign {
+            match width {
+                1 => v as u8 as i8 as i32 as u32,
+                2 => v as u16 as i16 as i32 as u32,
+                _ => v,
+            }
+        } else {
+            v
+        };
+        self.cpu.set_reg(rt, v);
+        Exec::Ok
+    }
+
+    fn store(&mut self, rt: Reg, base: Reg, imm: i16, width: u32, user: bool) -> Exec {
+        let vaddr = self.cpu.reg(base).wrapping_add(imm as i32 as u32);
+        if !vaddr.is_multiple_of(width) {
+            return Exec::Fault(ExcCode::AddrErrStore, Some(vaddr));
+        }
+        let paddr = match self.translate(vaddr, Access::Store, user) {
+            Ok(p) => p,
+            Err((code, bad)) => return Exec::Fault(code, Some(bad)),
+        };
+        let v = self.cpu.reg(rt);
+        let res = match width {
+            1 => self.mem.write_u8(paddr, v as u8),
+            2 => self.mem.write_u16(paddr, v as u16),
+            _ => self.mem.write_u32(paddr, v),
+        };
+        match res {
+            Ok(()) => Exec::Ok,
+            Err(_) => Exec::Fault(Access::Store.bus_err(), Some(vaddr)),
+        }
+    }
+
+    fn utlbp(&mut self, vaddr: u32, op: TlbProtOp, user: bool) -> Exec {
+        if user && vaddr >= 0x8000_0000 {
+            return Exec::Fault(ExcCode::AddrErrLoad, Some(vaddr));
+        }
+        let asid = self.asid();
+        let Some(entry) = self.tlb.entry_matching_mut(vaddr, asid) else {
+            // No resident entry: fault so the kernel can refill and retry.
+            return Exec::Fault(ExcCode::TlbLoad, Some(vaddr));
+        };
+        if user && !entry.user_modifiable {
+            return Exec::Fault(ExcCode::CopUnusable, None);
+        }
+        match op {
+            TlbProtOp::WriteProtect => entry.dirty = false,
+            TlbProtOp::WriteEnable => entry.dirty = true,
+            TlbProtOp::ProtectAll => entry.valid = false,
+            TlbProtOp::ReadEnable => entry.valid = true,
+        }
+        Exec::Ok
+    }
+
+    /// Raises an exception from the instruction at `pc`.
+    ///
+    /// If the paper's hardware user-level vectoring applies — user mode,
+    /// vectoring enabled, not already in a user handler, the cause is
+    /// synchronous, maskable, and not a TLB *miss* (refills always belong to
+    /// the kernel) — the exception is delivered by exchanging PC with UXT.
+    /// Otherwise CP0 performs the standard kernel entry.
+    pub fn raise(&mut self, code: ExcCode, pc: u32, bad_vaddr: Option<u32>, in_delay: bool) -> Vectored {
+        self.exceptions_taken += 1;
+        // EPC semantics: point at the branch when faulting in a delay slot.
+        let epc = if in_delay { pc.wrapping_sub(4) } else { pc };
+
+        let user_deliverable = self.cp0.user_mode()
+            && self.cp0.user_vectoring_available()
+            && code.is_synchronous()
+            && code != ExcCode::Syscall
+            && self.cp0.user_mask_allows(code)
+            && !is_tlb_miss(code, bad_vaddr, &self.tlb, self.asid());
+
+        if user_deliverable {
+            self.cycles += cycles::USER_VECTOR_ENTRY;
+            let handler = self.cp0.uxt;
+            self.cp0.uxt = epc;
+            self.cp0.uxc = Cp0::make_uxc(code, in_delay);
+            if let Some(v) = bad_vaddr {
+                self.cp0.bad_vaddr = v;
+            }
+            self.cp0.status |= status::UXA;
+            self.cpu.pc = handler;
+            self.cpu.next_pc = handler.wrapping_add(4);
+            self.prev_was_branch = false;
+            Vectored::User(handler)
+        } else {
+            self.cycles += cycles::EXCEPTION_ENTRY;
+            let was_user = self.cp0.user_mode();
+            self.cp0.enter_exception(code, epc, bad_vaddr, in_delay);
+            let vector = if was_user
+                && matches!(code, ExcCode::TlbLoad | ExcCode::TlbStore)
+                && bad_vaddr.is_some_and(|v| {
+                    v < 0x8000_0000 && self.tlb.probe(v, self.asid()).is_none()
+                }) {
+                UTLB_VECTOR
+            } else {
+                GENERAL_VECTOR
+            };
+            self.cpu.pc = vector;
+            self.cpu.next_pc = vector.wrapping_add(4);
+            self.prev_was_branch = false;
+            Vectored::Kernel(vector)
+        }
+    }
+
+    /// Exception reentry point used by host kernel services that emulate a
+    /// trap on behalf of guest code (e.g. the subpage engine): behaves like
+    /// [`Machine::raise`] but never user-vectors.
+    pub fn raise_to_kernel(&mut self, code: ExcCode, epc: u32, bad_vaddr: Option<u32>, bd: bool) {
+        self.exceptions_taken += 1;
+        self.cycles += cycles::EXCEPTION_ENTRY;
+        self.cp0.enter_exception(code, epc, bad_vaddr, bd);
+        self.cpu.pc = GENERAL_VECTOR;
+        self.cpu.next_pc = GENERAL_VECTOR.wrapping_add(4);
+        self.prev_was_branch = false;
+    }
+
+    // --- host memory access (used by the host-level kernel) --------------
+
+    /// Reads a word at a *virtual* address using the current translation
+    /// state, without raising exceptions or charging cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest load would have raised.
+    pub fn peek_u32(&self, vaddr: u32, user: bool) -> Result<u32, Exception> {
+        if vaddr & 3 != 0 {
+            return Err(self.fault(ExcCode::AddrErrLoad, vaddr));
+        }
+        let paddr = self
+            .translate(vaddr, Access::Load, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .read_u32(paddr)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    /// Writes a word at a *virtual* address (see [`Machine::peek_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest store would have raised.
+    pub fn poke_u32(&mut self, vaddr: u32, value: u32, user: bool) -> Result<(), Exception> {
+        if vaddr & 3 != 0 {
+            return Err(self.fault(ExcCode::AddrErrStore, vaddr));
+        }
+        let paddr = self
+            .translate(vaddr, Access::Store, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .write_u32(paddr, value)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    /// Reads one byte at a virtual address (see [`Machine::peek_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest load would have raised.
+    pub fn peek_u8(&self, vaddr: u32, user: bool) -> Result<u8, Exception> {
+        let paddr = self
+            .translate(vaddr, Access::Load, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .read_u8(paddr)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    /// Writes one byte at a virtual address (see [`Machine::poke_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest store would have raised.
+    pub fn poke_u8(&mut self, vaddr: u32, value: u8, user: bool) -> Result<(), Exception> {
+        let paddr = self
+            .translate(vaddr, Access::Store, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .write_u8(paddr, value)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    /// Reads a halfword at a virtual address (see [`Machine::peek_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest load would have raised.
+    pub fn peek_u16(&self, vaddr: u32, user: bool) -> Result<u16, Exception> {
+        if vaddr & 1 != 0 {
+            return Err(self.fault(ExcCode::AddrErrLoad, vaddr));
+        }
+        let paddr = self
+            .translate(vaddr, Access::Load, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .read_u16(paddr)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    /// Writes a halfword at a virtual address (see [`Machine::poke_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the exception that a guest store would have raised.
+    pub fn poke_u16(&mut self, vaddr: u32, value: u16, user: bool) -> Result<(), Exception> {
+        if vaddr & 1 != 0 {
+            return Err(self.fault(ExcCode::AddrErrStore, vaddr));
+        }
+        let paddr = self
+            .translate(vaddr, Access::Store, user)
+            .map_err(|(c, v)| self.fault(c, v))?;
+        self.mem
+            .write_u16(paddr, value)
+            .map_err(|_| self.fault(ExcCode::BusErrData, vaddr))
+    }
+
+    fn fault(&self, code: ExcCode, vaddr: u32) -> Exception {
+        Exception {
+            code,
+            bad_vaddr: Some(vaddr),
+            in_delay_slot: false,
+            pc: self.cpu.pc,
+        }
+    }
+}
+
+enum Exec {
+    Ok,
+    HostCall(u32),
+    Fault(ExcCode, Option<u32>),
+}
+
+fn branch_target(pc: u32, imm: i16) -> u32 {
+    pc.wrapping_add(4).wrapping_add((i32::from(imm) << 2) as u32)
+}
+
+fn tlb_fault_code(f: TlbFault, access: Access) -> ExcCode {
+    match f {
+        TlbFault::Modification => ExcCode::TlbMod,
+        _ => access.tlb_err(),
+    }
+}
+
+fn is_tlb_miss(code: ExcCode, bad_vaddr: Option<u32>, tlb: &Tlb, asid: u8) -> bool {
+    if !matches!(code, ExcCode::TlbLoad | ExcCode::TlbStore) {
+        return false;
+    }
+    bad_vaddr.is_none_or(|v| tlb.probe(v, asid).is_none())
+}
+
+/// Converts a KSEG0/KSEG1 virtual address to its physical address.
+pub fn kseg_to_phys(vaddr: u32) -> Option<u32> {
+    (0x8000_0000..0xc000_0000)
+        .contains(&vaddr)
+        .then_some(vaddr & 0x1fff_ffff)
+}
+
+/// Whether user mode may read the CP0 register (paper extension registers
+/// UXT and UXC are user-visible so handlers can dispatch and return).
+fn user_cp0_reg(rd: u8) -> bool {
+    matches!(
+        Cp0Reg::from_number(rd),
+        Some(Cp0Reg::Uxt | Cp0Reg::Uxc | Cp0Reg::BadVaddr)
+    )
+}
+
+/// Whether user mode may write the CP0 register (only the user exception
+/// target: "user-level software loads [it] with its exception handler
+/// address", Section 2.1).
+fn user_cp0_reg_writable(rd: u8) -> bool {
+    matches!(Cp0Reg::from_number(rd), Some(Cp0Reg::Uxt))
+}
+
+impl Instruction {
+    /// Convenience: the encoded machine word (`encode(self)`).
+    pub fn into_word(self) -> u32 {
+        crate::encode::encode(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+
+    fn machine_with(words: &[u32], at: u32) -> Machine {
+        let mut m = Machine::new(1 << 20);
+        let paddr = kseg_to_phys(at).unwrap();
+        for (i, w) in words.iter().enumerate() {
+            m.mem_mut().write_u32(paddr + 4 * i as u32, *w).unwrap();
+        }
+        m.set_pc(at);
+        m
+    }
+
+    fn run_to_hcall(m: &mut Machine) -> u32 {
+        match m.run(10_000).unwrap() {
+            StopReason::HostCall(c) => c,
+            other => panic!("expected hcall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn arithmetic_and_hcall() {
+        let words = [
+            encode(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 21,
+            }),
+            encode(Instruction::Addu {
+                rd: Reg::T1,
+                rs: Reg::T0,
+                rt: Reg::T0,
+            }),
+            encode(Instruction::Hcall { code: 3 }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        assert_eq!(run_to_hcall(&mut m), 3);
+        assert_eq!(m.cpu().reg(Reg::T1), 42);
+        assert_eq!(m.instructions_retired(), 3);
+    }
+
+    #[test]
+    fn zero_register_is_immutable() {
+        let words = [
+            encode(Instruction::Addiu {
+                rt: Reg::ZERO,
+                rs: Reg::ZERO,
+                imm: 5,
+            }),
+            encode(Instruction::Hcall { code: 0 }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        run_to_hcall(&mut m);
+        assert_eq!(m.cpu().reg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn branch_delay_slot_executes() {
+        // beq taken; the delay-slot addiu must still execute.
+        let words = [
+            encode(Instruction::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: 2, // skip one instruction beyond the slot
+            }),
+            encode(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 1,
+            }), // delay slot: executes
+            encode(Instruction::Addiu {
+                rt: Reg::T1,
+                rs: Reg::ZERO,
+                imm: 1,
+            }), // skipped
+            encode(Instruction::Hcall { code: 0 }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        run_to_hcall(&mut m);
+        assert_eq!(m.cpu().reg(Reg::T0), 1, "delay slot must execute");
+        assert_eq!(m.cpu().reg(Reg::T1), 0, "branch target must skip");
+    }
+
+    #[test]
+    fn jal_links_past_delay_slot() {
+        let base = 0x8000_1000u32;
+        let words = [
+            encode(Instruction::Jal {
+                target: (base + 16) >> 2,
+            }),
+            Instruction::NOP.into_word(),
+            encode(Instruction::Hcall { code: 9 }), // should be skipped
+            Instruction::NOP.into_word(),
+            encode(Instruction::Hcall { code: 1 }), // jal target
+        ];
+        let mut m = machine_with(&words, base);
+        assert_eq!(run_to_hcall(&mut m), 1);
+        assert_eq!(m.cpu().reg(Reg::RA), base + 8);
+    }
+
+    #[test]
+    fn overflow_raises_and_preserves_rd() {
+        let words = [
+            encode(Instruction::Lui {
+                rt: Reg::T0,
+                imm: 0x7fff,
+            }),
+            encode(Instruction::Add {
+                rd: Reg::T1,
+                rs: Reg::T0,
+                rt: Reg::T0,
+            }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        m.run(2).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::Overflow));
+        assert_eq!(m.cpu().pc, GENERAL_VECTOR);
+        assert_eq!(m.cpu().reg(Reg::T1), 0, "faulting add must not retire");
+        assert_eq!(m.cp0().epc, 0x8000_1004);
+    }
+
+    #[test]
+    fn unaligned_load_faults_with_bad_vaddr() {
+        let words = [
+            encode(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 0x102,
+            }),
+            encode(Instruction::Lw {
+                rt: Reg::T1,
+                base: Reg::T0,
+                imm: 0,
+            }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        m.run(2).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::AddrErrLoad));
+        assert_eq!(m.cp0().bad_vaddr, 0x102);
+    }
+
+    #[test]
+    fn delay_slot_fault_sets_bd_and_branch_epc() {
+        let words = [
+            encode(Instruction::Beq {
+                rs: Reg::ZERO,
+                rt: Reg::ZERO,
+                imm: 4,
+            }),
+            encode(Instruction::Lw {
+                rt: Reg::T1,
+                base: Reg::ZERO,
+                imm: 0x103, // unaligned -> faults in the delay slot
+            }),
+        ];
+        let mut m = machine_with(&words, 0x8000_1000);
+        m.run(2).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::AddrErrLoad));
+        assert!(m.cp0().cause_bd(), "BD must be set");
+        assert_eq!(m.cp0().epc, 0x8000_1000, "EPC must point at the branch");
+    }
+
+    #[test]
+    fn syscall_vectors_to_kernel() {
+        let words = [encode(Instruction::Syscall { code: 0 })];
+        let mut m = machine_with(&words, 0x8000_1000);
+        m.run(1).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::Syscall));
+        assert_eq!(m.cpu().pc, GENERAL_VECTOR);
+    }
+
+    #[test]
+    fn user_mode_cannot_touch_kernel_space() {
+        // Put the machine in user mode executing from a TLB-mapped page.
+        let mut m = Machine::new(1 << 20);
+        // Map user page 0x0040_0000 -> phys 0x2000.
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        let insts = [
+            encode(Instruction::Lw {
+                rt: Reg::T0,
+                base: Reg::ZERO,
+                imm: 0, // vaddr 0 — unmapped user page -> UTLB miss
+            }),
+        ];
+        for (i, w) in insts.iter().enumerate() {
+            m.mem_mut().write_u32(0x2000 + 4 * i as u32, *w).unwrap();
+        }
+        m.cp0_mut().status = status::KUC; // user mode
+        m.set_pc(0x0040_0000);
+        m.run(1).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::TlbLoad));
+        assert_eq!(m.cpu().pc, UTLB_VECTOR, "user TLB miss uses the refill vector");
+        assert!(!m.cp0().user_mode(), "exception enters kernel mode");
+    }
+
+    #[test]
+    fn write_protected_page_faults_tlbmod() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: false, // write-protected
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        let insts = [encode(Instruction::Sw {
+            rt: Reg::T0,
+            base: Reg::ZERO,
+            imm: 0x0040_0000u32 as i32 as i16, // won't fit; use register form below
+        })];
+        let _ = insts;
+        // Build: lui t0, 0x0040; sw t1, 0(t0)
+        let prog = [
+            encode(Instruction::Lui {
+                rt: Reg::T0,
+                imm: 0x0040,
+            }),
+            encode(Instruction::Sw {
+                rt: Reg::T1,
+                base: Reg::T0,
+                imm: 0,
+            }),
+        ];
+        let paddr = 0x3000;
+        for (i, w) in prog.iter().enumerate() {
+            m.mem_mut().write_u32(paddr + 4 * i as u32, *w).unwrap();
+        }
+        // Map the code page too (vpn 0x401 -> pfn 3).
+        m.tlb_mut().write(
+            1,
+            crate::tlb::TlbEntry {
+                vpn: 0x401,
+                asid: 0,
+                pfn: 3,
+                valid: true,
+                dirty: false,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        m.cp0_mut().status = status::KUC;
+        m.set_pc(0x0040_1000);
+        m.run(2).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::TlbMod));
+        assert_eq!(m.cp0().bad_vaddr, 0x0040_0000);
+    }
+
+    #[test]
+    fn hardware_user_vectoring_swaps_pc_and_uxt() {
+        let mut m = Machine::new(1 << 20);
+        // user code page: vpn 0x400 -> pfn 2; handler page vpn 0x500 -> pfn 5.
+        for (i, (vpn, pfn)) in [(0x400u32, 2u32), (0x500, 5)].iter().enumerate() {
+            m.tlb_mut().write(
+                i,
+                crate::tlb::TlbEntry {
+                    vpn: *vpn,
+                    asid: 0,
+                    pfn: *pfn,
+                    valid: true,
+                    dirty: true,
+                    global: false,
+                    user_modifiable: false,
+                },
+            );
+        }
+        // user code: break (vectored to user); then hcall (never reached in user mode)
+        m.mem_mut()
+            .write_u32(0x2000, encode(Instruction::Break { code: 0 }))
+            .unwrap();
+        m.mem_mut()
+            .write_u32(0x2004, encode(Instruction::Addiu { rt: Reg::T5, rs: Reg::ZERO, imm: 7 }))
+            .unwrap();
+        m.mem_mut()
+            .write_u32(0x2008, encode(Instruction::Break { code: 1 }))
+            .unwrap();
+        // handler at 0x0050_0000: set t3 = 1; advance uxt past the break; xpcu back.
+        let handler = [
+            encode(Instruction::Addiu {
+                rt: Reg::T3,
+                rs: Reg::ZERO,
+                imm: 1,
+            }),
+            encode(Instruction::Mfc0 {
+                rt: Reg::T4,
+                rd: Cp0Reg::Uxt as u8,
+            }),
+            encode(Instruction::Addiu {
+                rt: Reg::T4,
+                rs: Reg::T4,
+                imm: 4,
+            }),
+            encode(Instruction::Mtc0 {
+                rt: Reg::T4,
+                rd: Cp0Reg::Uxt as u8,
+            }),
+            encode(Instruction::Xpcu),
+        ];
+        for (i, w) in handler.iter().enumerate() {
+            m.mem_mut().write_u32(0x5000 + 4 * i as u32, *w).unwrap();
+        }
+        m.cp0_mut().status = status::KUC | status::UXE;
+        m.cp0_mut().uxm = 1 << ExcCode::Breakpoint.code();
+        m.cp0_mut().uxt = 0x0050_0000;
+        m.set_pc(0x0040_0000);
+        // Run until the second break vectors (mask still set but UXA cleared
+        // by xpcu, so it vectors to user again; we stop after a few steps).
+        for _ in 0..8 {
+            m.step().unwrap();
+        }
+        assert_eq!(m.cpu().reg(Reg::T3), 1, "handler ran");
+        assert_eq!(m.cpu().reg(Reg::T5), 7, "resumed after the break");
+        assert!(m.cp0().user_mode(), "never left user mode");
+    }
+
+    #[test]
+    fn recursive_user_exception_falls_back_to_kernel() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        // user code: break; handler is ALSO a break at the same spot (uxt
+        // points at code that faults again).
+        m.mem_mut()
+            .write_u32(0x2000, encode(Instruction::Break { code: 0 }))
+            .unwrap();
+        m.mem_mut()
+            .write_u32(0x2010, encode(Instruction::Break { code: 1 }))
+            .unwrap();
+        m.cp0_mut().status = status::KUC | status::UXE;
+        m.cp0_mut().uxm = 1 << ExcCode::Breakpoint.code();
+        m.cp0_mut().uxt = 0x0040_0010;
+        m.set_pc(0x0040_0000);
+        m.step().unwrap(); // first break: user-vectored
+        assert!(m.cp0().status & status::UXA != 0);
+        m.step().unwrap(); // second break: recursive -> kernel
+        assert!(!m.cp0().user_mode(), "recursive exception must enter kernel");
+        assert_eq!(m.cpu().pc, GENERAL_VECTOR);
+    }
+
+    #[test]
+    fn utlbp_requires_user_modifiable_bit() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        // code page
+        m.tlb_mut().write(
+            1,
+            crate::tlb::TlbEntry {
+                vpn: 0x401,
+                asid: 0,
+                pfn: 3,
+                valid: true,
+                dirty: false,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        let prog = [
+            encode(Instruction::Lui {
+                rt: Reg::A0,
+                imm: 0x0040,
+            }),
+            encode(Instruction::Utlbp {
+                rs: Reg::A0,
+                op: TlbProtOp::WriteProtect,
+            }),
+        ];
+        for (i, w) in prog.iter().enumerate() {
+            m.mem_mut().write_u32(0x3000 + 4 * i as u32, *w).unwrap();
+        }
+        m.cp0_mut().status = status::KUC;
+        m.set_pc(0x0040_1000);
+        m.run(2).unwrap();
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::CopUnusable));
+    }
+
+    #[test]
+    fn utlbp_with_bit_set_modifies_protection() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: true,
+            },
+        );
+        m.tlb_mut().write(
+            1,
+            crate::tlb::TlbEntry {
+                vpn: 0x401,
+                asid: 0,
+                pfn: 3,
+                valid: true,
+                dirty: false,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        let prog = [
+            encode(Instruction::Lui {
+                rt: Reg::A0,
+                imm: 0x0040,
+            }),
+            encode(Instruction::Utlbp {
+                rs: Reg::A0,
+                op: TlbProtOp::WriteProtect,
+            }),
+            encode(Instruction::Sw {
+                rt: Reg::T0,
+                base: Reg::A0,
+                imm: 0,
+            }),
+        ];
+        for (i, w) in prog.iter().enumerate() {
+            m.mem_mut().write_u32(0x3000 + 4 * i as u32, *w).unwrap();
+        }
+        m.cp0_mut().status = status::KUC;
+        m.set_pc(0x0040_1000);
+        m.run(3).unwrap();
+        // The store after user-level write-protect must fault.
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::TlbMod));
+    }
+
+    #[test]
+    fn hcall_is_privileged() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: false,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        m.mem_mut()
+            .write_u32(0x2000, encode(Instruction::Hcall { code: 0 }))
+            .unwrap();
+        m.cp0_mut().status = status::KUC;
+        m.set_pc(0x0040_0000);
+        let r = m.run(1).unwrap();
+        assert_eq!(r, StopReason::StepLimit, "hcall must not stop in user mode");
+        assert_eq!(m.cp0().exc_code(), Some(ExcCode::CopUnusable));
+    }
+
+    #[test]
+    fn cycle_accounting_accumulates() {
+        let words = [
+            encode(Instruction::Addiu {
+                rt: Reg::T0,
+                rs: Reg::ZERO,
+                imm: 1,
+            }),
+            encode(Instruction::Lw {
+                rt: Reg::T1,
+                base: Reg::ZERO,
+                imm: 0, // vaddr 0: TLB miss in kernel mode? No — kernel KUSEG miss
+            }),
+        ];
+        let mut m = machine_with(&words[..1], 0x8000_1000);
+        m.step().unwrap();
+        assert_eq!(m.cycles(), cycles::BASE);
+        let _ = words;
+    }
+
+    #[test]
+    fn peek_poke_respect_translation() {
+        let mut m = Machine::new(1 << 20);
+        m.tlb_mut().write(
+            0,
+            crate::tlb::TlbEntry {
+                vpn: 0x400,
+                asid: 0,
+                pfn: 2,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: false,
+            },
+        );
+        m.poke_u32(0x0040_0008, 0xfeed_f00d, true).unwrap();
+        assert_eq!(m.peek_u32(0x0040_0008, true).unwrap(), 0xfeed_f00d);
+        assert_eq!(m.mem().read_u32(0x2008).unwrap(), 0xfeed_f00d);
+        let err = m.peek_u32(0x0050_0000, true).unwrap_err();
+        assert_eq!(err.code, ExcCode::TlbLoad);
+    }
+}

@@ -1,0 +1,150 @@
+//! Flat physical memory.
+//!
+//! Accesses are by physical address; translation happens in
+//! [`crate::machine`]. Out-of-range accesses return [`BusError`], which the
+//! machine turns into a bus-error exception.
+
+use std::error::Error;
+use std::fmt;
+
+/// Access past the end of physical memory.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct BusError {
+    /// The offending physical address.
+    pub paddr: u32,
+}
+
+impl fmt::Display for BusError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bus error at physical address {:#010x}", self.paddr)
+    }
+}
+
+impl Error for BusError {}
+
+/// Byte-addressable physical memory, little-endian like the DECstation's
+/// R3000 configuration.
+#[derive(Clone, Debug)]
+pub struct Memory {
+    bytes: Vec<u8>,
+}
+
+impl Memory {
+    /// Allocates `size` bytes of zeroed physical memory.
+    pub fn new(size: usize) -> Memory {
+        Memory {
+            bytes: vec![0; size],
+        }
+    }
+
+    /// Total size in bytes.
+    pub fn size(&self) -> usize {
+        self.bytes.len()
+    }
+
+    fn check(&self, paddr: u32, len: u32) -> Result<usize, BusError> {
+        let end = paddr as u64 + len as u64;
+        if end > self.bytes.len() as u64 {
+            return Err(BusError { paddr });
+        }
+        Ok(paddr as usize)
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, paddr: u32) -> Result<u8, BusError> {
+        let i = self.check(paddr, 1)?;
+        Ok(self.bytes[i])
+    }
+
+    /// Reads a halfword. The address must already be aligned (the machine
+    /// checks alignment before translation).
+    pub fn read_u16(&self, paddr: u32) -> Result<u16, BusError> {
+        let i = self.check(paddr, 2)?;
+        Ok(u16::from_le_bytes([self.bytes[i], self.bytes[i + 1]]))
+    }
+
+    /// Reads a word.
+    pub fn read_u32(&self, paddr: u32) -> Result<u32, BusError> {
+        let i = self.check(paddr, 4)?;
+        Ok(u32::from_le_bytes([
+            self.bytes[i],
+            self.bytes[i + 1],
+            self.bytes[i + 2],
+            self.bytes[i + 3],
+        ]))
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, paddr: u32, v: u8) -> Result<(), BusError> {
+        let i = self.check(paddr, 1)?;
+        self.bytes[i] = v;
+        Ok(())
+    }
+
+    /// Writes a halfword.
+    pub fn write_u16(&mut self, paddr: u32, v: u16) -> Result<(), BusError> {
+        let i = self.check(paddr, 2)?;
+        self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Writes a word.
+    pub fn write_u32(&mut self, paddr: u32, v: u32) -> Result<(), BusError> {
+        let i = self.check(paddr, 4)?;
+        self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        Ok(())
+    }
+
+    /// Copies a slice into memory.
+    pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) -> Result<(), BusError> {
+        let i = self.check(paddr, data.len() as u32)?;
+        self.bytes[i..i + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+
+    /// Reads `len` bytes.
+    pub fn read_bytes(&self, paddr: u32, len: usize) -> Result<&[u8], BusError> {
+        let i = self.check(paddr, len as u32)?;
+        Ok(&self.bytes[i..i + len])
+    }
+
+    /// Zero-fills a range.
+    pub fn zero(&mut self, paddr: u32, len: usize) -> Result<(), BusError> {
+        let i = self.check(paddr, len as u32)?;
+        self.bytes[i..i + len].fill(0);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn word_round_trip_little_endian() {
+        let mut m = Memory::new(64);
+        m.write_u32(0, 0x1234_5678).unwrap();
+        assert_eq!(m.read_u32(0).unwrap(), 0x1234_5678);
+        assert_eq!(m.read_u8(0).unwrap(), 0x78);
+        assert_eq!(m.read_u8(3).unwrap(), 0x12);
+        assert_eq!(m.read_u16(2).unwrap(), 0x1234);
+    }
+
+    #[test]
+    fn out_of_range_is_bus_error() {
+        let mut m = Memory::new(8);
+        assert_eq!(m.read_u32(8).unwrap_err(), BusError { paddr: 8 });
+        assert_eq!(m.read_u32(6).unwrap_err(), BusError { paddr: 6 });
+        assert!(m.write_u8(7, 1).is_ok());
+        assert!(m.write_u16(7, 1).is_err());
+    }
+
+    #[test]
+    fn bulk_copy_and_zero() {
+        let mut m = Memory::new(16);
+        m.write_bytes(4, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(m.read_bytes(4, 4).unwrap(), &[1, 2, 3, 4]);
+        m.zero(5, 2).unwrap();
+        assert_eq!(m.read_bytes(4, 4).unwrap(), &[1, 0, 0, 4]);
+    }
+}

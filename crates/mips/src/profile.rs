@@ -1,0 +1,188 @@
+//! Per-region instruction and cycle attribution.
+//!
+//! Used to regenerate the paper's Table 3: the simulated kernel's fast-path
+//! exception handler is guest assembly whose phases are delimited by labels;
+//! a [`Profiler`] attached to the machine counts how many instructions
+//! execute in each labeled region, so the table is *measured* rather than
+//! asserted.
+
+use std::collections::BTreeMap;
+
+/// A half-open address range `[start, end)` with a name.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Region {
+    /// Name shown in reports (typically the source label).
+    pub name: String,
+    /// First instruction address in the region.
+    pub start: u32,
+    /// One past the last instruction address.
+    pub end: u32,
+}
+
+/// Accumulated counts for one region.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct RegionCounts {
+    /// Dynamic instructions executed within the region.
+    pub instructions: u64,
+    /// Cycles charged to instructions within the region.
+    pub cycles: u64,
+}
+
+/// Attributes executed instructions to named address regions.
+#[derive(Clone, Debug, Default)]
+pub struct Profiler {
+    regions: Vec<Region>,
+    counts: Vec<RegionCounts>,
+    enabled: bool,
+}
+
+impl Profiler {
+    /// An empty, enabled profiler.
+    pub fn new() -> Profiler {
+        Profiler {
+            regions: Vec::new(),
+            counts: Vec::new(),
+            enabled: true,
+        }
+    }
+
+    /// Adds a region. Regions may not overlap; attribution picks the first
+    /// match, so callers should keep them disjoint.
+    pub fn add_region(&mut self, name: impl Into<String>, start: u32, end: u32) {
+        self.regions.push(Region {
+            name: name.into(),
+            start,
+            end,
+        });
+        self.counts.push(RegionCounts::default());
+    }
+
+    /// Builds regions from a sorted list of `(label, address)` pairs, where
+    /// each region extends to the next label (the last extends to `end`).
+    pub fn from_labels<'a>(
+        labels: impl IntoIterator<Item = (&'a str, u32)>,
+        end: u32,
+    ) -> Profiler {
+        let mut pairs: Vec<(&str, u32)> = labels.into_iter().collect();
+        pairs.sort_by_key(|&(_, a)| a);
+        let mut p = Profiler::new();
+        for i in 0..pairs.len() {
+            let (name, start) = pairs[i];
+            let stop = pairs.get(i + 1).map(|&(_, a)| a).unwrap_or(end);
+            p.add_region(name, start, stop);
+        }
+        p
+    }
+
+    /// Enables or disables counting (e.g. to measure only a window of
+    /// execution).
+    pub fn set_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+    }
+
+    /// Whether counting is active.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Records one executed instruction at `pc` costing `cycles`.
+    pub fn record(&mut self, pc: u32, cycles: u64) {
+        if !self.enabled {
+            return;
+        }
+        for (r, c) in self.regions.iter().zip(self.counts.iter_mut()) {
+            if pc >= r.start && pc < r.end {
+                c.instructions += 1;
+                c.cycles += cycles;
+                return;
+            }
+        }
+    }
+
+    /// Resets all counts to zero.
+    pub fn reset(&mut self) {
+        for c in &mut self.counts {
+            *c = RegionCounts::default();
+        }
+    }
+
+    /// Counts for a region by name (summing duplicates).
+    pub fn counts_for(&self, name: &str) -> RegionCounts {
+        let mut total = RegionCounts::default();
+        for (r, c) in self.regions.iter().zip(self.counts.iter()) {
+            if r.name == name {
+                total.instructions += c.instructions;
+                total.cycles += c.cycles;
+            }
+        }
+        total
+    }
+
+    /// A name → counts report over all regions, in name order.
+    pub fn report(&self) -> BTreeMap<String, RegionCounts> {
+        let mut map: BTreeMap<String, RegionCounts> = BTreeMap::new();
+        for (r, c) in self.regions.iter().zip(self.counts.iter()) {
+            let e = map.entry(r.name.clone()).or_default();
+            e.instructions += c.instructions;
+            e.cycles += c.cycles;
+        }
+        map
+    }
+
+    /// Total instructions attributed to any region.
+    pub fn total_instructions(&self) -> u64 {
+        self.counts.iter().map(|c| c.instructions).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attribution_respects_boundaries() {
+        let mut p = Profiler::new();
+        p.add_region("a", 0x100, 0x108);
+        p.add_region("b", 0x108, 0x110);
+        p.record(0x100, 1);
+        p.record(0x104, 2);
+        p.record(0x108, 3);
+        p.record(0x200, 9); // outside every region
+        assert_eq!(p.counts_for("a").instructions, 2);
+        assert_eq!(p.counts_for("a").cycles, 3);
+        assert_eq!(p.counts_for("b").instructions, 1);
+        assert_eq!(p.total_instructions(), 3);
+    }
+
+    #[test]
+    fn from_labels_builds_adjacent_regions() {
+        let p = Profiler::from_labels(vec![("one", 0x10), ("two", 0x20)], 0x30);
+        let mut q = p.clone();
+        q.record(0x1c, 1);
+        q.record(0x20, 1);
+        q.record(0x2c, 1);
+        assert_eq!(q.counts_for("one").instructions, 1);
+        assert_eq!(q.counts_for("two").instructions, 2);
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = Profiler::new();
+        p.add_region("a", 0, 0x1000);
+        p.set_enabled(false);
+        p.record(4, 1);
+        assert_eq!(p.total_instructions(), 0);
+        p.set_enabled(true);
+        p.record(4, 1);
+        assert_eq!(p.total_instructions(), 1);
+    }
+
+    #[test]
+    fn reset_clears_counts() {
+        let mut p = Profiler::new();
+        p.add_region("a", 0, 8);
+        p.record(0, 5);
+        p.reset();
+        assert_eq!(p.counts_for("a"), RegionCounts::default());
+    }
+}

@@ -1,0 +1,295 @@
+//! # efex-oscost — exception delivery cost models for 1994 operating systems
+//!
+//! Reproduces the paper's **Table 1**: the time to deliver a simple
+//! exception (and a write-protection exception) to a null user-level
+//! handler on five contemporary hardware/software combinations.
+//!
+//! We obviously cannot run Ultrix, Mach, SunOS, Windows NT, or OSF/1; the
+//! paper itself treats Table 1 as motivation measured on machines it had on
+//! hand. This crate models each system as a **pipeline of delivery phases**
+//! (kernel entry & state save, cause translation and posting, user-server
+//! round trips for micro-kernels, frame construction, handler dispatch,
+//! kernel re-entry to dismiss), each with a cycle cost at that system's
+//! clock. Phase weights were chosen so the totals land on the anchors the
+//! paper's text states:
+//!
+//! - Ultrix 4.2A / 25 MHz R3000: ~80 µs round trip;
+//! - Mach 3.0 + UX server: ~2 ms (the exception "travels to the Unix server
+//!   and then to the application");
+//! - raw Mach (no Unix server): 256 µs;
+//! - SunOS 4.1.3 / 36 MHz SPARC: 69 µs, "the best case";
+//! - Windows NT / 40 MHz R4000 and OSF/1 / 200 MHz Alpha: between those
+//!   bounds (per-cell values are reconstructions — the scanned table did
+//!   not survive into our source text — and are labeled as such in
+//!   EXPERIMENTS.md).
+
+use std::fmt;
+
+/// A delivery phase in a conventional exception path.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Hardware vectoring, kernel entry, full state save.
+    KernelEntry,
+    /// Decode the cause and translate it into the OS's signal/event.
+    Translate,
+    /// Post/queue the event to the faulting task.
+    Post,
+    /// Micro-kernel only: RPC to the operating-system personality server
+    /// and back.
+    ServerRoundTrip,
+    /// Build the user-visible context (sigcontext / EXCEPTION_RECORD).
+    BuildFrame,
+    /// Switch to user mode and run the (null) handler.
+    Dispatch,
+    /// Re-enter the kernel to dismiss the exception and restore state.
+    Dismiss,
+    /// Extra memory-management work for write-protection faults.
+    VmWork,
+}
+
+impl fmt::Display for Phase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Phase::KernelEntry => "kernel entry + state save",
+            Phase::Translate => "cause translation",
+            Phase::Post => "event posting",
+            Phase::ServerRoundTrip => "OS-server round trip",
+            Phase::BuildFrame => "user frame construction",
+            Phase::Dispatch => "handler dispatch",
+            Phase::Dismiss => "dismiss + state restore",
+            Phase::VmWork => "memory-management work",
+        })
+    }
+}
+
+/// A modeled operating system / hardware combination.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SystemModel {
+    name: &'static str,
+    clock_mhz: f64,
+    /// `(phase, cycles)` for a simple synchronous exception round trip.
+    phases: Vec<(Phase, u64)>,
+    /// Extra cycles a write-protection fault adds (page-table reads,
+    /// validation).
+    vm_extra_cycles: u64,
+    /// Which phases count as "delivery" (the rest are the return half).
+    delivery_phases: usize,
+}
+
+impl SystemModel {
+    /// The system's display name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The modeled clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// The phase breakdown for a simple exception.
+    pub fn phases(&self) -> &[(Phase, u64)] {
+        &self.phases
+    }
+
+    /// Time to deliver a simple exception to a null user handler, µs.
+    pub fn deliver_simple_micros(&self) -> f64 {
+        let cy: u64 = self.phases[..self.delivery_phases]
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
+        cy as f64 / self.clock_mhz
+    }
+
+    /// Time to deliver a write-protection exception, µs.
+    pub fn deliver_write_prot_micros(&self) -> f64 {
+        self.deliver_simple_micros() + self.vm_extra_cycles as f64 / self.clock_mhz
+    }
+
+    /// Time for the handler-return half (dismiss through the kernel), µs.
+    pub fn return_micros(&self) -> f64 {
+        let cy: u64 = self.phases[self.delivery_phases..]
+            .iter()
+            .map(|&(_, c)| c)
+            .sum();
+        cy as f64 / self.clock_mhz
+    }
+
+    /// Full round trip (delivery + return) for a simple exception, µs —
+    /// the bottom row of Table 1.
+    pub fn round_trip_micros(&self) -> f64 {
+        self.deliver_simple_micros() + self.return_micros()
+    }
+}
+
+/// Builds the five Table 1 systems (plus raw Mach as the paper's fourth
+/// column).
+pub fn table1_systems() -> Vec<SystemModel> {
+    use Phase::*;
+    vec![
+        SystemModel {
+            // 25 MHz R3000; anchor: ~80 µs round trip, 12 µs null syscall.
+            name: "Ultrix 4.2A (DS5000/200, 25 MHz R3000)",
+            clock_mhz: 25.0,
+            phases: vec![
+                (KernelEntry, 350),
+                (Translate, 120),
+                (Post, 180),
+                (BuildFrame, 550),
+                (Dispatch, 100),
+                (Dismiss, 700),
+            ],
+            vm_extra_cycles: 450,
+            delivery_phases: 5,
+        },
+        SystemModel {
+            // Mach 3.0 with the UX Unix server: the exception is a message
+            // to the server, which re-dispatches to the application.
+            name: "Mach/UX (MK83/UX41, DS5000/200)",
+            clock_mhz: 25.0,
+            phases: vec![
+                (KernelEntry, 400),
+                (Translate, 200),
+                (ServerRoundTrip, 38_000),
+                (Post, 400),
+                (BuildFrame, 1_200),
+                (Dispatch, 200),
+                (Dismiss, 9_600),
+            ],
+            vm_extra_cycles: 1_500,
+            delivery_phases: 6,
+        },
+        SystemModel {
+            // Raw Mach exception interface (no Unix server): 256 µs.
+            name: "Mach (raw kernel interface)",
+            clock_mhz: 25.0,
+            phases: vec![
+                (KernelEntry, 400),
+                (Translate, 200),
+                (Post, 800),
+                (BuildFrame, 2_000),
+                (Dispatch, 200),
+                (Dismiss, 2_800),
+            ],
+            vm_extra_cycles: 900,
+            delivery_phases: 5,
+        },
+        SystemModel {
+            // SunOS 4.1.3 on a 36 MHz SPARC-10: 69 µs, the paper's best.
+            name: "SunOS 4.1.3 (SPARC-10, 36 MHz)",
+            clock_mhz: 36.0,
+            phases: vec![
+                (KernelEntry, 420),
+                (Translate, 110),
+                (Post, 170),
+                (BuildFrame, 680),
+                (Dispatch, 100),
+                (Dismiss, 1_000),
+            ],
+            vm_extra_cycles: 500,
+            delivery_phases: 5,
+        },
+        SystemModel {
+            // Windows NT on a 40 MHz R4000: exceptions handled in the NT
+            // kernel despite the micro-kernel structure.
+            name: "Windows NT (40 MHz R4000)",
+            clock_mhz: 40.0,
+            phases: vec![
+                (KernelEntry, 700),
+                (Translate, 300),
+                (Post, 400),
+                (BuildFrame, 1_400),
+                (Dispatch, 200),
+                (Dismiss, 1_800),
+            ],
+            vm_extra_cycles: 900,
+            delivery_phases: 5,
+        },
+        SystemModel {
+            // DEC OSF/1 V1.3 on a 200 MHz Alpha: a fast machine running a
+            // conventional path — the point the paper makes is that clock
+            // alone does not fix the structure.
+            name: "OSF/1 V1.3 (AXP 3000/500X, 200 MHz)",
+            clock_mhz: 200.0,
+            phases: vec![
+                (KernelEntry, 3_000),
+                (Translate, 800),
+                (Post, 1_200),
+                (BuildFrame, 5_000),
+                (Dispatch, 800),
+                (Dismiss, 8_000),
+            ],
+            vm_extra_cycles: 4_000,
+            delivery_phases: 5,
+        },
+    ]
+}
+
+/// Convenience: the Ultrix model (the baseline the rest of the repo
+/// compares against).
+pub fn ultrix() -> SystemModel {
+    table1_systems().remove(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn by_name(n: &str) -> SystemModel {
+        table1_systems()
+            .into_iter()
+            .find(|s| s.name().contains(n))
+            .unwrap()
+    }
+
+    #[test]
+    fn ultrix_round_trip_near_80us() {
+        let rt = by_name("Ultrix").round_trip_micros();
+        assert!((75.0..=85.0).contains(&rt), "got {rt}");
+    }
+
+    #[test]
+    fn mach_ux_is_about_two_milliseconds() {
+        let rt = by_name("Mach/UX").round_trip_micros();
+        assert!((1800.0..=2200.0).contains(&rt), "got {rt}");
+    }
+
+    #[test]
+    fn raw_mach_is_256us() {
+        let rt = by_name("raw kernel").round_trip_micros();
+        assert!((240.0..=270.0).contains(&rt), "got {rt}");
+    }
+
+    #[test]
+    fn sunos_is_best_at_69us() {
+        let systems = table1_systems();
+        let sunos = by_name("SunOS").round_trip_micros();
+        assert!((65.0..=73.0).contains(&sunos), "got {sunos}");
+        for s in &systems {
+            assert!(
+                s.round_trip_micros() >= sunos - 0.5,
+                "{} beat SunOS, contradicting the paper",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn write_protection_costs_more_than_simple() {
+        for s in table1_systems() {
+            assert!(
+                s.deliver_write_prot_micros() > s.deliver_simple_micros(),
+                "{}",
+                s.name()
+            );
+        }
+    }
+
+    #[test]
+    fn delivery_plus_return_is_round_trip() {
+        for s in table1_systems() {
+            let sum = s.deliver_simple_micros() + s.return_micros();
+            assert!((sum - s.round_trip_micros()).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! The on-disk object graph: simulated stable storage.
+//!
+//! The store is page-structured, as in Texas-style persistent stores: each
+//! stable page holds a fixed number of pointer slots (the paper's Figure 4
+//! assumes 50 pointers per page). Slot values are [`Oid`]s of other pages
+//! or data words.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A persistent object (page) identifier.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct Oid(pub u32);
+
+/// A slot on a stable page.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Slot {
+    /// A pointer to another page.
+    Ptr(Oid),
+    /// A data word.
+    Data(u32),
+}
+
+/// The stable store: a page-structured object graph. Immutable during a
+/// session; [`StableGraph::replace_page`] is the checkpoint write-back
+/// path.
+#[derive(Clone, Debug)]
+pub struct StableGraph {
+    pages: Vec<Vec<Slot>>,
+    slots_per_page: u32,
+}
+
+impl StableGraph {
+    /// Builds a random graph of `pages` pages with `slots_per_page` slots,
+    /// of which `pointers_per_page` are pointers to uniformly random pages
+    /// (the paper's `pn`); the rest are data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pointers_per_page > slots_per_page` or `pages == 0`.
+    pub fn random(pages: u32, slots_per_page: u32, pointers_per_page: u32, seed: u64) -> StableGraph {
+        assert!(pages > 0, "empty store");
+        assert!(pointers_per_page <= slots_per_page);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pages = (0..pages)
+            .map(|_| {
+                (0..slots_per_page)
+                    .map(|i| {
+                        if i < pointers_per_page {
+                            Slot::Ptr(Oid(rng.gen_range(0..pages)))
+                        } else {
+                            Slot::Data(rng.gen_range(0..0x1000) * 2) // even: never looks tagged
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        StableGraph {
+            pages,
+            slots_per_page,
+        }
+    }
+
+    /// Number of stable pages.
+    pub fn page_count(&self) -> u32 {
+        self.pages.len() as u32
+    }
+
+    /// Slots per page.
+    pub fn slots_per_page(&self) -> u32 {
+        self.slots_per_page
+    }
+
+    /// The slots of one page.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OID is out of range.
+    pub fn page(&self, oid: Oid) -> &[Slot] {
+        &self.pages[oid.0 as usize]
+    }
+
+    /// Replaces a page's stable contents (checkpoint write-back).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the OID is out of range or the slot count changes.
+    pub fn replace_page(&mut self, oid: Oid, slots: Vec<Slot>) {
+        assert_eq!(slots.len() as u32, self.slots_per_page, "page shape fixed");
+        self.pages[oid.0 as usize] = slots;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_graph_is_deterministic() {
+        let a = StableGraph::random(10, 8, 4, 42);
+        let b = StableGraph::random(10, 8, 4, 42);
+        for i in 0..10 {
+            assert_eq!(a.page(Oid(i)), b.page(Oid(i)));
+        }
+    }
+
+    #[test]
+    fn pointer_density_matches_request() {
+        let g = StableGraph::random(5, 10, 3, 1);
+        for i in 0..5 {
+            let ptrs = g
+                .page(Oid(i))
+                .iter()
+                .filter(|s| matches!(s, Slot::Ptr(_)))
+                .count();
+            assert_eq!(ptrs, 3);
+        }
+    }
+
+    #[test]
+    fn pointers_stay_in_range() {
+        let g = StableGraph::random(7, 6, 6, 9);
+        for i in 0..7 {
+            for s in g.page(Oid(i)) {
+                if let Slot::Ptr(Oid(t)) = s {
+                    assert!(*t < 7);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # efex-pstore — persistent object storage with pointer swizzling
+//!
+//! Reproduces the pointer-swizzling study of Section 4.2.2 of Thekkath &
+//! Levy (ASPLOS 1994). A persistent store keeps an object graph on
+//! simulated stable storage; pages are faulted into simulated memory on
+//! first use, and the pointers they contain are *swizzled* from on-disk
+//! object identifiers into virtual addresses.
+//!
+//! Two axes are explored, as in the paper:
+//!
+//! - **Residency detection** ([`Strategy`]): a software check before every
+//!   dereference vs hardware detection via exceptions (Figure 3). With
+//!   exceptions, non-resident pages are detected either by protection
+//!   faults on reserved pages or by **unaligned tagged pointers** — the
+//!   unswizzled form is an odd-halfword address, so the first dereference
+//!   takes an unaligned-access exception whose (specialized, 6 µs) handler
+//!   loads the object and repairs the pointer.
+//! - **Swizzling policy** ([`Policy`]): *eager* (swizzle every pointer on a
+//!   page when it is loaded) vs *lazy* (swizzle each pointer at first use)
+//!   — Figure 4.
+//!
+//! The store runs over [`efex_core::HostProcess`], so faults are real
+//! simulated exceptions with the configured delivery path's costs.
+//!
+//! # Example
+//!
+//! ```
+//! use efex_pstore::{Pstore, PstoreConfig, StableGraph};
+//!
+//! # fn main() -> Result<(), efex_pstore::PstoreError> {
+//! let graph = StableGraph::random(8, 16, 8, 42);
+//! let mut store = Pstore::open(graph, PstoreConfig::default())?;
+//! let root = store.root()?;
+//! let child = store.use_pointer(root, 0)?;  // first use: unaligned fault
+//! let again = store.use_pointer(root, 0)?;  // swizzled: free
+//! assert_eq!(child, again);
+//! assert_eq!(store.stats().faults, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+mod graph;
+mod store;
+pub mod workloads;
+
+pub use graph::{Oid, StableGraph};
+pub use store::{Policy, Pstore, PstoreConfig, PstoreError, PstoreStats, Strategy};

@@ -1,0 +1,212 @@
+//! Measurement workloads for Figures 3 and 4.
+
+use crate::graph::StableGraph;
+use crate::store::{Pstore, PstoreConfig, PstoreError};
+
+/// Result of one workload run.
+#[derive(Clone, Copy, Debug)]
+pub struct RunReport {
+    /// Simulated time for the measured phase, µs.
+    pub micros: f64,
+    /// Pointer uses performed.
+    pub uses: u64,
+    /// Exceptions taken.
+    pub faults: u64,
+    /// Software checks executed.
+    pub checks: u64,
+    /// Pointers swizzled.
+    pub swizzles: u64,
+}
+
+/// Figure 3 workload: every pointer on the root page is used `u` times.
+///
+/// Under software checks this costs `c` cycles per use; under
+/// exception-based detection it costs one exception per *pointer* and
+/// nothing per subsequent use — the trade-off `c·u ≷ f·t` of Figure 3.
+///
+/// # Errors
+///
+/// Propagates store errors.
+pub fn pointer_uses(
+    graph: StableGraph,
+    cfg: PstoreConfig,
+    uses_per_pointer: u32,
+) -> Result<RunReport, PstoreError> {
+    let pointers = count_pointers(&graph);
+    let mut ps = Pstore::open(graph, cfg)?;
+    let root = ps.root()?;
+    let start = ps.micros();
+    let s0 = ps.stats();
+    for idx in 0..pointers {
+        for _ in 0..uses_per_pointer {
+            ps.use_pointer(root, idx)?;
+        }
+    }
+    let s1 = ps.stats();
+    Ok(RunReport {
+        micros: ps.micros() - start,
+        uses: s1.uses - s0.uses,
+        faults: s1.faults - s0.faults,
+        checks: s1.checks - s0.checks,
+        swizzles: s1.swizzles - s0.swizzles,
+    })
+}
+
+/// Figure 4 workload: a traversal that visits pages breadth-first, using
+/// the first `pointers_used` pointers of each visited page exactly once,
+/// up to `max_pages` pages.
+///
+/// Eager swizzling pays `t + pn·s` per loaded page; lazy pays
+/// `pu·(t + s)` — Figure 4's criterion.
+///
+/// # Errors
+///
+/// Propagates store errors.
+pub fn sparse_traversal(
+    graph: StableGraph,
+    cfg: PstoreConfig,
+    pointers_used: u32,
+    max_pages: u32,
+) -> Result<RunReport, PstoreError> {
+    let pn = count_pointers(&graph);
+    let used = pointers_used.min(pn);
+    let mut ps = Pstore::open(graph, cfg)?;
+    let root = ps.root()?;
+    let start = ps.micros();
+    let s0 = ps.stats();
+
+    // Process up to `max_pages` pages; each processed page has `used` of
+    // its pointers dereferenced exactly once.
+    let mut queue = std::collections::VecDeque::from([root]);
+    let mut seen = std::collections::BTreeSet::from([root]);
+    let mut processed = 0u32;
+    while let Some(page) = queue.pop_front() {
+        if processed >= max_pages {
+            break;
+        }
+        processed += 1;
+        for idx in 0..used {
+            let target = ps.use_pointer(page, idx)?;
+            if seen.insert(target) {
+                queue.push_back(target);
+            }
+        }
+    }
+
+    let s1 = ps.stats();
+    Ok(RunReport {
+        micros: ps.micros() - start,
+        uses: s1.uses - s0.uses,
+        faults: s1.faults - s0.faults,
+        checks: s1.checks - s0.checks,
+        swizzles: s1.swizzles - s0.swizzles,
+    })
+}
+
+fn count_pointers(graph: &StableGraph) -> u32 {
+    graph
+        .page(crate::graph::Oid(0))
+        .iter()
+        .filter(|s| matches!(s, crate::graph::Slot::Ptr(_)))
+        .count() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::store::{Policy, Strategy};
+    use efex_core::DeliveryPath;
+
+    fn graph() -> StableGraph {
+        StableGraph::random(40, 50, 50, 4)
+    }
+
+    fn cfg(strategy: Strategy, policy: Policy) -> PstoreConfig {
+        PstoreConfig {
+            strategy,
+            policy,
+            path: DeliveryPath::FastUser,
+            ..PstoreConfig::default()
+        }
+    }
+
+    #[test]
+    fn exceptions_beat_checks_at_high_reuse() {
+        // u = 100 uses per pointer, c = 5 cycles: checks cost 500 cycles per
+        // pointer; one fast exception costs far less.
+        let exc = pointer_uses(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 100).unwrap();
+        let chk = pointer_uses(graph(), cfg(Strategy::SoftwareCheck, Policy::Lazy), 100).unwrap();
+        assert!(
+            exc.micros < chk.micros,
+            "exceptions {:.0}us vs checks {:.0}us",
+            exc.micros,
+            chk.micros
+        );
+    }
+
+    #[test]
+    fn checks_beat_slow_exceptions_at_low_reuse() {
+        // u = 1: a check costs 5 cycles; a signal-path exception costs
+        // thousands.
+        let mut c = cfg(Strategy::Unaligned, Policy::Lazy);
+        c.path = DeliveryPath::UnixSignals;
+        let exc = pointer_uses(graph(), c, 1).unwrap();
+        let chk = pointer_uses(graph(), cfg(Strategy::SoftwareCheck, Policy::Lazy), 1).unwrap();
+        assert!(
+            chk.micros < exc.micros,
+            "checks {:.0}us vs signal exceptions {:.0}us",
+            chk.micros,
+            exc.micros
+        );
+    }
+
+    #[test]
+    fn dense_traversal_favors_eager() {
+        // Every pointer used: eager's one-fault-per-page wins over lazy's
+        // fault-per-pointer.
+        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 50, 25)
+            .unwrap();
+        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 50, 25)
+            .unwrap();
+        assert!(
+            eager.micros < lazy.micros,
+            "eager {:.0}us vs lazy {:.0}us",
+            eager.micros,
+            lazy.micros
+        );
+    }
+
+    #[test]
+    fn sparse_traversal_favors_lazy() {
+        // Two of fifty pointers used: lazy swizzles 2, eager swizzles 50
+        // per page.
+        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 2, 25)
+            .unwrap();
+        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 2, 25)
+            .unwrap();
+        assert!(
+            lazy.micros < eager.micros,
+            "lazy {:.0}us vs eager {:.0}us",
+            lazy.micros,
+            eager.micros
+        );
+        assert!(lazy.swizzles < eager.swizzles);
+    }
+
+    #[test]
+    fn fault_counts_match_the_model() {
+        // Lazy: one fault per distinct pointer use; eager: one per page.
+        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 5, 10)
+            .unwrap();
+        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 5, 10)
+            .unwrap();
+        assert!(eager.faults <= eager.uses);
+        assert!(lazy.faults <= lazy.uses);
+        assert!(
+            eager.faults < lazy.faults,
+            "eager {} vs lazy {}",
+            eager.faults,
+            lazy.faults
+        );
+    }
+}

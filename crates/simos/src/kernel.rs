@@ -1,0 +1,1518 @@
+//! The kernel: machine + process + both exception delivery paths.
+//!
+//! [`Kernel`] owns an [`efex_mips::Machine`] and a single [`Process`] (the
+//! paper's environment is a single-threaded address space). Guest execution
+//! proceeds in [`Kernel::run_user`]; whenever the guest kernel stubs issue
+//! an `hcall`, control returns here and the host services the request:
+//!
+//! - **UTLB refill** — install a TLB entry from the page table, page in
+//!   from the simulated disk, or route a protection fault into delivery;
+//! - **standard exception** — system calls and the Ultrix-style signal
+//!   machinery (post → recognize → deliver → trampoline → `sigreturn`);
+//! - **fast TLB exception** — the page-table half of the paper's fast path
+//!   for memory-protection faults, including eager amplification and
+//!   subpage emulation.
+//!
+//! Simple (non-TLB) fast-path exceptions never reach the host at all: the
+//! guest assembly handler vectors them straight back to user mode, exactly
+//! as the paper's modified Ultrix kernel does.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use efex_mips::asm::{assemble, AsmError, Program};
+use efex_mips::cp0::status;
+use efex_mips::cycles;
+use efex_mips::decode::decode;
+use efex_mips::exception::ExcCode;
+use efex_mips::isa::{Instruction, Reg};
+use efex_mips::machine::{kseg_to_phys, Machine, MachineError, StopReason};
+use efex_mips::tlb::TLB_ENTRIES;
+
+use crate::costs;
+use crate::fastexc::hcalls;
+use crate::frames::FrameAllocator;
+use crate::layout::{self, PAGE_SIZE};
+use crate::process::Process;
+use crate::signals::{self, Signal, SIGCONTEXT_BYTES};
+use crate::syscall::{errno, nr, prot_from_arg};
+use crate::vm::{FaultKind, MapError, Prot};
+
+/// The signal trampoline mapped into every process's runtime area: calls
+/// the handler, then issues `sigreturn` — the user-side half of Figure 1.
+pub const TRAMPOLINE_ASM: &str = r#"
+.org 0x00410000
+tramp_sig:
+    move  $s0, $a2          # sigcontext pointer survives the handler call
+    jalr  $t9               # invoke the user handler(sig, code, sc)
+    nop
+    move  $a0, $s0
+    li    $v0, 5            # SYS_sigreturn
+    syscall
+    nop
+"#;
+
+/// Kernel construction parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct KernelConfig {
+    /// Physical memory size in bytes.
+    pub phys_bytes: usize,
+    /// Cycles charged per page-in from the simulated disk.
+    pub page_in_cost: u64,
+    /// Simulated clock in MHz (used only to convert cycles to µs).
+    pub clock_mhz: f64,
+    /// Ultrix-compatible unaligned-access fixup: instead of posting
+    /// `SIGBUS`, the kernel emulates the unaligned load/store and resumes
+    /// (the paper notes Ultrix "optionally tries to fix up unaligned access
+    /// exceptions"). Fast-path delivery, when enabled for the exception,
+    /// takes precedence — applications that *want* the fault get it.
+    pub fixup_unaligned: bool,
+}
+
+impl Default for KernelConfig {
+    fn default() -> KernelConfig {
+        KernelConfig {
+            phys_bytes: layout::DEFAULT_PHYS_BYTES,
+            page_in_cost: costs::PAGE_IN_DEFAULT,
+            clock_mhz: cycles::CLOCK_MHZ,
+            fixup_unaligned: false,
+        }
+    }
+}
+
+/// A fatal kernel error (not a guest-visible condition).
+#[derive(Debug)]
+pub enum KernelError {
+    /// The embedded kernel/runtime assembly failed to assemble.
+    Asm(AsmError),
+    /// The machine reported a fatal simulation error.
+    Machine(MachineError),
+    /// A mapping operation failed.
+    Map(MapError),
+    /// The guest kernel faulted (double fault): unrecoverable.
+    KernelFault(String),
+    /// The guest issued an hcall the host does not know.
+    UnknownHcall(u32),
+    /// The process already exited.
+    NotRunning,
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::Asm(e) => write!(f, "assembly error: {e}"),
+            KernelError::Machine(e) => write!(f, "machine error: {e}"),
+            KernelError::Map(e) => write!(f, "mapping error: {e}"),
+            KernelError::KernelFault(s) => write!(f, "kernel fault: {s}"),
+            KernelError::UnknownHcall(n) => write!(f, "unknown hcall {n}"),
+            KernelError::NotRunning => write!(f, "process is not running"),
+        }
+    }
+}
+
+impl Error for KernelError {}
+
+impl From<AsmError> for KernelError {
+    fn from(e: AsmError) -> KernelError {
+        KernelError::Asm(e)
+    }
+}
+
+impl From<MachineError> for KernelError {
+    fn from(e: MachineError) -> KernelError {
+        KernelError::Machine(e)
+    }
+}
+
+impl From<MapError> for KernelError {
+    fn from(e: MapError) -> KernelError {
+        KernelError::Map(e)
+    }
+}
+
+/// Why [`Kernel::run_user`] returned.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunOutcome {
+    /// The process called `exit`.
+    Exited(i32),
+    /// The step budget ran out (the process is still runnable).
+    StepLimit,
+    /// The process was terminated by an unhandled signal.
+    Terminated(Signal),
+}
+
+/// A fault reported by the host-level access API ([`Kernel::host_load_u32`]
+/// and friends): the exception a guest access at this address would raise,
+/// plus the kernel's classification.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HostFault {
+    /// Hardware exception code.
+    pub code: ExcCode,
+    /// Faulting virtual address.
+    pub vaddr: u32,
+    /// Kernel classification from the page table.
+    pub kind: FaultKind,
+    /// Whether the access was a write.
+    pub write: bool,
+}
+
+impl fmt::Display for HostFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {:#010x} ({})", self.code, self.vaddr, self.kind)
+    }
+}
+
+/// How a delivery request reached the host.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+enum Via {
+    /// Through the guest general-vector phases (which already wrote the
+    /// communication frame and charged their own cycles).
+    GeneralVector,
+    /// From the host TLB-refill path (the guest phases did not run; the
+    /// host charges their equivalent and writes the frame itself).
+    Refill,
+}
+
+/// The simulated operating system kernel.
+pub struct Kernel {
+    machine: Machine,
+    proc: Process,
+    frames: FrameAllocator,
+    console: Vec<u8>,
+    page_in_cost: u64,
+    clock_mhz: f64,
+    fixup_unaligned: bool,
+    refill_rr: usize,
+    kernel_syms: BTreeMap<String, u32>,
+}
+
+impl fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Kernel")
+            .field("pid", &self.proc.pid())
+            .field("cycles", &self.machine.cycles())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Kernel {
+    /// Boots the simulated system: builds the machine, assembles and
+    /// installs the guest kernel image (vectors + fast-path handler) and
+    /// the user-space signal trampoline, and creates the initial process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the embedded images do not assemble or do not fit.
+    pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
+        let mut machine = Machine::new(cfg.phys_bytes);
+        let kimage = assemble(crate::fastexc::KERNEL_ASM)?;
+        machine.load_image(&kimage)?;
+
+        let phys_frames = (cfg.phys_bytes as u32) / PAGE_SIZE;
+        let frames = FrameAllocator::new(layout::FIRST_USER_FRAME, phys_frames);
+        let proc = Process::new(1, 1);
+        machine.set_asid(1);
+
+        let mut kernel = Kernel {
+            machine,
+            proc,
+            frames,
+            console: Vec::new(),
+            page_in_cost: cfg.page_in_cost,
+            clock_mhz: cfg.clock_mhz,
+            fixup_unaligned: cfg.fixup_unaligned,
+            refill_rr: 0,
+            kernel_syms: kimage.symbols().clone(),
+        };
+        // Map and install the user-side runtime (signal trampoline).
+        let tramp = assemble(TRAMPOLINE_ASM)?;
+        kernel.load_user_segments(&tramp)?;
+        Ok(kernel)
+    }
+
+    // --- accessors -------------------------------------------------------
+
+    /// The simulated machine.
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Mutable machine access (benchmarks attach profilers through this).
+    pub fn machine_mut(&mut self) -> &mut Machine {
+        &mut self.machine
+    }
+
+    /// The current process.
+    pub fn process(&self) -> &Process {
+        &self.proc
+    }
+
+    /// Mutable process access.
+    pub fn process_mut(&mut self) -> &mut Process {
+        &mut self.proc
+    }
+
+    /// Total simulated cycles.
+    pub fn cycles(&self) -> u64 {
+        self.machine.cycles()
+    }
+
+    /// Total simulated time in microseconds.
+    pub fn micros(&self) -> f64 {
+        cycles::to_micros(self.machine.cycles(), self.clock_mhz)
+    }
+
+    /// The simulated clock in MHz.
+    pub fn clock_mhz(&self) -> f64 {
+        self.clock_mhz
+    }
+
+    /// Charges host-modeled cycles.
+    pub fn charge(&mut self, cy: u64) {
+        self.machine.charge_cycles(cy);
+    }
+
+    /// Bytes the guest wrote to the console.
+    pub fn console(&self) -> &[u8] {
+        &self.console
+    }
+
+    /// Address of a symbol in the guest kernel image.
+    pub fn kernel_symbol(&self, name: &str) -> Option<u32> {
+        self.kernel_syms.get(name).copied()
+    }
+
+    // --- user-space setup -------------------------------------------------
+
+    /// Maps a user region (page aligned) with the given protection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors (misalignment, overlap).
+    pub fn map_user_region(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), KernelError> {
+        self.proc.space_mut().map_region(vaddr, len, prot)?;
+        Ok(())
+    }
+
+    /// Assembles a user program and loads it into the process's address
+    /// space, mapping pages as needed. Returns the program (for symbols and
+    /// entry point).
+    ///
+    /// # Errors
+    ///
+    /// Fails on assembly errors or exhausted memory.
+    pub fn load_user_program(&mut self, source: &str) -> Result<Program, KernelError> {
+        let prog = assemble(source)?;
+        self.load_user_segments(&prog)?;
+        Ok(prog)
+    }
+
+    fn load_user_segments(&mut self, prog: &Program) -> Result<(), KernelError> {
+        for seg in prog.segments() {
+            let start = seg.addr & !(PAGE_SIZE - 1);
+            let end = (seg.addr + seg.bytes.len() as u32 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+            for page in (start..end).step_by(PAGE_SIZE as usize) {
+                if self.proc.space().pte(page).is_none() {
+                    self.proc
+                        .space_mut()
+                        .map_region(page, PAGE_SIZE, Prot::ReadWrite)?;
+                }
+            }
+            self.host_write_bytes(seg.addr, &seg.bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Maps a user stack of `pages` pages ending at the stack top and
+    /// returns the initial stack pointer.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the stack region is already mapped.
+    pub fn setup_stack(&mut self, pages: u32) -> Result<u32, KernelError> {
+        let len = pages * PAGE_SIZE;
+        let base = layout::USER_STACK_TOP - len;
+        self.proc.space_mut().map_region(base, len, Prot::ReadWrite)?;
+        Ok(layout::USER_STACK_TOP - 16)
+    }
+
+    /// Starts user execution at `entry` with stack pointer `sp`.
+    pub fn exec(&mut self, entry: u32, sp: u32) {
+        let cp0 = self.machine.cp0_mut();
+        cp0.status = (cp0.status & !0x3f) | status::KUC | status::IEC;
+        self.machine.cpu_mut().set_reg(Reg::SP, sp);
+        self.machine.set_pc(entry);
+    }
+
+    // --- host-level memory access (for host-level applications) ----------
+
+    fn host_access(&mut self, vaddr: u32, write: bool) -> Result<u32, HostFault> {
+        match self.proc.space().classify(vaddr, write) {
+            Ok(pfn) => Ok((pfn << 12) | (vaddr & (PAGE_SIZE - 1))),
+            Err(FaultKind::NotResident) => {
+                // Page faults are always serviced silently by the kernel.
+                let (pfn, paged_in) = self
+                    .proc
+                    .space_mut()
+                    .ensure_resident(vaddr, &mut self.frames)
+                    .map_err(|_| HostFault {
+                        code: if write { ExcCode::TlbStore } else { ExcCode::TlbLoad },
+                        vaddr,
+                        kind: FaultKind::NotResident,
+                        write,
+                    })?;
+                if paged_in {
+                    self.machine.charge_cycles(self.page_in_cost);
+                    self.proc.stats.page_faults += 1;
+                }
+                Ok((pfn << 12) | (vaddr & (PAGE_SIZE - 1)))
+            }
+            Err(kind) => {
+                let code = match (kind, write) {
+                    (FaultKind::Protection, true) => ExcCode::TlbMod,
+                    (FaultKind::Protection, false) => ExcCode::TlbLoad,
+                    (_, true) => ExcCode::TlbStore,
+                    (_, false) => ExcCode::TlbLoad,
+                };
+                Err(HostFault {
+                    code,
+                    vaddr,
+                    kind,
+                    write,
+                })
+            }
+        }
+    }
+
+    /// Loads a word from the process's address space with full fault
+    /// semantics, transparently servicing page faults.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault a guest load would raise (alignment, protection,
+    /// unmapped).
+    pub fn host_load_u32(&mut self, vaddr: u32) -> Result<u32, HostFault> {
+        if vaddr & 3 != 0 {
+            return Err(HostFault {
+                code: ExcCode::AddrErrLoad,
+                vaddr,
+                kind: FaultKind::NotMapped,
+                write: false,
+            });
+        }
+        let paddr = self.host_access(vaddr, false)?;
+        Ok(self.machine.mem().read_u32(paddr).unwrap_or(0))
+    }
+
+    /// Stores a word (see [`Kernel::host_load_u32`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault a guest store would raise.
+    pub fn host_store_u32(&mut self, vaddr: u32, value: u32) -> Result<(), HostFault> {
+        if vaddr & 3 != 0 {
+            return Err(HostFault {
+                code: ExcCode::AddrErrStore,
+                vaddr,
+                kind: FaultKind::NotMapped,
+                write: true,
+            });
+        }
+        let paddr = self.host_access(vaddr, true)?;
+        let _ = self.machine.mem_mut().write_u32(paddr, value);
+        Ok(())
+    }
+
+    /// Writes raw bytes into the address space with kernel rights
+    /// (program loading); pages must be mapped.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a page is unmapped or memory is exhausted.
+    pub fn host_write_bytes(&mut self, vaddr: u32, bytes: &[u8]) -> Result<(), KernelError> {
+        let mut addr = vaddr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let in_page = (PAGE_SIZE - (addr % PAGE_SIZE)).min(rest.len() as u32) as usize;
+            let (pfn, _) = self
+                .proc
+                .space_mut()
+                .ensure_resident(addr, &mut self.frames)?;
+            let paddr = (pfn << 12) | (addr & (PAGE_SIZE - 1));
+            self.machine
+                .mem_mut()
+                .write_bytes(paddr, &rest[..in_page])
+                .map_err(|_| KernelError::KernelFault("physical write out of range".into()))?;
+            addr += in_page as u32;
+            rest = &rest[in_page..];
+        }
+        Ok(())
+    }
+
+    /// Reads raw bytes from the address space with kernel rights.
+    ///
+    /// # Errors
+    ///
+    /// Fails if a page is unmapped.
+    pub fn host_read_bytes(&mut self, vaddr: u32, len: usize) -> Result<Vec<u8>, KernelError> {
+        let mut out = Vec::with_capacity(len);
+        let mut addr = vaddr;
+        let mut rest = len;
+        while rest > 0 {
+            let in_page = ((PAGE_SIZE - (addr % PAGE_SIZE)) as usize).min(rest);
+            let (pfn, _) = self
+                .proc
+                .space_mut()
+                .ensure_resident(addr, &mut self.frames)?;
+            let paddr = (pfn << 12) | (addr & (PAGE_SIZE - 1));
+            let chunk = self
+                .machine
+                .mem()
+                .read_bytes(paddr, in_page)
+                .map_err(|_| KernelError::KernelFault("physical read out of range".into()))?;
+            out.extend_from_slice(chunk);
+            addr += in_page as u32;
+            rest -= in_page;
+        }
+        Ok(out)
+    }
+
+    // --- protection services ----------------------------------------------
+
+    /// Full-weight `mprotect`: charges the Ultrix syscall wrapper plus
+    /// per-page work, changes the page table, and shoots down stale TLB
+    /// entries.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors.
+    pub fn sys_mprotect(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), KernelError> {
+        let touched = self.proc.space_mut().protect_region(vaddr, len, prot)?;
+        let cost =
+            costs::ULTRIX_SYSCALL_WRAPPER + costs::ULTRIX_MPROTECT_PER_PAGE * touched.len() as u64;
+        self.machine.charge_cycles(cost);
+        let asid = self.proc.space().asid();
+        for page in touched {
+            self.machine.tlb_mut().invalidate_page(page, asid);
+        }
+        self.proc.stats.syscalls += 1;
+        Ok(())
+    }
+
+    /// The paper's lean protection-change call (Section 3.2.3): same effect
+    /// as [`Kernel::sys_mprotect`] at a fraction of the cost.
+    ///
+    /// # Errors
+    ///
+    /// Propagates mapping errors.
+    pub fn sys_uexc_protect(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), KernelError> {
+        let touched = self.proc.space_mut().protect_region(vaddr, len, prot)?;
+        self.machine
+            .charge_cycles(costs::FAST_PROTECT_SYSCALL + 2 * touched.len() as u64);
+        let asid = self.proc.space().asid();
+        for page in touched {
+            self.machine.tlb_mut().invalidate_page(page, asid);
+        }
+        self.proc.stats.syscalls += 1;
+        Ok(())
+    }
+
+    /// Subpage protection (Section 3.2.4): (un)protects 1 KB logical pages,
+    /// adjusting hardware page protection accordingly.
+    ///
+    /// # Errors
+    ///
+    /// Fails on misaligned ranges or unmapped pages.
+    pub fn sys_subpage_protect(
+        &mut self,
+        vaddr: u32,
+        len: u32,
+        protected: bool,
+    ) -> Result<(), KernelError> {
+        let touched = self
+            .proc
+            .subpage
+            .protect(vaddr, len, protected)
+            .map_err(|m| KernelError::Map(MapError::Unaligned).tap_msg(m))?;
+        self.machine
+            .charge_cycles(costs::FAST_PROTECT_SYSCALL + 2 * touched.len() as u64);
+        let asid = self.proc.space().asid();
+        for (page, any_protected) in touched {
+            let prot = if any_protected { Prot::Read } else { Prot::ReadWrite };
+            self.proc.space_mut().protect_region(page, PAGE_SIZE, prot)?;
+            self.machine.tlb_mut().invalidate_page(page, asid);
+        }
+        self.proc.stats.syscalls += 1;
+        Ok(())
+    }
+
+    /// Grants or revokes the user-modifiable TLB protection bit
+    /// (Section 2.2) on a range.
+    ///
+    /// # Errors
+    ///
+    /// Fails on unmapped pages.
+    pub fn sys_tlb_grant(&mut self, vaddr: u32, len: u32, allowed: bool) -> Result<(), KernelError> {
+        let touched = self
+            .proc
+            .space_mut()
+            .set_user_modifiable(vaddr, len, allowed)?;
+        self.machine.charge_cycles(costs::FAST_PROTECT_SYSCALL);
+        let asid = self.proc.space().asid();
+        for page in touched {
+            self.machine.tlb_mut().invalidate_page(page, asid);
+        }
+        self.proc.stats.syscalls += 1;
+        Ok(())
+    }
+
+    /// Enables the fast exception path for the process without guest code
+    /// (host-level applications register Rust handlers in `efex-core`).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the mask requests a non-enableable exception.
+    pub fn fast_enable_host(&mut self, mask: u32) -> Result<(), KernelError> {
+        if mask & !crate::fastexc::FastExcState::allowed_mask() != 0 {
+            return Err(KernelError::Map(MapError::Unaligned)
+                .tap_msg("mask requests non-enableable exceptions".into()));
+        }
+        self.proc.fast.enabled_mask = mask;
+        self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+        Ok(())
+    }
+
+    /// Toggles eager amplification (Section 3.2.3).
+    pub fn set_eager_amplification(&mut self, on: bool) {
+        self.proc.fast.eager_amplification = on;
+    }
+
+    // --- guest execution ---------------------------------------------------
+
+    /// Runs guest user code until exit, termination, or `max_steps`
+    /// retired instructions.
+    ///
+    /// # Errors
+    ///
+    /// Fails on double faults or unknown host calls — simulator bugs, not
+    /// guest-visible conditions.
+    pub fn run_user(&mut self, max_steps: u64) -> Result<RunOutcome, KernelError> {
+        if self.proc.exit_code().is_some() {
+            return Err(KernelError::NotRunning);
+        }
+        let start = self.machine.instructions_retired();
+        loop {
+            let executed = self.machine.instructions_retired() - start;
+            if executed >= max_steps {
+                return Ok(RunOutcome::StepLimit);
+            }
+            match self.machine.run(max_steps - executed)? {
+                StopReason::StepLimit => return Ok(RunOutcome::StepLimit),
+                StopReason::HostCall(n) => {
+                    let outcome = match n {
+                        hcalls::UTLB_REFILL => self.handle_utlb()?,
+                        hcalls::STANDARD_EXC => self.handle_standard()?,
+                        hcalls::FAST_TLB_EXC => self.handle_fast_tlb()?,
+                        other => return Err(KernelError::UnknownHcall(other)),
+                    };
+                    if let Some(out) = outcome {
+                        if let RunOutcome::Exited(code) = out {
+                            self.proc.exit(code);
+                        }
+                        return Ok(out);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Resumes user execution at `pc` (pops the exception mode stack).
+    fn resume_user_at(&mut self, pc: u32) {
+        self.machine.cp0_mut().rfe();
+        self.machine.set_pc(pc);
+    }
+
+    // --- hcall handlers -----------------------------------------------------
+
+    /// UTLB refill: install a translation, service a page fault, or route a
+    /// protection fault into delivery.
+    fn handle_utlb(&mut self) -> Result<Option<RunOutcome>, KernelError> {
+        let bad = self.machine.cp0().bad_vaddr;
+        let epc = self.machine.cp0().epc;
+        let code = self
+            .machine
+            .cp0()
+            .exc_code()
+            .unwrap_or(ExcCode::TlbLoad);
+        let write = code == ExcCode::TlbStore;
+        self.machine.charge_cycles(costs::TLB_REFILL);
+
+        match self.proc.space().classify(bad, false) {
+            // Readable (possibly write-protected): install and retry; a
+            // store to a write-protected page will then raise TlbMod at the
+            // general vector, as on real hardware.
+            Ok(_) => {
+                self.install_refill_entry(bad);
+                self.resume_user_at(epc);
+                Ok(None)
+            }
+            Err(FaultKind::NotResident) => {
+                self.machine.charge_cycles(self.page_in_cost);
+                self.proc
+                    .space_mut()
+                    .ensure_resident(bad, &mut self.frames)
+                    .map_err(KernelError::Map)?;
+                self.proc.stats.page_faults += 1;
+                self.install_refill_entry(bad);
+                self.resume_user_at(epc);
+                Ok(None)
+            }
+            Err(kind) => {
+                let code = if write { ExcCode::TlbStore } else { ExcCode::TlbLoad };
+                let _ = kind;
+                self.deliver_fault(code, Some(bad), Via::Refill)
+            }
+        }
+    }
+
+    /// Standard path: system calls and Ultrix-style signal delivery.
+    fn handle_standard(&mut self) -> Result<Option<RunOutcome>, KernelError> {
+        let cp0 = self.machine.cp0();
+        let code = cp0
+            .exc_code()
+            .ok_or_else(|| KernelError::KernelFault("undecodable cause".into()))?;
+        let from_user = cp0.status & status::KUP != 0;
+        if !from_user {
+            return Err(KernelError::KernelFault(format!(
+                "{} at EPC {:#010x} in kernel mode",
+                code, cp0.epc
+            )));
+        }
+        match code {
+            ExcCode::Syscall => self.dispatch_syscall(),
+            ExcCode::Interrupt => {
+                // Asynchronous events are out of scope; resume.
+                let epc = self.machine.cp0().epc;
+                self.resume_user_at(epc);
+                Ok(None)
+            }
+            _ => {
+                let bad = matches!(
+                    code,
+                    ExcCode::TlbMod
+                        | ExcCode::TlbLoad
+                        | ExcCode::TlbStore
+                        | ExcCode::AddrErrLoad
+                        | ExcCode::AddrErrStore
+                        | ExcCode::BusErrData
+                        | ExcCode::BusErrFetch
+                )
+                .then(|| self.machine.cp0().bad_vaddr);
+                self.deliver_fault(code, bad, Via::GeneralVector)
+            }
+        }
+    }
+
+    /// Fast path, TLB-type exception: the guest phases already ran and
+    /// wrote the communication frame; the kernel now consults page tables
+    /// (Section 3.2.2), applies subpage emulation or eager amplification,
+    /// and completes the user-level delivery.
+    fn handle_fast_tlb(&mut self) -> Result<Option<RunOutcome>, KernelError> {
+        let code = self
+            .machine
+            .cp0()
+            .exc_code()
+            .unwrap_or(ExcCode::TlbMod);
+        let bad = self.machine.cp0().bad_vaddr;
+        self.deliver_fault(code, Some(bad), Via::GeneralVector)
+    }
+
+    // --- delivery ------------------------------------------------------------
+
+    /// Routes a synchronous exception to the fast user path, the Unix
+    /// signal path, or termination.
+    fn deliver_fault(
+        &mut self,
+        code: ExcCode,
+        bad: Option<u32>,
+        via: Via,
+    ) -> Result<Option<RunOutcome>, KernelError> {
+        let epc = self.machine.cp0().epc;
+        let bd = self.machine.cp0().cause_bd();
+
+        if self.proc.fast.enabled_for(code) && self.proc.fast.handler != 0 {
+            // TLB-type work: page-table checks, subpage engine, eager
+            // amplification.
+            if code.is_tlb() {
+                self.machine.charge_cycles(costs::FAST_TLBFAULT_KERNEL);
+                if let Some(bad) = bad {
+                    if self.proc.subpage.manages(bad) {
+                        self.machine.charge_cycles(costs::SUBPAGE_LOOKUP);
+                        if !self.proc.subpage.is_protected(bad) {
+                            // Unprotected logical subpage: emulate and resume;
+                            // the program never sees the fault.
+                            self.emulate_subpage_access(bad, epc, bd)?;
+                            return Ok(None);
+                        }
+                        // Protected subpage: amplify the hardware page and
+                        // deliver (Section 3.2.4).
+                        self.amplify(bad);
+                    } else if self.proc.fast.eager_amplification
+                        && self.proc.space().pte(bad).is_some()
+                    {
+                        self.amplify(bad);
+                        self.proc.stats.eager_amplifications += 1;
+                    }
+                    // Make sure the page is resident if it is a true page
+                    // fault surfacing here (legal access, not resident).
+                    if self.proc.space().classify(bad, false) == Err(FaultKind::NotResident) {
+                        self.machine.charge_cycles(self.page_in_cost);
+                        self.proc
+                            .space_mut()
+                            .ensure_resident(bad, &mut self.frames)?;
+                        self.proc.stats.page_faults += 1;
+                        self.install_refill_entry(bad);
+                        self.resume_user_at(epc);
+                        return Ok(None);
+                    }
+                }
+            }
+            if via == Via::Refill {
+                // The guest phases did not execute; charge their equivalent
+                // and write the communication frame on their behalf.
+                self.machine.charge_cycles(costs::FAST_GUEST_PHASES_EQUIV);
+            }
+            self.write_comm_frame(code, epc, bad);
+            self.proc.stats.fast_delivered += 1;
+            let handler = self.proc.fast.handler;
+            self.resume_user_at(handler);
+            return Ok(None);
+        }
+
+        // Ultrix-compatible unaligned fixup (before the signal machinery).
+        if self.fixup_unaligned
+            && matches!(code, ExcCode::AddrErrLoad | ExcCode::AddrErrStore)
+        {
+            if let Some(bad) = bad {
+                if bad < 0x8000_0000 && self.fixup_unaligned_access(bad, epc, bd).is_ok() {
+                    return Ok(None);
+                }
+            }
+        }
+
+        // Unix signal path.
+        if via == Via::Refill {
+            self.machine.charge_cycles(costs::ULTRIX_GUEST_PHASES_EQUIV);
+        }
+        let Some(sig) = Signal::from_exc(code) else {
+            return Err(KernelError::KernelFault(format!("undeliverable {code}")));
+        };
+        self.machine.charge_cycles(costs::ULTRIX_EXC_SAVE + costs::ULTRIX_POST);
+        if code.is_tlb() {
+            self.machine.charge_cycles(costs::ULTRIX_VM_FAULT_WORK);
+        }
+        self.proc.signals.post(sig);
+        let sig = self.proc.signals.recognize().expect("just posted");
+        let handler = match self.proc.signals.disposition(sig) {
+            signals::Disposition::Handler(h) => h,
+            signals::Disposition::Default => {
+                return Ok(Some(RunOutcome::Terminated(sig)));
+            }
+            signals::Disposition::Ignore => {
+                // Resume at the faulting instruction; synchronous faults
+                // will refault — exactly the looping the paper discusses.
+                self.resume_user_at(epc);
+                return Ok(None);
+            }
+        };
+        self.machine.charge_cycles(costs::ULTRIX_DELIVER);
+
+        // Build the sigcontext on the user stack.
+        let sp = self.machine.cpu().reg(Reg::SP);
+        let sc = (sp - SIGCONTEXT_BYTES) & !7;
+        // The sigcontext page must be resident and writable.
+        for page in [sc & !(PAGE_SIZE - 1), (sc + SIGCONTEXT_BYTES) & !(PAGE_SIZE - 1)] {
+            if self.proc.space().classify(page, true).is_err() {
+                match self
+                    .proc
+                    .space_mut()
+                    .ensure_resident(page, &mut self.frames)
+                {
+                    Ok(_) => {}
+                    Err(_) => return Ok(Some(RunOutcome::Terminated(Signal::Segv))),
+                }
+            }
+            self.install_refill_entry(page);
+        }
+        let cause = self.machine.cp0().cause;
+        let badv = bad.unwrap_or(0);
+        if signals::write_sigcontext(&mut self.machine, sc, epc, cause, badv).is_err() {
+            return Ok(Some(RunOutcome::Terminated(Signal::Segv)));
+        }
+
+        // Redirect the exception return into the trampoline.
+        let cpu = self.machine.cpu_mut();
+        cpu.set_reg(Reg::A0, sig as u32);
+        cpu.set_reg(Reg::A1, code.code());
+        cpu.set_reg(Reg::A2, sc);
+        cpu.set_reg(Reg::T9, handler);
+        cpu.set_reg(Reg::SP, sc - 24);
+        self.proc.stats.signals_delivered += 1;
+        self.resume_user_at(layout::USER_RUNTIME_VADDR);
+        Ok(None)
+    }
+
+    /// Amplifies access on the page holding `vaddr` (Section 3.2.3): the
+    /// page table gains write access and the stale TLB entry is removed so
+    /// the retry refills with full rights.
+    fn amplify(&mut self, vaddr: u32) {
+        let page = vaddr & !(PAGE_SIZE - 1);
+        if self
+            .proc
+            .space_mut()
+            .protect_region(page, PAGE_SIZE, Prot::ReadWrite)
+            .is_ok()
+        {
+            let asid = self.proc.space().asid();
+            self.machine.tlb_mut().invalidate_page(page, asid);
+        }
+    }
+
+    /// Writes the per-exception communication frame through the comm page's
+    /// KSEG0 alias (used when the guest save phase did not run, and to
+    /// keep the bad-address slot authoritative).
+    fn write_comm_frame(&mut self, code: ExcCode, epc: u32, bad: Option<u32>) {
+        let base = self.proc.fast.comm_kseg0;
+        if base == 0 {
+            return; // host-level registration without a guest comm page
+        }
+        let frame = kseg_to_phys(base).unwrap_or(0) + code.code() * layout::COMM_FRAME_SIZE;
+        let cause = self.machine.cp0().cause;
+        let at = self.machine.cpu().reg(Reg::AT);
+        let a0 = self.machine.cpu().reg(Reg::A0);
+        let a1 = self.machine.cpu().reg(Reg::A1);
+        let mem = self.machine.mem_mut();
+        let _ = mem.write_u32(frame + layout::comm::EPC, epc);
+        let _ = mem.write_u32(frame + layout::comm::CAUSE, cause);
+        let _ = mem.write_u32(frame + layout::comm::BADVADDR, bad.unwrap_or(0));
+        let _ = mem.write_u32(frame + layout::comm::AT, at);
+        let _ = mem.write_u32(frame + layout::comm::K0, a0);
+        let _ = mem.write_u32(frame + layout::comm::K1, a1);
+        let _ = mem.write_u32(frame + layout::comm::ACTIVE, 1);
+    }
+
+    /// Installs a TLB entry for `vaddr` from the page table, round-robin
+    /// over the non-wired slots.
+    fn install_refill_entry(&mut self, vaddr: u32) {
+        if let Some(entry) = self.proc.space().tlb_entry_for(vaddr) {
+            let idx = 8 + (self.refill_rr % (TLB_ENTRIES - 8));
+            self.refill_rr = self.refill_rr.wrapping_add(1);
+            self.machine.tlb_mut().write(idx, entry);
+            self.proc.stats.tlb_refills += 1;
+        }
+    }
+
+    /// Emulates an unaligned load/store byte-by-byte with kernel rights,
+    /// then resumes past it (the Ultrix fixup path). Uses the same
+    /// branch-delay-slot machinery as the subpage engine.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the faulting instruction cannot be fetched/decoded, if the
+    /// access is not a load/store, or if the target pages are unmapped —
+    /// callers then fall through to normal signal delivery.
+    fn fixup_unaligned_access(&mut self, bad: u32, epc: u32, bd: bool) -> Result<(), KernelError> {
+        let access_pc = if bd { epc.wrapping_add(4) } else { epc };
+        let word = self
+            .machine
+            .peek_u32(access_pc, false)
+            .map_err(|e| KernelError::KernelFault(e.to_string()))?;
+        let inst = decode(word).map_err(|e| KernelError::KernelFault(e.to_string()))?;
+
+        use Instruction::*;
+        // Byte-wise access through the page table (may straddle a page).
+        match inst {
+            Lw { rt, .. } | Lh { rt, .. } | Lhu { rt, .. } => {
+                let width = if matches!(inst, Lw { .. }) { 4 } else { 2 };
+                let bytes = self.host_read_bytes(bad, width)?;
+                let mut v: u32 = 0;
+                for (i, b) in bytes.iter().enumerate() {
+                    v |= u32::from(*b) << (8 * i);
+                }
+                let v = match inst {
+                    Lh { .. } => v as u16 as i16 as i32 as u32,
+                    _ => v,
+                };
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            Sw { rt, .. } | Sh { rt, .. } => {
+                let width = if matches!(inst, Sw { .. }) { 4 } else { 2 };
+                let v = self.machine.cpu().reg(rt);
+                self.host_write_bytes(bad, &v.to_le_bytes()[..width])?;
+            }
+            other => {
+                return Err(KernelError::KernelFault(format!(
+                    "cannot fix up {other}"
+                )))
+            }
+        }
+        // The fixup costs a full kernel entry plus the emulation work; the
+        // paper's point is that this is still cheaper than a signal but far
+        // from free.
+        self.machine
+            .charge_cycles(costs::SUBPAGE_EMULATE + costs::SUBPAGE_EMULATE / 2);
+        let next = if bd {
+            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
+            self.emulated_branch_target(epc)?
+        } else {
+            epc.wrapping_add(4)
+        };
+        self.resume_user_at(next);
+        Ok(())
+    }
+
+    // --- subpage emulation ----------------------------------------------------
+
+    /// Emulates a faulting access in an unprotected logical subpage
+    /// (Section 3.2.4), including the branch when the access sits in a
+    /// branch delay slot, then resumes the program past it.
+    fn emulate_subpage_access(&mut self, bad: u32, epc: u32, bd: bool) -> Result<(), KernelError> {
+        self.machine.charge_cycles(costs::SUBPAGE_EMULATE);
+        let access_pc = if bd { epc.wrapping_add(4) } else { epc };
+        let word = self
+            .machine
+            .peek_u32(access_pc, false)
+            .map_err(|e| KernelError::KernelFault(format!("cannot fetch for emulation: {e}")))?;
+        let inst = decode(word)
+            .map_err(|e| KernelError::KernelFault(format!("cannot decode for emulation: {e}")))?;
+
+        // Perform the access with kernel rights, straight at the frame.
+        let (pfn, _) = self
+            .proc
+            .space_mut()
+            .ensure_resident(bad, &mut self.frames)?;
+        let paddr = (pfn << 12) | (bad & (PAGE_SIZE - 1));
+        use Instruction::*;
+        match inst {
+            Sw { rt, .. } => {
+                let v = self.machine.cpu().reg(rt);
+                let _ = self.machine.mem_mut().write_u32(paddr, v);
+            }
+            Sh { rt, .. } => {
+                let v = self.machine.cpu().reg(rt) as u16;
+                let _ = self.machine.mem_mut().write_u16(paddr, v);
+            }
+            Sb { rt, .. } => {
+                let v = self.machine.cpu().reg(rt) as u8;
+                let _ = self.machine.mem_mut().write_u8(paddr, v);
+            }
+            Lw { rt, .. } => {
+                let v = self.machine.mem().read_u32(paddr).unwrap_or(0);
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            Lh { rt, .. } => {
+                let v = self.machine.mem().read_u16(paddr).unwrap_or(0) as i16 as i32 as u32;
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            Lhu { rt, .. } => {
+                let v = u32::from(self.machine.mem().read_u16(paddr).unwrap_or(0));
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            Lb { rt, .. } => {
+                let v = self.machine.mem().read_u8(paddr).unwrap_or(0) as i8 as i32 as u32;
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            Lbu { rt, .. } => {
+                let v = u32::from(self.machine.mem().read_u8(paddr).unwrap_or(0));
+                self.machine.cpu_mut().set_reg(rt, v);
+            }
+            other => {
+                return Err(KernelError::KernelFault(format!(
+                    "unexpected instruction {other} in subpage emulation"
+                )))
+            }
+        }
+        self.proc.stats.subpage_emulations += 1;
+
+        // Continue past the access. In a branch delay slot, the kernel must
+        // also emulate the branch (the paper calls this case out).
+        let next = if bd {
+            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
+            self.emulated_branch_target(epc)?
+        } else {
+            epc.wrapping_add(4)
+        };
+        self.resume_user_at(next);
+        Ok(())
+    }
+
+    /// Computes where the branch at `branch_pc` goes, given current
+    /// register state (the branch executed before its delay slot faulted,
+    /// so evaluating it again is idempotent — including link registers).
+    fn emulated_branch_target(&mut self, branch_pc: u32) -> Result<u32, KernelError> {
+        let word = self
+            .machine
+            .peek_u32(branch_pc, false)
+            .map_err(|e| KernelError::KernelFault(format!("cannot fetch branch: {e}")))?;
+        let inst = decode(word)
+            .map_err(|e| KernelError::KernelFault(format!("cannot decode branch: {e}")))?;
+        let cpu = self.machine.cpu();
+        let reg = |r: Reg| cpu.reg(r);
+        let rel = |imm: i16| branch_pc.wrapping_add(4).wrapping_add((i32::from(imm) << 2) as u32);
+        let seq = branch_pc.wrapping_add(8);
+        use Instruction::*;
+        let target = match inst {
+            Beq { rs, rt, imm } => if reg(rs) == reg(rt) { rel(imm) } else { seq },
+            Bne { rs, rt, imm } => if reg(rs) != reg(rt) { rel(imm) } else { seq },
+            Blez { rs, imm } => if (reg(rs) as i32) <= 0 { rel(imm) } else { seq },
+            Bgtz { rs, imm } => if (reg(rs) as i32) > 0 { rel(imm) } else { seq },
+            Bltz { rs, imm } | Bltzal { rs, imm } => {
+                if (reg(rs) as i32) < 0 { rel(imm) } else { seq }
+            }
+            Bgez { rs, imm } | Bgezal { rs, imm } => {
+                if (reg(rs) as i32) >= 0 { rel(imm) } else { seq }
+            }
+            J { target } | Jal { target } => {
+                (branch_pc.wrapping_add(4) & 0xf000_0000) | (target << 2)
+            }
+            Jr { rs } | Jalr { rs, .. } => reg(rs),
+            other => {
+                return Err(KernelError::KernelFault(format!(
+                    "instruction {other} is not a branch"
+                )))
+            }
+        };
+        Ok(target)
+    }
+
+    // --- syscall dispatch -------------------------------------------------------
+
+    fn dispatch_syscall(&mut self) -> Result<Option<RunOutcome>, KernelError> {
+        self.proc.stats.syscalls += 1;
+        let cpu = self.machine.cpu();
+        let num = cpu.reg(Reg::V0);
+        let (a0, a1, a2) = (cpu.reg(Reg::A0), cpu.reg(Reg::A1), cpu.reg(Reg::A2));
+        let next = self.machine.cp0().epc.wrapping_add(4);
+
+        let mut ret: i32 = 0;
+        match num {
+            nr::GETPID => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+                ret = self.proc.pid() as i32;
+            }
+            nr::EXIT => {
+                return Ok(Some(RunOutcome::Exited(a0 as i32)));
+            }
+            nr::WRITE => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER + u64::from(a1));
+                match self.host_read_bytes(a0, a1 as usize) {
+                    Ok(bytes) => {
+                        self.console.extend_from_slice(&bytes);
+                        ret = a1 as i32;
+                    }
+                    Err(_) => ret = -errno::EFAULT,
+                }
+            }
+            nr::SIGACTION => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+                match Signal::from_number(a0) {
+                    Some(sig) => {
+                        // a1 = 0: SIG_DFL; a1 = 1: SIG_IGN; else handler.
+                        let d = match a1 {
+                            0 => signals::Disposition::Default,
+                            1 => signals::Disposition::Ignore,
+                            h => signals::Disposition::Handler(h),
+                        };
+                        self.proc.signals.set_disposition(sig, d);
+                    }
+                    None => ret = -errno::EINVAL,
+                }
+            }
+            nr::SIGRETURN => {
+                self.machine.charge_cycles(costs::ULTRIX_SIGRETURN);
+                match signals::read_sigcontext(&mut self.machine, a0) {
+                    Ok(pc) => {
+                        self.resume_user_at(pc);
+                        return Ok(None);
+                    }
+                    Err(_) => return Ok(Some(RunOutcome::Terminated(Signal::Segv))),
+                }
+            }
+            nr::MPROTECT => match prot_from_arg(a2) {
+                Some(prot) => {
+                    if self.sys_mprotect(a0, a1, prot).is_err() {
+                        ret = -errno::EINVAL;
+                    }
+                    self.proc.stats.syscalls -= 1; // sys_mprotect counted it
+                }
+                None => ret = -errno::EINVAL,
+            },
+            nr::UEXC_ENABLE => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+                ret = self.sys_uexc_enable(a0, a1, a2);
+            }
+            nr::UEXC_DISABLE => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+                self.proc.fast.enabled_mask = 0;
+                self.sync_uarea();
+            }
+            nr::UEXC_PROTECT => match prot_from_arg(a2) {
+                Some(prot) => {
+                    if self.sys_uexc_protect(a0, a1, prot).is_err() {
+                        ret = -errno::EINVAL;
+                    }
+                    self.proc.stats.syscalls -= 1;
+                }
+                None => ret = -errno::EINVAL,
+            },
+            nr::UEXC_SETEAGER => {
+                self.machine.charge_cycles(costs::FAST_PROTECT_SYSCALL);
+                self.proc.fast.eager_amplification = a0 != 0;
+            }
+            nr::SUBPAGE_PROTECT => {
+                if self.sys_subpage_protect(a0, a1, a2 != 0).is_err() {
+                    ret = -errno::EINVAL;
+                } else {
+                    self.proc.stats.syscalls -= 1;
+                }
+            }
+            nr::TLB_GRANT => {
+                if self.sys_tlb_grant(a0, a1, a2 != 0).is_err() {
+                    ret = -errno::EINVAL;
+                } else {
+                    self.proc.stats.syscalls -= 1;
+                }
+            }
+            nr::SBRK => {
+                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER);
+                let old = self.proc.brk;
+                let len = (a0 + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
+                match self.proc.space_mut().map_region(old, len, Prot::ReadWrite) {
+                    Ok(()) => {
+                        self.proc.brk = old + len;
+                        ret = old as i32;
+                    }
+                    Err(_) => ret = -errno::ENOMEM,
+                }
+            }
+            _ => ret = -errno::ENOSYS,
+        }
+        self.machine.cpu_mut().set_reg(Reg::V0, ret as u32);
+        self.resume_user_at(next);
+        Ok(None)
+    }
+
+    /// The `uexc_enable` kernel half: validate the mask, map and pin the
+    /// communication page, record the handler, and publish the state to the
+    /// u-area the guest fast path reads.
+    fn sys_uexc_enable(&mut self, mask: u32, handler: u32, comm_vaddr: u32) -> i32 {
+        if mask & !crate::fastexc::FastExcState::allowed_mask() != 0 {
+            return -errno::EINVAL;
+        }
+        if !comm_vaddr.is_multiple_of(PAGE_SIZE) || comm_vaddr >= 0x8000_0000 {
+            return -errno::EINVAL;
+        }
+        if self.proc.space().pte(comm_vaddr).is_none()
+            && self
+                .proc
+                .space_mut()
+                .map_region(comm_vaddr, PAGE_SIZE, Prot::ReadWrite)
+                .is_err()
+        {
+            return -errno::EINVAL;
+        }
+        let Ok((pfn, _)) = self
+            .proc
+            .space_mut()
+            .ensure_resident(comm_vaddr, &mut self.frames)
+        else {
+            return -errno::ENOMEM;
+        };
+        let _ = self.proc.space_mut().set_pinned(comm_vaddr, PAGE_SIZE, true);
+        self.proc.fast.enabled_mask = mask;
+        self.proc.fast.handler = handler;
+        self.proc.fast.comm_vaddr = comm_vaddr;
+        self.proc.fast.comm_kseg0 = 0x8000_0000 | (pfn << 12);
+        self.sync_uarea();
+        0
+    }
+
+    /// Publishes the current process's fast-exception state into the fixed
+    /// KSEG0 u-area the guest handler reads.
+    pub fn sync_uarea(&mut self) {
+        let paddr = kseg_to_phys(layout::UAREA_VADDR).expect("u-area is KSEG0");
+        let f = &self.proc.fast;
+        let mem = self.machine.mem_mut();
+        let _ = mem.write_u32(paddr + layout::uarea::ENABLED_MASK, f.enabled_mask);
+        let _ = mem.write_u32(paddr + layout::uarea::HANDLER, f.handler);
+        let _ = mem.write_u32(paddr + layout::uarea::COMM_KSEG0, f.comm_kseg0);
+        let _ = mem.write_u32(paddr + layout::uarea::FLAGS, 0);
+    }
+}
+
+/// Attaches context to an error message (internal convenience).
+trait TapMsg {
+    fn tap_msg(self, msg: String) -> Self;
+}
+
+impl TapMsg for KernelError {
+    fn tap_msg(self, msg: String) -> KernelError {
+        match self {
+            KernelError::Map(_) => KernelError::KernelFault(msg),
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn boot() -> Kernel {
+        Kernel::boot(KernelConfig::default()).expect("boot")
+    }
+
+    #[test]
+    fn boots_and_loads_kernel_image() {
+        let k = boot();
+        assert!(k.kernel_symbol("fexc_decode").is_some());
+        // The general vector holds the first decode instruction.
+        let w = k.machine.mem().read_u32(0x80).unwrap();
+        assert_ne!(w, 0, "vector must contain code");
+    }
+
+    #[test]
+    fn runs_a_trivial_program_to_exit() {
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    li $a0, 7
+                    li $v0, 2      # exit
+                    syscall
+                    nop
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(10_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(7));
+    }
+
+    #[test]
+    fn getpid_returns_pid_and_charges_wrapper() {
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    li $v0, 1
+                    syscall
+                    move $a0, $v0
+                    li $v0, 2
+                    syscall
+                    nop
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let before = k.cycles();
+        let out = k.run_user(10_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(1), "pid is 1");
+        assert!(k.cycles() - before >= costs::ULTRIX_SYSCALL_WRAPPER);
+    }
+
+    #[test]
+    fn console_write_syscall() {
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    la $a0, msg
+                    li $a1, 5
+                    li $v0, 3      # write
+                    syscall
+                    li $v0, 2
+                    syscall
+                    nop
+                msg: .asciiz "hello"
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        k.run_user(10_000).unwrap();
+        assert_eq!(k.console(), b"hello");
+    }
+
+    #[test]
+    fn unhandled_fault_terminates() {
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    lw $t0, 2($zero)   # unaligned -> SIGBUS, no handler
+                    nop
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(10_000).unwrap();
+        assert_eq!(out, RunOutcome::Terminated(Signal::Bus));
+    }
+
+    #[test]
+    fn unix_signal_handler_runs_and_returns() {
+        let mut k = boot();
+        // Handler advances the saved PC past the faulting instruction
+        // (sigcontext PC is at offset 34*4 = 136).
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    la  $a1, handler
+                    li  $a0, 10        # SIGBUS
+                    li  $v0, 4         # sigaction
+                    syscall
+                    lw  $t0, 2($zero)  # unaligned -> SIGBUS
+                    li  $s1, 99        # must run after handler returns
+                    li  $v0, 2
+                    move $a0, $s1
+                    syscall
+                    nop
+                handler:
+                    lw  $t1, 136($a2)  # saved pc
+                    addiu $t1, $t1, 4  # skip the faulting lw
+                    sw  $t1, 136($a2)
+                    jr  $ra
+                    nop
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(100_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(99));
+        assert_eq!(k.process().stats.signals_delivered, 1);
+    }
+
+    #[test]
+    fn fast_path_delivers_breakpoint_without_host() {
+        let mut k = boot();
+        let mask = 1 << ExcCode::Breakpoint.code();
+        let prog = k
+            .load_user_program(&format!(
+                r#"
+                .org 0x00400000
+                main:
+                    li  $a0, {mask}
+                    la  $a1, fast_handler
+                    li  $a2, 0x7ffe0000  # comm page
+                    li  $v0, 7           # uexc_enable
+                    syscall
+                    break 0
+                    li  $s1, 55          # runs after handler jumps back
+                    move $a0, $s1
+                    li  $v0, 2
+                    syscall
+                    nop
+                fast_handler:
+                    # comm frame for breakpoint (code 9) at comm + 9*32
+                    li  $t0, 0x7ffe0000
+                    lw  $t1, 288($t0)    # saved EPC
+                    addiu $t1, $t1, 4    # skip the break
+                    jr  $t1              # return directly -- no kernel
+                    nop
+            "#,
+            ))
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(100_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(55));
+        // No signal machinery involved.
+        assert_eq!(k.process().stats.signals_delivered, 0);
+    }
+
+    #[test]
+    fn sbrk_grows_heap() {
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    li  $a0, 8192
+                    li  $v0, 13        # sbrk
+                    syscall
+                    move $t0, $v0      # old break
+                    li  $t1, 1234
+                    sw  $t1, 0($t0)    # touch the new heap (page fault path)
+                    lw  $a0, 0($t0)
+                    li  $v0, 2
+                    syscall
+                    nop
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(100_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(1234));
+        assert!(k.process().stats.page_faults >= 1);
+        assert!(k.process().stats.tlb_refills >= 1);
+    }
+
+    #[test]
+    fn host_access_services_page_faults_silently() {
+        let mut k = boot();
+        k.map_user_region(0x1000_0000, 2 * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
+        k.host_store_u32(0x1000_0010, 0xabcd).unwrap();
+        assert_eq!(k.host_load_u32(0x1000_0010).unwrap(), 0xabcd);
+        assert_eq!(k.process().stats.page_faults, 1);
+    }
+
+    #[test]
+    fn host_access_reports_protection_faults() {
+        let mut k = boot();
+        k.map_user_region(0x1000_0000, PAGE_SIZE, Prot::Read).unwrap();
+        let err = k.host_store_u32(0x1000_0000, 1).unwrap_err();
+        assert_eq!(err.kind, FaultKind::Protection);
+        assert_eq!(err.code, ExcCode::TlbMod);
+        assert!(err.write);
+        // Reads still work.
+        assert!(k.host_load_u32(0x1000_0000).is_ok());
+        // Unmapped.
+        let err = k.host_load_u32(0x2000_0000).unwrap_err();
+        assert_eq!(err.kind, FaultKind::NotMapped);
+        // Unaligned.
+        let err = k.host_load_u32(0x1000_0002).unwrap_err();
+        assert_eq!(err.code, ExcCode::AddrErrLoad);
+    }
+
+    #[test]
+    fn mprotect_changes_future_classification() {
+        let mut k = boot();
+        k.map_user_region(0x1000_0000, PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
+        k.host_store_u32(0x1000_0000, 5).unwrap();
+        k.sys_mprotect(0x1000_0000, PAGE_SIZE, Prot::Read).unwrap();
+        assert!(k.host_store_u32(0x1000_0000, 6).is_err());
+        k.sys_uexc_protect(0x1000_0000, PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
+        assert!(k.host_store_u32(0x1000_0000, 6).is_ok());
+    }
+}

@@ -1,0 +1,105 @@
+//! Per-process kernel state.
+
+use crate::fastexc::FastExcState;
+use crate::signals::SignalState;
+use crate::subpage::SubpageState;
+use crate::vm::AddressSpace;
+
+/// Counters the kernel keeps per process.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStats {
+    /// Exceptions delivered through the Unix signal path.
+    pub signals_delivered: u64,
+    /// Exceptions delivered through the fast user-level path.
+    pub fast_delivered: u64,
+    /// Page faults serviced silently by the kernel.
+    pub page_faults: u64,
+    /// TLB refills serviced from the page table.
+    pub tlb_refills: u64,
+    /// System calls executed.
+    pub syscalls: u64,
+    /// Subpage instruction emulations performed (Section 3.2.4).
+    pub subpage_emulations: u64,
+    /// Pages eagerly amplified before vectoring (Section 3.2.3).
+    pub eager_amplifications: u64,
+}
+
+/// A simulated user process.
+#[derive(Clone, Debug)]
+pub struct Process {
+    pid: u32,
+    space: AddressSpace,
+    /// Unix-style signal machinery state.
+    pub signals: SignalState,
+    /// Fast user-level exception state (Section 3.2).
+    pub fast: FastExcState,
+    /// Subpage protection state (Section 3.2.4).
+    pub subpage: SubpageState,
+    /// Kernel counters.
+    pub stats: ProcStats,
+    /// Current heap break (for `sbrk`).
+    pub brk: u32,
+    exited: Option<i32>,
+}
+
+impl Process {
+    /// Creates a process with an empty address space tagged `asid`.
+    pub fn new(pid: u32, asid: u8) -> Process {
+        Process {
+            pid,
+            space: AddressSpace::new(asid),
+            signals: SignalState::new(),
+            fast: FastExcState::new(),
+            subpage: SubpageState::new(),
+            stats: ProcStats::default(),
+            brk: crate::layout::USER_DATA_VADDR,
+            exited: None,
+        }
+    }
+
+    /// The process id.
+    pub fn pid(&self) -> u32 {
+        self.pid
+    }
+
+    /// The address space.
+    pub fn space(&self) -> &AddressSpace {
+        &self.space
+    }
+
+    /// Mutable address space.
+    pub fn space_mut(&mut self) -> &mut AddressSpace {
+        &mut self.space
+    }
+
+    /// Marks the process exited with `code`.
+    pub fn exit(&mut self, code: i32) {
+        self.exited = Some(code);
+    }
+
+    /// The exit code, if the process has exited.
+    pub fn exit_code(&self) -> Option<i32> {
+        self.exited
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_process_is_running() {
+        let p = Process::new(1, 5);
+        assert_eq!(p.pid(), 1);
+        assert_eq!(p.space().asid(), 5);
+        assert_eq!(p.exit_code(), None);
+        assert_eq!(p.stats, ProcStats::default());
+    }
+
+    #[test]
+    fn exit_records_code() {
+        let mut p = Process::new(1, 5);
+        p.exit(42);
+        assert_eq!(p.exit_code(), Some(42));
+    }
+}

@@ -1,0 +1,99 @@
+//! System call numbers and conventions.
+//!
+//! The guest ABI is Ultrix-like: the number goes in `$v0`, arguments in
+//! `$a0..$a3`, the result comes back in `$v0` (negative values are
+//! `-errno`). The table mixes classic calls with the paper's additions
+//! (`uexc_*`, `subpage_protect`, `tlb_grant`).
+
+/// System call numbers.
+pub mod nr {
+    /// Null syscall used for calibration (the paper's 12 µs anchor).
+    pub const GETPID: u32 = 1;
+    /// Terminate the process; `a0` = exit code.
+    pub const EXIT: u32 = 2;
+    /// Write bytes to the console; `a0` = buffer, `a1` = length.
+    pub const WRITE: u32 = 3;
+    /// Install a Unix signal handler; `a0` = signal, `a1` = handler (0 to
+    /// clear).
+    pub const SIGACTION: u32 = 4;
+    /// Return from a signal handler; `a0` = sigcontext address.
+    pub const SIGRETURN: u32 = 5;
+    /// Change page protection; `a0` = addr, `a1` = len, `a2` = prot
+    /// (0 none, 1 read, 2 read/write). Full Ultrix-weight call.
+    pub const MPROTECT: u32 = 6;
+    /// Enable fast user-level exceptions; `a0` = exception mask,
+    /// `a1` = handler address, `a2` = communication page address
+    /// (one page, kernel maps and pins it).
+    pub const UEXC_ENABLE: u32 = 7;
+    /// Disable fast user-level exceptions.
+    pub const UEXC_DISABLE: u32 = 8;
+    /// Lean protection-change call used with eager amplification
+    /// (the paper's 3 µs re-enable); args as `MPROTECT`.
+    pub const UEXC_PROTECT: u32 = 9;
+    /// Toggle eager amplification; `a0` = 0/1.
+    pub const UEXC_SETEAGER: u32 = 10;
+    /// Subpage protection; `a0` = addr (1 KB aligned), `a1` = len,
+    /// `a2` = 1 protect / 0 unprotect.
+    pub const SUBPAGE_PROTECT: u32 = 11;
+    /// Grant (`a2`=1) or revoke (`a2`=0) the user-modifiable TLB bit on
+    /// `[a0, a0+a1)`.
+    pub const TLB_GRANT: u32 = 12;
+    /// Grow the heap by `a0` bytes (page rounded); returns the old break.
+    pub const SBRK: u32 = 13;
+}
+
+/// Errno values returned as `-errno` in `$v0`.
+pub mod errno {
+    pub const EINVAL: i32 = 22;
+    pub const ENOMEM: i32 = 12;
+    pub const EFAULT: i32 = 14;
+    pub const ENOSYS: i32 = 38;
+}
+
+/// Encodes a protection argument (`a2` of `MPROTECT`/`UEXC_PROTECT`).
+pub fn prot_from_arg(arg: u32) -> Option<crate::vm::Prot> {
+    Some(match arg {
+        0 => crate::vm::Prot::None,
+        1 => crate::vm::Prot::Read,
+        2 => crate::vm::Prot::ReadWrite,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::Prot;
+
+    #[test]
+    fn prot_arg_mapping() {
+        assert_eq!(prot_from_arg(0), Some(Prot::None));
+        assert_eq!(prot_from_arg(1), Some(Prot::Read));
+        assert_eq!(prot_from_arg(2), Some(Prot::ReadWrite));
+        assert_eq!(prot_from_arg(3), None);
+    }
+
+    #[test]
+    fn numbers_are_distinct() {
+        let all = [
+            nr::GETPID,
+            nr::EXIT,
+            nr::WRITE,
+            nr::SIGACTION,
+            nr::SIGRETURN,
+            nr::MPROTECT,
+            nr::UEXC_ENABLE,
+            nr::UEXC_DISABLE,
+            nr::UEXC_PROTECT,
+            nr::UEXC_SETEAGER,
+            nr::SUBPAGE_PROTECT,
+            nr::TLB_GRANT,
+            nr::SBRK,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a, b);
+            }
+        }
+    }
+}

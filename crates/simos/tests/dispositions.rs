@@ -1,0 +1,96 @@
+//! Guest-level tests of signal dispositions (SIG_DFL / SIG_IGN / handler).
+
+use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
+use efex_simos::signals::Signal;
+
+fn run(program: &str, max: u64) -> (Kernel, RunOutcome) {
+    let mut k = Kernel::boot(KernelConfig::default()).unwrap();
+    let prog = k.load_user_program(program).unwrap();
+    let sp = k.setup_stack(8).unwrap();
+    k.exec(prog.entry(), sp);
+    let out = k.run_user(max).unwrap();
+    (k, out)
+}
+
+#[test]
+fn sig_ign_on_breakpoint_loops_forever() {
+    // Ignoring a synchronous fault resumes the faulting instruction, which
+    // refaults: the paper's "bouncing between the kernel and user-level"
+    // looping case, bounded only by the step budget.
+    let (k, out) = run(
+        r#"
+        .org 0x00400000
+        main:
+            li $a0, 5        # SIGTRAP
+            li $a1, 1        # SIG_IGN
+            li $v0, 4
+            syscall
+            break 0          # ignored -> retaken forever
+            li $v0, 2
+            li $a0, 0
+            syscall
+            nop
+    "#,
+        5_000,
+    );
+    assert_eq!(out, RunOutcome::StepLimit, "must spin, not terminate");
+    assert!(k.machine().exceptions_taken() > 100);
+}
+
+#[test]
+fn resetting_to_default_restores_termination() {
+    let (_, out) = run(
+        r#"
+        .org 0x00400000
+        main:
+            la $a1, h
+            li $a0, 5
+            li $v0, 4        # install a handler...
+            syscall
+            li $a1, 0        # ...then reset to SIG_DFL
+            li $a0, 5
+            li $v0, 4
+            syscall
+            break 0
+            li $v0, 2
+            syscall
+            nop
+        h:
+            jr $ra
+            nop
+    "#,
+        100_000,
+    );
+    assert_eq!(out, RunOutcome::Terminated(Signal::Trap));
+}
+
+#[test]
+fn handler_reinstalls_are_independent_per_signal() {
+    let (k, out) = run(
+        r#"
+        .org 0x00400000
+        main:
+            la $a1, h
+            li $a0, 5        # SIGTRAP handled
+            li $v0, 4
+            syscall
+            break 0          # handled: s2 += 1 via sigcontext
+            lw $t0, 2($zero) # SIGBUS unhandled -> terminate
+            li $v0, 2
+            syscall
+            nop
+        h:
+            lw  $t1, 72($a2)   # saved $s2
+            addiu $t1, $t1, 1
+            sw  $t1, 72($a2)
+            lw  $t1, 136($a2)  # saved pc
+            addiu $t1, $t1, 4
+            sw  $t1, 136($a2)
+            jr  $ra
+            nop
+    "#,
+        100_000,
+    );
+    assert_eq!(out, RunOutcome::Terminated(Signal::Bus));
+    assert_eq!(k.process().stats.signals_delivered, 1);
+}

@@ -1,0 +1,146 @@
+//! Tests for the Ultrix-compatible unaligned-access fixup
+//! (`KernelConfig::fixup_unaligned`).
+
+use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
+use efex_simos::signals::Signal;
+
+fn boot(fixup: bool) -> Kernel {
+    Kernel::boot(KernelConfig {
+        fixup_unaligned: fixup,
+        ..KernelConfig::default()
+    })
+    .unwrap()
+}
+
+fn run(k: &mut Kernel, program: &str) -> RunOutcome {
+    let prog = k.load_user_program(program).unwrap();
+    let sp = k.setup_stack(8).unwrap();
+    k.exec(prog.entry(), sp);
+    k.run_user(1_000_000).unwrap()
+}
+
+/// An unaligned word load straddling an alignment boundary.
+const UNALIGNED_LW: &str = r#"
+.org 0x00400000
+main:
+    li  $a0, 4096
+    li  $v0, 13          # sbrk
+    syscall
+    move $s1, $v0
+    li  $t0, 0x44332211
+    sw  $t0, 0($s1)
+    li  $t0, 0x88776655
+    sw  $t0, 4($s1)
+    lw  $a0, 2($s1)      # unaligned: bytes 2..6 = 0x66554433
+    li  $v0, 2
+    syscall
+    nop
+"#;
+
+#[test]
+fn without_fixup_unaligned_load_is_sigbus() {
+    let mut k = boot(false);
+    let out = run(&mut k, UNALIGNED_LW);
+    assert_eq!(out, RunOutcome::Terminated(Signal::Bus));
+}
+
+#[test]
+fn with_fixup_unaligned_load_is_emulated() {
+    let mut k = boot(true);
+    let out = run(&mut k, UNALIGNED_LW);
+    assert_eq!(out, RunOutcome::Exited(0x6655_4433u32 as i32));
+    assert_eq!(k.process().stats.signals_delivered, 0);
+}
+
+#[test]
+fn with_fixup_unaligned_store_round_trips() {
+    let mut k = boot(true);
+    let out = run(
+        &mut k,
+        r#"
+        .org 0x00400000
+        main:
+            li  $a0, 4096
+            li  $v0, 13
+            syscall
+            move $s1, $v0
+            li  $t0, 0xAABBCCDD
+            sw  $t0, 2($s1)      # unaligned store, fixed up
+            lw  $t1, 0($s1)      # aligned reads see the bytes in place
+            lw  $t2, 4($s1)
+            srl $t1, $t1, 16     # low halfword of the stored value
+            andi $t2, $t2, 0xffff
+            sll $t2, $t2, 16
+            or  $a0, $t1, $t2    # reassemble: 0xAABBCCDD
+            li  $v0, 2
+            syscall
+            nop
+    "#,
+    );
+    assert_eq!(out, RunOutcome::Exited(0xAABB_CCDDu32 as i32));
+}
+
+#[test]
+fn fast_path_takes_precedence_over_fixup() {
+    // An application that *wants* unaligned faults (swizzling) still gets
+    // them even when the kernel fixup is configured, because the fast-path
+    // check runs first.
+    let mut k = boot(true);
+    let out = run(
+        &mut k,
+        r#"
+        .org 0x00400000
+        main:
+            li  $a0, 0x10        # AddrErrLoad
+            la  $a1, handler
+            li  $a2, 0x7ffe0000
+            li  $v0, 7           # uexc_enable
+            syscall
+            li  $a0, 4096
+            li  $v0, 13
+            syscall
+            move $s1, $v0
+            lw  $t0, 2($s1)      # unaligned -> delivered, NOT fixed up
+            move $a0, $s2        # handler sets s2 = 1
+            li  $v0, 2
+            syscall
+            nop
+        handler:
+            li  $s2, 1
+            lui $k0, 0x7ffe
+            lw  $k1, 0x80($k0)   # AddrErrLoad frame EPC (4*32)
+            addiu $k1, $k1, 4
+            jr  $k1
+            nop
+    "#,
+    );
+    assert_eq!(out, RunOutcome::Exited(1), "user handler ran");
+}
+
+#[test]
+fn fixup_in_branch_delay_slot_follows_the_branch() {
+    let mut k = boot(true);
+    let out = run(
+        &mut k,
+        r#"
+        .org 0x00400000
+        main:
+            li  $a0, 4096
+            li  $v0, 13
+            syscall
+            move $s1, $v0
+            li  $t0, 0x01020304
+            sw  $t0, 0($s1)
+            li  $t1, 1
+            bnez $t1, taken
+            lw  $a0, 1($s1)      # delay slot, unaligned: 0x__010203? bytes 1..5
+            li  $a0, 0           # skipped
+        taken:
+            andi $a0, $a0, 0xff  # low byte of the fixed-up load = 0x03
+            li  $v0, 2
+            syscall
+            nop
+    "#,
+    );
+    assert_eq!(out, RunOutcome::Exited(0x03));
+}

@@ -1,0 +1,72 @@
+//! Generational-GC write barriers three ways (Section 4.1 of the paper).
+//!
+//! ```text
+//! cargo run --release --example gc_barriers
+//! ```
+//!
+//! Runs the same Lisp-style churn workload with:
+//! 1. page-protection barrier over Unix signals + `mprotect` (the 1994
+//!    status quo),
+//! 2. page-protection barrier over fast user-level exceptions with eager
+//!    amplification (the paper's mechanism),
+//! 3. software checks before every store (the Hosking & Moss alternative).
+
+use efex::core::DeliveryPath;
+use efex::gc::{workloads, BarrierKind, Gc, GcConfig};
+
+fn run(name: &str, path: DeliveryPath, barrier: BarrierKind, eager: bool) {
+    let mut gc = Gc::new(GcConfig {
+        path,
+        barrier,
+        eager_amplification: eager,
+        heap_bytes: 4 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })
+    .expect("collector");
+    let report = workloads::lisp_ops(
+        &mut gc,
+        workloads::LispOpsParams {
+            iterations: 30,
+            depth: 6,
+            table_pages: 64,
+            stores_per_iteration: 30,
+            mutator_cycles: 20_000,
+            seed: 42,
+        },
+    )
+    .expect("workload");
+    let s = report.stats;
+    println!(
+        "{:<34} {:>9.0} us  ({:>4} faults, {:>6} checks, {} collections)",
+        name,
+        report.micros,
+        s.barrier_faults,
+        s.software_checks,
+        s.minor_collections + s.major_collections,
+    );
+}
+
+fn main() {
+    println!("Lisp-operations workload, identical heap work, three barriers:\n");
+    run(
+        "SIGSEGV + mprotect (Ultrix path)",
+        DeliveryPath::UnixSignals,
+        BarrierKind::PageProtection,
+        false,
+    );
+    run(
+        "fast exceptions + eager amplify",
+        DeliveryPath::FastUser,
+        BarrierKind::PageProtection,
+        true,
+    );
+    run(
+        "software checks (5 cyc/store)",
+        DeliveryPath::FastUser,
+        BarrierKind::SoftwareCheck,
+        false,
+    );
+    println!("\nFast exceptions move page protection from clearly-losing to");
+    println!("competitive with per-store checks — the paper's Table 5 point.");
+}

@@ -1,0 +1,63 @@
+//! Writing a guest program with its own fast exception handler.
+//!
+//! ```text
+//! cargo run --example guest_assembly
+//! ```
+//!
+//! Everything here executes instruction-by-instruction on the simulated
+//! R3000: the program enables fast user-level delivery of arithmetic
+//! overflow, installs a handler that saturates the result, and returns by
+//! jumping straight back — the kernel is never re-entered.
+
+use efex::core::{DeliveryPath, System};
+use efex::simos::kernel::RunOutcome;
+
+const PROGRAM: &str = r#"
+.org 0x00400000
+main:
+    li   $a0, 0x1000        # mask: bit 12 = arithmetic overflow
+    la   $a1, ovf_handler
+    li   $a2, 0x7ffe0000    # communication page
+    li   $v0, 7             # uexc_enable
+    syscall
+
+    li   $t0, 0x7fffffff    # INT_MAX
+    li   $t1, 1
+    add  $t2, $t0, $t1      # overflows -> fast user-level delivery
+resume:
+    move $a0, $t2           # exit code = saturated result (truncated)
+    li   $v0, 2
+    syscall
+    nop
+
+# The handler: saturate $t2 and resume after the faulting add, without
+# entering the kernel.
+ovf_handler:
+    li   $t2, 0x7fffffff    # saturate
+    lui  $k0, 0x7ffe
+    lw   $k1, 0x180($k0)    # saved EPC (frame 12 = overflow, offset 12*32)
+    addiu $k1, $k1, 4       # skip the faulting add
+    jr   $k1
+    nop
+"#;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build()?;
+    let outcome = sys.run_program(PROGRAM, 1_000_000)?;
+    match outcome {
+        RunOutcome::Exited(code) => {
+            println!("guest exited with {code} (0x{:08x})", code as u32);
+            assert_eq!(code as u32, 0x7fff_ffff, "saturated result");
+        }
+        other => println!("unexpected outcome: {other:?}"),
+    }
+    let m = sys.kernel().machine();
+    println!(
+        "instructions retired: {}, exceptions taken: {}, simulated time: {:.1} us",
+        m.instructions_retired(),
+        m.exceptions_taken(),
+        sys.kernel().micros()
+    );
+    println!("signal machinery used: {} times", sys.kernel().process().stats.signals_delivered);
+    Ok(())
+}

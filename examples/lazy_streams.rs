@@ -1,0 +1,64 @@
+//! Unbounded data structures, futures, and full/empty bits (Section 4.2.1).
+//!
+//! ```text
+//! cargo run --example lazy_streams
+//! ```
+//!
+//! An infinite stream of primes materialized one cons cell per unaligned
+//! fault; a future resolved on first touch; a full/empty synchronized word.
+
+use efex::core::DeliveryPath;
+use efex::lazydata::{LazyRuntime, SyncVar};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 256 * 1024)?;
+
+    // An infinite stream of primes: nothing is computed until asked for.
+    let primes = rt.new_stream(|i| {
+        let mut count = 0;
+        let mut n = 1;
+        while count <= i {
+            n += 1;
+            if (2..n).all(|d| n % d != 0) {
+                count += 1;
+            }
+        }
+        n
+    })?;
+    println!("first 10 primes: {:?}", rt.take(primes, 10)?);
+    let s = rt.stats();
+    println!(
+        "  ({} unaligned faults extended the list; re-reading is free)",
+        s.faults
+    );
+    let before = rt.stats().faults;
+    println!("re-read:         {:?}", rt.take(primes, 10)?);
+    println!("  ({} new faults)", rt.stats().faults - before);
+
+    // A future: the producer runs exactly once, at first touch.
+    let answer = rt.make_future(|| {
+        println!("  [producer running...]");
+        42
+    })?;
+    println!("\ntouching the future:");
+    println!("  value = {}", rt.touch(answer)?);
+    println!("  touching again (no fault, no producer): {}", rt.touch(answer)?);
+
+    // Full/empty-bit synchronization.
+    println!("\nfull/empty word:");
+    let v = SyncVar::new(&mut rt)?;
+    match v.read(&mut rt) {
+        Err(e) => println!("  read on empty  -> {e}"),
+        Ok(_) => unreachable!(),
+    }
+    v.write(&mut rt, 7)?;
+    println!("  write 7        -> full");
+    match v.write(&mut rt, 8) {
+        Err(e) => println!("  write on full  -> {e}"),
+        Ok(_) => unreachable!(),
+    }
+    println!("  read           -> {} (empties the word)", v.read(&mut rt)?);
+
+    println!("\ntotal simulated time: {:.1} us", rt.micros());
+    Ok(())
+}

@@ -1,0 +1,38 @@
+//! Quickstart: measure exception delivery on all three paths.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Boots three simulated systems — conventional Unix signals, the paper's
+//! software fast path, and the Tera-style hardware vectoring — and runs the
+//! null-handler round-trip microbenchmark (Table 2 of the paper) on each.
+
+use efex::core::{DeliveryPath, ExceptionKind, System};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Null-handler exception round trips on the simulated 25 MHz R3000:\n");
+    println!(
+        "{:<22} {:>12} {:>12} {:>12}",
+        "delivery path", "deliver (us)", "return (us)", "total (us)"
+    );
+    for path in [
+        DeliveryPath::UnixSignals,
+        DeliveryPath::FastUser,
+        DeliveryPath::HardwareVectored,
+    ] {
+        let mut sys = System::builder().delivery(path).build()?;
+        let r = sys.measure_null_roundtrip(ExceptionKind::Breakpoint)?;
+        println!(
+            "{:<22} {:>12.1} {:>12.1} {:>12.1}",
+            path.to_string(),
+            r.deliver_micros(),
+            r.return_micros(),
+            r.total_micros()
+        );
+    }
+    println!("\nThe paper's headline: the software fast path is an order of magnitude");
+    println!("faster than Unix signals (8 us vs 80 us), and hardware vectoring buys");
+    println!("another factor of 2-3.");
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Subpage-granularity protection (Section 3.2.4).
+//!
+//! ```text
+//! cargo run --example subpage_protection
+//! ```
+//!
+//! Write-protects a single 1 KB logical page of a 4 KB hardware page.
+//! Stores to the protected subpage are delivered to the handler; stores to
+//! the other three subpages are emulated by the kernel and the program
+//! never notices.
+
+use efex::core::{DeliveryPath, HandlerAction, HostProcess, Prot};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut h = HostProcess::new(DeliveryPath::FastUser)?;
+    let page = h.alloc_region(4096, Prot::ReadWrite)?;
+    h.store_u32(page, 0)?; // make it resident
+
+    // Protect only the first 1 KB logical page.
+    h.subpage_protect(page, 1024, true)?;
+    h.set_handler(|_, info| {
+        println!("  handler: write to protected subpage at {:#x}", info.vaddr);
+        HandlerAction::Retry
+    });
+
+    println!("store into unprotected subpage (offset 2048):");
+    h.store_u32(page + 2048, 7)?;
+    println!(
+        "  -> kernel emulated it silently ({} emulations, {} deliveries)\n",
+        h.stats().subpage_emulated,
+        h.stats().faults_delivered
+    );
+
+    println!("store into protected subpage (offset 16):");
+    h.store_u32(page + 16, 9)?;
+    println!(
+        "  -> delivered ({} emulations, {} deliveries)",
+        h.stats().subpage_emulated,
+        h.stats().faults_delivered
+    );
+
+    assert_eq!(h.load_u32(page + 2048)?, 7);
+    assert_eq!(h.load_u32(page + 16)?, 9);
+    println!("\nboth stores landed; simulated time {:.1} us", h.micros());
+    println!("space cost: one bit per 1 KB subpage, as in the paper.");
+    Ok(())
+}

@@ -1,0 +1,45 @@
+//! Conditional data watchpoints (Wahbe-style) over fast exceptions.
+//!
+//! ```text
+//! cargo run --example watchpoints
+//! ```
+//!
+//! Watches one word of a structure for decreasing writes. The watched page
+//! stays protected across hits (the handler *emulates* each store instead
+//! of unprotecting), and subpage narrowing lets the kernel absorb stores to
+//! the rest of the page without ever running the debugger.
+
+use efex::core::DeliveryPath;
+use efex::watch::Debugger;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut d = Debugger::new(DeliveryPath::FastUser, /* subpages */ true)?;
+    let account = d.alloc(4096)?;
+    d.store(account, 1000)?; // balance
+
+    // Fire only when the balance DROPS below 100.
+    let w = d.watch_write(account, 4, |_old, new| new < 100)?;
+
+    println!("running the 'program':");
+    d.store(account, 900)?; // fine
+    d.store(account + 2048, 7)?; // unrelated data, other subpage
+    d.store(account, 500)?; // fine
+    d.store(account, 42)?; // triggers!
+    d.store(account, 800)?; // fine again
+
+    for hit in d.take_hits() {
+        println!(
+            "  watch hit at {:#x}: balance {} -> {}",
+            hit.vaddr, hit.old, hit.new
+        );
+    }
+    let s = d.stats();
+    println!("\nstatistics:");
+    println!("  condition-true hits:        {}", s.hits);
+    println!("  faults seen by debugger:    {}", s.faults);
+    println!("  absorbed in-kernel (subpage): {}", s.kernel_absorbed);
+    println!("  simulated time: {:.1} us", d.micros());
+    assert_eq!(d.hit_count(w)?, 1);
+    assert_eq!(d.load(account)?, 800);
+    Ok(())
+}

