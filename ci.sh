@@ -1,0 +1,9 @@
+#!/bin/sh
+# The full CI gate: build, test, lint, format. Run before every push.
+set -eux
+
+cargo build --release
+cargo test -q
+cargo test --workspace -q
+cargo clippy --workspace --all-targets -- -D warnings
+cargo fmt --check

@@ -6,9 +6,7 @@
 //! - hardware vectoring vs the software fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use efex_core::{
-    DeliveryPath, ExceptionKind, HandlerAction, HostConfig, HostProcess, Prot, System,
-};
+use efex_core::{DeliveryPath, ExceptionKind, HandlerAction, HostProcess, Prot, System};
 use efex_gc::{workloads as gcw, BarrierKind, Gc, GcConfig};
 use std::hint::black_box;
 
@@ -39,12 +37,11 @@ fn gc_barrier_granularity(barrier: BarrierKind) -> f64 {
 /// Simulated cycles for a protect-store-fault-reprotect loop with and
 /// without eager amplification.
 fn barrier_loop(eager: bool, rounds: u32) -> u64 {
-    let mut h = HostProcess::with_config(HostConfig {
-        path: DeliveryPath::FastUser,
-        eager_amplification: eager,
-        ..HostConfig::default()
-    })
-    .expect("host");
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .eager_amplification(eager)
+        .build()
+        .expect("host");
     let base = h.alloc_region(4096, Prot::ReadWrite).expect("region");
     h.store_u32(base, 0).expect("touch");
     if eager {

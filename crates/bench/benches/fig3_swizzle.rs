@@ -31,13 +31,26 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("fig3");
     g.sample_size(10);
     for (name, strategy, path, uses) in [
-        ("checks_u20", Strategy::SoftwareCheck, DeliveryPath::FastUser, 20),
-        ("fast_exceptions_u20", Strategy::Unaligned, DeliveryPath::FastUser, 20),
-        ("signal_exceptions_u20", Strategy::Unaligned, DeliveryPath::UnixSignals, 20),
+        (
+            "checks_u20",
+            Strategy::SoftwareCheck,
+            DeliveryPath::FastUser,
+            20,
+        ),
+        (
+            "fast_exceptions_u20",
+            Strategy::Unaligned,
+            DeliveryPath::FastUser,
+            20,
+        ),
+        (
+            "signal_exceptions_u20",
+            Strategy::Unaligned,
+            DeliveryPath::UnixSignals,
+            20,
+        ),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run(strategy, path, uses)))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(run(strategy, path, uses))));
     }
     g.finish();
 }

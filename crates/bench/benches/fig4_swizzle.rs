@@ -36,9 +36,7 @@ fn bench(c: &mut Criterion) {
         ("eager_sparse", Strategy::ProtFault, Policy::Eager, 2),
         ("lazy_sparse", Strategy::Unaligned, Policy::Lazy, 2),
     ] {
-        g.bench_function(name, |b| {
-            b.iter(|| black_box(run(strategy, policy, used)))
-        });
+        g.bench_function(name, |b| b.iter(|| black_box(run(strategy, policy, used))));
     }
     g.finish();
 }

@@ -25,11 +25,31 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table2");
     g.sample_size(10);
     for (name, path, kind) in [
-        ("unix_simple", DeliveryPath::UnixSignals, ExceptionKind::Breakpoint),
-        ("fast_simple", DeliveryPath::FastUser, ExceptionKind::Breakpoint),
-        ("hw_simple", DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint),
-        ("fast_write_prot", DeliveryPath::FastUser, ExceptionKind::WriteProtect),
-        ("fast_subpage", DeliveryPath::FastUser, ExceptionKind::Subpage),
+        (
+            "unix_simple",
+            DeliveryPath::UnixSignals,
+            ExceptionKind::Breakpoint,
+        ),
+        (
+            "fast_simple",
+            DeliveryPath::FastUser,
+            ExceptionKind::Breakpoint,
+        ),
+        (
+            "hw_simple",
+            DeliveryPath::HardwareVectored,
+            ExceptionKind::Breakpoint,
+        ),
+        (
+            "fast_write_prot",
+            DeliveryPath::FastUser,
+            ExceptionKind::WriteProtect,
+        ),
+        (
+            "fast_subpage",
+            DeliveryPath::FastUser,
+            ExceptionKind::Subpage,
+        ),
         (
             "fast_unaligned_specialized",
             DeliveryPath::FastUser,

@@ -49,9 +49,24 @@ fn bench(c: &mut Criterion) {
     let mut g = c.benchmark_group("table4");
     g.sample_size(10);
     for (name, path, barrier, eager) in [
-        ("lisp_sigsegv_mprotect", DeliveryPath::UnixSignals, BarrierKind::PageProtection, false),
-        ("lisp_fast_eager", DeliveryPath::FastUser, BarrierKind::PageProtection, true),
-        ("lisp_software_checks", DeliveryPath::FastUser, BarrierKind::SoftwareCheck, false),
+        (
+            "lisp_sigsegv_mprotect",
+            DeliveryPath::UnixSignals,
+            BarrierKind::PageProtection,
+            false,
+        ),
+        (
+            "lisp_fast_eager",
+            DeliveryPath::FastUser,
+            BarrierKind::PageProtection,
+            true,
+        ),
+        (
+            "lisp_software_checks",
+            DeliveryPath::FastUser,
+            BarrierKind::SoftwareCheck,
+            false,
+        ),
     ] {
         g.bench_function(name, |b| {
             b.iter(|| black_box(run_lisp(path, barrier, eager)))

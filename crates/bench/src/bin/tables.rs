@@ -2,16 +2,25 @@
 //!
 //! ```text
 //! tables [--table1] [--table2] [--table3] [--table4] [--table5]
-//!        [--fig3] [--fig4] [--dsm] [--all]
+//!        [--fig3] [--fig4] [--dsm] [--all] [--trace-json]
 //! ```
 //!
 //! With no arguments, prints everything. Output is paper-value vs measured
-//! wherever the paper reports a number.
+//! wherever the paper reports a number. `--trace-json` instead emits one
+//! JSON document of exception-lifecycle metrics (per-path, per-class
+//! delivery/handler/return cycle histograms) collected from the guest
+//! microbenchmarks and a host-level barrier workload.
 
+use efex_core::{DeliveryPath, ExceptionKind, HandlerAction, HostProcess, Prot, System};
+use efex_trace::{Metrics, Snapshot};
 use std::env;
 
 fn main() {
     let args: Vec<String> = env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--trace-json") {
+        trace_json();
+        return;
+    }
     let want = |flag: &str| args.is_empty() || args.iter().any(|a| a == flag || a == "--all");
 
     if want("--table1") {
@@ -44,6 +53,59 @@ fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
 
+/// Every (path, kind) pair the guest microbenchmarks implement.
+const GUEST_MATRIX: [(DeliveryPath, ExceptionKind); 7] = [
+    (DeliveryPath::UnixSignals, ExceptionKind::Breakpoint),
+    (DeliveryPath::UnixSignals, ExceptionKind::WriteProtect),
+    (DeliveryPath::FastUser, ExceptionKind::Breakpoint),
+    (DeliveryPath::FastUser, ExceptionKind::WriteProtect),
+    (DeliveryPath::FastUser, ExceptionKind::Subpage),
+    (DeliveryPath::FastUser, ExceptionKind::UnalignedSpecialized),
+    (DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint),
+];
+
+/// Runs the Table-2 microbenchmark matrix plus a host-level write-barrier
+/// loop on every path, and prints the merged lifecycle metrics as JSON.
+fn trace_json() {
+    let mut guest = Metrics::new();
+    for (path, kind) in GUEST_MATRIX {
+        let mut sys = System::builder().delivery(path).build().expect("boot");
+        sys.measure_null_roundtrip(kind).expect("microbenchmark");
+        guest.merge(sys.trace_metrics());
+    }
+
+    let mut host_metrics = Metrics::new();
+    let mut host_stats = Vec::new();
+    for path in [
+        DeliveryPath::UnixSignals,
+        DeliveryPath::FastUser,
+        DeliveryPath::HardwareVectored,
+    ] {
+        let mut h = HostProcess::builder().delivery(path).build().expect("boot");
+        let base = h.alloc_region(4096, Prot::ReadWrite).expect("region");
+        h.store_u32(base, 0).expect("touch");
+        h.set_handler(|ctx, info| {
+            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                .expect("amplify");
+            HandlerAction::Retry
+        });
+        for round in 0..8u32 {
+            h.protect(base, 4096, Prot::Read).expect("protect");
+            h.store_u32(base + 4 * round, round)
+                .expect("faulting store");
+        }
+        host_metrics.merge(h.trace_metrics());
+        host_stats.push(h.stats().snapshot().to_json());
+    }
+
+    println!(
+        "{{\"guest\":{},\"host\":{},\"host_stats\":[{}]}}",
+        guest.to_json(),
+        host_metrics.to_json(),
+        host_stats.join(",")
+    );
+}
+
 fn table1() {
     banner("Table 1: exception delivery on conventional systems (modeled)");
     println!(
@@ -68,7 +130,9 @@ fn table2() {
     );
     for r in rows {
         let unix = r.unix_us.map_or("-".to_string(), |v| format!("{v:.1}"));
-        let punix = r.paper_unix_us.map_or("-".to_string(), |v| format!("{v:.0}"));
+        let punix = r
+            .paper_unix_us
+            .map_or("-".to_string(), |v| format!("{v:.0}"));
         println!(
             "{:<48} {:>9.1} {:>11.0} {:>10} {:>12}",
             r.operation, r.fast_us, r.paper_fast_us, unix, punix
@@ -82,7 +146,10 @@ fn table3() {
     println!("{:<28} {:>9} {:>7}", "phase", "measured", "paper");
     let (mut m, mut p) = (0, 0);
     for r in rows {
-        println!("{:<28} {:>9} {:>7}", r.name, r.measured_instructions, r.paper_instructions);
+        println!(
+            "{:<28} {:>9} {:>7}",
+            r.name, r.measured_instructions, r.paper_instructions
+        );
         m += r.measured_instructions;
         p += r.paper_instructions;
     }
@@ -101,7 +168,12 @@ fn table4() {
     for r in rows {
         println!(
             "{:<18} {:>12.0} {:>12.0} {:>7.1}% {:>8.0}% {:>11}",
-            r.application, r.sigsegv_us, r.fast_us, r.improvement_pct, r.paper_improvement_pct, r.faults
+            r.application,
+            r.sigsegv_us,
+            r.fast_us,
+            r.improvement_pct,
+            r.paper_improvement_pct,
+            r.faults
         );
     }
 }
@@ -123,7 +195,10 @@ fn table5() {
 fn fig3() {
     banner("Figure 3: swizzling checks vs exceptions — breakeven uses per pointer");
     let (ultrix, fast) = efex_bench::figure3_curves();
-    println!("{:>8} {:>16} {:>16}", "c (cyc)", "ultrix breakeven", "fast breakeven");
+    println!(
+        "{:>8} {:>16} {:>16}",
+        "c (cyc)", "ultrix breakeven", "fast breakeven"
+    );
     for (u, f) in ultrix.iter().zip(&fast).step_by(3) {
         println!(
             "{:>8.0} {:>16.1} {:>16.1}",
@@ -146,10 +221,7 @@ fn fig3() {
 fn fig4() {
     banner("Figure 4: eager vs lazy swizzling — breakeven used-fraction (pn = 50)");
     let (ultrix, fast) = efex_bench::figure4_curves();
-    println!(
-        "{:>9} {:>18} {:>18}",
-        "s (us)", "ultrix frac", "fast frac"
-    );
+    println!("{:>9} {:>18} {:>18}", "s (us)", "ultrix frac", "fast frac");
     for (u, f) in ultrix.iter().zip(&fast).step_by(5) {
         println!(
             "{:>9.1} {:>18.2} {:>18.2}",
@@ -170,6 +242,11 @@ fn dsm() {
     banner("Extension: DSM ping-pong under each delivery path (measured)");
     println!("{:>20} {:>12} {:>8}", "path", "total us", "faults");
     for r in efex_bench::dsm_comparison(40).expect("dsm") {
-        println!("{:>20} {:>12.0} {:>8}", r.path.to_string(), r.total_us, r.faults);
+        println!(
+            "{:>20} {:>12.0} {:>8}",
+            r.path.to_string(),
+            r.total_us,
+            r.faults
+        );
     }
 }

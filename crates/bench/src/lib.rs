@@ -286,9 +286,7 @@ pub struct Fig3Measured {
 /// # Errors
 ///
 /// Fails on store errors.
-pub fn figure3_measured(
-    uses: &[u32],
-) -> Result<Vec<Fig3Measured>, efex_pstore::PstoreError> {
+pub fn figure3_measured(uses: &[u32]) -> Result<Vec<Fig3Measured>, efex_pstore::PstoreError> {
     let graph = || StableGraph::random(30, 50, 40, 0xf3);
     let mut out = Vec::new();
     for &u in uses {
@@ -378,9 +376,7 @@ pub struct Fig4Measured {
 /// # Errors
 ///
 /// Fails on store errors.
-pub fn figure4_measured(
-    densities: &[u32],
-) -> Result<Vec<Fig4Measured>, efex_pstore::PstoreError> {
+pub fn figure4_measured(densities: &[u32]) -> Result<Vec<Fig4Measured>, efex_pstore::PstoreError> {
     let graph = || StableGraph::random(48, 50, 50, 0xf4);
     let mut out = Vec::new();
     for &pu in densities {
@@ -472,7 +468,11 @@ mod tests {
     #[test]
     fn table5_matches_paper_conclusion() {
         for row in table5() {
-            assert!(row.fast_wins, "{}: fast exceptions must win", row.application);
+            assert!(
+                row.fast_wins,
+                "{}: fast exceptions must win",
+                row.application
+            );
             assert!(!row.ultrix_wins, "{}: Ultrix must lose", row.application);
         }
     }

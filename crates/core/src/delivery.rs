@@ -24,6 +24,16 @@ impl fmt::Display for DeliveryPath {
     }
 }
 
+impl From<DeliveryPath> for efex_trace::TracePath {
+    fn from(path: DeliveryPath) -> efex_trace::TracePath {
+        match path {
+            DeliveryPath::UnixSignals => efex_trace::TracePath::UnixSignals,
+            DeliveryPath::FastUser => efex_trace::TracePath::FastUser,
+            DeliveryPath::HardwareVectored => efex_trace::TracePath::HardwareVectored,
+        }
+    }
+}
+
 /// Cycle costs charged to **host-level** applications per exception event.
 ///
 /// Guest-level code pays instruction-by-instruction; host-level

@@ -19,6 +19,9 @@ use efex_simos::kernel::{HostFault, Kernel, KernelConfig};
 use efex_simos::layout::PAGE_SIZE;
 use efex_simos::vm::FaultKind;
 use efex_simos::Prot;
+use efex_trace::{
+    EventKind, FaultClass, Metrics, SharedSink, Snapshot, StatsSnapshot, TraceEvent, TracePath,
+};
 
 use crate::delivery::{DeliveryCosts, DeliveryPath};
 use crate::error::CoreError;
@@ -149,28 +152,116 @@ pub struct HostStats {
     pub subpage_emulated: u64,
 }
 
-/// Configuration for a [`HostProcess`].
-#[derive(Clone, Copy, Debug)]
-pub struct HostConfig {
-    /// The delivery path to model.
-    pub path: DeliveryPath,
-    /// Physical memory for the underlying machine.
-    pub phys_bytes: usize,
-    /// Eager amplification (fast/hardware paths only; Section 3.2.3).
-    pub eager_amplification: bool,
-    /// Cycles charged per application memory access (models the
-    /// application's own load/store, warm cache).
-    pub access_cost: u64,
+impl Snapshot for HostStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("host")
+            .counter("faults_delivered", self.faults_delivered)
+            .counter("accesses", self.accesses)
+            .counter("protect_calls", self.protect_calls)
+            .counter("eager_amplified", self.eager_amplified)
+            .counter("subpage_emulated", self.subpage_emulated)
+    }
 }
 
-impl Default for HostConfig {
-    fn default() -> HostConfig {
-        HostConfig {
+/// Builds a [`HostProcess`] — the same fluent shape as
+/// [`System::builder`](crate::System::builder).
+#[derive(Clone)]
+pub struct HostBuilder {
+    path: DeliveryPath,
+    phys_bytes: usize,
+    eager_amplification: bool,
+    access_cost: u64,
+    trace: Option<SharedSink>,
+}
+
+impl fmt::Debug for HostBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HostBuilder")
+            .field("path", &self.path)
+            .field("phys_bytes", &self.phys_bytes)
+            .field("eager_amplification", &self.eager_amplification)
+            .field("access_cost", &self.access_cost)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
+}
+
+impl Default for HostBuilder {
+    fn default() -> HostBuilder {
+        HostBuilder {
             path: DeliveryPath::FastUser,
             phys_bytes: efex_simos::layout::DEFAULT_PHYS_BYTES,
             eager_amplification: false,
             access_cost: 2,
+            trace: None,
         }
+    }
+}
+
+impl HostBuilder {
+    /// Selects the delivery path to model.
+    pub fn delivery(mut self, path: DeliveryPath) -> HostBuilder {
+        self.path = path;
+        self
+    }
+
+    /// Sets the physical memory size for the underlying machine.
+    pub fn phys_bytes(mut self, bytes: usize) -> HostBuilder {
+        self.phys_bytes = bytes;
+        self
+    }
+
+    /// Enables eager amplification (fast/hardware paths only;
+    /// Section 3.2.3).
+    pub fn eager_amplification(mut self, on: bool) -> HostBuilder {
+        self.eager_amplification = on;
+        self
+    }
+
+    /// Sets the cycles charged per application memory access (models the
+    /// application's own load/store, warm cache).
+    pub fn access_cost(mut self, cycles: u64) -> HostBuilder {
+        self.access_cost = cycles;
+        self
+    }
+
+    /// Routes exception lifecycle events to `sink` (shared with the
+    /// kernel; the default [`NullSink`] drops them for free).
+    ///
+    /// [`NullSink`]: efex_trace::NullSink
+    pub fn trace_sink(mut self, sink: SharedSink) -> HostBuilder {
+        self.trace = Some(sink);
+        self
+    }
+
+    /// Boots the kernel and creates the process.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel cannot boot.
+    pub fn build(self) -> Result<HostProcess, CoreError> {
+        let mut kernel = Kernel::boot(KernelConfig {
+            phys_bytes: self.phys_bytes,
+            ..KernelConfig::default()
+        })?;
+        kernel.set_trace_path(self.path.into());
+        if let Some(sink) = self.trace {
+            kernel.set_trace_sink(sink);
+        }
+        kernel.set_eager_amplification(
+            self.eager_amplification && self.path != DeliveryPath::UnixSignals,
+        );
+        Ok(HostProcess {
+            kernel,
+            path: self.path,
+            costs: DeliveryCosts::for_path(self.path),
+            handler: None,
+            in_handler: false,
+            stats: HostStats::default(),
+            metrics: Metrics::new(),
+            access_cost: self.access_cost,
+            next_alloc: efex_simos::layout::USER_DATA_VADDR,
+        })
     }
 }
 
@@ -184,6 +275,7 @@ pub struct HostProcess {
     handler: Option<Handler>,
     in_handler: bool,
     stats: HostStats,
+    metrics: Metrics,
     access_cost: u64,
     next_alloc: u32,
 }
@@ -198,42 +290,25 @@ impl fmt::Debug for HostProcess {
 }
 
 impl HostProcess {
+    /// Starts building a process (mirrors [`System::builder`]).
+    ///
+    /// [`System::builder`]: crate::System::builder
+    pub fn builder() -> HostBuilder {
+        HostBuilder::default()
+    }
+
     /// Creates a process over a freshly booted kernel with the default
     /// configuration for `path`.
     ///
     /// # Errors
     ///
     /// Fails if the kernel cannot boot.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use `HostProcess::builder().delivery(path).build()`"
+    )]
     pub fn new(path: DeliveryPath) -> Result<HostProcess, CoreError> {
-        HostProcess::with_config(HostConfig {
-            path,
-            ..HostConfig::default()
-        })
-    }
-
-    /// Creates a process with explicit configuration.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the kernel cannot boot.
-    pub fn with_config(cfg: HostConfig) -> Result<HostProcess, CoreError> {
-        let mut kernel = Kernel::boot(KernelConfig {
-            phys_bytes: cfg.phys_bytes,
-            ..KernelConfig::default()
-        })?;
-        kernel.set_eager_amplification(
-            cfg.eager_amplification && cfg.path != DeliveryPath::UnixSignals,
-        );
-        Ok(HostProcess {
-            kernel,
-            path: cfg.path,
-            costs: DeliveryCosts::for_path(cfg.path),
-            handler: None,
-            in_handler: false,
-            stats: HostStats::default(),
-            access_cost: cfg.access_cost,
-            next_alloc: efex_simos::layout::USER_DATA_VADDR,
-        })
+        HostProcess::builder().delivery(path).build()
     }
 
     /// The configured delivery path.
@@ -264,6 +339,26 @@ impl HostProcess {
     /// The statistics counters.
     pub fn stats(&self) -> &HostStats {
         &self.stats
+    }
+
+    /// Exception metrics: per-(path, class) counters, phase histograms, and
+    /// per-page fault counts for the faults this process delivered.
+    pub fn trace_metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Emits one lifecycle event stamped with the current cycle counter.
+    fn emit(&self, kind: EventKind, class: FaultClass, fault: &HostFault) {
+        self.kernel.trace_sink().emit(&TraceEvent {
+            seq: 0,
+            cycles: self.kernel.cycles(),
+            kind,
+            path: self.path.into(),
+            class,
+            exc_code: fault.code.code() as u8,
+            vaddr: fault.vaddr,
+            pc: 0,
+        });
     }
 
     /// Access to the underlying kernel (advanced uses: subpage setup,
@@ -398,8 +493,7 @@ impl HostProcess {
                     Deliverance::Handled(HandlerAction::Redirect(a)) => addr = a,
                     Deliverance::Handled(HandlerAction::Emulate) => {
                         self.kernel.charge(efex_simos::costs::SUBPAGE_EMULATE);
-                        self.kernel
-                            .host_write_bytes(addr, &value.to_le_bytes())?;
+                        self.kernel.host_write_bytes(addr, &value.to_le_bytes())?;
                         return Ok(());
                     }
                     Deliverance::Handled(HandlerAction::Abort) => {
@@ -452,6 +546,8 @@ impl HostProcess {
                 .host_write_bytes(fault.vaddr, &value.to_le_bytes())?;
             self.kernel.process_mut().stats.subpage_emulations += 1;
             self.stats.subpage_emulated += 1;
+            self.metrics
+                .record_page_fault(self.path.into(), FaultClass::Subpage, fault.vaddr);
             return Ok(Deliverance::Emulated);
         }
         self.deliver(fault, Some(value)).map(Deliverance::Handled)
@@ -480,11 +576,26 @@ impl HostProcess {
 
         // Charge the delivery cost for this fault class on this path.
         let subpage = self.kernel.process().subpage.manages(fault.vaddr);
+        let class = if subpage {
+            FaultClass::Subpage
+        } else {
+            match fault.code {
+                ExcCode::AddrErrLoad | ExcCode::AddrErrStore => FaultClass::Unaligned,
+                ExcCode::Breakpoint => FaultClass::Breakpoint,
+                _ => match fault.kind {
+                    FaultKind::NotResident => FaultClass::PageFault,
+                    FaultKind::Protection => FaultClass::WriteProtect,
+                    FaultKind::NotMapped => FaultClass::Other,
+                },
+            }
+        };
+        let trace_path: TracePath = self.path.into();
+        let t_raised = self.kernel.cycles();
+        self.emit(EventKind::FaultRaised, class, &fault);
+        self.emit(EventKind::KernelEntered, class, &fault);
         let deliver_cost = match (fault.kind, subpage) {
             (FaultKind::Protection | FaultKind::NotMapped, true) => self.costs.subpage_deliver,
-            (FaultKind::Protection | FaultKind::NotMapped, false)
-                if fault.code.is_tlb() =>
-            {
+            (FaultKind::Protection | FaultKind::NotMapped, false) if fault.code.is_tlb() => {
                 self.costs.prot_deliver
             }
             _ => self.costs.simple_deliver,
@@ -521,6 +632,13 @@ impl HostProcess {
         }
 
         // Run the handler.
+        let t_entered = self.kernel.cycles();
+        self.emit(EventKind::StateSaved, class, &fault);
+        self.emit(EventKind::HandlerEntered, class, &fault);
+        self.metrics
+            .record_deliver(trace_path, class, t_entered - t_raised);
+        self.metrics
+            .record_page_fault(trace_path, class, fault.vaddr);
         self.in_handler = true;
         let mut handler = self.handler.take().expect("checked above");
         let action = {
@@ -534,6 +652,10 @@ impl HostProcess {
         self.handler = Some(handler);
         self.in_handler = false;
         self.stats.faults_delivered += 1;
+        let t_returned = self.kernel.cycles();
+        self.emit(EventKind::HandlerReturned, class, &fault);
+        self.metrics
+            .record_handler(trace_path, class, t_returned - t_entered);
 
         // An emulating handler (watchpoints) keeps its protection: if the
         // page is still under subpage management, restore the hardware
@@ -552,6 +674,9 @@ impl HostProcess {
 
         // Charge the return-to-application cost.
         self.kernel.charge(self.costs.simple_return);
+        self.emit(EventKind::Resumed, class, &fault);
+        self.metrics
+            .record_return(trace_path, class, self.kernel.cycles() - t_returned);
 
         if action == HandlerAction::Abort {
             return Err(CoreError::Aborted(info));
@@ -599,7 +724,14 @@ mod tests {
     use std::rc::Rc;
 
     fn host(path: DeliveryPath) -> HostProcess {
-        HostProcess::new(path).unwrap()
+        HostProcess::builder().delivery(path).build().unwrap()
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn new_shim_still_boots() {
+        let h = HostProcess::new(DeliveryPath::UnixSignals).unwrap();
+        assert_eq!(h.path(), DeliveryPath::UnixSignals);
     }
 
     #[test]
@@ -634,7 +766,8 @@ mod tests {
         let log = dirty.clone();
         h.set_handler(move |ctx, info| {
             log.borrow_mut().push(info.vaddr & !0xfff);
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite).unwrap();
+            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                .unwrap();
             HandlerAction::Retry
         });
         h.store_u32(base + 8, 42).unwrap();
@@ -648,12 +781,11 @@ mod tests {
 
     #[test]
     fn eager_amplification_spares_the_handler_a_protect_call() {
-        let mut h = HostProcess::with_config(HostConfig {
-            path: DeliveryPath::FastUser,
-            eager_amplification: true,
-            ..HostConfig::default()
-        })
-        .unwrap();
+        let mut h = HostProcess::builder()
+            .delivery(DeliveryPath::FastUser)
+            .eager_amplification(true)
+            .build()
+            .unwrap();
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
         h.protect(base, 4096, Prot::Read).unwrap();
@@ -746,14 +878,58 @@ mod tests {
     }
 
     #[test]
+    fn delivery_emits_ordered_lifecycle_events_and_metrics() {
+        let ring = Rc::new(efex_trace::RingSink::new());
+        let mut h = HostProcess::builder()
+            .delivery(DeliveryPath::FastUser)
+            .trace_sink(ring.clone())
+            .build()
+            .unwrap();
+        let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+        h.store_u32(base, 0).unwrap();
+        h.protect(base, 4096, Prot::Read).unwrap();
+        h.set_handler(move |ctx, info| {
+            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                .unwrap();
+            HandlerAction::Retry
+        });
+        h.store_u32(base, 7).unwrap();
+
+        use efex_trace::EventKind::*;
+        let events = ring.events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                FaultRaised,
+                KernelEntered,
+                StateSaved,
+                HandlerEntered,
+                HandlerReturned,
+                Resumed
+            ]
+        );
+        assert!(events.windows(2).all(|w| w[0].cycles <= w[1].cycles));
+        assert!(events.iter().all(|e| e.vaddr == base));
+
+        let m = h.trace_metrics();
+        let k = m.kind(
+            efex_trace::TracePath::FastUser,
+            efex_trace::FaultClass::WriteProtect,
+        );
+        assert_eq!(k.count, 1);
+        assert_eq!(k.deliver.count(), 1);
+        assert_eq!(k.handler.count(), 1);
+        assert_eq!(k.ret.count(), 1);
+        assert_eq!(k.pages.get(&(base >> 12)), Some(&1));
+    }
+
+    #[test]
     fn guard_pages_between_regions_fault() {
         let mut h = host(DeliveryPath::FastUser);
         let a = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         let b = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         assert!(b >= a + 8192, "guard page must separate regions");
-        assert!(matches!(
-            h.load_u32(a + 4096),
-            Err(CoreError::Unhandled(_))
-        ));
+        assert!(matches!(h.load_u32(a + 4096), Err(CoreError::Unhandled(_))));
     }
 }

@@ -30,13 +30,49 @@
 //! memory accesses through the simulated MMU and receive faults in Rust
 //! closures; delivery costs are charged from the guest-level measurements.
 //!
+//! Both entry points are built the same way — a fluent builder:
+//!
 //! ```no_run
-//! use efex_core::{DeliveryPath, ExceptionKind, System};
+//! use efex_core::{DeliveryPath, ExceptionKind, HostProcess, System};
 //!
 //! # fn main() -> Result<(), efex_core::CoreError> {
 //! let mut sys = System::builder().delivery(DeliveryPath::FastUser).build()?;
 //! let r = sys.measure_null_roundtrip(ExceptionKind::Breakpoint)?;
 //! println!("deliver {:.1} us + return {:.1} us", r.deliver_micros(), r.return_micros());
+//!
+//! let mut host = HostProcess::builder()
+//!     .delivery(DeliveryPath::FastUser)
+//!     .eager_amplification(true)
+//!     .build()?;
+//! # let _ = host.cycles();
+//! # Ok(())
+//! # }
+//! ```
+//!
+//! # Observability
+//!
+//! Every exception transits a lifecycle — fault raised, kernel entered,
+//! state saved, handler entered, handler returned, resumed — and both
+//! builders accept a [`efex_trace::TraceSink`] that observes it. The default
+//! sink drops events for free; a ring buffer captures the recent history
+//! without allocation:
+//!
+//! ```no_run
+//! use efex_core::{DeliveryPath, ExceptionKind, System};
+//! use efex_trace::RingSink;
+//! use std::rc::Rc;
+//!
+//! # fn main() -> Result<(), efex_core::CoreError> {
+//! let ring = Rc::new(RingSink::new());
+//! let mut sys = System::builder()
+//!     .delivery(DeliveryPath::FastUser)
+//!     .trace_sink(ring.clone())
+//!     .build()?;
+//! sys.measure_null_roundtrip(ExceptionKind::Breakpoint)?;
+//! for event in ring.events() {
+//!     println!("{} @{}cy", event.kind, event.cycles);
+//! }
+//! println!("{}", sys.trace_metrics().to_json());
 //! # Ok(())
 //! # }
 //! ```
@@ -49,7 +85,7 @@ mod system;
 
 pub use delivery::{DeliveryCosts, DeliveryPath};
 pub use error::CoreError;
-pub use host::{FaultCtx, FaultInfo, HandlerAction, HostConfig, HostProcess, HostStats};
+pub use host::{FaultCtx, FaultInfo, HandlerAction, HostBuilder, HostProcess, HostStats};
 pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
 
 pub use efex_mips::ExcCode;

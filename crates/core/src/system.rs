@@ -12,6 +12,7 @@ use efex_mips::cycles::to_micros;
 use efex_mips::profile::Profiler;
 use efex_simos::fastexc::TABLE3_PHASES;
 use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
+use efex_trace::{EventKind, FaultClass, Metrics, SharedSink, TraceEvent};
 
 use crate::delivery::DeliveryPath;
 use crate::error::CoreError;
@@ -29,6 +30,17 @@ pub enum ExceptionKind {
     /// An unaligned access delivered to the specialized swizzling handler
     /// of Section 4.2.2 (the 6 µs figure).
     UnalignedSpecialized,
+}
+
+impl From<ExceptionKind> for FaultClass {
+    fn from(kind: ExceptionKind) -> FaultClass {
+        match kind {
+            ExceptionKind::Breakpoint => FaultClass::Breakpoint,
+            ExceptionKind::WriteProtect => FaultClass::WriteProtect,
+            ExceptionKind::Subpage => FaultClass::Subpage,
+            ExceptionKind::UnalignedSpecialized => FaultClass::Unaligned,
+        }
+    }
 }
 
 /// One measured exception round trip, in cycles.
@@ -77,10 +89,21 @@ pub struct Table3Row {
 }
 
 /// Builds a [`System`].
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone)]
 pub struct SystemBuilder {
     path: DeliveryPath,
     phys_bytes: usize,
+    trace: Option<SharedSink>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("path", &self.path)
+            .field("phys_bytes", &self.phys_bytes)
+            .field("trace", &self.trace.is_some())
+            .finish()
+    }
 }
 
 impl Default for SystemBuilder {
@@ -88,6 +111,7 @@ impl Default for SystemBuilder {
         SystemBuilder {
             path: DeliveryPath::FastUser,
             phys_bytes: efex_simos::layout::DEFAULT_PHYS_BYTES,
+            trace: None,
         }
     }
 }
@@ -105,19 +129,33 @@ impl SystemBuilder {
         self
     }
 
+    /// Routes exception lifecycle events to `sink` (shared with the
+    /// kernel; the default [`NullSink`] drops them for free).
+    ///
+    /// [`NullSink`]: efex_trace::NullSink
+    pub fn trace_sink(mut self, sink: SharedSink) -> SystemBuilder {
+        self.trace = Some(sink);
+        self
+    }
+
     /// Boots the system.
     ///
     /// # Errors
     ///
     /// Fails if the kernel cannot boot.
     pub fn build(self) -> Result<System, CoreError> {
-        let kernel = Kernel::boot(KernelConfig {
+        let mut kernel = Kernel::boot(KernelConfig {
             phys_bytes: self.phys_bytes,
             ..KernelConfig::default()
         })?;
+        kernel.set_trace_path(self.path.into());
+        if let Some(sink) = self.trace {
+            kernel.set_trace_sink(sink);
+        }
         Ok(System {
             kernel,
             path: self.path,
+            metrics: Metrics::new(),
         })
     }
 }
@@ -126,6 +164,7 @@ impl SystemBuilder {
 pub struct System {
     kernel: Kernel,
     path: DeliveryPath,
+    metrics: Metrics,
 }
 
 impl std::fmt::Debug for System {
@@ -155,6 +194,28 @@ impl System {
     /// Mutable kernel access.
     pub fn kernel_mut(&mut self) -> &mut Kernel {
         &mut self.kernel
+    }
+
+    /// Measurement-level metrics: one sample per measured round trip,
+    /// keyed by (path, class). The kernel keeps its own table for the
+    /// deliveries it mediates; merge both with [`Metrics::merge`] for a
+    /// complete picture.
+    pub fn trace_metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Emits a measurement-level lifecycle event at a recorded timestamp.
+    fn emit(&self, kind: EventKind, cycles: u64, class: FaultClass, exc_code: u8, pc: u32) {
+        self.kernel.trace_sink().emit(&TraceEvent {
+            seq: 0,
+            cycles,
+            kind,
+            path: self.path.into(),
+            class,
+            exc_code,
+            vaddr: 0,
+            pc,
+        });
     }
 
     /// Runs a guest program to completion (convenience for examples and
@@ -231,7 +292,45 @@ impl System {
         let t1 = self.step_until(null_entry, 2_000_000)?;
         let t2 = self.step_until(null_ret, 2_000_000)?;
         let t3 = self.step_until(after_fault, 2_000_000)?;
-        let _ = t2;
+
+        // Trace the measured iteration. The kernel already emitted the
+        // raise-through-handler-entry events for the deliveries it mediated
+        // (Unix signals, and fast-path TLB faults); the label crossings
+        // supply whatever the kernel could not see.
+        let class = FaultClass::from(kind);
+        let exc = match kind {
+            ExceptionKind::Breakpoint => 9,
+            ExceptionKind::WriteProtect | ExceptionKind::Subpage => 1,
+            ExceptionKind::UnalignedSpecialized => 5,
+        };
+        let kernel_mediated = matches!(
+            (self.path, kind),
+            (DeliveryPath::UnixSignals, _)
+                | (DeliveryPath::FastUser, ExceptionKind::WriteProtect)
+                | (DeliveryPath::FastUser, ExceptionKind::Subpage)
+        );
+        if !kernel_mediated {
+            self.emit(EventKind::FaultRaised, t0, class, exc, fault_site);
+            if self.path == DeliveryPath::FastUser {
+                // The guest low-level vector and save phases run even when
+                // the host kernel is bypassed; direct hardware vectoring
+                // skips them entirely.
+                self.emit(EventKind::KernelEntered, t0, class, exc, fault_site);
+                self.emit(EventKind::StateSaved, t1, class, exc, null_entry);
+            }
+            self.emit(EventKind::HandlerEntered, t1, class, exc, null_entry);
+        }
+        if self.path != DeliveryPath::UnixSignals {
+            // The fast and hardware paths return to the application without
+            // kernel involvement, so only the labels observe the return.
+            self.emit(EventKind::HandlerReturned, t2, class, exc, null_ret);
+            self.emit(EventKind::Resumed, t3, class, exc, after_fault);
+        }
+        let path = self.path.into();
+        self.metrics.record_deliver(path, class, t1 - t0);
+        self.metrics.record_handler(path, class, t2.max(t1) - t1);
+        self.metrics.record_return(path, class, t3 - t2.max(t1));
+
         let clock = self.kernel.clock_mhz();
         Ok(RoundTrip {
             deliver_cycles: t1 - t0,
@@ -402,7 +501,9 @@ mod tests {
     #[test]
     fn write_protect_costs_more_than_simple() {
         let mut s = system(DeliveryPath::FastUser);
-        let prot = s.measure_null_roundtrip(ExceptionKind::WriteProtect).unwrap();
+        let prot = s
+            .measure_null_roundtrip(ExceptionKind::WriteProtect)
+            .unwrap();
         let simple = system(DeliveryPath::FastUser)
             .measure_null_roundtrip(ExceptionKind::Breakpoint)
             .unwrap();

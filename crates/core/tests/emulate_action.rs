@@ -5,7 +5,10 @@ use efex_core::{CoreError, DeliveryPath, HandlerAction, HostProcess, Prot};
 
 #[test]
 fn emulated_stores_land_and_keep_protection() {
-    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base, 0).unwrap();
     h.protect(base, 4096, Prot::Read).unwrap();
@@ -21,7 +24,10 @@ fn emulated_stores_land_and_keep_protection() {
 
 #[test]
 fn emulated_loads_return_the_real_value() {
-    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base + 8, 77).unwrap();
     // Revoke ALL access: loads fault too (read-watchpoint style).
@@ -36,7 +42,10 @@ fn emulated_loads_return_the_real_value() {
 
 #[test]
 fn store_value_reaches_the_handler() {
-    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base, 0).unwrap();
     h.protect(base, 4096, Prot::Read).unwrap();
@@ -54,7 +63,10 @@ fn store_value_reaches_the_handler() {
 
 #[test]
 fn loads_carry_no_store_value() {
-    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let base = h.alloc_region(4096, Prot::None).unwrap();
     use std::cell::Cell;
     use std::rc::Rc;
@@ -70,7 +82,10 @@ fn loads_carry_no_store_value() {
 
 #[test]
 fn abort_from_emulating_handler_possible() {
-    let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let base = h.alloc_region(4096, Prot::Read).unwrap();
     h.set_handler(|_, info| {
         if info.vaddr % 8 == 0 {

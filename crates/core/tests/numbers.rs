@@ -3,18 +3,49 @@ use efex_core::{DeliveryPath, ExceptionKind, System};
 #[test]
 #[ignore = "prints measured microbenchmark numbers"]
 fn print_numbers() {
-    for path in [DeliveryPath::UnixSignals, DeliveryPath::FastUser, DeliveryPath::HardwareVectored] {
-        for kind in [ExceptionKind::Breakpoint, ExceptionKind::WriteProtect, ExceptionKind::Subpage, ExceptionKind::UnalignedSpecialized] {
+    for path in [
+        DeliveryPath::UnixSignals,
+        DeliveryPath::FastUser,
+        DeliveryPath::HardwareVectored,
+    ] {
+        for kind in [
+            ExceptionKind::Breakpoint,
+            ExceptionKind::WriteProtect,
+            ExceptionKind::Subpage,
+            ExceptionKind::UnalignedSpecialized,
+        ] {
             let mut s = System::builder().delivery(path).build().unwrap();
             match s.measure_null_roundtrip(kind) {
-                Ok(r) => println!("{path} {kind:?}: deliver {:.1}us ({}cy) return {:.1}us ({}cy) total {:.1}us",
-                    r.deliver_micros(), r.deliver_cycles, r.return_micros(), r.return_cycles, r.total_micros()),
+                Ok(r) => println!(
+                    "{path} {kind:?}: deliver {:.1}us ({}cy) return {:.1}us ({}cy) total {:.1}us",
+                    r.deliver_micros(),
+                    r.deliver_cycles,
+                    r.return_micros(),
+                    r.return_cycles,
+                    r.total_micros()
+                ),
                 Err(e) => println!("{path} {kind:?}: n/a ({e})"),
             }
         }
     }
-    let mut s = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
-    println!("subpage emulation: {} cycles", s.measure_subpage_emulation().unwrap());
-    let rows = System::builder().delivery(DeliveryPath::FastUser).build().unwrap().measure_table3().unwrap();
-    for r in rows { println!("table3 {}: measured {} paper {}", r.name, r.measured_instructions, r.paper_instructions); }
+    let mut s = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
+    println!(
+        "subpage emulation: {} cycles",
+        s.measure_subpage_emulation().unwrap()
+    );
+    let rows = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap()
+        .measure_table3()
+        .unwrap();
+    for r in rows {
+        println!(
+            "table3 {}: measured {} paper {}",
+            r.name, r.measured_instructions, r.paper_instructions
+        );
+    }
 }

@@ -3,9 +3,10 @@
 use std::error::Error;
 use std::fmt;
 
-use efex_core::{CoreError, DeliveryCosts, DeliveryPath, HostConfig, HostProcess, Prot};
+use efex_core::{CoreError, DeliveryCosts, DeliveryPath, HostProcess, Prot};
 use efex_simos::layout::PAGE_SIZE;
 use efex_simos::vm::FaultKind;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 /// A node index.
 pub type NodeId = usize;
@@ -60,6 +61,16 @@ pub struct DsmStats {
     pub invalidations: u64,
     /// Reads and writes performed.
     pub accesses: u64,
+}
+
+impl Snapshot for DsmStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("dsm")
+            .counter("faults", self.faults)
+            .counter("page_transfers", self.page_transfers)
+            .counter("invalidations", self.invalidations)
+            .counter("accesses", self.accesses)
+    }
 }
 
 /// DSM errors.
@@ -123,10 +134,7 @@ impl Dsm {
         let mut nodes = Vec::with_capacity(cfg.nodes);
         let mut base = 0;
         for i in 0..cfg.nodes {
-            let mut host = HostProcess::with_config(HostConfig {
-                path: cfg.path,
-                ..HostConfig::default()
-            })?;
+            let mut host = HostProcess::builder().delivery(cfg.path).build()?;
             let prot = if i == 0 { Prot::ReadWrite } else { Prot::None };
             let b = host.alloc_region(len, prot)?;
             if i == 0 {
@@ -171,6 +179,15 @@ impl Dsm {
     /// Statistics so far.
     pub fn stats(&self) -> &DsmStats {
         &self.stats
+    }
+
+    /// Per-(path, class) exception metrics merged across every node.
+    pub fn trace_metrics(&self) -> efex_trace::Metrics {
+        let mut merged = efex_trace::Metrics::new();
+        for node in &self.nodes {
+            merged.merge(node.trace_metrics());
+        }
+        merged
     }
 
     /// Total simulated cycles across all nodes.
@@ -291,8 +308,7 @@ impl Dsm {
             self.copy_page(owner, node, page)?;
         }
         // Invalidate all other holders.
-        let holders: Vec<NodeId> = self
-            .dir[page]
+        let holders: Vec<NodeId> = self.dir[page]
             .copyset
             .iter()
             .copied()

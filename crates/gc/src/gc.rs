@@ -5,11 +5,10 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{
-    CoreError, FaultInfo, HandlerAction, HostConfig, HostProcess, Prot,
-};
+use efex_core::{CoreError, FaultInfo, HandlerAction, HostProcess, Prot};
 use efex_simos::layout::{PAGE_SIZE, SUBPAGE_SIZE};
 use efex_simos::vm::FaultKind;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 use crate::config::{BarrierKind, GcConfig};
 use crate::heap::{BlockGen, HeapState, Obj, ObjRef, Value};
@@ -35,6 +34,21 @@ pub struct GcStats {
     pub software_checks: u64,
     /// Old-to-young slots recorded.
     pub remembered_slots: u64,
+}
+
+impl Snapshot for GcStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("gc")
+            .counter("minor_collections", self.minor_collections)
+            .counter("major_collections", self.major_collections)
+            .counter("objects_allocated", self.objects_allocated)
+            .counter("bytes_allocated", self.bytes_allocated)
+            .counter("objects_freed", self.objects_freed)
+            .counter("objects_promoted", self.objects_promoted)
+            .counter("barrier_faults", self.barrier_faults)
+            .counter("software_checks", self.software_checks)
+            .counter("remembered_slots", self.remembered_slots)
+    }
 }
 
 /// Collector errors.
@@ -96,12 +110,12 @@ impl Gc {
     /// Fails if the simulated system cannot boot or the heap cannot be
     /// mapped.
     pub fn new(cfg: GcConfig) -> Result<Gc, GcError> {
-        let mut host = HostProcess::with_config(HostConfig {
-            path: cfg.path,
-            eager_amplification: cfg.eager_amplification
-                && cfg.barrier == BarrierKind::PageProtection,
-            ..HostConfig::default()
-        })?;
+        let mut host = HostProcess::builder()
+            .delivery(cfg.path)
+            .eager_amplification(
+                cfg.eager_amplification && cfg.barrier == BarrierKind::PageProtection,
+            )
+            .build()?;
         let heap_bytes = (cfg.heap_bytes + PAGE_SIZE - 1) & !(PAGE_SIZE - 1);
         let base = host.alloc_region(heap_bytes, Prot::ReadWrite)?;
         let st = Rc::new(RefCell::new(HeapState::new(base, heap_bytes)));
@@ -165,6 +179,12 @@ impl Gc {
         let mut s = self.stats;
         s.barrier_faults = self.host.stats().faults_delivered;
         s
+    }
+
+    /// Per-(path, class) exception metrics for the barrier faults the
+    /// collector took (histograms, per-page counts).
+    pub fn trace_metrics(&self) -> &efex_trace::Metrics {
+        self.host.trace_metrics()
     }
 
     /// Simulated time elapsed, µs.
@@ -358,7 +378,8 @@ impl Gc {
 
     fn zero_pages(&mut self, base: u32, pages: u32) -> Result<(), GcError> {
         // Model a block-zeroing loop: one cycle per word.
-        self.host.charge(u64::from(pages) * u64::from(PAGE_SIZE / 4));
+        self.host
+            .charge(u64::from(pages) * u64::from(PAGE_SIZE / 4));
         let zeros = vec![0u8; PAGE_SIZE as usize];
         for i in 0..pages {
             self.host
@@ -379,11 +400,7 @@ impl Gc {
     pub fn store(&mut self, obj: ObjRef, index: u32, value: Value) -> Result<(), GcError> {
         let (size, old) = self.object_info(obj)?;
         if index >= size {
-            return Err(GcError::BadField {
-                obj,
-                index,
-                size,
-            });
+            return Err(GcError::BadField { obj, index, size });
         }
         let addr = obj.addr() + index * 4;
         if self.cfg.barrier == BarrierKind::SoftwareCheck {
@@ -407,11 +424,7 @@ impl Gc {
     pub fn load(&mut self, obj: ObjRef, index: u32) -> Result<Value, GcError> {
         let (size, _) = self.object_info(obj)?;
         if index >= size {
-            return Err(GcError::BadField {
-                obj,
-                index,
-                size,
-            });
+            return Err(GcError::BadField { obj, index, size });
         }
         Ok(Value::decode(self.host.load_u32(obj.addr() + index * 4)?))
     }
@@ -431,7 +444,11 @@ impl Gc {
     /// Runs a collection: minor, or major every `major_every`th time.
     pub fn collect(&mut self) {
         self.collections += 1;
-        if self.cfg.major_every > 0 && self.collections.is_multiple_of(u64::from(self.cfg.major_every)) {
+        if self.cfg.major_every > 0
+            && self
+                .collections
+                .is_multiple_of(u64::from(self.cfg.major_every))
+        {
             self.collect_major();
         } else {
             self.collect_minor();
@@ -474,8 +491,7 @@ impl Gc {
             }
             BarrierKind::SoftwareCheck => {
                 let slots: Vec<u32> = std::mem::take(&mut self.st.borrow_mut().ssb);
-                self.host
-                    .charge(self.cfg.scan_cycles * slots.len() as u64);
+                self.host.charge(self.cfg.scan_cycles * slots.len() as u64);
                 for slot in slots {
                     if let Ok(word) = self.host.read_raw(slot) {
                         let s = self.st.borrow();
@@ -502,10 +518,7 @@ impl Gc {
         self.stats.major_collections += 1;
         let gray: Vec<u32> = {
             let s = self.st.borrow();
-            s.roots
-                .iter()
-                .filter_map(|r| s.find_object(*r))
-                .collect()
+            s.roots.iter().filter_map(|r| s.find_object(*r)).collect()
         };
         self.trace(gray, true);
         self.sweep(true);
@@ -550,8 +563,7 @@ impl Gc {
                 o.words
             };
             self.host.charge(self.cfg.mark_cycles);
-            self.host
-                .charge(self.cfg.scan_cycles * u64::from(words));
+            self.host.charge(self.cfg.scan_cycles * u64::from(words));
             for i in 0..words {
                 let Ok(word) = self.host.read_raw(base + i * 4) else {
                     continue;
@@ -752,7 +764,7 @@ mod tests {
         let old = cons(&mut gc, Value::Int(10), Value::Nil);
         gc.push_root(old);
         gc.collect_minor(); // promotes `old` and write-protects its page
-        // A young object referenced ONLY from the old object.
+                            // A young object referenced ONLY from the old object.
         let young = cons(&mut gc, Value::Int(20), Value::Nil);
         gc.store(old, 1, Value::Ref(young)).unwrap(); // faults -> dirty page
         assert!(gc.stats().barrier_faults >= 1, "barrier must fault");

@@ -255,7 +255,11 @@ mod tests {
     #[test]
     fn fast_exceptions_beat_signals_on_the_same_workload() {
         let fast = run_lisp(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
-        let slow = run_lisp(DeliveryPath::UnixSignals, BarrierKind::PageProtection, false);
+        let slow = run_lisp(
+            DeliveryPath::UnixSignals,
+            BarrierKind::PageProtection,
+            false,
+        );
         assert_eq!(
             fast.stats.barrier_faults, slow.stats.barrier_faults,
             "identical fault counts (the paper's controlled variable)"

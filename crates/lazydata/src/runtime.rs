@@ -13,10 +13,9 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{
-    CoreError, DeliveryPath, FaultInfo, HandlerAction, HostConfig, HostProcess, Prot,
-};
+use efex_core::{CoreError, DeliveryPath, FaultInfo, HandlerAction, HostProcess, Prot};
 use efex_mips::ExcCode;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 /// Base of the reserved (never-mapped) tag address range.
 const TAG_BASE: u32 = 0x6000_0000;
@@ -34,6 +33,16 @@ pub struct LazyStats {
     pub faults: u64,
     /// Cells allocated in total.
     pub cells: u64,
+}
+
+impl Snapshot for LazyStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("lazydata")
+            .counter("extensions", self.extensions)
+            .counter("forces", self.forces)
+            .counter("faults", self.faults)
+            .counter("cells", self.cells)
+    }
 }
 
 /// Runtime errors.
@@ -146,10 +155,7 @@ impl LazyRuntime {
     ///
     /// Fails if the simulated system cannot boot.
     pub fn new(path: DeliveryPath, heap_bytes: u32) -> Result<LazyRuntime, LazyError> {
-        let mut host = HostProcess::with_config(HostConfig {
-            path,
-            ..HostConfig::default()
-        })?;
+        let mut host = HostProcess::builder().delivery(path).build()?;
         let base = host.alloc_region(heap_bytes, Prot::ReadWrite)?;
         let st = Rc::new(RefCell::new(RtState {
             alloc_next: base,
@@ -202,8 +208,7 @@ impl LazyRuntime {
             };
             // Charge the force's own work (allocation + fill).
             ctx.charge(20);
-            if ctx.write_raw(cell, filled.0).is_err()
-                || ctx.write_raw(cell + 4, filled.1).is_err()
+            if ctx.write_raw(cell, filled.0).is_err() || ctx.write_raw(cell + 4, filled.1).is_err()
             {
                 return HandlerAction::Abort;
             }
@@ -228,6 +233,11 @@ impl LazyRuntime {
             faults: self.host.stats().faults_delivered,
             cells: s.cells,
         }
+    }
+
+    /// Per-(path, class) exception metrics for the unaligned faults taken.
+    pub fn trace_metrics(&self) -> &efex_trace::Metrics {
+        self.host.trace_metrics()
     }
 
     /// Simulated time, µs.
@@ -299,7 +309,8 @@ impl LazyRuntime {
     ) -> Result<u32, LazyError> {
         let mut s = self.st.borrow_mut();
         let slot = s.alloc_cell().ok_or(LazyError::OutOfMemory)?;
-        s.suspensions.push(Suspension::Future(Some(Box::new(producer))));
+        s.suspensions
+            .push(Suspension::Future(Some(Box::new(producer))));
         let tag = s.tag_for(s.suspensions.len() - 1);
         drop(s);
         self.host.write_raw(slot, tag)?;

@@ -166,9 +166,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     continue;
                 }
                 if let Stmt::Equ(name, expr) = stmt {
-                    let value = expr
-                        .eval(&symbols)
-                        .map_err(|m| AsmError::new(*line, m))?;
+                    let value = expr.eval(&symbols).map_err(|m| AsmError::new(*line, m))?;
                     if symbols.insert(name.clone(), value as u32).is_some() {
                         return Err(AsmError::new(*line, format!("duplicate symbol `{name}`")));
                     }
@@ -179,9 +177,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                     addr = (addr + a - 1) & !(a - 1);
                     continue;
                 }
-                let size = stmt
-                    .size_bytes()
-                    .map_err(|m| AsmError::new(*line, m))?;
+                let size = stmt.size_bytes().map_err(|m| AsmError::new(*line, m))?;
                 if stmt.is_instruction() && first_inst.is_none() {
                     first_inst = Some(addr);
                 }
@@ -499,15 +495,24 @@ mod tests {
         let w = words(&p);
         assert_eq!(
             decode(w[0]).unwrap(),
-            Instruction::Mfc0 { rt: Reg::K0, rd: 14 }
+            Instruction::Mfc0 {
+                rt: Reg::K0,
+                rd: 14
+            }
         );
         assert_eq!(
             decode(w[1]).unwrap(),
-            Instruction::Mtc0 { rt: Reg::K0, rd: 24 }
+            Instruction::Mtc0 {
+                rt: Reg::K0,
+                rd: 24
+            }
         );
         assert_eq!(
             decode(w[2]).unwrap(),
-            Instruction::Mfc0 { rt: Reg::K1, rd: 14 }
+            Instruction::Mfc0 {
+                rt: Reg::K1,
+                rd: 14
+            }
         );
     }
 
@@ -594,11 +599,18 @@ mod equ_tests {
         let w2 = u32::from_le_bytes(seg.bytes[4..8].try_into().unwrap());
         assert_eq!(
             decode(w1).unwrap(),
-            Instruction::Lui { rt: Reg::K0, imm: 0x7ffe }
+            Instruction::Lui {
+                rt: Reg::K0,
+                imm: 0x7ffe
+            }
         );
         assert_eq!(
             decode(w2).unwrap(),
-            Instruction::Lw { rt: Reg::K1, base: Reg::K0, imm: 36 }
+            Instruction::Lw {
+                rt: Reg::K1,
+                base: Reg::K0,
+                imm: 36
+            }
         );
         assert_eq!(p.symbol("SLOT"), Some(36));
     }

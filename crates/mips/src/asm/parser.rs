@@ -477,8 +477,10 @@ fn emit_inst(
             let rd = want_reg(&ops[0])?;
             let rt = want_reg(&ops[1])?;
             let sh = want_expr(&ops[2])?.eval(symbols)?;
-            let shamt =
-                u8::try_from(sh).ok().filter(|s| *s < 32).ok_or("shift amount out of range")?;
+            let shamt = u8::try_from(sh)
+                .ok()
+                .filter(|s| *s < 32)
+                .ok_or("shift amount out of range")?;
             one(match mnemonic {
                 "sll" => Sll { rd, rt, shamt },
                 "srl" => Srl { rd, rt, shamt },
@@ -749,14 +751,30 @@ fn emit_inst(
                 _ => (rt, rs),
             };
             let cmp = if unsigned {
-                Sltu { rd: Reg::AT, rs: cmp_rs, rt: cmp_rt }
+                Sltu {
+                    rd: Reg::AT,
+                    rs: cmp_rs,
+                    rt: cmp_rt,
+                }
             } else {
-                Slt { rd: Reg::AT, rs: cmp_rs, rt: cmp_rt }
+                Slt {
+                    rd: Reg::AT,
+                    rs: cmp_rs,
+                    rt: cmp_rt,
+                }
             };
             // blt/bgt branch when the comparison is true; bge/ble when false.
             let br = match mnemonic.trim_end_matches('u') {
-                "blt" | "bgt" => Bne { rs: Reg::AT, rt: Reg::ZERO, imm },
-                _ => Beq { rs: Reg::AT, rt: Reg::ZERO, imm },
+                "blt" | "bgt" => Bne {
+                    rs: Reg::AT,
+                    rt: Reg::ZERO,
+                    imm,
+                },
+                _ => Beq {
+                    rs: Reg::AT,
+                    rt: Reg::ZERO,
+                    imm,
+                },
             };
             Ok(vec![cmp, br])
         }
@@ -856,7 +874,9 @@ mod tests {
         let Item::Stmt(Stmt::Inst { operands, .. }) = &items[0] else {
             panic!()
         };
-        let Operand::Expr(e) = &operands[1] else { panic!() };
+        let Operand::Expr(e) = &operands[1] else {
+            panic!()
+        };
         let mut syms = BTreeMap::new();
         syms.insert("base".to_string(), 0x100u32);
         assert_eq!(e.eval(&syms).unwrap(), 0x104);
@@ -869,10 +889,7 @@ mod tests {
             parse(".org 0x80000000")[0],
             Item::Stmt(Stmt::Org(0x8000_0000))
         ));
-        assert!(matches!(
-            parse(".space 16")[0],
-            Item::Stmt(Stmt::Space(16))
-        ));
+        assert!(matches!(parse(".space 16")[0], Item::Stmt(Stmt::Space(16))));
         // globl is accepted and ignored.
         assert!(parse(".globl main").is_empty());
     }

@@ -141,14 +141,46 @@ pub fn decode(word: u32) -> Result<Instruction, DecodeError> {
         op::HCALL => Hcall {
             code: word & 0x03ff_ffff,
         },
-        op::LB => Lb { rt, base: rs, imm: simm },
-        op::LH => Lh { rt, base: rs, imm: simm },
-        op::LW => Lw { rt, base: rs, imm: simm },
-        op::LBU => Lbu { rt, base: rs, imm: simm },
-        op::LHU => Lhu { rt, base: rs, imm: simm },
-        op::SB => Sb { rt, base: rs, imm: simm },
-        op::SH => Sh { rt, base: rs, imm: simm },
-        op::SW => Sw { rt, base: rs, imm: simm },
+        op::LB => Lb {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::LH => Lh {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::LW => Lw {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::LBU => Lbu {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::LHU => Lhu {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::SB => Sb {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::SH => Sh {
+            rt,
+            base: rs,
+            imm: simm,
+        },
+        op::SW => Sw {
+            rt,
+            base: rs,
+            imm: simm,
+        },
         _ => return Err(DecodeError::Reserved(word)),
     };
     Ok(inst)
@@ -200,7 +232,10 @@ mod tests {
                 rt: Reg::GP,
                 imm: 0xdead,
             },
-            Instruction::Mfc0 { rt: Reg::K0, rd: 14 },
+            Instruction::Mfc0 {
+                rt: Reg::K0,
+                rd: 14,
+            },
             Instruction::Rfe,
             Instruction::Xpcu,
             Instruction::Utlbp {

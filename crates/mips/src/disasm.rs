@@ -20,7 +20,10 @@ pub fn disassemble_at(
     symbols: Option<&BTreeMap<String, u32>>,
 ) -> String {
     use Instruction::*;
-    let rel = |imm: i16| addr.wrapping_add(4).wrapping_add((i32::from(imm) << 2) as u32);
+    let rel = |imm: i16| {
+        addr.wrapping_add(4)
+            .wrapping_add((i32::from(imm) << 2) as u32)
+    };
     let abs = |target: u32| (addr.wrapping_add(4) & 0xf000_0000) | (target << 2);
     let name = |t: u32| -> String {
         if let Some(syms) = symbols {
@@ -174,10 +177,7 @@ mod tests {
         "#;
         let (m, _) = machine_with(src);
         let rows = disassemble_range(&m, 0x8000_1000, 8, None);
-        let rebuilt: String = rows
-            .iter()
-            .map(|(_, _, t)| format!("{t}\n"))
-            .collect();
+        let rebuilt: String = rows.iter().map(|(_, _, t)| format!("{t}\n")).collect();
         let prog2 = assemble(&format!(".org 0x80001000\n{rebuilt}")).unwrap();
         let orig = assemble(src).unwrap();
         assert_eq!(prog2.segments()[0].bytes, orig.segments()[0].bytes);

@@ -262,7 +262,13 @@ mod tests {
     #[test]
     fn syscall_and_break_carry_codes() {
         assert_eq!(encode(Instruction::Syscall { code: 7 }) & 0x3f, 0x0c);
-        assert_eq!((encode(Instruction::Syscall { code: 7 }) >> 6) & 0xf_ffff, 7);
-        assert_eq!((encode(Instruction::Break { code: 99 }) >> 6) & 0xf_ffff, 99);
+        assert_eq!(
+            (encode(Instruction::Syscall { code: 7 }) >> 6) & 0xf_ffff,
+            7
+        );
+        assert_eq!(
+            (encode(Instruction::Break { code: 99 }) >> 6) & 0xf_ffff,
+            99
+        );
     }
 }

@@ -185,72 +185,264 @@ impl fmt::Display for TlbProtOp {
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum Instruction {
     // --- ALU, R-type ---
-    Sll { rd: Reg, rt: Reg, shamt: u8 },
-    Srl { rd: Reg, rt: Reg, shamt: u8 },
-    Sra { rd: Reg, rt: Reg, shamt: u8 },
-    Sllv { rd: Reg, rt: Reg, rs: Reg },
-    Srlv { rd: Reg, rt: Reg, rs: Reg },
-    Srav { rd: Reg, rt: Reg, rs: Reg },
-    Jr { rs: Reg },
-    Jalr { rd: Reg, rs: Reg },
-    Syscall { code: u32 },
-    Break { code: u32 },
-    Mfhi { rd: Reg },
-    Mthi { rs: Reg },
-    Mflo { rd: Reg },
-    Mtlo { rs: Reg },
-    Mult { rs: Reg, rt: Reg },
-    Multu { rs: Reg, rt: Reg },
-    Div { rs: Reg, rt: Reg },
-    Divu { rs: Reg, rt: Reg },
-    Add { rd: Reg, rs: Reg, rt: Reg },
-    Addu { rd: Reg, rs: Reg, rt: Reg },
-    Sub { rd: Reg, rs: Reg, rt: Reg },
-    Subu { rd: Reg, rs: Reg, rt: Reg },
-    And { rd: Reg, rs: Reg, rt: Reg },
-    Or { rd: Reg, rs: Reg, rt: Reg },
-    Xor { rd: Reg, rs: Reg, rt: Reg },
-    Nor { rd: Reg, rs: Reg, rt: Reg },
-    Slt { rd: Reg, rs: Reg, rt: Reg },
-    Sltu { rd: Reg, rs: Reg, rt: Reg },
+    Sll {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Srl {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sra {
+        rd: Reg,
+        rt: Reg,
+        shamt: u8,
+    },
+    Sllv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srlv {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Srav {
+        rd: Reg,
+        rt: Reg,
+        rs: Reg,
+    },
+    Jr {
+        rs: Reg,
+    },
+    Jalr {
+        rd: Reg,
+        rs: Reg,
+    },
+    Syscall {
+        code: u32,
+    },
+    Break {
+        code: u32,
+    },
+    Mfhi {
+        rd: Reg,
+    },
+    Mthi {
+        rs: Reg,
+    },
+    Mflo {
+        rd: Reg,
+    },
+    Mtlo {
+        rs: Reg,
+    },
+    Mult {
+        rs: Reg,
+        rt: Reg,
+    },
+    Multu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Div {
+        rs: Reg,
+        rt: Reg,
+    },
+    Divu {
+        rs: Reg,
+        rt: Reg,
+    },
+    Add {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Addu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Subu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    And {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Nor {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs: Reg,
+        rt: Reg,
+    },
 
     // --- branches ---
-    Beq { rs: Reg, rt: Reg, imm: i16 },
-    Bne { rs: Reg, rt: Reg, imm: i16 },
-    Blez { rs: Reg, imm: i16 },
-    Bgtz { rs: Reg, imm: i16 },
-    Bltz { rs: Reg, imm: i16 },
-    Bgez { rs: Reg, imm: i16 },
-    Bltzal { rs: Reg, imm: i16 },
-    Bgezal { rs: Reg, imm: i16 },
+    Beq {
+        rs: Reg,
+        rt: Reg,
+        imm: i16,
+    },
+    Bne {
+        rs: Reg,
+        rt: Reg,
+        imm: i16,
+    },
+    Blez {
+        rs: Reg,
+        imm: i16,
+    },
+    Bgtz {
+        rs: Reg,
+        imm: i16,
+    },
+    Bltz {
+        rs: Reg,
+        imm: i16,
+    },
+    Bgez {
+        rs: Reg,
+        imm: i16,
+    },
+    Bltzal {
+        rs: Reg,
+        imm: i16,
+    },
+    Bgezal {
+        rs: Reg,
+        imm: i16,
+    },
 
     // --- ALU, I-type ---
-    Addi { rt: Reg, rs: Reg, imm: i16 },
-    Addiu { rt: Reg, rs: Reg, imm: i16 },
-    Slti { rt: Reg, rs: Reg, imm: i16 },
-    Sltiu { rt: Reg, rs: Reg, imm: i16 },
-    Andi { rt: Reg, rs: Reg, imm: u16 },
-    Ori { rt: Reg, rs: Reg, imm: u16 },
-    Xori { rt: Reg, rs: Reg, imm: u16 },
-    Lui { rt: Reg, imm: u16 },
+    Addi {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Addiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Slti {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Sltiu {
+        rt: Reg,
+        rs: Reg,
+        imm: i16,
+    },
+    Andi {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Ori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Xori {
+        rt: Reg,
+        rs: Reg,
+        imm: u16,
+    },
+    Lui {
+        rt: Reg,
+        imm: u16,
+    },
 
     // --- loads and stores ---
-    Lb { rt: Reg, base: Reg, imm: i16 },
-    Lh { rt: Reg, base: Reg, imm: i16 },
-    Lw { rt: Reg, base: Reg, imm: i16 },
-    Lbu { rt: Reg, base: Reg, imm: i16 },
-    Lhu { rt: Reg, base: Reg, imm: i16 },
-    Sb { rt: Reg, base: Reg, imm: i16 },
-    Sh { rt: Reg, base: Reg, imm: i16 },
-    Sw { rt: Reg, base: Reg, imm: i16 },
+    Lb {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Lh {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Lw {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Lbu {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Lhu {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Sb {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Sh {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
+    Sw {
+        rt: Reg,
+        base: Reg,
+        imm: i16,
+    },
 
     // --- jumps ---
-    J { target: u32 },
-    Jal { target: u32 },
+    J {
+        target: u32,
+    },
+    Jal {
+        target: u32,
+    },
 
     // --- system coprocessor ---
-    Mfc0 { rt: Reg, rd: u8 },
-    Mtc0 { rt: Reg, rd: u8 },
+    Mfc0 {
+        rt: Reg,
+        rd: u8,
+    },
+    Mtc0 {
+        rt: Reg,
+        rd: u8,
+    },
     Tlbr,
     Tlbwi,
     Tlbwr,
@@ -265,12 +457,17 @@ pub enum Instruction {
     /// bits of the TLB entry translating the virtual address in `rs`.
     /// Requires the entry's user-modifiable bit; raises an address error
     /// otherwise.
-    Utlbp { rs: Reg, op: TlbProtOp },
+    Utlbp {
+        rs: Reg,
+        op: TlbProtOp,
+    },
 
     // --- simulator escape ---
     /// Privileged host call: stops the simulation loop and yields
     /// `StopReason::HostCall(code)` so host (Rust) kernel services can run.
-    Hcall { code: u32 },
+    Hcall {
+        code: u32,
+    },
 }
 
 impl Instruction {

@@ -320,7 +320,8 @@ impl Machine {
     /// Fails if a segment lies outside KSEG0/KSEG1 or past physical memory.
     pub fn load_image(&mut self, prog: &Program) -> Result<(), MachineError> {
         for seg in prog.segments() {
-            let paddr = kseg_to_phys(seg.addr).ok_or(MachineError::UnmappedImageSegment(seg.addr))?;
+            let paddr =
+                kseg_to_phys(seg.addr).ok_or(MachineError::UnmappedImageSegment(seg.addr))?;
             self.mem
                 .write_bytes(paddr, &seg.bytes)
                 .map_err(|_| MachineError::ImageOutOfRange(seg.addr))?;
@@ -466,9 +467,7 @@ impl Machine {
             Sra { rd, rt, shamt } => c.set_reg(rd, ((c.reg(rt) as i32) >> shamt) as u32),
             Sllv { rd, rt, rs } => c.set_reg(rd, c.reg(rt) << (c.reg(rs) & 31)),
             Srlv { rd, rt, rs } => c.set_reg(rd, c.reg(rt) >> (c.reg(rs) & 31)),
-            Srav { rd, rt, rs } => {
-                c.set_reg(rd, ((c.reg(rt) as i32) >> (c.reg(rs) & 31)) as u32)
-            }
+            Srav { rd, rt, rs } => c.set_reg(rd, ((c.reg(rt) as i32) >> (c.reg(rs) & 31)) as u32),
             Jr { rs } => c.next_pc = c.reg(rs),
             Jalr { rd, rs } => {
                 let target = c.reg(rs);
@@ -514,27 +513,21 @@ impl Machine {
                     c.hi = a % b;
                 }
             }
-            Add { rd, rs, rt } => {
-                match (c.reg(rs) as i32).checked_add(c.reg(rt) as i32) {
-                    Some(v) => c.set_reg(rd, v as u32),
-                    None => return Exec::Fault(ExcCode::Overflow, None),
-                }
-            }
+            Add { rd, rs, rt } => match (c.reg(rs) as i32).checked_add(c.reg(rt) as i32) {
+                Some(v) => c.set_reg(rd, v as u32),
+                None => return Exec::Fault(ExcCode::Overflow, None),
+            },
             Addu { rd, rs, rt } => c.set_reg(rd, c.reg(rs).wrapping_add(c.reg(rt))),
-            Sub { rd, rs, rt } => {
-                match (c.reg(rs) as i32).checked_sub(c.reg(rt) as i32) {
-                    Some(v) => c.set_reg(rd, v as u32),
-                    None => return Exec::Fault(ExcCode::Overflow, None),
-                }
-            }
+            Sub { rd, rs, rt } => match (c.reg(rs) as i32).checked_sub(c.reg(rt) as i32) {
+                Some(v) => c.set_reg(rd, v as u32),
+                None => return Exec::Fault(ExcCode::Overflow, None),
+            },
             Subu { rd, rs, rt } => c.set_reg(rd, c.reg(rs).wrapping_sub(c.reg(rt))),
             And { rd, rs, rt } => c.set_reg(rd, c.reg(rs) & c.reg(rt)),
             Or { rd, rs, rt } => c.set_reg(rd, c.reg(rs) | c.reg(rt)),
             Xor { rd, rs, rt } => c.set_reg(rd, c.reg(rs) ^ c.reg(rt)),
             Nor { rd, rs, rt } => c.set_reg(rd, !(c.reg(rs) | c.reg(rt))),
-            Slt { rd, rs, rt } => {
-                c.set_reg(rd, ((c.reg(rs) as i32) < (c.reg(rt) as i32)) as u32)
-            }
+            Slt { rd, rs, rt } => c.set_reg(rd, ((c.reg(rs) as i32) < (c.reg(rt) as i32)) as u32),
             Sltu { rd, rs, rt } => c.set_reg(rd, (c.reg(rs) < c.reg(rt)) as u32),
             Beq { rs, rt, imm } => {
                 if c.reg(rs) == c.reg(rt) {
@@ -580,21 +573,13 @@ impl Machine {
                     c.next_pc = branch_target(pc, imm);
                 }
             }
-            Addi { rt, rs, imm } => {
-                match (c.reg(rs) as i32).checked_add(i32::from(imm)) {
-                    Some(v) => c.set_reg(rt, v as u32),
-                    None => return Exec::Fault(ExcCode::Overflow, None),
-                }
-            }
-            Addiu { rt, rs, imm } => {
-                c.set_reg(rt, c.reg(rs).wrapping_add(imm as i32 as u32))
-            }
-            Slti { rt, rs, imm } => {
-                c.set_reg(rt, ((c.reg(rs) as i32) < i32::from(imm)) as u32)
-            }
-            Sltiu { rt, rs, imm } => {
-                c.set_reg(rt, (c.reg(rs) < (imm as i32 as u32)) as u32)
-            }
+            Addi { rt, rs, imm } => match (c.reg(rs) as i32).checked_add(i32::from(imm)) {
+                Some(v) => c.set_reg(rt, v as u32),
+                None => return Exec::Fault(ExcCode::Overflow, None),
+            },
+            Addiu { rt, rs, imm } => c.set_reg(rt, c.reg(rs).wrapping_add(imm as i32 as u32)),
+            Slti { rt, rs, imm } => c.set_reg(rt, ((c.reg(rs) as i32) < i32::from(imm)) as u32),
+            Sltiu { rt, rs, imm } => c.set_reg(rt, (c.reg(rs) < (imm as i32 as u32)) as u32),
             Andi { rt, rs, imm } => c.set_reg(rt, c.reg(rs) & u32::from(imm)),
             Ori { rt, rs, imm } => c.set_reg(rt, c.reg(rs) | u32::from(imm)),
             Xori { rt, rs, imm } => c.set_reg(rt, c.reg(rs) ^ u32::from(imm)),
@@ -783,7 +768,13 @@ impl Machine {
     /// synchronous, maskable, and not a TLB *miss* (refills always belong to
     /// the kernel) — the exception is delivered by exchanging PC with UXT.
     /// Otherwise CP0 performs the standard kernel entry.
-    pub fn raise(&mut self, code: ExcCode, pc: u32, bad_vaddr: Option<u32>, in_delay: bool) -> Vectored {
+    pub fn raise(
+        &mut self,
+        code: ExcCode,
+        pc: u32,
+        bad_vaddr: Option<u32>,
+        in_delay: bool,
+    ) -> Vectored {
         self.exceptions_taken += 1;
         // EPC semantics: point at the branch when faulting in a delay slot.
         let epc = if in_delay { pc.wrapping_sub(4) } else { pc };
@@ -814,9 +805,9 @@ impl Machine {
             self.cp0.enter_exception(code, epc, bad_vaddr, in_delay);
             let vector = if was_user
                 && matches!(code, ExcCode::TlbLoad | ExcCode::TlbStore)
-                && bad_vaddr.is_some_and(|v| {
-                    v < 0x8000_0000 && self.tlb.probe(v, self.asid()).is_none()
-                }) {
+                && bad_vaddr
+                    .is_some_and(|v| v < 0x8000_0000 && self.tlb.probe(v, self.asid()).is_none())
+            {
                 UTLB_VECTOR
             } else {
                 GENERAL_VECTOR
@@ -956,7 +947,8 @@ enum Exec {
 }
 
 fn branch_target(pc: u32, imm: i16) -> u32 {
-    pc.wrapping_add(4).wrapping_add((i32::from(imm) << 2) as u32)
+    pc.wrapping_add(4)
+        .wrapping_add((i32::from(imm) << 2) as u32)
 }
 
 fn tlb_fault_code(f: TlbFault, access: Access) -> ExcCode {
@@ -1193,13 +1185,11 @@ mod tests {
                 user_modifiable: false,
             },
         );
-        let insts = [
-            encode(Instruction::Lw {
-                rt: Reg::T0,
-                base: Reg::ZERO,
-                imm: 0, // vaddr 0 — unmapped user page -> UTLB miss
-            }),
-        ];
+        let insts = [encode(Instruction::Lw {
+            rt: Reg::T0,
+            base: Reg::ZERO,
+            imm: 0, // vaddr 0 — unmapped user page -> UTLB miss
+        })];
         for (i, w) in insts.iter().enumerate() {
             m.mem_mut().write_u32(0x2000 + 4 * i as u32, *w).unwrap();
         }
@@ -1207,7 +1197,11 @@ mod tests {
         m.set_pc(0x0040_0000);
         m.run(1).unwrap();
         assert_eq!(m.cp0().exc_code(), Some(ExcCode::TlbLoad));
-        assert_eq!(m.cpu().pc, UTLB_VECTOR, "user TLB miss uses the refill vector");
+        assert_eq!(
+            m.cpu().pc,
+            UTLB_VECTOR,
+            "user TLB miss uses the refill vector"
+        );
         assert!(!m.cp0().user_mode(), "exception enters kernel mode");
     }
 
@@ -1291,7 +1285,14 @@ mod tests {
             .write_u32(0x2000, encode(Instruction::Break { code: 0 }))
             .unwrap();
         m.mem_mut()
-            .write_u32(0x2004, encode(Instruction::Addiu { rt: Reg::T5, rs: Reg::ZERO, imm: 7 }))
+            .write_u32(
+                0x2004,
+                encode(Instruction::Addiu {
+                    rt: Reg::T5,
+                    rs: Reg::ZERO,
+                    imm: 7,
+                }),
+            )
             .unwrap();
         m.mem_mut()
             .write_u32(0x2008, encode(Instruction::Break { code: 1 }))
@@ -1365,7 +1366,10 @@ mod tests {
         m.step().unwrap(); // first break: user-vectored
         assert!(m.cp0().status & status::UXA != 0);
         m.step().unwrap(); // second break: recursive -> kernel
-        assert!(!m.cp0().user_mode(), "recursive exception must enter kernel");
+        assert!(
+            !m.cp0().user_mode(),
+            "recursive exception must enter kernel"
+        );
         assert_eq!(m.cpu().pc, GENERAL_VECTOR);
     }
 

@@ -59,10 +59,7 @@ impl Profiler {
 
     /// Builds regions from a sorted list of `(label, address)` pairs, where
     /// each region extends to the next label (the last extends to `end`).
-    pub fn from_labels<'a>(
-        labels: impl IntoIterator<Item = (&'a str, u32)>,
-        end: u32,
-    ) -> Profiler {
+    pub fn from_labels<'a>(labels: impl IntoIterator<Item = (&'a str, u32)>, end: u32) -> Profiler {
         let mut pairs: Vec<(&str, u32)> = labels.into_iter().collect();
         pairs.sort_by_key(|&(_, a)| a);
         let mut p = Profiler::new();

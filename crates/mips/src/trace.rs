@@ -147,7 +147,10 @@ mod tests {
         m.load_image(&prog).unwrap();
         // Put an hcall at the general vector so the run stops there.
         m.mem_mut()
-            .write_u32(0x80, crate::encode::encode(crate::isa::Instruction::Hcall { code: 1 }))
+            .write_u32(
+                0x80,
+                crate::encode::encode(crate::isa::Instruction::Hcall { code: 1 }),
+            )
             .unwrap();
         m.set_pc(prog.entry());
         m.set_trace(Some(Trace::new(8)));

@@ -9,9 +9,7 @@ use efex_mips::ExcCode;
 
 /// Runs a program body (with `$t0`/`$t1` preloaded) and returns the machine.
 fn run(setup: &str, body: &str) -> Machine {
-    let src = format!(
-        ".org 0x80002000\nmain:\n{setup}\n{body}\n    hcall 0\n"
-    );
+    let src = format!(".org 0x80002000\nmain:\n{setup}\n{body}\n    hcall 0\n");
     let prog = assemble(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
     let mut m = Machine::new(1 << 20);
     m.load_image(&prog).unwrap();
@@ -102,7 +100,11 @@ fn mult_and_div_hi_lo() {
         "    div $t0, $t1\n    mflo $t2\n    mfhi $t3",
     );
     assert_eq!(m.cpu().reg(Reg::T2) as i32, -3, "trunc toward zero");
-    assert_eq!(m.cpu().reg(Reg::T3) as i32, -1, "remainder sign follows dividend");
+    assert_eq!(
+        m.cpu().reg(Reg::T3) as i32,
+        -1,
+        "remainder sign follows dividend"
+    );
 
     let m = run(
         "    li $t0, 22\n    li $t1, 7",

@@ -105,7 +105,10 @@ fn tlbr_reads_back_what_tlbwi_wrote() {
         100,
     );
     assert_eq!(m.cpu().reg(Reg::T5), 0x0060_0040);
-    assert_eq!(m.cpu().reg(Reg::T6) & 0xffff_ff00, 0x0000_7700 & 0xffff_ff00);
+    assert_eq!(
+        m.cpu().reg(Reg::T6) & 0xffff_ff00,
+        0x0000_7700 & 0xffff_ff00
+    );
 }
 
 #[test]

@@ -38,7 +38,12 @@ impl StableGraph {
     /// # Panics
     ///
     /// Panics if `pointers_per_page > slots_per_page` or `pages == 0`.
-    pub fn random(pages: u32, slots_per_page: u32, pointers_per_page: u32, seed: u64) -> StableGraph {
+    pub fn random(
+        pages: u32,
+        slots_per_page: u32,
+        pointers_per_page: u32,
+        seed: u64,
+    ) -> StableGraph {
         assert!(pages > 0, "empty store");
         assert!(pointers_per_page <= slots_per_page);
         let mut rng = StdRng::seed_from_u64(seed);

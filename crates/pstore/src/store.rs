@@ -5,11 +5,10 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{
-    CoreError, DeliveryPath, FaultCtx, HandlerAction, HostConfig, HostProcess, Prot,
-};
+use efex_core::{CoreError, DeliveryPath, FaultCtx, HandlerAction, HostProcess, Prot};
 use efex_mips::ExcCode;
 use efex_simos::layout::PAGE_SIZE;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 use crate::graph::{Oid, Slot, StableGraph};
 
@@ -99,6 +98,17 @@ pub struct PstoreStats {
     pub pages_loaded: u64,
     /// Exceptions delivered (from the host process).
     pub faults: u64,
+}
+
+impl Snapshot for PstoreStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("pstore")
+            .counter("uses", self.uses)
+            .counter("checks", self.checks)
+            .counter("swizzles", self.swizzles)
+            .counter("pages_loaded", self.pages_loaded)
+            .counter("faults", self.faults)
+    }
 }
 
 /// Store errors.
@@ -289,10 +299,7 @@ impl Pstore {
             }
             _ => {}
         }
-        let mut host = HostProcess::with_config(HostConfig {
-            path: cfg.path,
-            ..HostConfig::default()
-        })?;
+        let mut host = HostProcess::builder().delivery(cfg.path).build()?;
         let len = graph.page_count() * PAGE_SIZE;
         let prot = if cfg.strategy == Strategy::ProtFault {
             Prot::None
@@ -389,6 +396,11 @@ impl Pstore {
         }
     }
 
+    /// Per-(path, class) exception metrics for the residency faults taken.
+    pub fn trace_metrics(&self) -> &efex_trace::Metrics {
+        self.host.trace_metrics()
+    }
+
     /// Returns the (loaded) root page's virtual address.
     ///
     /// # Errors
@@ -428,12 +440,10 @@ impl Pstore {
                 let target_vaddr = if Shared::is_tagged(word) {
                     let shared = Rc::clone(&self.shared);
                     let mut s = shared.borrow_mut();
-                    let target = s
-                        .oid_of(word - 2)
-                        .ok_or(PstoreError::NotAPointer {
-                            vaddr: slot_addr,
-                            word,
-                        })?;
+                    let target = s.oid_of(word - 2).ok_or(PstoreError::NotAPointer {
+                        vaddr: slot_addr,
+                        word,
+                    })?;
                     s.load_page(&mut self.host, target)?;
                     s.swizzle_slot(&mut self.host, slot_addr, target)?
                 } else {
@@ -741,5 +751,4 @@ mod checkpoint_tests {
         let root2 = ps2.root().unwrap();
         assert_eq!(ps2.read_data(root2, 5).unwrap(), 0xbeec);
     }
-
 }

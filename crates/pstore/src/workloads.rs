@@ -164,10 +164,10 @@ mod tests {
     fn dense_traversal_favors_eager() {
         // Every pointer used: eager's one-fault-per-page wins over lazy's
         // fault-per-pointer.
-        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 50, 25)
-            .unwrap();
-        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 50, 25)
-            .unwrap();
+        let eager =
+            sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 50, 25).unwrap();
+        let lazy =
+            sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 50, 25).unwrap();
         assert!(
             eager.micros < lazy.micros,
             "eager {:.0}us vs lazy {:.0}us",
@@ -180,10 +180,10 @@ mod tests {
     fn sparse_traversal_favors_lazy() {
         // Two of fifty pointers used: lazy swizzles 2, eager swizzles 50
         // per page.
-        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 2, 25)
-            .unwrap();
-        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 2, 25)
-            .unwrap();
+        let eager =
+            sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 2, 25).unwrap();
+        let lazy =
+            sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 2, 25).unwrap();
         assert!(
             lazy.micros < eager.micros,
             "lazy {:.0}us vs eager {:.0}us",
@@ -196,10 +196,10 @@ mod tests {
     #[test]
     fn fault_counts_match_the_model() {
         // Lazy: one fault per distinct pointer use; eager: one per page.
-        let eager = sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 5, 10)
-            .unwrap();
-        let lazy = sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 5, 10)
-            .unwrap();
+        let eager =
+            sparse_traversal(graph(), cfg(Strategy::ProtFault, Policy::Eager), 5, 10).unwrap();
+        let lazy =
+            sparse_traversal(graph(), cfg(Strategy::Unaligned, Policy::Lazy), 5, 10).unwrap();
         assert!(eager.faults <= eager.uses);
         assert!(lazy.faults <= lazy.uses);
         assert!(

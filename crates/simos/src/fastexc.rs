@@ -66,8 +66,8 @@ impl FastExcState {
     pub fn allowed_mask() -> u32 {
         let mut mask = 0;
         for code in ExcCode::ALL {
-            let allowed = code.is_synchronous()
-                && !matches!(code, ExcCode::Syscall | ExcCode::CopUnusable);
+            let allowed =
+                code.is_synchronous() && !matches!(code, ExcCode::Syscall | ExcCode::CopUnusable);
             if allowed {
                 mask |= 1 << code.code();
             }
@@ -209,7 +209,11 @@ mod tests {
         }
         // The whole fast path must stay small — the point of the design.
         let size = prog.symbol("fexc_end").unwrap() - prog.symbol("fexc_decode").unwrap();
-        assert!(size / 4 < 80, "handler grew past ~80 instructions: {}", size / 4);
+        assert!(
+            size / 4 < 80,
+            "handler grew past ~80 instructions: {}",
+            size / 4
+        );
     }
 
     #[test]

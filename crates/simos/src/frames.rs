@@ -67,7 +67,10 @@ impl FrameAllocator {
     ///
     /// Panics (debug builds) if the frame was never handed out.
     pub fn free(&mut self, pfn: Pfn) {
-        debug_assert!(pfn < self.next && !self.free.contains(&pfn), "bad free of {pfn}");
+        debug_assert!(
+            pfn < self.next && !self.free.contains(&pfn),
+            "bad free of {pfn}"
+        );
         self.free.push(pfn);
     }
 

@@ -29,6 +29,7 @@ use efex_mips::exception::ExcCode;
 use efex_mips::isa::{Instruction, Reg};
 use efex_mips::machine::{kseg_to_phys, Machine, MachineError, StopReason};
 use efex_mips::tlb::TLB_ENTRIES;
+use efex_trace::{null_sink, EventKind, FaultClass, Metrics, SharedSink, TraceEvent, TracePath};
 
 use crate::costs;
 use crate::fastexc::hcalls;
@@ -185,6 +186,12 @@ pub struct Kernel {
     fixup_unaligned: bool,
     refill_rr: usize,
     kernel_syms: BTreeMap<String, u32>,
+    trace: SharedSink,
+    trace_path: TracePath,
+    metrics: Metrics,
+    /// Signal delivery in flight: (class, code, handler-entry cycles),
+    /// consumed by `sigreturn` to close out the handler/return phases.
+    unix_pending: Option<(FaultClass, ExcCode, u64)>,
 }
 
 impl fmt::Debug for Kernel {
@@ -224,6 +231,10 @@ impl Kernel {
             fixup_unaligned: cfg.fixup_unaligned,
             refill_rr: 0,
             kernel_syms: kimage.symbols().clone(),
+            trace: null_sink(),
+            trace_path: TracePath::FastUser,
+            metrics: Metrics::new(),
+            unix_pending: None,
         };
         // Map and install the user-side runtime (signal trampoline).
         let tramp = assemble(TRAMPOLINE_ASM)?;
@@ -283,6 +294,85 @@ impl Kernel {
         self.kernel_syms.get(name).copied()
     }
 
+    // --- exception tracing -------------------------------------------------
+
+    /// Routes lifecycle events to `sink` (the default is a [`NullSink`]
+    /// that drops everything; tracing never charges simulated cycles).
+    ///
+    /// [`NullSink`]: efex_trace::NullSink
+    pub fn set_trace_sink(&mut self, sink: SharedSink) {
+        self.trace = sink;
+    }
+
+    /// The current trace sink (shared with higher layers).
+    pub fn trace_sink(&self) -> &SharedSink {
+        &self.trace
+    }
+
+    /// Sets the delivery-path label stamped on kernel-side trace events
+    /// (the kernel itself only distinguishes fast vs. signal delivery; the
+    /// configured path disambiguates fast-user from hardware-vectored).
+    pub fn set_trace_path(&mut self, path: TracePath) {
+        self.trace_path = path;
+    }
+
+    /// Kernel-side exception metrics (deliveries, page faults, phases).
+    pub fn trace_metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Mutable metrics access (measurement harnesses record through this).
+    pub fn trace_metrics_mut(&mut self) -> &mut Metrics {
+        &mut self.metrics
+    }
+
+    /// Emits one lifecycle event stamped with the current cycle counter.
+    fn trace_emit(
+        &self,
+        kind: EventKind,
+        path: TracePath,
+        class: FaultClass,
+        code: ExcCode,
+        vaddr: u32,
+        pc: u32,
+    ) {
+        self.trace.emit(&TraceEvent {
+            seq: 0,
+            cycles: self.machine.cycles(),
+            kind,
+            path,
+            class,
+            exc_code: code.code() as u8,
+            vaddr,
+            pc,
+        });
+    }
+
+    /// Classifies a fault for tracing purposes (orthogonal to delivery: the
+    /// subpage engine, the unaligned fixup, and plain breakpoints all look
+    /// different to an observer even when they share an `ExcCode`).
+    fn fault_class(&self, code: ExcCode, bad: Option<u32>) -> FaultClass {
+        if let Some(bad) = bad {
+            if self.proc.subpage.manages(bad) {
+                return FaultClass::Subpage;
+            }
+        }
+        match code {
+            ExcCode::TlbMod => FaultClass::WriteProtect,
+            ExcCode::TlbLoad | ExcCode::TlbStore => {
+                let write = code == ExcCode::TlbStore;
+                match bad.map(|b| self.proc.space().classify(b, write)) {
+                    Some(Err(FaultKind::NotResident)) => FaultClass::PageFault,
+                    Some(Err(FaultKind::Protection)) => FaultClass::WriteProtect,
+                    _ => FaultClass::TlbMiss,
+                }
+            }
+            ExcCode::AddrErrLoad | ExcCode::AddrErrStore => FaultClass::Unaligned,
+            ExcCode::Breakpoint => FaultClass::Breakpoint,
+            _ => FaultClass::Other,
+        }
+    }
+
     // --- user-space setup -------------------------------------------------
 
     /// Maps a user region (page aligned) with the given protection.
@@ -333,7 +423,9 @@ impl Kernel {
     pub fn setup_stack(&mut self, pages: u32) -> Result<u32, KernelError> {
         let len = pages * PAGE_SIZE;
         let base = layout::USER_STACK_TOP - len;
-        self.proc.space_mut().map_region(base, len, Prot::ReadWrite)?;
+        self.proc
+            .space_mut()
+            .map_region(base, len, Prot::ReadWrite)?;
         Ok(layout::USER_STACK_TOP - 16)
     }
 
@@ -357,7 +449,11 @@ impl Kernel {
                     .space_mut()
                     .ensure_resident(vaddr, &mut self.frames)
                     .map_err(|_| HostFault {
-                        code: if write { ExcCode::TlbStore } else { ExcCode::TlbLoad },
+                        code: if write {
+                            ExcCode::TlbStore
+                        } else {
+                            ExcCode::TlbLoad
+                        },
                         vaddr,
                         kind: FaultKind::NotResident,
                         write,
@@ -506,7 +602,12 @@ impl Kernel {
     /// # Errors
     ///
     /// Propagates mapping errors.
-    pub fn sys_uexc_protect(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), KernelError> {
+    pub fn sys_uexc_protect(
+        &mut self,
+        vaddr: u32,
+        len: u32,
+        prot: Prot,
+    ) -> Result<(), KernelError> {
         let touched = self.proc.space_mut().protect_region(vaddr, len, prot)?;
         self.machine
             .charge_cycles(costs::FAST_PROTECT_SYSCALL + 2 * touched.len() as u64);
@@ -539,8 +640,14 @@ impl Kernel {
             .charge_cycles(costs::FAST_PROTECT_SYSCALL + 2 * touched.len() as u64);
         let asid = self.proc.space().asid();
         for (page, any_protected) in touched {
-            let prot = if any_protected { Prot::Read } else { Prot::ReadWrite };
-            self.proc.space_mut().protect_region(page, PAGE_SIZE, prot)?;
+            let prot = if any_protected {
+                Prot::Read
+            } else {
+                Prot::ReadWrite
+            };
+            self.proc
+                .space_mut()
+                .protect_region(page, PAGE_SIZE, prot)?;
             self.machine.tlb_mut().invalidate_page(page, asid);
         }
         self.proc.stats.syscalls += 1;
@@ -553,7 +660,12 @@ impl Kernel {
     /// # Errors
     ///
     /// Fails on unmapped pages.
-    pub fn sys_tlb_grant(&mut self, vaddr: u32, len: u32, allowed: bool) -> Result<(), KernelError> {
+    pub fn sys_tlb_grant(
+        &mut self,
+        vaddr: u32,
+        len: u32,
+        allowed: bool,
+    ) -> Result<(), KernelError> {
         let touched = self
             .proc
             .space_mut()
@@ -640,11 +752,7 @@ impl Kernel {
     fn handle_utlb(&mut self) -> Result<Option<RunOutcome>, KernelError> {
         let bad = self.machine.cp0().bad_vaddr;
         let epc = self.machine.cp0().epc;
-        let code = self
-            .machine
-            .cp0()
-            .exc_code()
-            .unwrap_or(ExcCode::TlbLoad);
+        let code = self.machine.cp0().exc_code().unwrap_or(ExcCode::TlbLoad);
         let write = code == ExcCode::TlbStore;
         self.machine.charge_cycles(costs::TLB_REFILL);
 
@@ -664,12 +772,18 @@ impl Kernel {
                     .ensure_resident(bad, &mut self.frames)
                     .map_err(KernelError::Map)?;
                 self.proc.stats.page_faults += 1;
+                self.metrics
+                    .record_page_fault(self.trace_path, FaultClass::PageFault, bad);
                 self.install_refill_entry(bad);
                 self.resume_user_at(epc);
                 Ok(None)
             }
             Err(kind) => {
-                let code = if write { ExcCode::TlbStore } else { ExcCode::TlbLoad };
+                let code = if write {
+                    ExcCode::TlbStore
+                } else {
+                    ExcCode::TlbLoad
+                };
                 let _ = kind;
                 self.deliver_fault(code, Some(bad), Via::Refill)
             }
@@ -719,11 +833,7 @@ impl Kernel {
     /// (Section 3.2.2), applies subpage emulation or eager amplification,
     /// and completes the user-level delivery.
     fn handle_fast_tlb(&mut self) -> Result<Option<RunOutcome>, KernelError> {
-        let code = self
-            .machine
-            .cp0()
-            .exc_code()
-            .unwrap_or(ExcCode::TlbMod);
+        let code = self.machine.cp0().exc_code().unwrap_or(ExcCode::TlbMod);
         let bad = self.machine.cp0().bad_vaddr;
         self.deliver_fault(code, Some(bad), Via::GeneralVector)
     }
@@ -740,8 +850,13 @@ impl Kernel {
     ) -> Result<Option<RunOutcome>, KernelError> {
         let epc = self.machine.cp0().epc;
         let bd = self.machine.cp0().cause_bd();
+        let class = self.fault_class(code, bad);
+        let badv = bad.unwrap_or(0);
 
         if self.proc.fast.enabled_for(code) && self.proc.fast.handler != 0 {
+            let path = self.trace_path;
+            let t_raised = self.machine.cycles();
+            self.trace_emit(EventKind::FaultRaised, path, class, code, badv, epc);
             // TLB-type work: page-table checks, subpage engine, eager
             // amplification.
             if code.is_tlb() {
@@ -752,7 +867,10 @@ impl Kernel {
                         if !self.proc.subpage.is_protected(bad) {
                             // Unprotected logical subpage: emulate and resume;
                             // the program never sees the fault.
+                            self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
                             self.emulate_subpage_access(bad, epc, bd)?;
+                            self.metrics.record_page_fault(path, class, bad);
+                            self.trace_emit(EventKind::Resumed, path, class, code, badv, epc);
                             return Ok(None);
                         }
                         // Protected subpage: amplify the hardware page and
@@ -767,13 +885,17 @@ impl Kernel {
                     // Make sure the page is resident if it is a true page
                     // fault surfacing here (legal access, not resident).
                     if self.proc.space().classify(bad, false) == Err(FaultKind::NotResident) {
+                        self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
                         self.machine.charge_cycles(self.page_in_cost);
                         self.proc
                             .space_mut()
                             .ensure_resident(bad, &mut self.frames)?;
                         self.proc.stats.page_faults += 1;
+                        self.metrics
+                            .record_page_fault(path, FaultClass::PageFault, bad);
                         self.install_refill_entry(bad);
                         self.resume_user_at(epc);
+                        self.trace_emit(EventKind::Resumed, path, class, code, badv, epc);
                         return Ok(None);
                     }
                 }
@@ -783,19 +905,31 @@ impl Kernel {
                 // and write the communication frame on their behalf.
                 self.machine.charge_cycles(costs::FAST_GUEST_PHASES_EQUIV);
             }
+            self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
             self.write_comm_frame(code, epc, bad);
+            self.trace_emit(EventKind::StateSaved, path, class, code, badv, epc);
             self.proc.stats.fast_delivered += 1;
             let handler = self.proc.fast.handler;
             self.resume_user_at(handler);
+            self.trace_emit(EventKind::HandlerEntered, path, class, code, badv, handler);
+            self.metrics
+                .record_deliver(path, class, self.machine.cycles() - t_raised);
+            if let Some(bad) = bad {
+                self.metrics.record_page_fault(path, class, bad);
+            }
             return Ok(None);
         }
 
+        let path = TracePath::UnixSignals;
+        let t_raised = self.machine.cycles();
+        self.trace_emit(EventKind::FaultRaised, path, class, code, badv, epc);
+
         // Ultrix-compatible unaligned fixup (before the signal machinery).
-        if self.fixup_unaligned
-            && matches!(code, ExcCode::AddrErrLoad | ExcCode::AddrErrStore)
-        {
+        if self.fixup_unaligned && matches!(code, ExcCode::AddrErrLoad | ExcCode::AddrErrStore) {
             if let Some(bad) = bad {
                 if bad < 0x8000_0000 && self.fixup_unaligned_access(bad, epc, bd).is_ok() {
+                    self.metrics.record_page_fault(path, class, bad);
+                    self.trace_emit(EventKind::Resumed, path, class, code, badv, epc);
                     return Ok(None);
                 }
             }
@@ -808,10 +942,12 @@ impl Kernel {
         let Some(sig) = Signal::from_exc(code) else {
             return Err(KernelError::KernelFault(format!("undeliverable {code}")));
         };
-        self.machine.charge_cycles(costs::ULTRIX_EXC_SAVE + costs::ULTRIX_POST);
+        self.machine
+            .charge_cycles(costs::ULTRIX_EXC_SAVE + costs::ULTRIX_POST);
         if code.is_tlb() {
             self.machine.charge_cycles(costs::ULTRIX_VM_FAULT_WORK);
         }
+        self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
         self.proc.signals.post(sig);
         let sig = self.proc.signals.recognize().expect("just posted");
         let handler = match self.proc.signals.disposition(sig) {
@@ -823,6 +959,7 @@ impl Kernel {
                 // Resume at the faulting instruction; synchronous faults
                 // will refault — exactly the looping the paper discusses.
                 self.resume_user_at(epc);
+                self.trace_emit(EventKind::Resumed, path, class, code, badv, epc);
                 return Ok(None);
             }
         };
@@ -832,7 +969,10 @@ impl Kernel {
         let sp = self.machine.cpu().reg(Reg::SP);
         let sc = (sp - SIGCONTEXT_BYTES) & !7;
         // The sigcontext page must be resident and writable.
-        for page in [sc & !(PAGE_SIZE - 1), (sc + SIGCONTEXT_BYTES) & !(PAGE_SIZE - 1)] {
+        for page in [
+            sc & !(PAGE_SIZE - 1),
+            (sc + SIGCONTEXT_BYTES) & !(PAGE_SIZE - 1),
+        ] {
             if self.proc.space().classify(page, true).is_err() {
                 match self
                     .proc
@@ -846,10 +986,10 @@ impl Kernel {
             self.install_refill_entry(page);
         }
         let cause = self.machine.cp0().cause;
-        let badv = bad.unwrap_or(0);
         if signals::write_sigcontext(&mut self.machine, sc, epc, cause, badv).is_err() {
             return Ok(Some(RunOutcome::Terminated(Signal::Segv)));
         }
+        self.trace_emit(EventKind::StateSaved, path, class, code, badv, epc);
 
         // Redirect the exception return into the trampoline.
         let cpu = self.machine.cpu_mut();
@@ -860,6 +1000,13 @@ impl Kernel {
         cpu.set_reg(Reg::SP, sc - 24);
         self.proc.stats.signals_delivered += 1;
         self.resume_user_at(layout::USER_RUNTIME_VADDR);
+        self.trace_emit(EventKind::HandlerEntered, path, class, code, badv, handler);
+        let now = self.machine.cycles();
+        self.metrics.record_deliver(path, class, now - t_raised);
+        if let Some(bad) = bad {
+            self.metrics.record_page_fault(path, class, bad);
+        }
+        self.unix_pending = Some((class, code, now));
         Ok(None)
     }
 
@@ -951,11 +1098,7 @@ impl Kernel {
                 let v = self.machine.cpu().reg(rt);
                 self.host_write_bytes(bad, &v.to_le_bytes()[..width])?;
             }
-            other => {
-                return Err(KernelError::KernelFault(format!(
-                    "cannot fix up {other}"
-                )))
-            }
+            other => return Err(KernelError::KernelFault(format!("cannot fix up {other}"))),
         }
         // The fixup costs a full kernel entry plus the emulation work; the
         // paper's point is that this is still cheaper than a signal but far
@@ -1059,19 +1202,55 @@ impl Kernel {
             .map_err(|e| KernelError::KernelFault(format!("cannot decode branch: {e}")))?;
         let cpu = self.machine.cpu();
         let reg = |r: Reg| cpu.reg(r);
-        let rel = |imm: i16| branch_pc.wrapping_add(4).wrapping_add((i32::from(imm) << 2) as u32);
+        let rel = |imm: i16| {
+            branch_pc
+                .wrapping_add(4)
+                .wrapping_add((i32::from(imm) << 2) as u32)
+        };
         let seq = branch_pc.wrapping_add(8);
         use Instruction::*;
         let target = match inst {
-            Beq { rs, rt, imm } => if reg(rs) == reg(rt) { rel(imm) } else { seq },
-            Bne { rs, rt, imm } => if reg(rs) != reg(rt) { rel(imm) } else { seq },
-            Blez { rs, imm } => if (reg(rs) as i32) <= 0 { rel(imm) } else { seq },
-            Bgtz { rs, imm } => if (reg(rs) as i32) > 0 { rel(imm) } else { seq },
+            Beq { rs, rt, imm } => {
+                if reg(rs) == reg(rt) {
+                    rel(imm)
+                } else {
+                    seq
+                }
+            }
+            Bne { rs, rt, imm } => {
+                if reg(rs) != reg(rt) {
+                    rel(imm)
+                } else {
+                    seq
+                }
+            }
+            Blez { rs, imm } => {
+                if (reg(rs) as i32) <= 0 {
+                    rel(imm)
+                } else {
+                    seq
+                }
+            }
+            Bgtz { rs, imm } => {
+                if (reg(rs) as i32) > 0 {
+                    rel(imm)
+                } else {
+                    seq
+                }
+            }
             Bltz { rs, imm } | Bltzal { rs, imm } => {
-                if (reg(rs) as i32) < 0 { rel(imm) } else { seq }
+                if (reg(rs) as i32) < 0 {
+                    rel(imm)
+                } else {
+                    seq
+                }
             }
             Bgez { rs, imm } | Bgezal { rs, imm } => {
-                if (reg(rs) as i32) >= 0 { rel(imm) } else { seq }
+                if (reg(rs) as i32) >= 0 {
+                    rel(imm)
+                } else {
+                    seq
+                }
             }
             J { target } | Jal { target } => {
                 (branch_pc.wrapping_add(4) & 0xf000_0000) | (target << 2)
@@ -1105,7 +1284,8 @@ impl Kernel {
                 return Ok(Some(RunOutcome::Exited(a0 as i32)));
             }
             nr::WRITE => {
-                self.machine.charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER + u64::from(a1));
+                self.machine
+                    .charge_cycles(costs::ULTRIX_SYSCALL_WRAPPER + u64::from(a1));
                 match self.host_read_bytes(a0, a1 as usize) {
                     Ok(bytes) => {
                         self.console.extend_from_slice(&bytes);
@@ -1130,10 +1310,33 @@ impl Kernel {
                 }
             }
             nr::SIGRETURN => {
+                let t_ret = self.machine.cycles();
+                if let Some((class, code, _)) = self.unix_pending {
+                    let epc = self.machine.cp0().epc;
+                    self.trace_emit(
+                        EventKind::HandlerReturned,
+                        TracePath::UnixSignals,
+                        class,
+                        code,
+                        0,
+                        epc,
+                    );
+                }
                 self.machine.charge_cycles(costs::ULTRIX_SIGRETURN);
                 match signals::read_sigcontext(&mut self.machine, a0) {
                     Ok(pc) => {
                         self.resume_user_at(pc);
+                        if let Some((class, code, t_entered)) = self.unix_pending.take() {
+                            let path = TracePath::UnixSignals;
+                            self.metrics.record_handler(
+                                path,
+                                class,
+                                t_ret.saturating_sub(t_entered),
+                            );
+                            self.trace_emit(EventKind::Resumed, path, class, code, 0, pc);
+                            self.metrics
+                                .record_return(path, class, self.machine.cycles() - t_ret);
+                        }
                         return Ok(None);
                     }
                     Err(_) => return Ok(Some(RunOutcome::Terminated(Signal::Segv))),
@@ -1229,7 +1432,10 @@ impl Kernel {
         else {
             return -errno::ENOMEM;
         };
-        let _ = self.proc.space_mut().set_pinned(comm_vaddr, PAGE_SIZE, true);
+        let _ = self
+            .proc
+            .space_mut()
+            .set_pinned(comm_vaddr, PAGE_SIZE, true);
         self.proc.fast.enabled_mask = mask;
         self.proc.fast.handler = handler;
         self.proc.fast.comm_vaddr = comm_vaddr;
@@ -1488,7 +1694,8 @@ mod tests {
     #[test]
     fn host_access_reports_protection_faults() {
         let mut k = boot();
-        k.map_user_region(0x1000_0000, PAGE_SIZE, Prot::Read).unwrap();
+        k.map_user_region(0x1000_0000, PAGE_SIZE, Prot::Read)
+            .unwrap();
         let err = k.host_store_u32(0x1000_0000, 1).unwrap_err();
         assert_eq!(err.kind, FaultKind::Protection);
         assert_eq!(err.code, ExcCode::TlbMod);

@@ -110,7 +110,10 @@ mod tests {
         assert!(USER_RUNTIME_VADDR < USER_DATA_VADDR);
         assert!(USER_DATA_VADDR < COMM_PAGE_VADDR);
         assert!(COMM_PAGE_VADDR + PAGE_SIZE <= USER_STACK_TOP);
-        assert!(UAREA_VADDR >= 0x8000_0200, "u-area must be clear of vectors");
+        assert!(
+            UAREA_VADDR >= 0x8000_0200,
+            "u-area must be clear of vectors"
+        );
         assert!(UAREA_VADDR + 0x200 <= KERNEL_TEXT_VADDR);
     }
 

@@ -24,6 +24,19 @@ pub struct ProcStats {
     pub eager_amplifications: u64,
 }
 
+impl efex_trace::Snapshot for ProcStats {
+    fn snapshot(&self) -> efex_trace::StatsSnapshot {
+        efex_trace::StatsSnapshot::new("kernel-process")
+            .counter("signals_delivered", self.signals_delivered)
+            .counter("fast_delivered", self.fast_delivered)
+            .counter("page_faults", self.page_faults)
+            .counter("tlb_refills", self.tlb_refills)
+            .counter("syscalls", self.syscalls)
+            .counter("subpage_emulations", self.subpage_emulations)
+            .counter("eager_amplifications", self.eager_amplifications)
+    }
+}
+
 /// A simulated user process.
 #[derive(Clone, Debug)]
 pub struct Process {

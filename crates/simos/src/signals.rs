@@ -219,10 +219,7 @@ pub fn write_sigcontext(
 /// # Errors
 ///
 /// Returns the guest exception if the sigcontext is unreadable.
-pub fn read_sigcontext(
-    m: &mut Machine,
-    sc: u32,
-) -> Result<u32, efex_mips::exception::Exception> {
+pub fn read_sigcontext(m: &mut Machine, sc: u32) -> Result<u32, efex_mips::exception::Exception> {
     let mut regs = [0u32; 32];
     for (i, slot) in regs.iter_mut().enumerate() {
         *slot = m.peek_u32(sc + 4 * i as u32, false)?;

@@ -270,10 +270,7 @@ impl AddressSpace {
         let count = len / PAGE_SIZE;
         let mut touched = Vec::with_capacity(count as usize);
         for vpn in first..first + count {
-            let pte = self
-                .pages
-                .get_mut(&vpn)
-                .ok_or(MapError::NotMapped(vpn))?;
+            let pte = self.pages.get_mut(&vpn).ok_or(MapError::NotMapped(vpn))?;
             pte.user_modifiable = allowed;
             touched.push(vpn * PAGE_SIZE);
         }
@@ -289,10 +286,7 @@ impl AddressSpace {
         let first = vaddr / PAGE_SIZE;
         let last = (vaddr + len - 1) / PAGE_SIZE;
         for vpn in first..=last {
-            let pte = self
-                .pages
-                .get_mut(&vpn)
-                .ok_or(MapError::NotMapped(vpn))?;
+            let pte = self.pages.get_mut(&vpn).ok_or(MapError::NotMapped(vpn))?;
             pte.pinned = pinned;
         }
         Ok(())
@@ -375,7 +369,8 @@ mod tests {
     #[test]
     fn map_and_classify() {
         let mut a = space();
-        a.map_region(0x1000_0000, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        a.map_region(0x1000_0000, 2 * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
         // Mapped but not resident yet.
         assert_eq!(a.classify(0x1000_0004, false), Err(FaultKind::NotResident));
         let mut frames = FrameAllocator::new(100, 200);
@@ -398,7 +393,10 @@ mod tests {
             a.map_region(0x1004, PAGE_SIZE, Prot::Read),
             Err(MapError::Unaligned)
         );
-        assert_eq!(a.map_region(0x2000, 12, Prot::Read), Err(MapError::Unaligned));
+        assert_eq!(
+            a.map_region(0x2000, 12, Prot::Read),
+            Err(MapError::Unaligned)
+        );
     }
 
     #[test]
@@ -430,7 +428,8 @@ mod tests {
     fn unmap_returns_frames() {
         let mut a = space();
         let mut frames = FrameAllocator::new(7, 20);
-        a.map_region(0x4000, 2 * PAGE_SIZE, Prot::ReadWrite).unwrap();
+        a.map_region(0x4000, 2 * PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
         a.ensure_resident(0x4000, &mut frames).unwrap();
         let freed = a.unmap_region(0x4000, 2 * PAGE_SIZE).unwrap();
         assert_eq!(freed, vec![7]);
@@ -448,8 +447,12 @@ mod tests {
         assert_eq!(e.pfn, 3);
         assert!(e.valid && !e.dirty);
         a.protect_region(0x4000, PAGE_SIZE, Prot::None).unwrap();
-        assert!(a.tlb_entry_for(0x4000).is_none(), "no entry for protect-all");
-        a.protect_region(0x4000, PAGE_SIZE, Prot::ReadWrite).unwrap();
+        assert!(
+            a.tlb_entry_for(0x4000).is_none(),
+            "no entry for protect-all"
+        );
+        a.protect_region(0x4000, PAGE_SIZE, Prot::ReadWrite)
+            .unwrap();
         let e = a.tlb_entry_for(0x4000).unwrap();
         assert!(e.dirty);
     }

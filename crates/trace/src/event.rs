@@ -1,0 +1,363 @@
+//! Exception lifecycle events and the fixed-capacity ring that stores them.
+
+use std::fmt;
+
+/// Where in the exception lifecycle an event was emitted.
+///
+/// The six stages mirror the paper's Table 3 phase breakdown: the hardware
+/// raises the fault, the kernel vectors in, saves the faulting context,
+/// transfers to the user handler, the handler returns, and the faulting
+/// thread resumes.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[repr(u8)]
+pub enum EventKind {
+    /// The hardware latched an exception.
+    #[default]
+    FaultRaised = 0,
+    /// The kernel's vector began executing.
+    KernelEntered = 1,
+    /// The faulting context (scratch registers, EPC, cause) is saved.
+    StateSaved = 2,
+    /// Control transferred to the user-level handler.
+    HandlerEntered = 3,
+    /// The user-level handler finished.
+    HandlerReturned = 4,
+    /// The faulting thread resumed at (or past) the faulting instruction.
+    Resumed = 5,
+}
+
+impl EventKind {
+    pub const ALL: [EventKind; 6] = [
+        EventKind::FaultRaised,
+        EventKind::KernelEntered,
+        EventKind::StateSaved,
+        EventKind::HandlerEntered,
+        EventKind::HandlerReturned,
+        EventKind::Resumed,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::FaultRaised => "fault-raised",
+            EventKind::KernelEntered => "kernel-entered",
+            EventKind::StateSaved => "state-saved",
+            EventKind::HandlerEntered => "handler-entered",
+            EventKind::HandlerReturned => "handler-returned",
+            EventKind::Resumed => "resumed",
+        }
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The delivery path an event travelled, mirroring `efex_core::DeliveryPath`
+/// (duplicated here so the tracer sits below `efex-core` in the crate graph).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[repr(u8)]
+pub enum TracePath {
+    /// Ultrix-style signal delivery.
+    UnixSignals = 0,
+    /// The paper's fast user-level delivery (§3.2).
+    #[default]
+    FastUser = 1,
+    /// Hardware-vectored user delivery (§3.3).
+    HardwareVectored = 2,
+}
+
+impl TracePath {
+    pub const ALL: [TracePath; 3] = [
+        TracePath::UnixSignals,
+        TracePath::FastUser,
+        TracePath::HardwareVectored,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TracePath::UnixSignals => "unix-signals",
+            TracePath::FastUser => "fast-user",
+            TracePath::HardwareVectored => "hardware-vectored",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for TracePath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Coarse classification of what faulted, used to key [`crate::Metrics`].
+///
+/// The first four variants correspond to `efex_core::ExceptionKind` (the
+/// Table 2 microbenchmark kinds); the rest cover traffic the kernel sees
+/// outside the microbenchmarks.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug, Default)]
+#[repr(u8)]
+pub enum FaultClass {
+    /// `break` instruction (the null-exception benchmark).
+    #[default]
+    Breakpoint = 0,
+    /// Write to a write-protected page.
+    WriteProtect = 1,
+    /// Access to a protected subpage (§3.2.4).
+    Subpage = 2,
+    /// Unaligned access used for pointer swizzling (§4.2.2).
+    Unaligned = 3,
+    /// TLB refill handled entirely in the kernel.
+    TlbMiss = 4,
+    /// Page fault serviced by the kernel (page-in).
+    PageFault = 5,
+    /// Everything else (syscalls, arithmetic traps, …).
+    Other = 6,
+}
+
+impl FaultClass {
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::Breakpoint,
+        FaultClass::WriteProtect,
+        FaultClass::Subpage,
+        FaultClass::Unaligned,
+        FaultClass::TlbMiss,
+        FaultClass::PageFault,
+        FaultClass::Other,
+    ];
+
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultClass::Breakpoint => "breakpoint",
+            FaultClass::WriteProtect => "write-protect",
+            FaultClass::Subpage => "subpage",
+            FaultClass::Unaligned => "unaligned",
+            FaultClass::TlbMiss => "tlb-miss",
+            FaultClass::PageFault => "page-fault",
+            FaultClass::Other => "other",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for FaultClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One exception lifecycle event.
+///
+/// `seq` is assigned by the consuming sink (emitters leave it 0), so events
+/// from several emitters sharing a sink still order correctly.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct TraceEvent {
+    /// Sink-assigned sequence number.
+    pub seq: u64,
+    /// Cycle timestamp (simulated machine cycles, or host-charged cycles for
+    /// the host-level runtime).
+    pub cycles: u64,
+    /// Lifecycle stage.
+    pub kind: EventKind,
+    /// Delivery path the exception travelled.
+    pub path: TracePath,
+    /// Coarse fault classification.
+    pub class: FaultClass,
+    /// Raw `Cause.ExcCode` value (0–12 on the R3000).
+    pub exc_code: u8,
+    /// Faulting virtual address, or 0 when not applicable.
+    pub vaddr: u32,
+    /// Faulting program counter, or 0 when not applicable.
+    pub pc: u32,
+}
+
+impl TraceEvent {
+    /// Renders the event as a single JSON object (one line, no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"seq\":{},\"cycles\":{},\"event\":\"{}\",\"path\":\"{}\",\
+             \"class\":\"{}\",\"exc_code\":{},\"vaddr\":\"{:#010x}\",\"pc\":\"{:#010x}\"}}",
+            self.seq,
+            self.cycles,
+            self.kind,
+            self.path,
+            self.class,
+            self.exc_code,
+            self.vaddr,
+            self.pc,
+        )
+    }
+}
+
+/// Fixed-capacity ring of [`TraceEvent`]s.
+///
+/// Storage is allocated once at construction; pushing never allocates. When
+/// full, the oldest event is overwritten and `dropped` is incremented, so the
+/// ring always holds the most recent `capacity` events.
+#[derive(Debug, Clone)]
+pub struct EventRing {
+    buf: Vec<TraceEvent>,
+    /// Index of the oldest event (only meaningful once full).
+    head: usize,
+    len: usize,
+    dropped: u64,
+    next_seq: u64,
+}
+
+impl EventRing {
+    /// Default ring capacity used by [`crate::RingSink::new`].
+    pub const DEFAULT_CAPACITY: usize = 4096;
+
+    pub fn with_capacity(capacity: usize) -> EventRing {
+        assert!(capacity > 0, "EventRing capacity must be positive");
+        EventRing {
+            buf: Vec::with_capacity(capacity),
+            head: 0,
+            len: 0,
+            dropped: 0,
+            next_seq: 0,
+        }
+    }
+
+    /// Appends an event, assigning its sequence number. Overwrites the oldest
+    /// event when full.
+    pub fn push(&mut self, mut ev: TraceEvent) {
+        ev.seq = self.next_seq;
+        self.next_seq += 1;
+        let cap = self.buf.capacity();
+        if self.len < cap {
+            self.buf.push(ev);
+            self.len += 1;
+        } else {
+            self.buf[self.head] = ev;
+            self.head = (self.head + 1) % cap;
+            self.dropped += 1;
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    /// Number of events overwritten because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Total events ever pushed (equals the next sequence number).
+    pub fn total_pushed(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Iterates oldest → newest.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceEvent> {
+        let (wrapped, start) = self.buf.split_at(self.head.min(self.len));
+        start.iter().chain(wrapped.iter())
+    }
+
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.head = 0;
+        self.len = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycles: u64) -> TraceEvent {
+        TraceEvent {
+            cycles,
+            ..TraceEvent::default()
+        }
+    }
+
+    #[test]
+    fn ring_keeps_insertion_order_before_wrap() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..3 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 0);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycles).collect();
+        assert_eq!(cycles, [0, 1, 2]);
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_on_wrap() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.len(), 4);
+        assert_eq!(r.capacity(), 4);
+        assert_eq!(r.dropped(), 6);
+        assert_eq!(r.total_pushed(), 10);
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycles).collect();
+        assert_eq!(cycles, [6, 7, 8, 9], "ring must retain the newest events");
+        let seqs: Vec<u64> = r.iter().map(|e| e.seq).collect();
+        assert_eq!(seqs, [6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn ring_wraps_repeatedly_without_allocating() {
+        let mut r = EventRing::with_capacity(3);
+        let cap_ptr = r.buf.as_ptr();
+        for c in 0..1000 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.buf.as_ptr(), cap_ptr, "pushing must never reallocate");
+        let cycles: Vec<u64> = r.iter().map(|e| e.cycles).collect();
+        assert_eq!(cycles, [997, 998, 999]);
+    }
+
+    #[test]
+    fn clear_resets_but_keeps_sequence_monotonic() {
+        let mut r = EventRing::with_capacity(2);
+        r.push(ev(0));
+        r.push(ev(1));
+        r.clear();
+        assert!(r.is_empty());
+        r.push(ev(2));
+        assert_eq!(r.iter().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn event_json_shape() {
+        let e = TraceEvent {
+            seq: 7,
+            cycles: 125,
+            kind: EventKind::HandlerEntered,
+            path: TracePath::FastUser,
+            class: FaultClass::WriteProtect,
+            exc_code: 1,
+            vaddr: 0x40_2000,
+            pc: 0x40_0104,
+        };
+        let j = e.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"event\":\"handler-entered\""));
+        assert!(j.contains("\"path\":\"fast-user\""));
+        assert!(j.contains("\"vaddr\":\"0x00402000\""));
+    }
+}

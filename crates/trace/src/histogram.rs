@@ -1,0 +1,260 @@
+//! Log2-bucketed cycle histogram.
+
+use crate::json;
+
+/// Number of buckets: one for zero plus one per power of two of `u64`.
+pub const BUCKETS: usize = 65;
+
+/// A histogram over `u64` samples with logarithmic buckets.
+///
+/// Bucket 0 holds the value 0; bucket `k` (k ≥ 1) holds values in
+/// `[2^(k-1), 2^k)`. This gives constant-time, allocation-free recording with
+/// enough resolution to tell a 5 µs fast-path delivery from an 80 µs signal
+/// delivery at a glance.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    buckets: [u64; BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram {
+            buckets: [0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Histogram {
+        Histogram::default()
+    }
+
+    /// The bucket index a value falls into.
+    pub fn bucket_index(value: u64) -> usize {
+        if value == 0 {
+            0
+        } else {
+            (64 - value.leading_zeros()) as usize
+        }
+    }
+
+    /// The half-open value range `[lo, hi)` covered by a bucket. Bucket 0 is
+    /// the degenerate `[0, 1)`.
+    pub fn bucket_range(index: usize) -> (u64, u64) {
+        assert!(index < BUCKETS);
+        if index == 0 {
+            (0, 1)
+        } else if index == BUCKETS - 1 {
+            (1u64 << (index - 1), u64::MAX)
+        } else {
+            (1u64 << (index - 1), 1u64 << index)
+        }
+    }
+
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Count in one bucket.
+    pub fn bucket(&self, index: usize) -> u64 {
+        self.buckets[index]
+    }
+
+    /// Iterates the non-empty buckets as `(lo, hi, count)`.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64, u64)> + '_ {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bucket_range(i);
+                (lo, hi, c)
+            })
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &Histogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// JSON object: summary stats plus the non-empty buckets.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::field_u64(&mut out, "count", self.count);
+        json::field_u64(&mut out, "sum", self.sum);
+        json::field_u64(&mut out, "min", self.min().unwrap_or(0));
+        json::field_u64(&mut out, "max", self.max().unwrap_or(0));
+        json::field_f64(&mut out, "mean", self.mean());
+        out.push_str("\"buckets\":[");
+        let mut first = true;
+        for (lo, hi, c) in self.nonzero_buckets() {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{lo},{hi},{c}]"));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_boundaries() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(7), 3);
+        assert_eq!(Histogram::bucket_index(8), 4);
+        assert_eq!(Histogram::bucket_index(1 << 20), 21);
+        assert_eq!(Histogram::bucket_index((1 << 21) - 1), 21);
+        assert_eq!(Histogram::bucket_index(u64::MAX), 64);
+    }
+
+    #[test]
+    fn bucket_ranges_partition_the_domain() {
+        // Every value's bucket range must actually contain it.
+        for v in [
+            0u64,
+            1,
+            2,
+            3,
+            4,
+            5,
+            127,
+            128,
+            1 << 30,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = Histogram::bucket_index(v);
+            let (lo, hi) = Histogram::bucket_range(i);
+            assert!(lo <= v, "lo {lo} > v {v}");
+            // The top bucket's hi is saturated at u64::MAX (inclusive there).
+            assert!(v < hi || (i == BUCKETS - 1 && v <= hi), "v {v} >= hi {hi}");
+        }
+        // Adjacent interior buckets tile with no gap.
+        for i in 1..BUCKETS - 2 {
+            assert_eq!(
+                Histogram::bucket_range(i).1,
+                Histogram::bucket_range(i + 1).0
+            );
+        }
+    }
+
+    #[test]
+    fn record_updates_summary_stats() {
+        let mut h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.min(), None);
+        for v in [5u64, 125, 375, 1750] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 5 + 125 + 375 + 1750);
+        assert_eq!(h.min(), Some(5));
+        assert_eq!(h.max(), Some(1750));
+        assert_eq!(h.bucket(Histogram::bucket_index(125)), 1);
+        assert_eq!(h.bucket(Histogram::bucket_index(375)), 1);
+    }
+
+    #[test]
+    fn same_power_of_two_shares_a_bucket() {
+        let mut h = Histogram::new();
+        h.record(64);
+        h.record(100);
+        h.record(127);
+        assert_eq!(h.bucket(7), 3, "64..128 all land in bucket 7");
+        assert_eq!(h.nonzero_buckets().count(), 1);
+        assert_eq!(h.nonzero_buckets().next(), Some((64, 128, 3)));
+    }
+
+    #[test]
+    fn merge_combines_counts_and_extrema() {
+        let mut a = Histogram::new();
+        a.record(10);
+        let mut b = Histogram::new();
+        b.record(1000);
+        b.record(2);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(2));
+        assert_eq!(a.max(), Some(1000));
+        let empty = Histogram::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 3);
+        assert_eq!(
+            a.min(),
+            Some(2),
+            "merging an empty histogram must not corrupt min"
+        );
+    }
+
+    #[test]
+    fn json_contains_buckets_and_mean() {
+        let mut h = Histogram::new();
+        h.record(125);
+        h.record(75);
+        let j = h.to_json();
+        assert!(j.contains("\"count\":2"));
+        assert!(j.contains("\"mean\":100"));
+        assert!(
+            j.contains("[64,128,2]"),
+            "both samples share bucket [64,128): {j}"
+        );
+    }
+}

@@ -1,0 +1,76 @@
+//! Tiny hand-rolled JSON helpers.
+//!
+//! The offline build cannot pull `serde`, and the shapes this crate emits are
+//! flat, so a few append-style helpers are all that's needed. Helpers that
+//! write a field append a trailing comma; callers finish objects with a
+//! comma-less last field or by trimming.
+
+/// Escapes a string for inclusion inside JSON quotes.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Appends `"name":value,`.
+pub fn field_u64(out: &mut String, name: &str, value: u64) {
+    out.push_str(&format!("\"{}\":{},", escape(name), value));
+}
+
+/// Appends `"name":value,` with a finite float (NaN/inf become 0).
+pub fn field_f64(out: &mut String, name: &str, value: f64) {
+    let v = if value.is_finite() { value } else { 0.0 };
+    out.push_str(&format!("\"{}\":{},", escape(name), v));
+}
+
+/// Appends `"name":"value",`.
+pub fn field_str(out: &mut String, name: &str, value: &str) {
+    out.push_str(&format!("\"{}\":\"{}\",", escape(name), escape(value)));
+}
+
+/// Appends `"name":` followed by a raw (already-serialized) JSON value and a
+/// comma.
+pub fn field_raw(out: &mut String, name: &str, raw: &str) {
+    out.push_str(&format!("\"{}\":{},", escape(name), raw));
+}
+
+/// Removes a trailing comma (if any) and closes the object.
+pub fn close_object(out: &mut String) {
+    if out.ends_with(',') {
+        out.pop();
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_handles_quotes_and_control_chars() {
+        assert_eq!(escape("a\"b"), "a\\\"b");
+        assert_eq!(escape("a\\b"), "a\\\\b");
+        assert_eq!(escape("a\nb"), "a\\nb");
+        assert_eq!(escape("a\u{01}b"), "a\\u0001b");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn object_assembly() {
+        let mut out = String::from("{");
+        field_str(&mut out, "path", "fast-user");
+        field_u64(&mut out, "count", 3);
+        close_object(&mut out);
+        assert_eq!(out, "{\"path\":\"fast-user\",\"count\":3}");
+    }
+}

@@ -1,0 +1,228 @@
+//! Per-exception-kind metrics: counters, phase histograms, per-page fault
+//! counts.
+
+use crate::event::{FaultClass, TracePath};
+use crate::histogram::Histogram;
+use crate::json;
+use std::collections::BTreeMap;
+
+/// Metrics for one (delivery path, fault class) pair.
+#[derive(Clone, Debug, Default)]
+pub struct KindMetrics {
+    /// Faults delivered.
+    pub count: u64,
+    /// Cycles from fault to user-handler entry.
+    pub deliver: Histogram,
+    /// Cycles spent inside the user handler.
+    pub handler: Histogram,
+    /// Cycles from handler return to resumption.
+    pub ret: Histogram,
+    /// Faults per page (vaddr >> 12), for spotting hot pages.
+    pub pages: BTreeMap<u32, u64>,
+}
+
+impl KindMetrics {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+            && self.deliver.is_empty()
+            && self.handler.is_empty()
+            && self.ret.is_empty()
+            && self.pages.is_empty()
+    }
+
+    pub fn merge(&mut self, other: &KindMetrics) {
+        self.count += other.count;
+        self.deliver.merge(&other.deliver);
+        self.handler.merge(&other.handler);
+        self.ret.merge(&other.ret);
+        for (&page, &n) in &other.pages {
+            *self.pages.entry(page).or_insert(0) += n;
+        }
+    }
+
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::field_u64(&mut out, "count", self.count);
+        json::field_raw(&mut out, "deliver_cycles", &self.deliver.to_json());
+        json::field_raw(&mut out, "handler_cycles", &self.handler.to_json());
+        json::field_raw(&mut out, "return_cycles", &self.ret.to_json());
+        let mut pages = String::from("{");
+        for (page, n) in &self.pages {
+            json::field_u64(&mut pages, &format!("{:#07x}", page), *n);
+        }
+        json::close_object(&mut pages);
+        json::field_raw(&mut out, "faults_per_page", &pages);
+        json::close_object(&mut out);
+        out
+    }
+}
+
+/// Metrics table indexed by delivery path and fault class.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    per: [[KindMetrics; FaultClass::ALL.len()]; TracePath::ALL.len()],
+}
+
+impl Default for Metrics {
+    fn default() -> Metrics {
+        Metrics {
+            per: std::array::from_fn(|_| std::array::from_fn(|_| KindMetrics::default())),
+        }
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    pub fn kind(&self, path: TracePath, class: FaultClass) -> &KindMetrics {
+        &self.per[path.index()][class.index()]
+    }
+
+    pub fn kind_mut(&mut self, path: TracePath, class: FaultClass) -> &mut KindMetrics {
+        &mut self.per[path.index()][class.index()]
+    }
+
+    /// Records one delivered fault and its deliver-phase cycles.
+    pub fn record_deliver(&mut self, path: TracePath, class: FaultClass, cycles: u64) {
+        let k = self.kind_mut(path, class);
+        k.count += 1;
+        k.deliver.record(cycles);
+    }
+
+    pub fn record_handler(&mut self, path: TracePath, class: FaultClass, cycles: u64) {
+        self.kind_mut(path, class).handler.record(cycles);
+    }
+
+    pub fn record_return(&mut self, path: TracePath, class: FaultClass, cycles: u64) {
+        self.kind_mut(path, class).ret.record(cycles);
+    }
+
+    /// Bumps the per-page fault count for the page containing `vaddr`.
+    pub fn record_page_fault(&mut self, path: TracePath, class: FaultClass, vaddr: u32) {
+        *self
+            .kind_mut(path, class)
+            .pages
+            .entry(vaddr >> 12)
+            .or_insert(0) += 1;
+    }
+
+    /// Total faults across every path and class.
+    pub fn total_faults(&self) -> u64 {
+        self.per.iter().flatten().map(|k| k.count).sum()
+    }
+
+    pub fn merge(&mut self, other: &Metrics) {
+        for (mine, theirs) in self
+            .per
+            .iter_mut()
+            .flatten()
+            .zip(other.per.iter().flatten())
+        {
+            mine.merge(theirs);
+        }
+    }
+
+    /// Iterates the non-empty (path, class) cells.
+    pub fn iter_nonempty(&self) -> impl Iterator<Item = (TracePath, FaultClass, &KindMetrics)> {
+        TracePath::ALL.iter().flat_map(move |&p| {
+            FaultClass::ALL.iter().filter_map(move |&c| {
+                let k = self.kind(p, c);
+                (!k.is_empty()).then_some((p, c, k))
+            })
+        })
+    }
+
+    /// JSON object `{"<path>":{"<class>":{…}}}` containing only non-empty
+    /// cells (paths with no traffic appear as empty objects).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        for &path in &TracePath::ALL {
+            let mut per_path = String::from("{");
+            for &class in &FaultClass::ALL {
+                let k = self.kind(path, class);
+                if !k.is_empty() {
+                    json::field_raw(&mut per_path, class.as_str(), &k.to_json());
+                }
+            }
+            json::close_object(&mut per_path);
+            json::field_raw(&mut out, path.as_str(), &per_path);
+        }
+        json::close_object(&mut out);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_the_right_cell() {
+        let mut m = Metrics::new();
+        m.record_deliver(TracePath::FastUser, FaultClass::WriteProtect, 375);
+        m.record_return(TracePath::FastUser, FaultClass::WriteProtect, 75);
+        m.record_handler(TracePath::FastUser, FaultClass::WriteProtect, 40);
+        let k = m.kind(TracePath::FastUser, FaultClass::WriteProtect);
+        assert_eq!(k.count, 1);
+        assert_eq!(k.deliver.max(), Some(375));
+        assert_eq!(k.ret.max(), Some(75));
+        assert_eq!(k.handler.max(), Some(40));
+        assert!(m
+            .kind(TracePath::UnixSignals, FaultClass::WriteProtect)
+            .is_empty());
+        assert_eq!(m.total_faults(), 1);
+    }
+
+    #[test]
+    fn page_fault_counts_key_by_page() {
+        let mut m = Metrics::new();
+        m.record_page_fault(TracePath::FastUser, FaultClass::PageFault, 0x0040_2004);
+        m.record_page_fault(TracePath::FastUser, FaultClass::PageFault, 0x0040_2ffc);
+        m.record_page_fault(TracePath::FastUser, FaultClass::PageFault, 0x0040_3000);
+        let k = m.kind(TracePath::FastUser, FaultClass::PageFault);
+        assert_eq!(k.pages.get(&0x402), Some(&2), "same page coalesces");
+        assert_eq!(k.pages.get(&0x403), Some(&1));
+    }
+
+    #[test]
+    fn merge_accumulates_across_tables() {
+        let mut a = Metrics::new();
+        a.record_deliver(TracePath::UnixSignals, FaultClass::Breakpoint, 1750);
+        let mut b = Metrics::new();
+        b.record_deliver(TracePath::UnixSignals, FaultClass::Breakpoint, 1800);
+        b.record_page_fault(TracePath::UnixSignals, FaultClass::Breakpoint, 0x1000);
+        a.merge(&b);
+        let k = a.kind(TracePath::UnixSignals, FaultClass::Breakpoint);
+        assert_eq!(k.count, 2);
+        assert_eq!(k.deliver.count(), 2);
+        assert_eq!(k.pages.get(&1), Some(&1));
+    }
+
+    #[test]
+    fn json_nests_path_then_class() {
+        let mut m = Metrics::new();
+        m.record_deliver(TracePath::HardwareVectored, FaultClass::Subpage, 190);
+        let j = m.to_json();
+        assert!(j.contains("\"hardware-vectored\":{\"subpage\":{"), "{j}");
+        assert!(j.contains("\"deliver_cycles\""));
+        // Quiet paths still appear, as empty objects.
+        assert!(j.contains("\"unix-signals\":{}"));
+    }
+
+    #[test]
+    fn iter_nonempty_skips_quiet_cells() {
+        let mut m = Metrics::new();
+        m.record_deliver(TracePath::FastUser, FaultClass::Breakpoint, 125);
+        m.record_deliver(TracePath::FastUser, FaultClass::Subpage, 475);
+        let cells: Vec<_> = m.iter_nonempty().map(|(p, c, _)| (p, c)).collect();
+        assert_eq!(
+            cells,
+            [
+                (TracePath::FastUser, FaultClass::Breakpoint),
+                (TracePath::FastUser, FaultClass::Subpage)
+            ]
+        );
+    }
+}

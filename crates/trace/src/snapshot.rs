@@ -1,0 +1,105 @@
+//! The `Snapshot` pattern: every stats struct in the workspace renders to one
+//! plain, serializable shape.
+//!
+//! `HostStats`, `GcStats`, `DsmStats`, … each expose domain-specific counters.
+//! Implementing [`Snapshot`] gives the bench harness and the JSON sink a
+//! single shape ([`StatsSnapshot`]) to consume, instead of matching on each
+//! struct's fields.
+
+use crate::json;
+
+/// A flat, ordered set of named counters from one component.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Which component produced this (e.g. `"host"`, `"gc"`).
+    pub component: &'static str,
+    /// Counter name → value, in insertion order.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+impl StatsSnapshot {
+    pub fn new(component: &'static str) -> StatsSnapshot {
+        StatsSnapshot {
+            component,
+            counters: Vec::new(),
+        }
+    }
+
+    /// Adds a counter (builder-style).
+    pub fn counter(mut self, name: &'static str, value: u64) -> StatsSnapshot {
+        self.counters.push((name, value));
+        self
+    }
+
+    /// Looks a counter up by name.
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// `{"component":"gc","counters":{"minor_collections":3,…}}`
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        json::field_str(&mut out, "component", self.component);
+        let mut inner = String::from("{");
+        for &(name, value) in &self.counters {
+            json::field_u64(&mut inner, name, value);
+        }
+        json::close_object(&mut inner);
+        json::field_raw(&mut out, "counters", &inner);
+        json::close_object(&mut out);
+        out
+    }
+}
+
+/// Implemented by every stats struct in the workspace.
+pub trait Snapshot {
+    /// Captures the current counter values as a plain serializable struct.
+    fn snapshot(&self) -> StatsSnapshot;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Demo {
+        faults: u64,
+        retries: u64,
+    }
+
+    impl Snapshot for Demo {
+        fn snapshot(&self) -> StatsSnapshot {
+            StatsSnapshot::new("demo")
+                .counter("faults", self.faults)
+                .counter("retries", self.retries)
+        }
+    }
+
+    #[test]
+    fn snapshot_preserves_order_and_values() {
+        let s = Demo {
+            faults: 3,
+            retries: 1,
+        }
+        .snapshot();
+        assert_eq!(s.component, "demo");
+        assert_eq!(s.get("faults"), Some(3));
+        assert_eq!(s.get("missing"), None);
+        assert_eq!(s.counters[0].0, "faults");
+    }
+
+    #[test]
+    fn snapshot_json_shape() {
+        let s = Demo {
+            faults: 3,
+            retries: 1,
+        }
+        .snapshot();
+        assert_eq!(
+            s.to_json(),
+            "{\"component\":\"demo\",\"counters\":{\"faults\":3,\"retries\":1}}"
+        );
+    }
+}

@@ -43,11 +43,10 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{
-    CoreError, DeliveryPath, FaultInfo, HandlerAction, HostConfig, HostProcess, Prot,
-};
+use efex_core::{CoreError, DeliveryPath, FaultInfo, HandlerAction, HostProcess, Prot};
 use efex_simos::layout::{PAGE_SIZE, SUBPAGE_SIZE};
 use efex_simos::vm::FaultKind;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 /// A recorded watchpoint hit.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -139,6 +138,16 @@ pub struct WatchStats {
     pub faults: u64,
 }
 
+impl Snapshot for WatchStats {
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("watch")
+            .counter("hits", self.hits)
+            .counter("false_hits", self.false_hits)
+            .counter("kernel_absorbed", self.kernel_absorbed)
+            .counter("faults", self.faults)
+    }
+}
+
 /// A debugger session: a protected address space plus watchpoints.
 pub struct Debugger {
     host: HostProcess,
@@ -163,10 +172,7 @@ impl Debugger {
     ///
     /// Fails if the simulated system cannot boot.
     pub fn new(path: DeliveryPath, use_subpages: bool) -> Result<Debugger, WatchError> {
-        let mut host = HostProcess::with_config(HostConfig {
-            path,
-            ..HostConfig::default()
-        })?;
+        let mut host = HostProcess::builder().delivery(path).build()?;
         let shared: Rc<RefCell<Shared>> = Rc::default();
         let st = Rc::clone(&shared);
         host.set_handler(move |ctx, info: FaultInfo| {
@@ -311,6 +317,11 @@ impl Debugger {
             kernel_absorbed: self.host.stats().subpage_emulated,
             faults: self.host.stats().faults_delivered,
         }
+    }
+
+    /// Per-(path, class) exception metrics for the watchpoint faults taken.
+    pub fn trace_metrics(&self) -> &efex_trace::Metrics {
+        self.host.trace_metrics()
     }
 
     /// Simulated time, µs.

@@ -58,6 +58,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         m.exceptions_taken(),
         sys.kernel().micros()
     );
-    println!("signal machinery used: {} times", sys.kernel().process().stats.signals_delivered);
+    println!(
+        "signal machinery used: {} times",
+        sys.kernel().process().stats.signals_delivered
+    );
     Ok(())
 }

@@ -42,7 +42,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })?;
     println!("\ntouching the future:");
     println!("  value = {}", rt.touch(answer)?);
-    println!("  touching again (no fault, no producer): {}", rt.touch(answer)?);
+    println!(
+        "  touching again (no fault, no producer): {}",
+        rt.touch(answer)?
+    );
 
     // Full/empty-bit synchronization.
     println!("\nfull/empty word:");
@@ -57,7 +60,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Err(e) => println!("  write on full  -> {e}"),
         Ok(_) => unreachable!(),
     }
-    println!("  read           -> {} (empties the word)", v.read(&mut rt)?);
+    println!(
+        "  read           -> {} (empties the word)",
+        v.read(&mut rt)?
+    );
 
     println!("\ntotal simulated time: {:.1} us", rt.micros());
     Ok(())

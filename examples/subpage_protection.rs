@@ -12,7 +12,9 @@
 use efex::core::{DeliveryPath, HandlerAction, HostProcess, Prot};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut h = HostProcess::new(DeliveryPath::FastUser)?;
+    let mut h = HostProcess::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()?;
     let page = h.alloc_region(4096, Prot::ReadWrite)?;
     h.store_u32(page, 0)?; // make it resident
 

@@ -18,6 +18,7 @@
 //! - [`lazydata`] — unbounded structures / futures / full-empty bits.
 //! - [`dsm`] — page-based distributed shared memory.
 //! - [`watch`] — conditional data watchpoints (debugger support).
+//! - [`trace`] — exception lifecycle tracing and per-kind metrics.
 //!
 //! # Quickstart
 //!
@@ -37,8 +38,9 @@ pub use efex_core as core;
 pub use efex_dsm as dsm;
 pub use efex_gc as gc;
 pub use efex_lazydata as lazydata;
-pub use efex_watch as watch;
 pub use efex_mips as mips;
 pub use efex_oscost as oscost;
 pub use efex_pstore as pstore;
 pub use efex_simos as simos;
+pub use efex_trace as trace;
+pub use efex_watch as watch;

@@ -32,7 +32,11 @@ fn gc_with(path: DeliveryPath, barrier: BarrierKind, eager: bool) -> Gc {
 /// barrier's cost on identical heap work.
 #[test]
 fn gc_fast_exceptions_beat_signals() {
-    let mut slow = gc_with(DeliveryPath::UnixSignals, BarrierKind::PageProtection, false);
+    let mut slow = gc_with(
+        DeliveryPath::UnixSignals,
+        BarrierKind::PageProtection,
+        false,
+    );
     let r_slow = gcw::lisp_ops(&mut slow, lisp_params()).unwrap();
     let mut fast = gc_with(DeliveryPath::FastUser, BarrierKind::PageProtection, true);
     let r_fast = gcw::lisp_ops(&mut fast, lisp_params()).unwrap();
@@ -41,7 +45,10 @@ fn gc_fast_exceptions_beat_signals() {
         r_slow.stats.barrier_faults, r_fast.stats.barrier_faults,
         "the controlled variable: identical fault counts"
     );
-    assert_eq!(r_slow.stats.objects_allocated, r_fast.stats.objects_allocated);
+    assert_eq!(
+        r_slow.stats.objects_allocated,
+        r_fast.stats.objects_allocated
+    );
     assert!(r_fast.micros < r_slow.micros);
 }
 
@@ -84,11 +91,15 @@ fn swizzling_crossover_behaves_like_figure3() {
     // Low reuse: checks win against even fast exceptions... only the
     // marginal cost matters; at u=1 both pay mostly page loads, so compare
     // against the *slow* path where the gap is decisive.
-    assert!(run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 1)
-        < run(Strategy::Unaligned, DeliveryPath::UnixSignals, 1));
+    assert!(
+        run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 1)
+            < run(Strategy::Unaligned, DeliveryPath::UnixSignals, 1)
+    );
     // High reuse: fast exceptions win.
-    assert!(run(Strategy::Unaligned, DeliveryPath::FastUser, 120)
-        < run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 120));
+    assert!(
+        run(Strategy::Unaligned, DeliveryPath::FastUser, 120)
+            < run(Strategy::SoftwareCheck, DeliveryPath::FastUser, 120)
+    );
 }
 
 /// Figure 4's direction, measured end-to-end.
@@ -135,7 +146,10 @@ fn lazy_structures_end_to_end() {
         })
         .unwrap()
     };
-    assert_eq!(rt.take(fib, 10).unwrap(), vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34]);
+    assert_eq!(
+        rt.take(fib, 10).unwrap(),
+        vec![0, 1, 1, 2, 3, 5, 8, 13, 21, 34]
+    );
     // Cost: one fast unaligned fault per materialized cell.
     assert_eq!(rt.stats().faults, 10);
 }

@@ -32,15 +32,25 @@ fn order_of_magnitude_headline() {
 /// Table 2's absolute fast-path numbers, within a tolerance band.
 #[test]
 fn fast_path_absolute_numbers_near_paper() {
-    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
-    let simple = sys.measure_null_roundtrip(ExceptionKind::Breakpoint).unwrap();
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
+    let simple = sys
+        .measure_null_roundtrip(ExceptionKind::Breakpoint)
+        .unwrap();
     assert!(
         (3.0..=8.0).contains(&simple.deliver_micros()),
         "paper: 5 us; got {:.1}",
         simple.deliver_micros()
     );
-    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
-    let prot = sys.measure_null_roundtrip(ExceptionKind::WriteProtect).unwrap();
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
+    let prot = sys
+        .measure_null_roundtrip(ExceptionKind::WriteProtect)
+        .unwrap();
     assert!(
         (10.0..=22.0).contains(&prot.deliver_micros()),
         "paper: 15 us; got {:.1}",
@@ -52,7 +62,10 @@ fn fast_path_absolute_numbers_near_paper() {
 /// mechanisms coexist, as the paper's compatible implementation requires.
 #[test]
 fn signals_and_fast_exceptions_coexist() {
-    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let outcome = sys
         .run_program(
             r#"
@@ -111,7 +124,10 @@ fn signals_and_fast_exceptions_coexist() {
 fn fast_path_overhead_on_unhandled_exceptions_is_small() {
     // Null syscall cost with the fast path present must stay near the
     // calibrated 12 us — the added decode/compat instructions are noise.
-    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     let k = sys.kernel_mut();
     let prog = k
         .load_user_program(
@@ -148,7 +164,10 @@ fn fast_path_overhead_on_unhandled_exceptions_is_small() {
 /// unhandled — they never loop inside the fast path.
 #[test]
 fn recursive_fast_exception_goes_to_kernel() {
-    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build().unwrap();
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
     // The fast handler itself takes an unaligned fault (enabled type), and
     // the comm frame gets overwritten; the handler then loops back to the
     // same fault. The run must not hang: the step budget catches it, or the

@@ -23,9 +23,8 @@ fn arb_op() -> impl Strategy<Value = GcOp> {
     prop_oneof![
         (2u32..8, 0usize..8).prop_map(|(words, keep_at)| GcOp::Alloc { words, keep_at }),
         // Value::Int is a 31-bit tagged integer.
-        (0usize..8, 0u32..2, -(1i32 << 30)..(1i32 << 30)).prop_map(|(obj, field, value)| {
-            GcOp::StoreInt { obj, field, value }
-        }),
+        (0usize..8, 0u32..2, -(1i32 << 30)..(1i32 << 30))
+            .prop_map(|(obj, field, value)| { GcOp::StoreInt { obj, field, value } }),
         (0usize..8, 0u32..2, 0usize..8).prop_map(|(from, field, to)| GcOp::StoreRef {
             from,
             field,
@@ -112,7 +111,10 @@ proptest! {
         writes in prop::collection::vec((0u32..1024, any::<u32>()), 1..50),
         protect_every in 1usize..10,
     ) {
-        let mut h = HostProcess::new(DeliveryPath::FastUser).unwrap();
+        let mut h = HostProcess::builder()
+            .delivery(DeliveryPath::FastUser)
+            .build()
+            .unwrap();
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
         h.set_handler(move |ctx, info| {

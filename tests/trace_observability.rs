@@ -1,0 +1,101 @@
+//! Observability integration: the trace layer must report the exception
+//! lifecycle faithfully and must cost nothing when disabled.
+
+use efex::core::{DeliveryPath, ExceptionKind, System};
+use efex::trace::{EventKind, FaultClass, RingSink, TracePath};
+use std::rc::Rc;
+
+/// A FastUser breakpoint round trip emits the full six-stage lifecycle, in
+/// order, with monotonically non-decreasing cycle timestamps.
+#[test]
+fn fast_breakpoint_roundtrip_emits_ordered_lifecycle() {
+    let ring = Rc::new(RingSink::new());
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .trace_sink(ring.clone())
+        .build()
+        .unwrap();
+    sys.measure_null_roundtrip(ExceptionKind::Breakpoint)
+        .unwrap();
+
+    let events = ring.events();
+    assert!(
+        events.len() >= 6,
+        "expected a full lifecycle, got {}",
+        events.len()
+    );
+    // The measured iteration is the last one traced.
+    let last = &events[events.len() - 6..];
+    let kinds: Vec<EventKind> = last.iter().map(|e| e.kind).collect();
+    assert_eq!(
+        kinds,
+        [
+            EventKind::FaultRaised,
+            EventKind::KernelEntered,
+            EventKind::StateSaved,
+            EventKind::HandlerEntered,
+            EventKind::HandlerReturned,
+            EventKind::Resumed,
+        ]
+    );
+    for w in last.windows(2) {
+        assert!(
+            w[0].cycles <= w[1].cycles,
+            "timestamps must be monotonic: {} then {}",
+            w[0].cycles,
+            w[1].cycles
+        );
+    }
+    assert!(last.windows(2).all(|w| w[0].seq < w[1].seq));
+    for e in last {
+        assert_eq!(e.path, TracePath::FastUser);
+        assert_eq!(e.class, FaultClass::Breakpoint);
+        assert_eq!(e.exc_code, 9, "breakpoint is MIPS ExcCode 9");
+    }
+
+    // The measurement also lands in the per-kind metrics.
+    let k = sys
+        .trace_metrics()
+        .kind(TracePath::FastUser, FaultClass::Breakpoint);
+    assert_eq!(k.count, 1);
+    assert_eq!(k.deliver.count(), 1);
+    assert_eq!(k.ret.count(), 1);
+}
+
+/// Tracing must never perturb the simulation: the same measurement with the
+/// default (null) sink and with a live ring sink charges identical cycles.
+#[test]
+fn null_sink_charges_zero_cycles() {
+    for kind in [
+        ExceptionKind::Breakpoint,
+        ExceptionKind::WriteProtect,
+        ExceptionKind::Subpage,
+    ] {
+        let mut silent = System::builder()
+            .delivery(DeliveryPath::FastUser)
+            .build()
+            .unwrap();
+        let base = silent.measure_null_roundtrip(kind).unwrap();
+
+        let ring = Rc::new(RingSink::new());
+        let mut traced = System::builder()
+            .delivery(DeliveryPath::FastUser)
+            .trace_sink(ring.clone())
+            .build()
+            .unwrap();
+        let observed = traced.measure_null_roundtrip(kind).unwrap();
+
+        assert_eq!(
+            base.deliver_cycles, observed.deliver_cycles,
+            "{kind:?}: tracing changed delivery cost"
+        );
+        assert_eq!(
+            base.return_cycles, observed.return_cycles,
+            "{kind:?}: tracing changed return cost"
+        );
+        assert!(
+            !ring.events().is_empty(),
+            "{kind:?}: the traced run saw events"
+        );
+    }
+}

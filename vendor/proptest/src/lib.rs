@@ -1,0 +1,605 @@
+//! Offline drop-in subset of the `proptest` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! slice of proptest it uses: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`/`boxed`, range and tuple strategies, [`prop_oneof!`], [`Just`],
+//! `any::<T>()`, `prop::collection::vec`, and the `prop_assert*`/`prop_assume!`
+//! macros.
+//!
+//! Differences from upstream, deliberately accepted for tests-only use:
+//! - **No shrinking.** A failing case panics with the generating input's
+//!   `Debug` representation; re-run with `PROPTEST_SEED` to reproduce.
+//! - **Deterministic by default.** Cases derive from a fixed seed so CI runs
+//!   are reproducible; set `PROPTEST_SEED` (u64) to explore a different
+//!   stream, `PROPTEST_CASES` to change the case count.
+//! - Regression-persistence files (`*.proptest-regressions`) are ignored.
+
+pub mod strategy {
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+    use std::ops::Range;
+
+    /// The generation source handed to strategies.
+    pub struct TestRng(pub(crate) StdRng);
+
+    impl TestRng {
+        pub fn next_u64(&mut self) -> u64 {
+            self.0.next_u64()
+        }
+
+        pub fn gen_index(&mut self, len: usize) -> usize {
+            assert!(len > 0);
+            self.0.gen_range(0..len)
+        }
+    }
+
+    /// A recipe for producing values of `Self::Value`. Generation only — no
+    /// shrinking, unlike upstream proptest.
+    pub trait Strategy {
+        type Value: Debug;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            O: Debug,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(std::rc::Rc::new(self))
+        }
+    }
+
+    /// Object-safe mirror of [`Strategy`] used by [`BoxedStrategy`].
+    trait DynStrategy<V> {
+        fn generate_dyn(&self, rng: &mut TestRng) -> V;
+    }
+
+    impl<S> DynStrategy<S::Value> for S
+    where
+        S: Strategy + 'static,
+    {
+        fn generate_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.generate(rng)
+        }
+    }
+
+    /// Type-erased strategy, as returned by [`Strategy::boxed`]. Clones share
+    /// the underlying strategy (upstream's `boxed()` likewise does not require
+    /// `Clone`).
+    pub struct BoxedStrategy<V>(std::rc::Rc<dyn DynStrategy<V>>);
+
+    impl<V> Clone for BoxedStrategy<V> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(std::rc::Rc::clone(&self.0))
+        }
+    }
+
+    impl<V: Debug> Strategy for BoxedStrategy<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            self.0.generate_dyn(rng)
+        }
+    }
+
+    /// Strategy that always yields a clone of its payload.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone + Debug>(pub T);
+
+    impl<T: Clone + Debug> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Result of [`Strategy::prop_map`].
+    #[derive(Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        O: Debug,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Uniform choice between type-erased branches; built by [`prop_oneof!`].
+    pub struct Union<V> {
+        branches: Vec<BoxedStrategy<V>>,
+    }
+
+    impl<V> Union<V> {
+        pub fn new(branches: Vec<BoxedStrategy<V>>) -> Union<V> {
+            assert!(
+                !branches.is_empty(),
+                "prop_oneof! needs at least one branch"
+            );
+            Union { branches }
+        }
+    }
+
+    impl<V> Clone for Union<V> {
+        fn clone(&self) -> Self {
+            Union {
+                branches: self.branches.clone(),
+            }
+        }
+    }
+
+    impl<V: Debug> Strategy for Union<V> {
+        type Value = V;
+
+        fn generate(&self, rng: &mut TestRng) -> V {
+            let i = rng.gen_index(self.branches.len());
+            self.branches[i].generate(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    rng.0.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// Strategy yielding any value of a primitive type; see [`crate::arbitrary::any`].
+    pub struct AnyStrategy<T>(pub(crate) PhantomData<T>);
+
+    impl<T> Clone for AnyStrategy<T> {
+        fn clone(&self) -> Self {
+            AnyStrategy(PhantomData)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+    impl_tuple_strategy!(A, B, C, D, E, F, G);
+    impl_tuple_strategy!(A, B, C, D, E, F, G, H);
+}
+
+pub mod arbitrary {
+    use super::strategy::{AnyStrategy, Strategy, TestRng};
+    use std::fmt::Debug;
+    use std::marker::PhantomData;
+
+    /// Primitive types with a canonical full-domain strategy.
+    pub trait Arbitrary: Debug + Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    /// `any::<T>()` — the full domain of `T`.
+    pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+        AnyStrategy(PhantomData)
+    }
+}
+
+pub mod collection {
+    use super::strategy::{Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with lengths drawn from `len` and elements from
+    /// `element`.
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        len: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.len.end - self.len.start;
+            let n = self.len.start + if span == 0 { 0 } else { rng.gen_index(span) };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// `prop::collection::vec(element, min..max)`.
+    pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+}
+
+pub mod test_runner {
+    use super::strategy::{Strategy, TestRng};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runner configuration (subset of upstream's field set).
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of successful (non-rejected) cases required per test.
+        pub cases: u32,
+        /// Give up after this many `prop_assume!` rejections.
+        pub max_global_rejects: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig {
+                cases,
+                ..ProptestConfig::default()
+            }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig {
+                cases,
+                max_global_rejects: 4096,
+            }
+        }
+    }
+
+    /// Why a single case did not succeed.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the input; try another one.
+        Reject(String),
+        /// An assertion failed; the whole test fails.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Fail(msg.into())
+        }
+
+        pub fn reject(msg: impl Into<String>) -> TestCaseError {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drives a strategy through `config.cases` executions of the test body.
+    pub struct TestRunner {
+        config: ProptestConfig,
+        seed: u64,
+    }
+
+    impl TestRunner {
+        pub fn new(config: ProptestConfig) -> TestRunner {
+            let seed = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or(0x00c0_ffee_0000_0000);
+            TestRunner { config, seed }
+        }
+
+        /// Runs `test` on fresh inputs until `cases` of them pass. Panics on
+        /// the first failing case with the input's `Debug` form (no
+        /// shrinking).
+        pub fn run<S, F>(&mut self, strategy: &S, mut test: F)
+        where
+            S: Strategy,
+            F: FnMut(S::Value) -> TestCaseResult,
+        {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut case = 0u64;
+            while passed < self.config.cases {
+                let mut rng = TestRng(StdRng::seed_from_u64(
+                    self.seed
+                        .wrapping_add(case.wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+                ));
+                case += 1;
+                let input = strategy.generate(&mut rng);
+                let shown = format!("{input:?}");
+                match test(input) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject(_)) => {
+                        rejected += 1;
+                        if rejected > self.config.max_global_rejects {
+                            panic!(
+                                "proptest: too many prop_assume! rejections \
+                                 ({rejected}) before reaching {} cases",
+                                self.config.cases
+                            );
+                        }
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest: case #{case} failed: {msg}\n\
+                             input: {shown}\n\
+                             (seed {:#x}; no shrinking in the vendored runner)",
+                            self.seed
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    /// Mirrors `proptest::prelude::prop`, exposing submodules under a short
+    /// alias (only `prop::collection` is vendored).
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}`: {}\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), format!($($fmt)+), l, r
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($branch:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($branch)),+
+        ])
+    };
+}
+
+/// Expands each `fn name(args…) { body }` into a `#[test]` that drives the
+/// argument strategies through the vendored [`test_runner::TestRunner`].
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns!([$crate::test_runner::ProptestConfig::default()] $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($args:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_parse_args!([$cfg] [$body] [] [] $($args)*);
+        }
+        $crate::__proptest_fns!([$cfg] $($rest)*);
+    };
+}
+
+/// Accumulates `pat in strategy` / `ident: Type` args into parallel ident and
+/// strategy lists, then hands off to `__proptest_run!`.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_parse_args {
+    // `name in strategy, …` / terminal without trailing comma.
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$($strats:tt)*]
+     $id:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_parse_args!(
+            [$cfg] [$body] [$($ids)* $id] [$($strats)* ($strat)] $($rest)*)
+    };
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$($strats:tt)*]
+     $id:ident in $strat:expr) => {
+        $crate::__proptest_run!([$cfg] [$body] [$($ids)* $id] [$($strats)* ($strat)])
+    };
+    // `name: Type, …` / terminal — sugar for `name in any::<Type>()`.
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$($strats:tt)*]
+     $id:ident : $ty:ty, $($rest:tt)*) => {
+        $crate::__proptest_parse_args!(
+            [$cfg] [$body] [$($ids)* $id] [$($strats)* ($crate::arbitrary::any::<$ty>())]
+            $($rest)*)
+    };
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$($strats:tt)*]
+     $id:ident : $ty:ty) => {
+        $crate::__proptest_run!(
+            [$cfg] [$body] [$($ids)* $id] [$($strats)* ($crate::arbitrary::any::<$ty>())])
+    };
+    // All args consumed.
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$($strats:tt)*]) => {
+        $crate::__proptest_run!([$cfg] [$body] [$($ids)*] [$($strats)*])
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_run {
+    ([$cfg:expr] [$body:block] [$($ids:ident)*] [$(($strat:expr))*]) => {{
+        let strategy = ($($strat,)*);
+        let mut runner = $crate::test_runner::TestRunner::new($cfg);
+        runner.run(&strategy, |($($ids,)*)| {
+            $body
+            ::core::result::Result::Ok(())
+        });
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_respect_bounds(x in 10u32..20, y in -4i32..4) {
+            prop_assert!((10..20).contains(&x));
+            prop_assert!((-4..4).contains(&y));
+        }
+
+        #[test]
+        fn typed_args_cover_domain(flag: bool, byte: u8) {
+            // Smoke test: both forms parse and run.
+            prop_assert!(flag as u32 <= 1);
+            prop_assert!(u32::from(byte) < 256);
+        }
+
+        #[test]
+        fn oneof_map_and_vec_compose(v in prop::collection::vec(
+            prop_oneof![Just(1u32), (5u32..7).prop_map(|x| x * 10)], 1..8))
+        {
+            prop_assert!(!v.is_empty() && v.len() < 8);
+            for x in v {
+                prop_assert!(x == 1 || x == 50 || x == 60);
+            }
+        }
+
+        #[test]
+        fn assume_rejects_without_failing(a in 0u32..10, b in 0u32..10) {
+            prop_assume!(a != b);
+            prop_assert_ne!(a, b);
+        }
+    }
+
+    #[test]
+    fn boxed_strategies_clone() {
+        let s: BoxedStrategy<u32> = (0u32..5).boxed();
+        let t = s.clone();
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(8));
+        runner.run(&(t,), |(x,)| {
+            prop_assert!(x < 5);
+            Ok(())
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn failing_case_panics_with_input() {
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::ProptestConfig::with_cases(8));
+        runner.run(&(0u32..10,), |(x,)| {
+            prop_assert!(x > 100, "x was {x}");
+            Ok(())
+        });
+    }
+}
