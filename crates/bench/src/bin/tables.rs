@@ -11,7 +11,8 @@
 //! delivery/handler/return cycle histograms) collected from the guest
 //! microbenchmarks and a host-level barrier workload.
 
-use efex_core::{DeliveryPath, ExceptionKind, HandlerAction, HostProcess, Prot, System};
+use efex_bench::suite::GUEST_MATRIX;
+use efex_core::{DeliveryPath, HandlerAction, HostProcess, Prot, System};
 use efex_trace::{Metrics, Snapshot};
 use std::env;
 
@@ -52,17 +53,6 @@ fn main() {
 fn banner(title: &str) {
     println!("\n=== {title} ===");
 }
-
-/// Every (path, kind) pair the guest microbenchmarks implement.
-const GUEST_MATRIX: [(DeliveryPath, ExceptionKind); 7] = [
-    (DeliveryPath::UnixSignals, ExceptionKind::Breakpoint),
-    (DeliveryPath::UnixSignals, ExceptionKind::WriteProtect),
-    (DeliveryPath::FastUser, ExceptionKind::Breakpoint),
-    (DeliveryPath::FastUser, ExceptionKind::WriteProtect),
-    (DeliveryPath::FastUser, ExceptionKind::Subpage),
-    (DeliveryPath::FastUser, ExceptionKind::UnalignedSpecialized),
-    (DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint),
-];
 
 /// Runs the Table-2 microbenchmark matrix plus a host-level write-barrier
 /// loop on every path, and prints the merged lifecycle metrics as JSON.

@@ -7,6 +7,8 @@
 //! paper's qualitative conclusions (who wins, by roughly what factor,
 //! where the crossovers fall).
 
+pub mod suite;
+
 use efex_analysis::{gc as gc_model, swizzle};
 use efex_core::{DeliveryPath, ExceptionKind, System};
 use efex_gc::{workloads as gc_workloads, BarrierKind, Gc, GcConfig};

@@ -297,20 +297,6 @@ impl HostProcess {
         HostBuilder::default()
     }
 
-    /// Creates a process over a freshly booted kernel with the default
-    /// configuration for `path`.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the kernel cannot boot.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use `HostProcess::builder().delivery(path).build()`"
-    )]
-    pub fn new(path: DeliveryPath) -> Result<HostProcess, CoreError> {
-        HostProcess::builder().delivery(path).build()
-    }
-
     /// The configured delivery path.
     pub fn path(&self) -> DeliveryPath {
         self.path
@@ -725,13 +711,6 @@ mod tests {
 
     fn host(path: DeliveryPath) -> HostProcess {
         HostProcess::builder().delivery(path).build().unwrap()
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn new_shim_still_boots() {
-        let h = HostProcess::new(DeliveryPath::UnixSignals).unwrap();
-        assert_eq!(h.path(), DeliveryPath::UnixSignals);
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use efex_mips::cycles::to_micros;
 
-use efex_mips::profile::Profiler;
+use efex_mips::profile::{Profiler, RegionSpan};
 use efex_simos::fastexc::TABLE3_PHASES;
 use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
 use efex_trace::{EventKind, FaultClass, Metrics, SharedSink, TraceEvent};
@@ -375,6 +375,18 @@ impl System {
     ///
     /// Fails if the path is not `FastUser` or the guest misbehaves.
     pub fn measure_table3(&mut self) -> Result<Vec<Table3Row>, CoreError> {
+        Ok(self.measure_table3_spans()?.0)
+    }
+
+    /// Like [`System::measure_table3`], but also returns the profiler's
+    /// [`RegionSpan`]s for the measured delivery — the per-region timeline
+    /// that `efex-report` turns into Chrome-trace rows and folded stacks.
+    /// Spans cover only the measured iteration (the warm-up is reset away).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the path is not `FastUser` or the guest misbehaves.
+    pub fn measure_table3_spans(&mut self) -> Result<(Vec<Table3Row>, Vec<RegionSpan>), CoreError> {
         if self.path != DeliveryPath::FastUser {
             return Err(CoreError::Invalid("Table 3 profiles the fast path".into()));
         }
@@ -409,12 +421,13 @@ impl System {
         }
         self.step_until(after_fault, 2_000_000)?;
 
-        let report = self
+        let profiler = self
             .kernel
-            .machine()
-            .profiler()
-            .expect("attached above")
-            .report();
+            .machine_mut()
+            .profiler_mut()
+            .expect("attached above");
+        let spans = profiler.take_spans();
+        let report = profiler.report();
         let rows = TABLE3_PHASES
             .iter()
             .map(|(label, name, paper)| Table3Row {
@@ -425,7 +438,7 @@ impl System {
             })
             .collect();
         self.kernel.machine_mut().set_profiler(None);
-        Ok(rows)
+        Ok((rows, spans))
     }
 
     /// Steps the machine until the PC *next* reaches `target` (at least one

@@ -10,6 +10,7 @@
 use crate::dsm::{Dsm, DsmConfig, DsmError};
 use efex_core::DeliveryPath;
 use efex_simos::layout::PAGE_SIZE;
+use efex_trace::StatsSnapshot;
 
 /// Result of one false-sharing run.
 #[derive(Clone, Copy, Debug)]
@@ -51,6 +52,22 @@ pub fn false_sharing(
         faults: d.stats().faults,
         page_transfers: d.stats().page_transfers,
     })
+}
+
+/// The canonical deterministic workload recorded in `BENCH_baseline.json` by
+/// `efex-bench`'s `report` binary: a small [`false_sharing`] run (two nodes
+/// ping-ponging one page) over the fast path. The protocol is deterministic,
+/// so the fault and page-transfer counts must reproduce bit-for-bit.
+///
+/// # Errors
+///
+/// Propagates DSM errors.
+pub fn baseline_workload() -> Result<(f64, StatsSnapshot), DsmError> {
+    let r = false_sharing(DeliveryPath::FastUser, 24, true)?;
+    let snap = StatsSnapshot::new("dsm")
+        .counter("faults", r.faults)
+        .counter("page_transfers", r.page_transfers);
+    Ok((r.total_us, snap))
 }
 
 #[cfg(test)]

@@ -16,8 +16,11 @@
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
+use crate::config::{BarrierKind, GcConfig};
 use crate::gc::{Gc, GcError, GcStats};
 use crate::heap::Value;
+use efex_core::DeliveryPath;
+use efex_trace::{Snapshot, StatsSnapshot};
 
 /// The outcome of one workload run.
 #[derive(Clone, Copy, Debug)]
@@ -114,6 +117,37 @@ pub fn lisp_ops(gc: &mut Gc, p: LispOpsParams) -> Result<WorkloadReport, GcError
         micros: gc.micros() - start,
         stats: gc.stats(),
     })
+}
+
+/// The canonical deterministic workload recorded in `BENCH_baseline.json` by
+/// `efex-bench`'s `report` binary: a scaled-down [`lisp_ops`] run on the fast
+/// path with the page-protection barrier. Fixed parameters and a fixed seed —
+/// every counter it produces must reproduce bit-for-bit across runs.
+///
+/// # Errors
+///
+/// Propagates collector errors.
+pub fn baseline_workload() -> Result<(f64, StatsSnapshot), GcError> {
+    let mut gc = Gc::new(GcConfig {
+        path: DeliveryPath::FastUser,
+        barrier: BarrierKind::PageProtection,
+        eager_amplification: true,
+        heap_bytes: 2 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })?;
+    let r = lisp_ops(
+        &mut gc,
+        LispOpsParams {
+            iterations: 40,
+            depth: 7,
+            table_pages: 16,
+            stores_per_iteration: 10,
+            mutator_cycles: 1_000,
+            seed: 7,
+        },
+    )?;
+    Ok((r.micros, r.stats.snapshot()))
 }
 
 fn build_tree(gc: &mut Gc, depth: u32, rng: &mut StdRng) -> Result<crate::ObjRef, GcError> {

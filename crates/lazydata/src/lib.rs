@@ -38,4 +38,4 @@ pub mod fullempty;
 pub mod runtime;
 
 pub use fullempty::{SyncError, SyncVar};
-pub use runtime::{LazyError, LazyList, LazyRuntime, LazyStats};
+pub use runtime::{baseline_workload, LazyError, LazyList, LazyRuntime, LazyStats};

@@ -345,6 +345,26 @@ impl LazyRuntime {
     }
 }
 
+/// The canonical deterministic workload recorded in `BENCH_baseline.json` by
+/// `efex-bench`'s `report` binary: stream extension plus future touches over
+/// the fast path. The generator is a fixed pure function, so extension and
+/// force counts must reproduce bit-for-bit across runs.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn baseline_workload() -> Result<(f64, StatsSnapshot), LazyError> {
+    let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 256 * 1024)?;
+    let list = rt.new_stream(|i| (i as i32) * 3)?;
+    let elems = rt.take(list, 24)?;
+    debug_assert_eq!(elems.len(), 24);
+    let fut = rt.make_future(|| 41)?;
+    let first = rt.touch(fut)?; // forces the producer (one fault)
+    let again = rt.touch(fut)?; // free afterwards
+    debug_assert_eq!((first, again), (41, 41));
+    Ok((rt.micros(), rt.stats().snapshot()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

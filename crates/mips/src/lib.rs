@@ -70,3 +70,4 @@ pub mod trace;
 pub use exception::ExcCode;
 pub use isa::{Instruction, Reg};
 pub use machine::{Machine, StopReason};
+pub use profile::{Profiler, Region, RegionCounts, RegionSpan};

@@ -1,7 +1,9 @@
 //! Measurement workloads for Figures 3 and 4.
 
 use crate::graph::StableGraph;
-use crate::store::{Pstore, PstoreConfig, PstoreError};
+use crate::store::{Policy, Pstore, PstoreConfig, PstoreError, Strategy};
+use efex_core::DeliveryPath;
+use efex_trace::StatsSnapshot;
 
 /// Result of one workload run.
 #[derive(Clone, Copy, Debug)]
@@ -101,6 +103,31 @@ pub fn sparse_traversal(
         checks: s1.checks - s0.checks,
         swizzles: s1.swizzles - s0.swizzles,
     })
+}
+
+/// The canonical deterministic workload recorded in `BENCH_baseline.json` by
+/// `efex-bench`'s `report` binary: [`pointer_uses`] on a fixed random graph
+/// with lazy unaligned-tag swizzling over the fast path. Fixed seed — the
+/// fault/swizzle counters must reproduce bit-for-bit across runs.
+///
+/// # Errors
+///
+/// Propagates store errors.
+pub fn baseline_workload() -> Result<(f64, StatsSnapshot), PstoreError> {
+    let graph = StableGraph::random(30, 50, 40, 0xb5);
+    let cfg = PstoreConfig {
+        strategy: Strategy::Unaligned,
+        policy: Policy::Lazy,
+        path: DeliveryPath::FastUser,
+        ..PstoreConfig::default()
+    };
+    let r = pointer_uses(graph, cfg, 20)?;
+    let snap = StatsSnapshot::new("pstore")
+        .counter("uses", r.uses)
+        .counter("faults", r.faults)
+        .counter("checks", r.checks)
+        .counter("swizzles", r.swizzles);
+    Ok((r.micros, snap))
 }
 
 fn count_pointers(graph: &StableGraph) -> u32 {

@@ -1,0 +1,289 @@
+//! Baseline regression checking.
+//!
+//! [`compare`] matches a freshly measured [`Baseline`] against a recorded
+//! one, metric by metric. Exact metrics (deterministic cycle and instruction
+//! counts) must match bit-for-bit; derived float metrics are allowed a
+//! relative tolerance. The result renders as a diff table and decides CI's
+//! exit status.
+
+use crate::schema::{Baseline, Metric, MetricValue};
+use std::fmt;
+
+/// Default relative tolerance for non-exact metrics (1%).
+pub const DEFAULT_TOLERANCE: f64 = 0.01;
+
+/// Outcome for one metric.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Status {
+    /// Within tolerance (or exactly equal, for exact metrics).
+    Ok,
+    /// Outside tolerance, or an exact metric that changed at all.
+    Drift,
+    /// Present in the baseline but absent from the current run — a
+    /// measurement silently disappeared, which is itself a regression.
+    Missing,
+    /// Present in the current run but not in the baseline; informational
+    /// (re-record to adopt it).
+    New,
+}
+
+impl Status {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Status::Ok => "ok",
+            Status::Drift => "DRIFT",
+            Status::Missing => "MISSING",
+            Status::New => "new",
+        }
+    }
+
+    /// Whether this status fails the check.
+    pub fn is_failure(self) -> bool {
+        matches!(self, Status::Drift | Status::Missing)
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One row of the comparison.
+#[derive(Clone, PartialEq, Debug)]
+pub struct Row {
+    pub name: String,
+    pub unit: String,
+    pub expected: Option<MetricValue>,
+    pub actual: Option<MetricValue>,
+    /// Relative deviation `|actual - expected| / |expected|`, when both sides
+    /// are present and the expected value is nonzero.
+    pub rel_delta: Option<f64>,
+    pub status: Status,
+}
+
+/// The full comparison result.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CheckReport {
+    /// Rows in baseline order, then any new metrics in current-run order.
+    pub rows: Vec<Row>,
+    /// Relative tolerance applied to non-exact metrics.
+    pub tolerance: f64,
+}
+
+impl CheckReport {
+    /// True when no row is a failure.
+    pub fn passed(&self) -> bool {
+        self.rows.iter().all(|r| !r.status.is_failure())
+    }
+
+    pub fn failures(&self) -> impl Iterator<Item = &Row> {
+        self.rows.iter().filter(|r| r.status.is_failure())
+    }
+
+    fn count(&self, status: Status) -> usize {
+        self.rows.iter().filter(|r| r.status == status).count()
+    }
+
+    /// Renders the comparison as a monospace table. With `verbose` false only
+    /// non-`Ok` rows are listed (plus a summary); with it true every row is.
+    pub fn render_table(&self, verbose: bool) -> String {
+        let mut out = String::new();
+        let shown: Vec<&Row> = self
+            .rows
+            .iter()
+            .filter(|r| verbose || r.status != Status::Ok)
+            .collect();
+        if !shown.is_empty() {
+            let name_w = shown.iter().map(|r| r.name.len()).max().unwrap_or(6).max(6);
+            out.push_str(&format!(
+                "{:<name_w$}  {:>14}  {:>14}  {:>9}  status\n",
+                "metric", "expected", "actual", "rel"
+            ));
+            for r in &shown {
+                let fmt_val = |v: &Option<MetricValue>| match v {
+                    Some(MetricValue::Int(i)) => format!("{i}"),
+                    Some(MetricValue::Float(f)) => format!("{f:.4}"),
+                    None => "-".to_string(),
+                };
+                let rel = match r.rel_delta {
+                    Some(d) => format!("{:+.3}%", d * 100.0),
+                    None => "-".to_string(),
+                };
+                out.push_str(&format!(
+                    "{:<name_w$}  {:>14}  {:>14}  {:>9}  {}\n",
+                    r.name,
+                    fmt_val(&r.expected),
+                    fmt_val(&r.actual),
+                    rel,
+                    r.status
+                ));
+            }
+        }
+        out.push_str(&format!(
+            "{} metrics: {} ok, {} drift, {} missing, {} new (tolerance {:.2}% on derived metrics; counts exact)\n",
+            self.rows.len(),
+            self.count(Status::Ok),
+            self.count(Status::Drift),
+            self.count(Status::Missing),
+            self.count(Status::New),
+            self.tolerance * 100.0,
+        ));
+        out
+    }
+}
+
+fn as_f64(v: MetricValue) -> f64 {
+    match v {
+        MetricValue::Int(i) => i as f64,
+        MetricValue::Float(f) => f,
+    }
+}
+
+fn judge(baseline: &Metric, actual: MetricValue, tolerance: f64) -> (Option<f64>, Status) {
+    let (e, a) = (as_f64(baseline.value), as_f64(actual));
+    let rel = if e != 0.0 {
+        Some((a - e) / e.abs())
+    } else if a == 0.0 {
+        Some(0.0)
+    } else {
+        None // undefined relative change from zero; treated as drift below
+    };
+    let ok = if baseline.exact {
+        // Exact metrics compare as values: Int==Int bit-for-bit, and a
+        // type change (Int became Float) is itself drift.
+        match (baseline.value, actual) {
+            (MetricValue::Int(x), MetricValue::Int(y)) => x == y,
+            (MetricValue::Float(x), MetricValue::Float(y)) => x == y,
+            _ => false,
+        }
+    } else {
+        match rel {
+            Some(r) => r.abs() <= tolerance,
+            None => false,
+        }
+    };
+    (rel, if ok { Status::Ok } else { Status::Drift })
+}
+
+/// Compares `current` against `baseline` with the given relative tolerance
+/// for non-exact metrics.
+pub fn compare(baseline: &Baseline, current: &Baseline, tolerance: f64) -> CheckReport {
+    let mut rows = Vec::with_capacity(baseline.metrics.len());
+    for m in &baseline.metrics {
+        match current.get(&m.name) {
+            Some(cur) => {
+                let (rel_delta, status) = judge(m, cur.value, tolerance);
+                rows.push(Row {
+                    name: m.name.clone(),
+                    unit: m.unit.clone(),
+                    expected: Some(m.value),
+                    actual: Some(cur.value),
+                    rel_delta,
+                    status,
+                });
+            }
+            None => rows.push(Row {
+                name: m.name.clone(),
+                unit: m.unit.clone(),
+                expected: Some(m.value),
+                actual: None,
+                rel_delta: None,
+                status: Status::Missing,
+            }),
+        }
+    }
+    for m in &current.metrics {
+        if baseline.get(&m.name).is_none() {
+            rows.push(Row {
+                name: m.name.clone(),
+                unit: m.unit.clone(),
+                expected: None,
+                actual: Some(m.value),
+                rel_delta: None,
+                status: Status::New,
+            });
+        }
+    }
+    CheckReport { rows, tolerance }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline() -> Baseline {
+        let mut b = Baseline::new();
+        b.push_int("a/cycles", 100, "cycles");
+        b.push_float("a/us", 4.0, "us");
+        b
+    }
+
+    #[test]
+    fn identical_runs_pass() {
+        let b = baseline();
+        let report = compare(&b, &b.clone(), DEFAULT_TOLERANCE);
+        assert!(report.passed());
+        assert_eq!(report.rows.len(), 2);
+        assert!(report.rows.iter().all(|r| r.status == Status::Ok));
+    }
+
+    #[test]
+    fn exact_metric_rejects_off_by_one() {
+        let b = baseline();
+        let mut cur = Baseline::new();
+        cur.push_int("a/cycles", 101, "cycles");
+        cur.push_float("a/us", 4.0, "us");
+        let report = compare(&b, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        let row = &report.rows[0];
+        assert_eq!(row.status, Status::Drift);
+        assert!(row.rel_delta.unwrap() > 0.0);
+        let table = report.render_table(false);
+        assert!(
+            table.contains("a/cycles"),
+            "diff table must name the metric"
+        );
+        assert!(table.contains("DRIFT"));
+    }
+
+    #[test]
+    fn float_metric_respects_tolerance() {
+        let b = baseline();
+        let mut cur = Baseline::new();
+        cur.push_int("a/cycles", 100, "cycles");
+        cur.push_float("a/us", 4.02, "us"); // +0.5%: inside 1%
+        assert!(compare(&b, &cur, DEFAULT_TOLERANCE).passed());
+        let mut cur2 = Baseline::new();
+        cur2.push_int("a/cycles", 100, "cycles");
+        cur2.push_float("a/us", 4.2, "us"); // +5%: outside
+        assert!(!compare(&b, &cur2, DEFAULT_TOLERANCE).passed());
+        // A wider tolerance admits it.
+        assert!(compare(&b, &cur2, 0.10).passed());
+    }
+
+    #[test]
+    fn missing_metric_fails_and_new_metric_does_not() {
+        let b = baseline();
+        let mut cur = Baseline::new();
+        cur.push_int("a/cycles", 100, "cycles");
+        cur.push_float("brand/new", 1.0, "us");
+        let report = compare(&b, &cur, DEFAULT_TOLERANCE);
+        assert!(!report.passed());
+        let missing: Vec<&str> = report.failures().map(|r| r.name.as_str()).collect();
+        assert_eq!(missing, ["a/us"]);
+        assert!(report.rows.iter().any(|r| r.status == Status::New));
+    }
+
+    #[test]
+    fn zero_baseline_handled() {
+        let mut b = Baseline::new();
+        b.push_float("z", 0.0, "us");
+        let mut same = Baseline::new();
+        same.push_float("z", 0.0, "us");
+        assert!(compare(&b, &same, DEFAULT_TOLERANCE).passed());
+        let mut diff = Baseline::new();
+        diff.push_float("z", 0.5, "us");
+        assert!(!compare(&b, &diff, DEFAULT_TOLERANCE).passed());
+    }
+}

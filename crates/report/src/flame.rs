@@ -1,0 +1,93 @@
+//! Folded-stack output for flamegraph tools.
+//!
+//! The folded format is one line per stack, `frame;frame;... count`, consumed
+//! by Brendan Gregg's `flamegraph.pl` and by `inferno`. The guest kernel's
+//! fast path has a two-level "stack": the path root and the Table 3 phase
+//! region, weighted by measured dynamic instruction count (the same unit
+//! Table 3 reports).
+
+use efex_mips::RegionSpan;
+
+/// Renders `(region, weight)` rows under a common root, one folded line per
+/// region, preserving row order. Zero-weight regions are kept — a Table 3
+/// phase that executed no instructions is information, not noise.
+pub fn folded_from_rows(root: &str, rows: &[(String, u64)]) -> String {
+    let mut out = String::new();
+    for (name, weight) in rows {
+        out.push_str(&format!("{root};{} {}\n", sanitize(name), weight));
+    }
+    out
+}
+
+/// Aggregates profiler spans by region name (weight = instructions) and
+/// renders them under `root`, in first-seen order.
+pub fn folded_from_spans(root: &str, spans: &[RegionSpan]) -> String {
+    let mut order: Vec<String> = Vec::new();
+    let mut weights: Vec<u64> = Vec::new();
+    for s in spans {
+        match order.iter().position(|n| *n == s.name) {
+            Some(i) => weights[i] += s.instructions,
+            None => {
+                order.push(s.name.clone());
+                weights.push(s.instructions);
+            }
+        }
+    }
+    let rows: Vec<(String, u64)> = order.into_iter().zip(weights).collect();
+    folded_from_rows(root, &rows)
+}
+
+/// Folded frames may not contain `;` (frame separator) or whitespace
+/// (weight separator); replace them so labels survive verbatim otherwise.
+fn sanitize(frame: &str) -> String {
+    frame
+        .chars()
+        .map(|c| match c {
+            ';' => ':',
+            c if c.is_whitespace() => '_',
+            c => c,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_render_one_line_each() {
+        let rows = vec![
+            ("save_state".to_string(), 12),
+            ("decode".to_string(), 7),
+            ("upcall".to_string(), 0),
+        ];
+        let folded = folded_from_rows("fastpath", &rows);
+        assert_eq!(
+            folded,
+            "fastpath;save_state 12\nfastpath;decode 7\nfastpath;upcall 0\n"
+        );
+    }
+
+    #[test]
+    fn spans_aggregate_by_name() {
+        let span = |name: &str, instructions: u64| RegionSpan {
+            name: name.into(),
+            start_cycles: 0,
+            end_cycles: instructions,
+            instructions,
+        };
+        let folded = folded_from_spans("fastpath", &[span("a", 3), span("b", 2), span("a", 5)]);
+        assert_eq!(folded, "fastpath;a 8\nfastpath;b 2\n");
+    }
+
+    #[test]
+    fn frames_with_separator_chars_are_sanitized() {
+        let rows = vec![("bad;frame name".to_string(), 1)];
+        let folded = folded_from_rows("r", &rows);
+        assert_eq!(folded, "r;bad:frame_name 1\n");
+        // Every folded line must split into exactly 2 fields: stack + weight.
+        for line in folded.lines() {
+            assert_eq!(line.split_whitespace().count(), 2);
+        }
+    }
+}

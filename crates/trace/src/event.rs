@@ -1,5 +1,6 @@
 //! Exception lifecycle events and the fixed-capacity ring that stores them.
 
+use crate::snapshot::{Snapshot, StatsSnapshot};
 use std::fmt;
 
 /// Where in the exception lifecycle an event was emitted.
@@ -278,6 +279,19 @@ impl EventRing {
     }
 }
 
+impl Snapshot for EventRing {
+    /// Ring occupancy and overflow counters. A nonzero `dropped` makes
+    /// overflow observable: the ring silently overwrote that many oldest
+    /// events, so any report built from the buffer is a suffix of the run.
+    fn snapshot(&self) -> StatsSnapshot {
+        StatsSnapshot::new("event-ring")
+            .counter("capacity", self.capacity() as u64)
+            .counter("buffered", self.len() as u64)
+            .counter("total_pushed", self.total_pushed())
+            .counter("dropped", self.dropped())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -340,6 +354,20 @@ mod tests {
         assert!(r.is_empty());
         r.push(ev(2));
         assert_eq!(r.iter().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn snapshot_reports_overflow() {
+        let mut r = EventRing::with_capacity(4);
+        for c in 0..10 {
+            r.push(ev(c));
+        }
+        let s = r.snapshot();
+        assert_eq!(s.component, "event-ring");
+        assert_eq!(s.get("capacity"), Some(4));
+        assert_eq!(s.get("buffered"), Some(4));
+        assert_eq!(s.get("total_pushed"), Some(10));
+        assert_eq!(s.get("dropped"), Some(6), "overflow must be observable");
     }
 
     #[test]

@@ -95,6 +95,51 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded samples.
+    ///
+    /// The estimate walks the log2 buckets to the one containing the target
+    /// rank and interpolates linearly within its value range, then clamps to
+    /// the observed `[min, max]` — so single-sample histograms report the
+    /// exact sample and estimates never leave the observed range.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        // 1-based target rank: the smallest rank whose cumulative share ≥ q.
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            cum += c;
+            if cum >= rank {
+                let (lo, hi) = Self::bucket_range(i);
+                // Position of the target rank within this bucket, in (0, 1].
+                let within = (rank - (cum - c)) as f64 / c as f64;
+                let est = lo as f64 + within * (hi - lo) as f64;
+                return Some((est as u64).clamp(self.min, self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median estimate (see [`Histogram::quantile`]).
+    pub fn p50(&self) -> Option<u64> {
+        self.quantile(0.50)
+    }
+
+    /// 90th-percentile estimate.
+    pub fn p90(&self) -> Option<u64> {
+        self.quantile(0.90)
+    }
+
+    /// 99th-percentile estimate.
+    pub fn p99(&self) -> Option<u64> {
+        self.quantile(0.99)
+    }
+
     /// Count in one bucket.
     pub fn bucket(&self, index: usize) -> u64 {
         self.buckets[index]
@@ -133,6 +178,9 @@ impl Histogram {
         json::field_u64(&mut out, "min", self.min().unwrap_or(0));
         json::field_u64(&mut out, "max", self.max().unwrap_or(0));
         json::field_f64(&mut out, "mean", self.mean());
+        json::field_u64(&mut out, "p50", self.p50().unwrap_or(0));
+        json::field_u64(&mut out, "p90", self.p90().unwrap_or(0));
+        json::field_u64(&mut out, "p99", self.p99().unwrap_or(0));
         out.push_str("\"buckets\":[");
         let mut first = true;
         for (lo, hi, c) in self.nonzero_buckets() {
@@ -242,6 +290,46 @@ mod tests {
             Some(2),
             "merging an empty histogram must not corrupt min"
         );
+    }
+
+    #[test]
+    fn quantiles_on_empty_and_single_sample() {
+        let mut h = Histogram::new();
+        assert_eq!(h.quantile(0.5), None);
+        h.record(375);
+        // One sample: every quantile is that sample (clamped to [min, max]).
+        assert_eq!(h.p50(), Some(375));
+        assert_eq!(h.p90(), Some(375));
+        assert_eq!(h.p99(), Some(375));
+        assert_eq!(h.quantile(0.0), Some(375));
+        assert_eq!(h.quantile(1.0), Some(375));
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let mut h = Histogram::new();
+        for v in [5u64, 40, 90, 125, 200, 350, 800, 1600, 3000, 9000] {
+            h.record(v);
+        }
+        let qs: Vec<u64> = [0.1, 0.25, 0.5, 0.75, 0.9, 0.99]
+            .iter()
+            .map(|&q| h.quantile(q).unwrap())
+            .collect();
+        assert!(qs.windows(2).all(|w| w[0] <= w[1]), "{qs:?}");
+        assert!(qs.iter().all(|&v| (5..=9000).contains(&v)), "{qs:?}");
+        // The median of ten samples lands near the 5th/6th values.
+        let p50 = h.p50().unwrap();
+        assert!((90..=350).contains(&p50), "p50 {p50}");
+    }
+
+    #[test]
+    fn quantile_of_uniform_values_is_exact() {
+        let mut h = Histogram::new();
+        for _ in 0..100 {
+            h.record(64);
+        }
+        assert_eq!(h.p50(), Some(64));
+        assert_eq!(h.p99(), Some(64), "clamped to the observed max");
     }
 
     #[test]

@@ -4,6 +4,7 @@
 use crate::event::{FaultClass, TracePath};
 use crate::histogram::Histogram;
 use crate::json;
+use crate::snapshot::{Snapshot, StatsSnapshot};
 use std::collections::BTreeMap;
 
 /// Metrics for one (delivery path, fault class) pair.
@@ -154,6 +155,29 @@ impl Metrics {
     }
 }
 
+impl Snapshot for Metrics {
+    /// Flattens the non-empty cells into counters: per (path, class) the
+    /// fault count and the deliver-phase p50/p90/p99 cycle estimates, keyed
+    /// `"<path>/<class>/<stat>"`, plus the overall `total_faults`.
+    fn snapshot(&self) -> StatsSnapshot {
+        let mut s = StatsSnapshot::new("trace").counter("total_faults", self.total_faults());
+        for (path, class, k) in self.iter_nonempty() {
+            let key = |stat: &str| format!("{path}/{class}/{stat}");
+            s = s.counter(key("count"), k.count);
+            for (phase, h) in [("deliver", &k.deliver), ("handler", &k.handler)] {
+                if h.is_empty() {
+                    continue;
+                }
+                s = s
+                    .counter(key(&format!("{phase}_p50")), h.p50().unwrap_or(0))
+                    .counter(key(&format!("{phase}_p90")), h.p90().unwrap_or(0))
+                    .counter(key(&format!("{phase}_p99")), h.p99().unwrap_or(0));
+            }
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,6 +233,27 @@ mod tests {
         assert!(j.contains("\"deliver_cycles\""));
         // Quiet paths still appear, as empty objects.
         assert!(j.contains("\"unix-signals\":{}"));
+    }
+
+    #[test]
+    fn snapshot_surfaces_counts_and_quantiles() {
+        let mut m = Metrics::new();
+        for c in [100u64, 200, 300] {
+            m.record_deliver(TracePath::FastUser, FaultClass::WriteProtect, c);
+        }
+        let s = m.snapshot();
+        assert_eq!(s.component, "trace");
+        assert_eq!(s.get("total_faults"), Some(3));
+        assert_eq!(s.get("fast-user/write-protect/count"), Some(3));
+        let p50 = s.get("fast-user/write-protect/deliver_p50").unwrap();
+        let p99 = s.get("fast-user/write-protect/deliver_p99").unwrap();
+        assert!((100..=300).contains(&p50));
+        assert!(p50 <= p99 && p99 <= 300);
+        assert_eq!(
+            s.get("unix-signals/write-protect/count"),
+            None,
+            "quiet cells stay out of the snapshot"
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! possible.
 
 use crate::event::{EventRing, TraceEvent};
+use crate::snapshot::{Snapshot, StatsSnapshot};
 use std::cell::RefCell;
 use std::io::Write;
 use std::rc::Rc;
@@ -93,6 +94,15 @@ impl RingSink {
 impl Default for RingSink {
     fn default() -> RingSink {
         RingSink::new()
+    }
+}
+
+impl Snapshot for RingSink {
+    /// Ring occupancy and overflow counters — `dropped` > 0 means the ring
+    /// wrapped and the oldest events were overwritten (see
+    /// [`EventRing::dropped`]).
+    fn snapshot(&self) -> StatsSnapshot {
+        self.ring.borrow().snapshot()
     }
 }
 
@@ -193,6 +203,18 @@ mod tests {
         assert!(lines[0].contains("\"seq\":0"));
         assert!(lines[1].contains("\"seq\":1"));
         assert!(lines[1].contains("\"event\":\"resumed\""));
+    }
+
+    #[test]
+    fn ring_sink_snapshot_tracks_drops() {
+        let sink = RingSink::with_capacity(2);
+        for i in 0..5 {
+            sink.emit(&ev(i, EventKind::FaultRaised));
+        }
+        let s = sink.snapshot();
+        assert_eq!(s.get("dropped"), Some(3));
+        assert_eq!(s.get("total_pushed"), Some(5));
+        assert_eq!(sink.dropped(), 3);
     }
 
     #[test]

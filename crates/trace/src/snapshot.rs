@@ -13,8 +13,9 @@ use crate::json;
 pub struct StatsSnapshot {
     /// Which component produced this (e.g. `"host"`, `"gc"`).
     pub component: &'static str,
-    /// Counter name → value, in insertion order.
-    pub counters: Vec<(&'static str, u64)>,
+    /// Counter name → value, in insertion order. Names may be computed
+    /// (e.g. per-(path, class) quantile keys), so they are owned strings.
+    pub counters: Vec<(String, u64)>,
 }
 
 impl StatsSnapshot {
@@ -26,8 +27,8 @@ impl StatsSnapshot {
     }
 
     /// Adds a counter (builder-style).
-    pub fn counter(mut self, name: &'static str, value: u64) -> StatsSnapshot {
-        self.counters.push((name, value));
+    pub fn counter(mut self, name: impl Into<String>, value: u64) -> StatsSnapshot {
+        self.counters.push((name.into(), value));
         self
     }
 
@@ -35,7 +36,7 @@ impl StatsSnapshot {
     pub fn get(&self, name: &str) -> Option<u64> {
         self.counters
             .iter()
-            .find(|(n, _)| *n == name)
+            .find(|(n, _)| n == name)
             .map(|&(_, v)| v)
     }
 
@@ -44,8 +45,8 @@ impl StatsSnapshot {
         let mut out = String::from("{");
         json::field_str(&mut out, "component", self.component);
         let mut inner = String::from("{");
-        for &(name, value) in &self.counters {
-            json::field_u64(&mut inner, name, value);
+        for (name, value) in &self.counters {
+            json::field_u64(&mut inner, name, *value);
         }
         json::close_object(&mut inner);
         json::field_raw(&mut out, "counters", &inner);

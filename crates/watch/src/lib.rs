@@ -330,6 +330,28 @@ impl Debugger {
     }
 }
 
+/// The canonical deterministic workload recorded in `BENCH_baseline.json` by
+/// `efex-bench`'s `report` binary: a conditional write watch with subpage
+/// protection, driven by a fixed store loop that exercises all three outcomes
+/// (condition hits, false hits on the watched subpage, and stores the
+/// kernel's subpage engine absorbs). Every counter must reproduce
+/// bit-for-bit across runs.
+///
+/// # Errors
+///
+/// Propagates debugger errors.
+pub fn baseline_workload() -> Result<(f64, StatsSnapshot), WatchError> {
+    let mut dbg = Debugger::new(DeliveryPath::FastUser, true)?;
+    let base = dbg.alloc(8192)?;
+    dbg.watch_write(base + 64, 8, |_, new| new > 100)?;
+    for i in 0..32 {
+        dbg.store(base + 64, i * 10)?; // watched word: hit when i*10 > 100
+        dbg.store(base + 256, i)?; // same subpage, unwatched: false hit
+        dbg.store(base + 2048, i)?; // same page, other subpage: absorbed
+    }
+    Ok((dbg.micros(), dbg.stats().snapshot()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -19,6 +19,8 @@
 //! - [`dsm`] — page-based distributed shared memory.
 //! - [`watch`] — conditional data watchpoints (debugger support).
 //! - [`trace`] — exception lifecycle tracing and per-kind metrics.
+//! - [`report`] — perf baselines, regression checking, Chrome-trace and
+//!   flamegraph export.
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@ pub use efex_lazydata as lazydata;
 pub use efex_mips as mips;
 pub use efex_oscost as oscost;
 pub use efex_pstore as pstore;
+pub use efex_report as report;
 pub use efex_simos as simos;
 pub use efex_trace as trace;
 pub use efex_watch as watch;
