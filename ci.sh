@@ -5,6 +5,7 @@ set -eux
 cargo build --release
 cargo test -q
 cargo test --workspace -q
+cargo run --release -p efex-bench --bin lint
 cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check

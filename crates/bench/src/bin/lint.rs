@@ -1,0 +1,144 @@
+//! Static lint gate over every guest image the suite executes.
+//!
+//! ```text
+//! lint            analyze all embedded guest images; exit 1 on any finding
+//! lint --table    also print the static fast-path instruction/cycle table
+//! ```
+//!
+//! Three classes of image are analyzed:
+//!
+//! - the **kernel image** (vectors + fast-path handler) under the full
+//!   contract from [`efex_simos::verify`]: hazards, save-set liveness,
+//!   pinned-memory proof, and the Table 3 instruction budget;
+//! - the **signal trampoline** under the hazard lints;
+//! - every **microbenchmark program** (including the subpage and
+//!   unaligned-emulation stubs) under the hazard lints, rooted at both the
+//!   program entry and its user-handler veneer.
+//!
+//! Diagnostics cite label+offset and the source line, with disassembly, so
+//! a regression points straight at the offending instruction.
+
+use efex_core::debug_progs as progs;
+use efex_mips::asm::assemble;
+use efex_simos::fastexc::KERNEL_ASM;
+use efex_simos::kernel::TRAMPOLINE_ASM;
+use efex_simos::verify as simverify;
+use efex_verify::{Report, VerifyConfig};
+use std::process::ExitCode;
+
+/// A benchmark program's exception count only sizes its loop; the static
+/// shape is identical for any n.
+const BENCH_N: u32 = 4;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: lint [--table]");
+        return ExitCode::SUCCESS;
+    }
+    let table = args.iter().any(|a| a == "--table");
+
+    let mut failed = false;
+    let mut check = |name: &str, report: &Report| {
+        if report.is_clean() {
+            println!(
+                "lint: {name}: clean ({} instructions analyzed)",
+                report.instructions_analyzed
+            );
+        } else {
+            failed = true;
+            println!("lint: {name}: {} finding(s)", report.findings.len());
+            for f in &report.findings {
+                println!("  {f}");
+            }
+        }
+    };
+
+    // Kernel image: full contract.
+    let kernel = match assemble(KERNEL_ASM) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("lint: kernel image does not assemble: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let kernel_report = simverify::verify_kernel_image(&kernel);
+    check("kernel image (KERNEL_ASM)", &kernel_report);
+
+    // Signal trampoline: hazard lints.
+    match assemble(TRAMPOLINE_ASM) {
+        Ok(p) => check(
+            "signal trampoline (TRAMPOLINE_ASM)",
+            &simverify::verify_trampoline_image(&p),
+        ),
+        Err(e) => {
+            eprintln!("lint: trampoline does not assemble: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+
+    // Every microbenchmark guest program: hazard lints, rooted at the
+    // program entry plus the user-handler veneer (entered by exception
+    // delivery, not by any statically visible jump).
+    type BenchGen = fn(u32) -> String;
+    let benches: [(&str, BenchGen); 7] = [
+        ("fast_simple_bench", progs::fast_simple_bench),
+        ("hw_simple_bench", progs::hw_simple_bench),
+        ("unix_simple_bench", progs::unix_simple_bench),
+        ("fast_prot_bench", progs::fast_prot_bench),
+        ("unix_prot_bench", progs::unix_prot_bench),
+        ("fast_subpage_bench", progs::fast_subpage_bench),
+        (
+            "fast_unaligned_specialized_bench",
+            progs::fast_unaligned_specialized_bench,
+        ),
+    ];
+    for (name, gen) in benches {
+        let src = gen(BENCH_N);
+        let prog = match assemble(&src) {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("lint: {name} does not assemble: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        let mut config = VerifyConfig::hazards_only(prog.entry());
+        for root in ["uh_entry", "null_handler"] {
+            if let Some(&addr) = prog.labels().get(root) {
+                config.extra_roots.push(addr);
+            }
+        }
+        match efex_verify::analyze(&prog, &config) {
+            Ok(report) => check(name, &report),
+            Err(e) => {
+                eprintln!("lint: {name}: bad config: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    if table {
+        if let Some(fp) = &kernel_report.fast_path {
+            println!("\nstatic fast-path bound (kernel image):");
+            println!("  {:<16} {:>12} {:>8}", "phase", "instructions", "cycles");
+            for p in &fp.per_phase {
+                println!("  {:<16} {:>12} {:>8}", p.label, p.instructions, p.cycles);
+            }
+            println!(
+                "  {:<16} {:>12} {:>8}  (budget {})",
+                "total",
+                fp.total_instructions,
+                fp.total_cycles,
+                simverify::FAST_PATH_BUDGET
+            );
+        }
+    }
+
+    if failed {
+        println!("lint: FAILED");
+        ExitCode::FAILURE
+    } else {
+        println!("lint: all images clean");
+        ExitCode::SUCCESS
+    }
+}

@@ -131,6 +131,50 @@ fn record_baseline_inner() -> Result<Baseline, Box<dyn Error + Send + Sync>> {
         );
     }
 
+    // Static verifier cross-check: the fast-path bound efex-verify computes
+    // over the assembled kernel image must equal the dynamic Table 3 counts
+    // bit-exactly, and is committed as its own metric family so either side
+    // drifting fails the baseline check.
+    let kimage = efex_mips::asm::assemble(efex_simos::fastexc::KERNEL_ASM)
+        .map_err(|e| format!("kernel image: {e}"))?;
+    let verify_report = efex_simos::verify::verify_kernel_image(&kimage);
+    if !verify_report.is_clean() {
+        return Err(format!(
+            "kernel image fails static verification:\n{}",
+            verify_report.render()
+        )
+        .into());
+    }
+    let fp = verify_report
+        .fast_path
+        .as_ref()
+        .ok_or("verifier computed no static fast path")?;
+    for p in &fp.per_phase {
+        b.push_int(
+            format!("verify/table3/{}/static_instructions", p.label),
+            p.instructions,
+            "instructions",
+        );
+        let dynamic = rows
+            .iter()
+            .find(|r| r.label == p.label.as_str())
+            .map(|r| r.measured_instructions);
+        if dynamic != Some(p.instructions) {
+            return Err(format!(
+                "static fast-path bound for {} is {} instructions but the dynamic \
+                 Table 3 count is {dynamic:?}: analyzer and simulator disagree",
+                p.label, p.instructions
+            )
+            .into());
+        }
+    }
+    b.push_int(
+        "verify/fast_path/static_instructions",
+        fp.total_instructions,
+        "instructions",
+    );
+    b.push_int("verify/fast_path/static_cycles", fp.total_cycles, "cycles");
+
     // Table 4: the GC comparison at baseline scale. Times are derived µs;
     // fault counts are exact.
     for row in table4(BASELINE_TABLE4_SCALE)? {

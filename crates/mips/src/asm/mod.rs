@@ -56,12 +56,20 @@ pub struct Segment {
     pub bytes: Vec<u8>,
 }
 
-/// The output of [`assemble`]: segments plus the symbol table.
+/// The output of [`assemble`]: segments plus the symbol table and source
+/// metadata (code labels, per-word source lines) for diagnostics.
 #[derive(Clone, PartialEq, Eq, Debug, Default)]
 pub struct Program {
     entry: u32,
     segments: Vec<Segment>,
     symbols: BTreeMap<String, u32>,
+    /// Symbols defined as *code labels* (`name:`), excluding `.equ`
+    /// constants — the set against which addresses are located.
+    labels: BTreeMap<String, u32>,
+    /// Emitted address → 1-based source line. Every instruction word gets an
+    /// entry (pseudo-instruction expansions share their statement's line);
+    /// data statements record their start address only.
+    lines: BTreeMap<u32, u32>,
 }
 
 impl Program {
@@ -96,6 +104,42 @@ impl Program {
             .iter()
             .filter(move |(k, _)| k.starts_with(prefix))
             .map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// The code labels (symbols defined with `name:`, excluding `.equ`
+    /// constants), name → address.
+    pub fn labels(&self) -> &BTreeMap<String, u32> {
+        &self.labels
+    }
+
+    /// The 1-based source line that emitted the word at `addr`, if any.
+    pub fn line_at(&self, addr: u32) -> Option<u32> {
+        self.lines.get(&addr).copied()
+    }
+
+    /// Resolves `addr` to `(label, byte offset)` against the nearest code
+    /// label at or before it. Returns `None` when no label precedes `addr`.
+    pub fn locate(&self, addr: u32) -> Option<(&str, u32)> {
+        self.labels
+            .iter()
+            .filter(|&(_, &a)| a <= addr)
+            .max_by_key(|&(_, &a)| a)
+            .map(|(name, &a)| (name.as_str(), addr - a))
+    }
+
+    /// Fetches the little-endian word assembled at `addr`, if `addr` falls
+    /// inside a segment with at least 4 bytes remaining.
+    pub fn word_at(&self, addr: u32) -> Option<u32> {
+        for seg in &self.segments {
+            if addr >= seg.addr {
+                let off = (addr - seg.addr) as usize;
+                if off + 4 <= seg.bytes.len() {
+                    let b = &seg.bytes[off..off + 4];
+                    return Some(u32::from_le_bytes([b[0], b[1], b[2], b[3]]));
+                }
+            }
+        }
+        None
     }
 }
 
@@ -146,6 +190,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     // Pass 1: lay out addresses and collect symbols.
     let mut symbols: BTreeMap<String, u32> = BTreeMap::new();
+    let mut labels: BTreeMap<String, u32> = BTreeMap::new();
     let mut addr: u32 = 0;
     let mut entry_sym: Option<(usize, String)> = None;
     let mut first_inst: Option<u32> = None;
@@ -155,6 +200,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 if symbols.insert(name.clone(), addr).is_some() {
                     return Err(AsmError::new(*line, format!("duplicate label `{name}`")));
                 }
+                labels.insert(name.clone(), addr);
             }
             Item::Stmt(stmt) => {
                 if let Stmt::Org(a) = stmt {
@@ -194,6 +240,7 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
 
     // Pass 2: emit bytes.
     let mut segments: Vec<Segment> = Vec::new();
+    let mut lines: BTreeMap<u32, u32> = BTreeMap::new();
     let mut cur: Option<Segment> = None;
     let mut addr: u32 = 0;
     let flush = |cur: &mut Option<Segment>, segments: &mut Vec<Segment>| {
@@ -235,11 +282,15 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
                 match insts {
                     Emitted::Insts(list) => {
                         for inst in list {
+                            lines.insert(addr, *line as u32);
                             seg.bytes.extend_from_slice(&encode(inst).to_le_bytes());
                             addr = addr.wrapping_add(4);
                         }
                     }
                     Emitted::Bytes(bytes) => {
+                        if !bytes.is_empty() {
+                            lines.insert(addr, *line as u32);
+                        }
                         addr = addr.wrapping_add(bytes.len() as u32);
                         seg.bytes.extend_from_slice(&bytes);
                     }
@@ -260,6 +311,8 @@ pub fn assemble(source: &str) -> Result<Program, AsmError> {
         entry,
         segments,
         symbols,
+        labels,
+        lines,
     })
 }
 
@@ -538,6 +591,42 @@ mod tests {
             }
         );
         assert_eq!(decode(w[2]).unwrap(), Instruction::Xpcu);
+    }
+
+    #[test]
+    fn program_metadata_locates_and_cites_lines() {
+        let p = assemble(
+            "\
+.org 0x80001000
+.equ FOUR, 4
+start:
+    nop
+    li $t0, 0x12345678   # expands to two words, one source line
+body:
+    lw $t1, FOUR($t0)
+",
+        )
+        .unwrap();
+        // `.equ` constants are symbols but not code labels.
+        assert_eq!(p.symbol("FOUR"), Some(4));
+        assert!(p.labels().contains_key("start"));
+        assert!(!p.labels().contains_key("FOUR"));
+        // label+offset resolution picks the nearest preceding label.
+        assert_eq!(p.locate(0x8000_1000), Some(("start", 0)));
+        assert_eq!(p.locate(0x8000_1008), Some(("start", 8)));
+        assert_eq!(p.locate(0x8000_100c), Some(("body", 0)));
+        assert_eq!(p.locate(0x8000_0fff), None);
+        // Both words of the li expansion cite the same source line.
+        assert_eq!(p.line_at(0x8000_1004), Some(5));
+        assert_eq!(p.line_at(0x8000_1008), Some(5));
+        assert_eq!(p.line_at(0x8000_100c), Some(7));
+        assert_eq!(p.line_at(0x8000_1010), None);
+        // Word fetch straddles the emitted image exactly.
+        assert_eq!(
+            p.word_at(0x8000_1000),
+            Some(crate::encode::encode(Instruction::NOP))
+        );
+        assert_eq!(p.word_at(0x8000_1010), None);
     }
 
     #[test]

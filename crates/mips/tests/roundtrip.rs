@@ -1,0 +1,141 @@
+//! Disassemble → reassemble round trips.
+//!
+//! `disassemble_at` (without a symbol table) must produce text the
+//! assembler accepts back to the *same instruction* at the same address —
+//! this is what makes lint diagnostics and trace listings trustworthy: the
+//! text shown is exactly the code analyzed.
+
+use efex_mips::asm::assemble;
+use efex_mips::decode::decode;
+use efex_mips::disasm::disassemble_at;
+use efex_mips::encode::encode;
+use efex_mips::isa::{Instruction, Reg, TlbProtOp};
+use proptest::prelude::*;
+
+/// Address the round trip reassembles at: any word-aligned KSEG0 address
+/// works; branch targets become absolute numbers relative to it.
+const ADDR: u32 = 0x8000_4000;
+
+fn arb_reg() -> BoxedStrategy<Reg> {
+    (0u8..32).prop_map(|n| Reg::new(n).unwrap()).boxed()
+}
+
+fn arb_prot_op() -> impl Strategy<Value = TlbProtOp> {
+    prop_oneof![
+        Just(TlbProtOp::WriteProtect),
+        Just(TlbProtOp::WriteEnable),
+        Just(TlbProtOp::ProtectAll),
+        Just(TlbProtOp::ReadEnable),
+    ]
+}
+
+/// Every canonically-constructed instruction (mirrors `prop.rs`).
+fn arb_instruction() -> impl Strategy<Value = Instruction> {
+    use Instruction::*;
+    let r3 = (arb_reg(), arb_reg(), arb_reg());
+    prop_oneof![
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sll { rd, rt, shamt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Srl { rd, rt, shamt }),
+        (arb_reg(), arb_reg(), 0u8..32).prop_map(|(rd, rt, shamt)| Sra { rd, rt, shamt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Sllv { rd, rt, rs }),
+        r3.clone().prop_map(|(rd, rs, rt)| Srlv { rd, rt, rs }),
+        r3.clone().prop_map(|(rd, rs, rt)| Srav { rd, rt, rs }),
+        r3.clone().prop_map(|(rd, rs, rt)| Add { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Addu { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Sub { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Subu { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| And { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Or { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Xor { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Nor { rd, rs, rt }),
+        r3.clone().prop_map(|(rd, rs, rt)| Slt { rd, rs, rt }),
+        r3.prop_map(|(rd, rs, rt)| Sltu { rd, rs, rt }),
+        (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Mult { rs, rt }),
+        (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Multu { rs, rt }),
+        (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Div { rs, rt }),
+        (arb_reg(), arb_reg()).prop_map(|(rs, rt)| Divu { rs, rt }),
+        arb_reg().prop_map(|rd| Mfhi { rd }),
+        arb_reg().prop_map(|rd| Mflo { rd }),
+        arb_reg().prop_map(|rs| Mthi { rs }),
+        arb_reg().prop_map(|rs| Mtlo { rs }),
+        arb_reg().prop_map(|rs| Jr { rs }),
+        (arb_reg(), arb_reg()).prop_map(|(rd, rs)| Jalr { rd, rs }),
+        (0u32..0xf_ffff).prop_map(|code| Syscall { code }),
+        (0u32..0xf_ffff).prop_map(|code| Break { code }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs, rt, imm)| Beq { rs, rt, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rs, rt, imm)| Bne { rs, rt, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Blez { rs, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Bgtz { rs, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Bltz { rs, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Bgez { rs, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Bltzal { rs, imm }),
+        (arb_reg(), any::<i16>()).prop_map(|(rs, imm)| Bgezal { rs, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addi { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Addiu { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Slti { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, rs, imm)| Sltiu { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Andi { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Ori { rt, rs, imm }),
+        (arb_reg(), arb_reg(), any::<u16>()).prop_map(|(rt, rs, imm)| Xori { rt, rs, imm }),
+        (arb_reg(), any::<u16>()).prop_map(|(rt, imm)| Lui { rt, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Lb { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Lbu { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Lh { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Lhu { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Lw { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Sb { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Sh { rt, base, imm }),
+        (arb_reg(), arb_reg(), any::<i16>()).prop_map(|(rt, base, imm)| Sw { rt, base, imm }),
+        (0u32..0x03ff_ffff).prop_map(|target| J { target }),
+        (0u32..0x03ff_ffff).prop_map(|target| Jal { target }),
+        (arb_reg(), 0u8..32).prop_map(|(rt, rd)| Mfc0 { rt, rd }),
+        (arb_reg(), 0u8..32).prop_map(|(rt, rd)| Mtc0 { rt, rd }),
+        Just(Tlbr),
+        Just(Tlbwi),
+        Just(Tlbwr),
+        Just(Tlbp),
+        Just(Rfe),
+        Just(Xpcu),
+        (arb_reg(), arb_prot_op()).prop_map(|(rs, op)| Utlbp { rs, op }),
+        (0u32..0x03ff_ffff).prop_map(|code| Hcall { code }),
+    ]
+}
+
+/// Reassembles `text` at `ADDR` and returns the single resulting word.
+fn reassemble(text: &str) -> Result<u32, String> {
+    let src = format!(".org {ADDR:#x}\n{text}\n");
+    let prog = assemble(&src).map_err(|e| e.to_string())?;
+    prog.word_at(ADDR)
+        .ok_or_else(|| "no word assembled".to_string())
+}
+
+proptest! {
+    /// For every canonical instruction: the address-resolved disassembly
+    /// reassembles (at the same address) to the identical instruction.
+    #[test]
+    fn disasm_reassembles_to_same_instruction(inst in arb_instruction()) {
+        let text = disassemble_at(inst, ADDR, None);
+        let word = reassemble(&text)
+            .unwrap_or_else(|e| panic!("`{text}` does not reassemble: {e}"));
+        prop_assert_eq!(
+            decode(word).unwrap(),
+            inst,
+            "`{}` round-tripped to a different instruction",
+            text
+        );
+    }
+
+    /// The stronger, byte-exact form for canonical encodings: any decodable
+    /// canonical word survives disassemble → reassemble bit-for-bit.
+    #[test]
+    fn disasm_reassembles_to_same_word(inst in arb_instruction()) {
+        let word = encode(inst);
+        let text = disassemble_at(decode(word).unwrap(), ADDR, None);
+        prop_assert_eq!(
+            reassemble(&text),
+            Ok(word),
+            "`{}` did not round-trip bit-exactly",
+            text
+        );
+    }
+}

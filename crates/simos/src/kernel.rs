@@ -239,6 +239,8 @@ impl Kernel {
         // Map and install the user-side runtime (signal trampoline).
         let tramp = assemble(TRAMPOLINE_ASM)?;
         kernel.load_user_segments(&tramp)?;
+        #[cfg(debug_assertions)]
+        crate::verify::assert_boot_images_verify(&kimage, &tramp);
         Ok(kernel)
     }
 

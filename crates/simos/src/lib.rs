@@ -23,6 +23,9 @@
 //! - a **system call layer** ([`syscall`]) and the [`kernel::Kernel`] that
 //!   ties the machine, the current process, and both delivery paths
 //!   together.
+//! - **static verification** ([`verify`]): the [`efex_verify`] analyzer
+//!   instantiated with this kernel's layout contracts; debug builds check
+//!   both embedded images at boot.
 
 pub mod costs;
 pub mod fastexc;
@@ -33,6 +36,7 @@ pub mod process;
 pub mod signals;
 pub mod subpage;
 pub mod syscall;
+pub mod verify;
 pub mod vm;
 
 pub use kernel::{Kernel, KernelError};

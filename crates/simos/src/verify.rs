@@ -1,0 +1,170 @@
+//! Static verification of the guest images against this kernel's layout.
+//!
+//! [`efex_verify`] is layout-agnostic; this module instantiates it with the
+//! contracts the simulated kernel actually lives by: the u-area and the
+//! communication page are the only pinned memory the fast path may touch,
+//! `$k0`/`$k1` are the kernel-reserved scratch registers, and the frame
+//! protocol promises `$at`/`$a0`/`$a1` to the user handler (Section 3.2.1).
+//! Debug builds run the full analysis at boot, so a handler edit that
+//! breaks a paper invariant fails the first test that boots a kernel.
+
+use efex_mips::asm::Program;
+use efex_mips::isa::Reg;
+use efex_verify::{Checks, PinnedRegion, PointerSlot, Report, VerifyConfig};
+
+use crate::fastexc::TABLE3_PHASES;
+use crate::layout;
+
+/// The paper's fast-path budget: Table 3 sums to 65 instructions, and the
+/// text argues the whole point is staying within a small constant bound.
+pub const FAST_PATH_BUDGET: u64 = 65;
+
+/// The verification contract for the kernel image (vectors + fast-path
+/// handler) as assembled from [`crate::fastexc::KERNEL_ASM`].
+///
+/// # Panics
+///
+/// Panics if the image lacks the `fexc_*` phase labels — the same
+/// condition the boot-time assembly itself depends on.
+pub fn kernel_config(prog: &Program) -> VerifyConfig {
+    let label = |name: &str| {
+        prog.labels()
+            .get(name)
+            .copied()
+            .unwrap_or_else(|| panic!("kernel image lacks label {name}"))
+    };
+    let phases = TABLE3_PHASES
+        .iter()
+        .map(|(name, _, _)| (name.to_string(), label(name)))
+        .collect();
+    VerifyConfig {
+        entry: label("fexc_decode"),
+        // The UTLB refill vector is entered by hardware, not by a jump.
+        extra_roots: vec![0x8000_0000],
+        phases,
+        end: Some(label("fexc_end")),
+        instruction_budget: Some(FAST_PATH_BUDGET),
+        reserved: vec![Reg::K0, Reg::K1],
+        protocol_saved: vec![Reg::AT, Reg::A0, Reg::A1],
+        // Until the save phase completes, a nested fault would destroy the
+        // live EPC/cause/badvaddr.
+        critical_until: Some(label("fexc_fpcheck")),
+        pinned: vec![
+            PinnedRegion {
+                name: "u-area".into(),
+                base: Some(layout::UAREA_VADDR),
+                len: 0x200,
+            },
+            PinnedRegion {
+                name: "comm-page (KSEG0 alias)".into(),
+                base: None,
+                len: layout::PAGE_SIZE,
+            },
+        ],
+        pointer_slots: vec![PointerSlot {
+            addr: layout::UAREA_VADDR + layout::uarea::COMM_KSEG0,
+            region: 1,
+        }],
+        save_region: Some(1),
+        syscalls_return: true,
+        checks: Checks::all(),
+    }
+}
+
+/// The verification contract for the user-side signal trampoline
+/// ([`crate::kernel::TRAMPOLINE_ASM`]): hazard lints only — user code
+/// touches pageable memory by design, and the tail `sigreturn` never
+/// returns.
+pub fn trampoline_config(prog: &Program) -> VerifyConfig {
+    let mut config = VerifyConfig::hazards_only(prog.entry());
+    config.syscalls_return = false;
+    config
+}
+
+/// Analyzes the kernel image under [`kernel_config`].
+///
+/// # Panics
+///
+/// Panics on a malformed image (missing phase labels).
+pub fn verify_kernel_image(prog: &Program) -> Report {
+    efex_verify::analyze(prog, &kernel_config(prog))
+        .expect("kernel verify config is internally consistent")
+}
+
+/// Analyzes the trampoline image under [`trampoline_config`].
+pub fn verify_trampoline_image(prog: &Program) -> Report {
+    efex_verify::analyze(prog, &trampoline_config(prog))
+        .expect("trampoline verify config is internally consistent")
+}
+
+/// Debug-build boot assertion: both embedded images must verify clean.
+/// Runs the analysis once per process (it is pure over constant inputs).
+#[cfg(debug_assertions)]
+pub(crate) fn assert_boot_images_verify(kernel: &Program, trampoline: &Program) {
+    use std::sync::OnceLock;
+    static CHECKED: OnceLock<()> = OnceLock::new();
+    CHECKED.get_or_init(|| {
+        let report = verify_kernel_image(kernel);
+        assert!(
+            report.is_clean(),
+            "kernel image fails static verification:\n{}",
+            report.render()
+        );
+        let report = verify_trampoline_image(trampoline);
+        assert!(
+            report.is_clean(),
+            "trampoline image fails static verification:\n{}",
+            report.render()
+        );
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fastexc::KERNEL_ASM;
+    use crate::kernel::TRAMPOLINE_ASM;
+    use efex_mips::asm::assemble;
+
+    #[test]
+    fn kernel_image_verifies_clean() {
+        let prog = assemble(KERNEL_ASM).unwrap();
+        let report = verify_kernel_image(&prog);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn trampoline_image_verifies_clean() {
+        let prog = assemble(TRAMPOLINE_ASM).unwrap();
+        let report = verify_trampoline_image(&prog);
+        assert!(report.is_clean(), "{}", report.render());
+    }
+
+    #[test]
+    fn static_fast_path_matches_table3_shape() {
+        let prog = assemble(KERNEL_ASM).unwrap();
+        let report = verify_kernel_image(&prog);
+        let fp = report.fast_path.expect("fast path bound exists");
+        assert!(fp.total_instructions <= FAST_PATH_BUDGET);
+        assert_eq!(fp.per_phase.len(), TABLE3_PHASES.len());
+        let sum: u64 = fp.per_phase.iter().map(|p| p.instructions).sum();
+        assert_eq!(
+            sum, fp.total_instructions,
+            "every fast-path instruction belongs to a phase"
+        );
+    }
+
+    #[test]
+    fn save_phase_clobbers_only_contract_registers() {
+        let prog = assemble(KERNEL_ASM).unwrap();
+        let report = verify_kernel_image(&prog);
+        for (phase, regs) in &report.phase_clobbers {
+            for r in regs {
+                assert!(
+                    [Reg::K0, Reg::K1, Reg::A0].contains(r),
+                    "{phase} clobbers {r}, outside the handler's register contract"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,198 @@
+//! Register def-use classification over [`Instruction`].
+
+use efex_mips::isa::{Instruction, Reg};
+
+/// The general-purpose registers an instruction reads (at most three).
+pub fn reads(inst: Instruction) -> Vec<Reg> {
+    use Instruction::*;
+    match inst {
+        Sll { rt, .. } | Srl { rt, .. } | Sra { rt, .. } => vec![rt],
+        Sllv { rt, rs, .. } | Srlv { rt, rs, .. } | Srav { rt, rs, .. } => vec![rt, rs],
+        Jr { rs } | Jalr { rs, .. } => vec![rs],
+        Mthi { rs } | Mtlo { rs } => vec![rs],
+        Mult { rs, rt } | Multu { rs, rt } | Div { rs, rt } | Divu { rs, rt } => vec![rs, rt],
+        Add { rs, rt, .. }
+        | Addu { rs, rt, .. }
+        | Sub { rs, rt, .. }
+        | Subu { rs, rt, .. }
+        | And { rs, rt, .. }
+        | Or { rs, rt, .. }
+        | Xor { rs, rt, .. }
+        | Nor { rs, rt, .. }
+        | Slt { rs, rt, .. }
+        | Sltu { rs, rt, .. } => vec![rs, rt],
+        Beq { rs, rt, .. } | Bne { rs, rt, .. } => vec![rs, rt],
+        Blez { rs, .. }
+        | Bgtz { rs, .. }
+        | Bltz { rs, .. }
+        | Bgez { rs, .. }
+        | Bltzal { rs, .. }
+        | Bgezal { rs, .. } => vec![rs],
+        Addi { rs, .. }
+        | Addiu { rs, .. }
+        | Slti { rs, .. }
+        | Sltiu { rs, .. }
+        | Andi { rs, .. }
+        | Ori { rs, .. }
+        | Xori { rs, .. } => vec![rs],
+        Lb { base, .. }
+        | Lh { base, .. }
+        | Lw { base, .. }
+        | Lbu { base, .. }
+        | Lhu { base, .. } => {
+            vec![base]
+        }
+        Sb { rt, base, .. } | Sh { rt, base, .. } | Sw { rt, base, .. } => vec![rt, base],
+        Mtc0 { rt, .. } => vec![rt],
+        Utlbp { rs, .. } => vec![rs],
+        Lui { .. }
+        | J { .. }
+        | Jal { .. }
+        | Syscall { .. }
+        | Break { .. }
+        | Mfhi { .. }
+        | Mflo { .. }
+        | Mfc0 { .. }
+        | Tlbr
+        | Tlbwi
+        | Tlbwr
+        | Tlbp
+        | Rfe
+        | Xpcu
+        | Hcall { .. } => Vec::new(),
+    }
+}
+
+/// The general-purpose register an instruction writes, if any. Writes to
+/// `$zero` are architectural no-ops and return `None`.
+pub fn writes(inst: Instruction) -> Option<Reg> {
+    use Instruction::*;
+    let dst = match inst {
+        Sll { rd, .. }
+        | Srl { rd, .. }
+        | Sra { rd, .. }
+        | Sllv { rd, .. }
+        | Srlv { rd, .. }
+        | Srav { rd, .. }
+        | Jalr { rd, .. }
+        | Mfhi { rd }
+        | Mflo { rd }
+        | Add { rd, .. }
+        | Addu { rd, .. }
+        | Sub { rd, .. }
+        | Subu { rd, .. }
+        | And { rd, .. }
+        | Or { rd, .. }
+        | Xor { rd, .. }
+        | Nor { rd, .. }
+        | Slt { rd, .. }
+        | Sltu { rd, .. } => rd,
+        Addi { rt, .. }
+        | Addiu { rt, .. }
+        | Slti { rt, .. }
+        | Sltiu { rt, .. }
+        | Andi { rt, .. }
+        | Ori { rt, .. }
+        | Xori { rt, .. }
+        | Lui { rt, .. }
+        | Lb { rt, .. }
+        | Lh { rt, .. }
+        | Lw { rt, .. }
+        | Lbu { rt, .. }
+        | Lhu { rt, .. }
+        | Mfc0 { rt, .. } => rt,
+        Jal { .. } | Bltzal { .. } | Bgezal { .. } => Reg::RA,
+        _ => return None,
+    };
+    (dst != Reg::ZERO).then_some(dst)
+}
+
+/// The destination of a load, if the instruction is one.
+pub fn load_dest(inst: Instruction) -> Option<Reg> {
+    use Instruction::*;
+    match inst {
+        Lb { rt, .. } | Lh { rt, .. } | Lw { rt, .. } | Lbu { rt, .. } | Lhu { rt, .. } => {
+            (rt != Reg::ZERO).then_some(rt)
+        }
+        _ => None,
+    }
+}
+
+/// The access width in bytes of a load/store, if the instruction is one.
+pub fn access_width(inst: Instruction) -> Option<u32> {
+    use Instruction::*;
+    match inst {
+        Lb { .. } | Lbu { .. } | Sb { .. } => Some(1),
+        Lh { .. } | Lhu { .. } | Sh { .. } => Some(2),
+        Lw { .. } | Sw { .. } => Some(4),
+        _ => None,
+    }
+}
+
+/// The `(base, offset)` of a load/store, if the instruction is one.
+pub fn access_addr(inst: Instruction) -> Option<(Reg, i16)> {
+    use Instruction::*;
+    match inst {
+        Lb { base, imm, .. }
+        | Lh { base, imm, .. }
+        | Lw { base, imm, .. }
+        | Lbu { base, imm, .. }
+        | Lhu { base, imm, .. }
+        | Sb { base, imm, .. }
+        | Sh { base, imm, .. }
+        | Sw { base, imm, .. } => Some((base, imm)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_writes_are_discarded() {
+        let i = Instruction::Addiu {
+            rt: Reg::ZERO,
+            rs: Reg::T0,
+            imm: 1,
+        };
+        assert_eq!(writes(i), None);
+        assert_eq!(reads(i), vec![Reg::T0]);
+    }
+
+    #[test]
+    fn stores_read_both_operands() {
+        let i = Instruction::Sw {
+            rt: Reg::AT,
+            base: Reg::K1,
+            imm: 12,
+        };
+        assert_eq!(reads(i), vec![Reg::AT, Reg::K1]);
+        assert_eq!(writes(i), None);
+        assert_eq!(access_width(i), Some(4));
+        assert_eq!(access_addr(i), Some((Reg::K1, 12)));
+    }
+
+    #[test]
+    fn calls_link_ra() {
+        assert_eq!(writes(Instruction::Jal { target: 0 }), Some(Reg::RA));
+        assert_eq!(
+            writes(Instruction::Jalr {
+                rd: Reg::RA,
+                rs: Reg::T9
+            }),
+            Some(Reg::RA)
+        );
+    }
+
+    #[test]
+    fn loads_have_destinations() {
+        let i = Instruction::Lw {
+            rt: Reg::K1,
+            base: Reg::K1,
+            imm: 8,
+        };
+        assert_eq!(load_dest(i), Some(Reg::K1));
+        assert_eq!(writes(i), Some(Reg::K1));
+    }
+}

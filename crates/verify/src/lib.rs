@@ -1,0 +1,233 @@
+//! # efex-verify — static analysis of assembled guest handler code
+//!
+//! The paper's headline claims are *static properties* of the first-level
+//! exception handler: it saves only minimal state, runs a bounded number of
+//! kernel instructions (Table 3), touches only pinned memory so it can never
+//! itself take a TLB miss while the original exception state is live in CP0,
+//! and returns to user mode without re-entering the kernel. The rest of the
+//! repository checks those properties *dynamically*, by running workloads;
+//! this crate proves them over the assembled images before anything runs.
+//!
+//! [`analyze`] takes an assembled [`Program`] and a [`VerifyConfig`] and
+//! produces a [`Report`]:
+//!
+//! - **CFG construction** ([`cfg`]) over the decoded instructions reachable
+//!   from the configured entry, with delay-slot-aware successor edges: the
+//!   instruction after a branch executes *before* control transfers, so its
+//!   successors are the branch's targets, not the next address.
+//! - **Hazard lints** ([`checks`]): a control transfer in a delay slot, a
+//!   load in a delay slot whose destination is consumed at a branch target,
+//!   an `rfe` outside the delay slot of its return jump, and instructions
+//!   that can themselves fault (trapping arithmetic, unprovable memory
+//!   references) on the recursive-exception-critical path before the
+//!   handler has saved CP0 state.
+//! - **Save-set liveness**: the clobber set of each handler phase, checked
+//!   against the communication-page protocol — every clobbered register
+//!   must be saved (or kernel-reserved), every saved register must be
+//!   either clobbered or part of the declared user-scratch contract, and
+//!   every contract register must actually be saved.
+//! - **Static path bounds**: per-phase and total instruction/cycle counts
+//!   along the fast path to the vector-to-user exit, asserted against the
+//!   Table 3 budget.
+//! - **Memory-reference lint**: a small abstract interpretation
+//!   ([`absint`]) proves every address the handler touches resolves into a
+//!   pinned region of the layout, aligned for its access width.
+//!
+//! The crate is deliberately independent of the simulated kernel: callers
+//! (e.g. `efex-simos`) describe their layout through [`VerifyConfig`].
+
+#![warn(missing_docs)]
+
+pub mod absint;
+pub mod cfg;
+pub mod checks;
+pub mod defuse;
+pub mod diag;
+
+use efex_mips::asm::Program;
+use efex_mips::isa::Reg;
+use std::error::Error;
+use std::fmt;
+
+pub use diag::{Finding, Lint, PathBounds, PhaseBound, Report};
+
+/// A pinned memory region the analyzed handler is allowed to touch.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct PinnedRegion {
+    /// Name shown in diagnostics (e.g. `u-area`).
+    pub name: String,
+    /// Base virtual address, or `None` for a region whose base is only
+    /// known at run time (reached through a [`PointerSlot`] load).
+    pub base: Option<u32>,
+    /// Region length in bytes.
+    pub len: u32,
+}
+
+/// A word-sized slot whose load yields a pointer into a pinned region
+/// (e.g. the u-area field holding the KSEG0 alias of the comm page).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PointerSlot {
+    /// Absolute virtual address of the slot.
+    pub addr: u32,
+    /// Index into [`VerifyConfig::pinned`] of the region pointed to.
+    pub region: usize,
+}
+
+/// Which analysis passes to run.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Checks {
+    /// Delay-slot and `rfe`-placement hazards.
+    pub hazards: bool,
+    /// Save-set liveness against the communication-page protocol.
+    pub save_set: bool,
+    /// Static per-path instruction/cycle bounds between phase labels.
+    pub bounds: bool,
+    /// Pinned-region memory-reference proof.
+    pub mem_refs: bool,
+}
+
+impl Checks {
+    /// Every pass enabled — for first-level kernel handlers.
+    pub fn all() -> Checks {
+        Checks {
+            hazards: true,
+            save_set: true,
+            bounds: true,
+            mem_refs: true,
+        }
+    }
+
+    /// Only the hazard lints — for user-mode code (trampolines, veneers)
+    /// that legitimately touches unpinned memory and keeps no save contract.
+    pub fn hazards_only() -> Checks {
+        Checks {
+            hazards: true,
+            save_set: false,
+            bounds: false,
+            mem_refs: false,
+        }
+    }
+}
+
+/// Analysis parameters: what to analyze and against which contracts.
+#[derive(Clone, PartialEq, Debug)]
+pub struct VerifyConfig {
+    /// Entry address of the analyzed handler (a resolved label).
+    pub entry: u32,
+    /// Additional roots to walk (secondary vectors, veneer entry points
+    /// not reached by direct calls).
+    pub extra_roots: Vec<u32>,
+    /// Phase labels in address order (`(label, address)`); each phase
+    /// extends to the next label, the last to [`VerifyConfig::end`].
+    pub phases: Vec<(String, u32)>,
+    /// One past the last handler address attributed to a phase.
+    pub end: Option<u32>,
+    /// Fast-path instruction budget (the paper's 65); exceeding it on any
+    /// path to the vector-to-user exit is a finding.
+    pub instruction_budget: Option<u64>,
+    /// Registers the handler may clobber without saving ($k0/$k1: reserved
+    /// for the kernel by the ABI, per Section 3.2.1).
+    pub reserved: Vec<Reg>,
+    /// Registers the communication-page protocol promises to the user
+    /// handler as scratch (saved in the frame even if the kernel path does
+    /// not clobber them).
+    pub protocol_saved: Vec<Reg>,
+    /// Critical-path end: until this address, a fault inside the handler
+    /// would destroy live CP0 state, so nothing faultable is allowed.
+    pub critical_until: Option<u32>,
+    /// Pinned regions the handler may reference.
+    pub pinned: Vec<PinnedRegion>,
+    /// Loads from these slots yield pinned-region pointers.
+    pub pointer_slots: Vec<PointerSlot>,
+    /// Index into [`VerifyConfig::pinned`] of the save-frame region
+    /// (stores of still-original registers into it count as saves).
+    pub save_region: Option<usize>,
+    /// Whether `syscall`/`break` fall through to the next instruction
+    /// (true for user benchmarks; false when the tail syscall never
+    /// returns, e.g. `sigreturn`).
+    pub syscalls_return: bool,
+    /// Which passes run.
+    pub checks: Checks,
+}
+
+impl VerifyConfig {
+    /// A hazard-lints-only configuration rooted at `entry`.
+    pub fn hazards_only(entry: u32) -> VerifyConfig {
+        VerifyConfig {
+            entry,
+            extra_roots: Vec::new(),
+            phases: Vec::new(),
+            end: None,
+            instruction_budget: None,
+            reserved: Vec::new(),
+            protocol_saved: Vec::new(),
+            critical_until: None,
+            pinned: Vec::new(),
+            pointer_slots: Vec::new(),
+            save_region: None,
+            syscalls_return: true,
+            checks: Checks::hazards_only(),
+        }
+    }
+}
+
+/// A configuration error (the analysis itself never fails — code problems
+/// become [`Finding`]s, not errors).
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum VerifyError {
+    /// A [`PointerSlot::region`] or [`VerifyConfig::save_region`] index is
+    /// out of bounds of [`VerifyConfig::pinned`].
+    BadRegionIndex(usize),
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::BadRegionIndex(i) => {
+                write!(f, "pinned-region index {i} out of bounds")
+            }
+        }
+    }
+}
+
+impl Error for VerifyError {}
+
+/// Statically analyzes `prog` under `config`, returning every finding plus
+/// the computed fast-path bounds and per-phase clobber sets.
+///
+/// # Errors
+///
+/// Only on an inconsistent [`VerifyConfig`]; problems in the analyzed code
+/// are reported as [`Finding`]s in the [`Report`].
+pub fn analyze(prog: &Program, config: &VerifyConfig) -> Result<Report, VerifyError> {
+    for slot in &config.pointer_slots {
+        if slot.region >= config.pinned.len() {
+            return Err(VerifyError::BadRegionIndex(slot.region));
+        }
+    }
+    if let Some(r) = config.save_region {
+        if r >= config.pinned.len() {
+            return Err(VerifyError::BadRegionIndex(r));
+        }
+    }
+
+    let mut report = Report::new();
+    let graph = cfg::Cfg::build(prog, config, &mut report);
+    let states = absint::fixpoint(&graph, config);
+
+    if config.checks.hazards {
+        checks::hazards(prog, config, &graph, &mut report);
+    }
+    if config.checks.mem_refs {
+        checks::mem_refs(prog, config, &graph, &states, &mut report);
+    }
+    if config.checks.save_set {
+        checks::save_set(prog, config, &graph, &states, &mut report);
+    }
+    if config.checks.bounds {
+        checks::bounds(prog, config, &graph, &mut report);
+    }
+    report.instructions_analyzed = graph.len();
+    report.findings.sort_by_key(|f| f.addr);
+    Ok(report)
+}

@@ -1,0 +1,437 @@
+//! Fixture tests: one deliberately-broken handler per lint, asserting the
+//! exact diagnostic (code, site, and message), plus a clean toy handler
+//! proving the full contract passes on well-formed code.
+
+use efex_mips::asm::{assemble, Program};
+use efex_mips::isa::Reg;
+use efex_verify::{analyze, Checks, Lint, PinnedRegion, VerifyConfig};
+
+/// A toy communication page: pinned at a fixed kseg0 address.
+const COMM_BASE: u32 = 0x8000_7000;
+
+/// Full-contract config over a toy handler: one pinned comm page that
+/// doubles as the save frame, `$k0`/`$k1` kernel-reserved.
+fn full_config(prog: &Program) -> VerifyConfig {
+    VerifyConfig {
+        entry: prog.entry(),
+        extra_roots: Vec::new(),
+        phases: Vec::new(),
+        end: None,
+        instruction_budget: None,
+        reserved: vec![Reg::K0, Reg::K1],
+        critical_until: None,
+        // `$at` is frame-saved as user scratch in every toy fixture.
+        protocol_saved: vec![Reg::AT],
+        pinned: vec![PinnedRegion {
+            name: "comm".into(),
+            base: Some(COMM_BASE),
+            len: 0x1000,
+        }],
+        pointer_slots: Vec::new(),
+        save_region: Some(0),
+        syscalls_return: true,
+        checks: Checks::all(),
+    }
+}
+
+fn analyze_full(src: &str) -> (Program, efex_verify::Report) {
+    let prog = assemble(src).expect("fixture assembles");
+    let config = full_config(&prog);
+    let report = analyze(&prog, &config).expect("config is consistent");
+    (prog, report)
+}
+
+fn analyze_hazards(src: &str) -> efex_verify::Report {
+    let prog = assemble(src).expect("fixture assembles");
+    let config = VerifyConfig::hazards_only(prog.entry());
+    analyze(&prog, &config).expect("config is consistent")
+}
+
+/// The only finding in `report`, asserted to be of kind `lint`.
+fn sole_finding(report: &efex_verify::Report, lint: Lint) -> &efex_verify::Finding {
+    assert_eq!(
+        report.findings.len(),
+        1,
+        "expected exactly one finding, got:\n{}",
+        report.render()
+    );
+    let f = &report.findings[0];
+    assert_eq!(f.lint, lint, "wrong lint kind:\n{}", report.render());
+    f
+}
+
+/// A well-formed toy handler passes the full contract with zero findings.
+#[test]
+fn clean_toy_handler() {
+    let (_, report) = analyze_full(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            sw   $a0, 4($k0)
+            lui  $a0, 0x8000
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    );
+    assert!(
+        report.is_clean(),
+        "unexpected findings:\n{}",
+        report.render()
+    );
+    let fp = report.fast_path.expect("vector exit found");
+    assert_eq!(fp.total_instructions, 8);
+}
+
+#[test]
+fn branch_in_delay_slot() {
+    let report = analyze_hazards(
+        r#"
+        .org 0x80002000
+        entry:
+            j    out
+            j    out
+        out:
+            jr   $ra
+            nop
+    "#,
+    );
+    let f = sole_finding(&report, Lint::BranchInDelaySlot);
+    assert_eq!(f.addr, 0x8000_2004);
+    assert_eq!(f.location, "entry+0x4");
+    assert_eq!(f.lint.code(), "delay-slot-branch");
+    assert!(
+        f.message
+            .contains("delay slot of the transfer at 0x80002000"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn load_use_in_delay_slot() {
+    let report = analyze_hazards(
+        r#"
+        .org 0x80002000
+        entry:
+            bnez $t0, target
+            lw   $t1, 0($t2)
+        target:
+            addu $t3, $t1, $t1
+            jr   $ra
+            nop
+    "#,
+    );
+    let f = sole_finding(&report, Lint::LoadUseInDelaySlot);
+    assert_eq!(f.addr, 0x8000_2004);
+    assert_eq!(f.lint.code(), "delay-slot-load-use");
+    assert!(
+        f.message.contains("load into $t1")
+            && f.message
+                .contains("reads $t1 before the load delay expires"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn misplaced_rfe() {
+    let report = analyze_hazards(
+        r#"
+        .org 0x80002000
+        entry:
+            rfe
+            jr   $ra
+            nop
+    "#,
+    );
+    let f = sole_finding(&report, Lint::MisplacedRfe);
+    assert_eq!(f.addr, 0x8000_2000);
+    assert_eq!(f.location, "entry");
+    assert_eq!(f.lint.code(), "misplaced-rfe");
+}
+
+#[test]
+fn trapping_arith_on_critical_path() {
+    let prog = assemble(
+        r#"
+        .org 0x80002000
+        entry:
+            add  $t0, $t1, $t2
+            jr   $ra
+            nop
+    "#,
+    )
+    .unwrap();
+    let mut config = VerifyConfig::hazards_only(prog.entry());
+    config.critical_until = Some(prog.entry() + 4);
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::TrappingArithOnCriticalPath);
+    assert_eq!(f.addr, 0x8000_2000);
+    assert_eq!(f.lint.code(), "critical-path-trap");
+    assert!(
+        f.message.contains("use the unsigned form"),
+        "message: {}",
+        f.message
+    );
+    // The unsigned form on the same path is clean.
+    config.critical_until = Some(prog.entry() + 4);
+    let fixed = assemble(
+        r#"
+        .org 0x80002000
+        entry:
+            addu $t0, $t1, $t2
+            jr   $ra
+            nop
+    "#,
+    )
+    .unwrap();
+    assert!(analyze(&fixed, &config).unwrap().is_clean());
+}
+
+#[test]
+fn unsaved_clobber() {
+    // `$a0` is clobbered (by `lui`) but never saved to the frame first.
+    let (_, report) = analyze_full(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            lui  $a0, 0x8000
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    );
+    let f = sole_finding(&report, Lint::UnsavedClobber);
+    assert_eq!(f.addr, 0x8000_0080 + 3 * 4, "site is the first write");
+    assert_eq!(f.location, "handler+0xc");
+    assert_eq!(f.lint.code(), "unsaved-clobber");
+    assert!(
+        f.message.contains("$a0 is clobbered but never saved"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn save_after_clobber_is_not_a_save() {
+    // The store of `$a0` happens *after* `$a0` was overwritten — it stores
+    // the handler's value, not the user's, so the clobber is still unsaved
+    // (and the store itself is not reported as a dead save).
+    let (_, report) = analyze_full(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            lui  $a0, 0x8000
+            sw   $a0, 4($k0)
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    );
+    let f = sole_finding(&report, Lint::UnsavedClobber);
+    assert!(f.message.contains("$a0"), "message: {}", f.message);
+}
+
+#[test]
+fn dead_save() {
+    // `$s0` is saved but the handler never touches it, and no protocol
+    // promises it to the user as scratch.
+    let (_, report) = analyze_full(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            sw   $a0, 4($k0)
+            sw   $s0, 8($k0)
+            lui  $a0, 0x8000
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    );
+    let f = sole_finding(&report, Lint::DeadSave);
+    assert_eq!(f.addr, 0x8000_0080 + 4 * 4);
+    assert_eq!(f.location, "handler+0x10");
+    assert_eq!(f.lint.code(), "dead-save");
+    assert!(
+        f.message.contains("$s0 is saved") && f.message.contains("dead store"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn missing_protocol_save() {
+    let prog = assemble(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            sw   $a0, 4($k0)
+            lui  $a0, 0x8000
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    )
+    .unwrap();
+    let mut config = full_config(&prog);
+    config.protocol_saved = vec![Reg::AT, Reg::A0, Reg::A1];
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::MissingProtocolSave);
+    assert_eq!(f.addr, prog.entry());
+    assert_eq!(f.lint.code(), "missing-protocol-save");
+    assert!(f.message.contains("promises $a1"), "message: {}", f.message);
+}
+
+#[test]
+fn over_budget_path() {
+    let prog = assemble(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7000
+            sw   $at, 0($k0)
+            sw   $a0, 4($k0)
+            lui  $a0, 0x8000
+            ori  $a0, $a0, 0x2000
+            jr   $a0
+            rfe
+    "#,
+    )
+    .unwrap();
+    let mut config = full_config(&prog);
+    config.instruction_budget = Some(4);
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::OverBudgetPath);
+    assert_eq!(f.addr, prog.entry());
+    assert_eq!(f.lint.code(), "over-budget-path");
+    assert!(
+        f.message.contains("runs 8 instructions, over the") && f.message.contains("budget of 4"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn unbounded_path() {
+    let prog = assemble(
+        r#"
+        .org 0x80002000
+        entry:
+        loop:
+            addiu $t0, $t0, 1
+            bnez  $t0, loop
+            nop
+            jr    $ra
+            nop
+    "#,
+    )
+    .unwrap();
+    let mut config = VerifyConfig::hazards_only(prog.entry());
+    config.checks.bounds = true;
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::UnboundedPath);
+    assert_eq!(f.addr, 0x8000_2000, "cycle reported at the revisited head");
+    assert_eq!(f.lint.code(), "unbounded-path");
+}
+
+#[test]
+fn unpinned_memory_reference() {
+    // `$t1` is never defined, so the store address is unprovable.
+    let prog = assemble(
+        r#"
+        .org 0x80000080
+        handler:
+            sw   $zero, 0($t1)
+            jr   $k0
+            rfe
+    "#,
+    )
+    .unwrap();
+    let mut config = full_config(&prog);
+    config.protocol_saved.clear();
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::UnpinnedMemoryReference);
+    assert_eq!(f.addr, 0x8000_0080);
+    assert_eq!(f.lint.code(), "unpinned-memory-reference");
+    assert!(
+        f.message.contains("cannot prove this 4-byte access"),
+        "message: {}",
+        f.message
+    );
+}
+
+#[test]
+fn out_of_region_offset_is_unpinned() {
+    // The base register is a proven comm-page pointer, but the offset runs
+    // past the pinned region's end.
+    let prog = assemble(
+        r#"
+        .org 0x80000080
+        handler:
+            lui  $k0, 0x8000
+            ori  $k0, $k0, 0x7ffc
+            sw   $at, 8($k0)
+            jr   $k1
+            rfe
+    "#,
+    )
+    .unwrap();
+    let mut config = full_config(&prog);
+    config.protocol_saved.clear();
+    let report = analyze(&prog, &config).unwrap();
+    let f = sole_finding(&report, Lint::UnpinnedMemoryReference);
+    assert_eq!(f.location, "handler+0x8");
+}
+
+#[test]
+fn runs_off_image() {
+    let report = analyze_hazards(
+        r#"
+        .org 0x80002000
+        entry:
+            addiu $t0, $t0, 1
+    "#,
+    );
+    let f = sole_finding(&report, Lint::RunsOffImage);
+    assert_eq!(
+        f.addr, 0x8000_2004,
+        "reported at the first off-image address"
+    );
+    assert_eq!(f.lint.code(), "runs-off-image");
+}
+
+#[test]
+fn undecodable_word() {
+    let report = analyze_hazards(
+        r#"
+        .org 0x80002000
+        entry:
+            j    bad
+            nop
+        bad:
+            .word 0xffffffff
+    "#,
+    );
+    assert_eq!(report.with_lint(Lint::Undecodable).count(), 1);
+    let f = report.with_lint(Lint::Undecodable).next().unwrap();
+    assert_eq!(f.addr, 0x8000_2008);
+    assert_eq!(f.location, "bad");
+    assert_eq!(f.lint.code(), "undecodable");
+}

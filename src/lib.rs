@@ -21,6 +21,8 @@
 //! - [`trace`] — exception lifecycle tracing and per-kind metrics.
 //! - [`report`] — perf baselines, regression checking, Chrome-trace and
 //!   flamegraph export.
+//! - [`verify`] — static analyzer for the guest handler images (CFG,
+//!   delay-slot hazards, save-set liveness, static instruction bounds).
 //!
 //! # Quickstart
 //!
@@ -46,4 +48,5 @@ pub use efex_pstore as pstore;
 pub use efex_report as report;
 pub use efex_simos as simos;
 pub use efex_trace as trace;
+pub use efex_verify as verify;
 pub use efex_watch as watch;
