@@ -6,6 +6,7 @@ cargo build --release
 cargo test -q
 cargo test --workspace -q
 cargo run --release -p efex-bench --bin lint
+cargo run --release -p efex-bench --bin inject -- --all
 cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check

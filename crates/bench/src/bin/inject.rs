@@ -1,0 +1,116 @@
+//! Fault-injection matrix gate.
+//!
+//! ```text
+//! inject --list            list every scenario with its specified behavior
+//! inject --all             run the full matrix under the default seed
+//! inject <id> [<id>...]    run specific scenarios
+//! inject --seed <n> ...    override the matrix seed (decimal or 0x hex)
+//! ```
+//!
+//! Every scenario perturbs one delivery-path invariant (see
+//! [`efex_inject`]) and asserts bit-exact recovery or the specified
+//! degradation. Each scenario runs twice per invocation and the two
+//! observations must match field-for-field — including cycle counts — so a
+//! nondeterministic delivery path fails the gate even when both runs
+//! individually pass. Exit status 1 on any failure; never a host panic.
+
+use efex_inject::{find, run_one, scenarios, InjectError, ScenarioReport, DEFAULT_SEED};
+use std::process::ExitCode;
+
+fn parse_seed(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn print_report(r: &ScenarioReport) {
+    println!(
+        "inject: {:<30} ok  [{}]  outcome={} fast={} unix={} degraded={} cycles={}",
+        r.id,
+        r.expect,
+        r.observed.outcome,
+        r.observed.fast_delivered,
+        r.observed.signals_delivered,
+        r.observed.degraded_deliveries,
+        r.observed.cycles,
+    );
+    if let Some(diag) = &r.observed.diagnostic {
+        println!("inject: {:<30}     diagnostic: {diag}", "");
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("usage: inject [--seed <n>] --list | --all | <scenario-id>...");
+        return if args.is_empty() {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    let mut seed = DEFAULT_SEED;
+    let mut list = false;
+    let mut all = false;
+    let mut ids: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--list" => list = true,
+            "--all" => all = true,
+            "--seed" => {
+                let Some(v) = it.next().as_deref().and_then(parse_seed) else {
+                    eprintln!("inject: --seed needs a decimal or 0x-hex value");
+                    return ExitCode::FAILURE;
+                };
+                seed = v;
+            }
+            id => ids.push(id.to_string()),
+        }
+    }
+
+    if list {
+        for s in scenarios() {
+            println!("{:<30} [{}] {}", s.id, s.expect, s.summary);
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let selected: Vec<&'static efex_inject::Scenario> = if all {
+        scenarios().iter().collect()
+    } else {
+        let mut v = Vec::new();
+        for id in &ids {
+            match find(id) {
+                Some(s) => v.push(s),
+                None => {
+                    eprintln!("inject: unknown scenario {id:?} (try --list)");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        v
+    };
+
+    let mut failures: Vec<InjectError> = Vec::new();
+    for s in selected {
+        match run_one(s, seed) {
+            Ok(report) => print_report(&report),
+            Err(e) => {
+                println!("inject: {:<30} FAILED: {}", e.id, e.reason);
+                failures.push(e);
+            }
+        }
+    }
+
+    if failures.is_empty() {
+        println!("inject: matrix clean (seed {seed:#x})");
+        ExitCode::SUCCESS
+    } else {
+        println!("inject: {} scenario(s) failed", failures.len());
+        ExitCode::FAILURE
+    }
+}

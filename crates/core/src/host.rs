@@ -150,6 +150,9 @@ pub struct HostStats {
     pub eager_amplified: u64,
     /// Kernel subpage emulations (invisible to the application).
     pub subpage_emulated: u64,
+    /// Deliveries that could not take the configured path and fell back to
+    /// Unix-signal costs (fault injection, recursive-fault fallback).
+    pub degraded_deliveries: u64,
 }
 
 impl Snapshot for HostStats {
@@ -160,7 +163,22 @@ impl Snapshot for HostStats {
             .counter("protect_calls", self.protect_calls)
             .counter("eager_amplified", self.eager_amplified)
             .counter("subpage_emulated", self.subpage_emulated)
+            .counter("degraded_deliveries", self.degraded_deliveries)
     }
+}
+
+/// What a [`HostProcess`] does when a delivery cannot take the configured
+/// path — a recursive fault, or an injected loss of fast-path state.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum DegradePolicy {
+    /// Recursive faults are errors (the paper's Section 2.2 semantics);
+    /// injected degradations still fall back to Unix-signal costs.
+    #[default]
+    Strict,
+    /// Recursive faults are completed with kernel rights at Unix-signal
+    /// cost and counted as degraded deliveries — the application survives
+    /// where `Strict` would surface [`CoreError::RecursiveFault`].
+    FallbackUnix,
 }
 
 /// Builds a [`HostProcess`] — the same fluent shape as
@@ -172,6 +190,7 @@ pub struct HostBuilder {
     eager_amplification: bool,
     access_cost: u64,
     trace: Option<SharedSink>,
+    degrade_policy: DegradePolicy,
 }
 
 impl fmt::Debug for HostBuilder {
@@ -182,6 +201,7 @@ impl fmt::Debug for HostBuilder {
             .field("eager_amplification", &self.eager_amplification)
             .field("access_cost", &self.access_cost)
             .field("trace", &self.trace.is_some())
+            .field("degrade_policy", &self.degrade_policy)
             .finish()
     }
 }
@@ -194,6 +214,7 @@ impl Default for HostBuilder {
             eager_amplification: false,
             access_cost: 2,
             trace: None,
+            degrade_policy: DegradePolicy::default(),
         }
     }
 }
@@ -234,6 +255,13 @@ impl HostBuilder {
         self
     }
 
+    /// Sets what happens when a delivery cannot take the configured path
+    /// (default [`DegradePolicy::Strict`]).
+    pub fn degrade_policy(mut self, policy: DegradePolicy) -> HostBuilder {
+        self.degrade_policy = policy;
+        self
+    }
+
     /// Boots the kernel and creates the process.
     ///
     /// # Errors
@@ -261,6 +289,8 @@ impl HostBuilder {
             metrics: Metrics::new(),
             access_cost: self.access_cost,
             next_alloc: efex_simos::layout::USER_DATA_VADDR,
+            degrade_policy: self.degrade_policy,
+            degrade_next: 0,
         })
     }
 }
@@ -278,6 +308,10 @@ pub struct HostProcess {
     metrics: Metrics,
     access_cost: u64,
     next_alloc: u32,
+    degrade_policy: DegradePolicy,
+    /// Deliveries remaining that are forced onto the Unix-cost fallback
+    /// (fault injection: models comm-page loss at the host level).
+    degrade_next: u64,
 }
 
 impl fmt::Debug for HostProcess {
@@ -369,6 +403,36 @@ impl HostProcess {
     /// Removes the handler.
     pub fn clear_handler(&mut self) {
         self.handler = None;
+    }
+
+    /// The degradation policy in force.
+    pub fn degrade_policy(&self) -> DegradePolicy {
+        self.degrade_policy
+    }
+
+    /// Fault injection: forces the next `n` deliveries onto the Unix-cost
+    /// fallback (models the loss of fast-path state — e.g. an evicted comm
+    /// page — at the host level). Handlers still run; the deliveries are
+    /// counted in [`HostStats::degraded_deliveries`] and in the metrics
+    /// snapshot's `degraded_deliveries` counter.
+    pub fn inject_degrade_next_deliveries(&mut self, n: u64) {
+        self.degrade_next = self.degrade_next.saturating_add(n);
+    }
+
+    /// Consumes one queued injected degradation, if any: counts it in
+    /// [`HostStats::degraded_deliveries`] and the metrics, and returns
+    /// `true`. Subsystems that drive their own fault handling off the
+    /// kernel (the DSM coherence protocol reads faults directly) call this
+    /// at their delivery point and charge Unix-signal costs when it fires;
+    /// [`HostProcess::deliver`]-based subsystems never need it.
+    pub fn consume_injected_degradation(&mut self, class: FaultClass) -> bool {
+        if self.degrade_next == 0 {
+            return false;
+        }
+        self.degrade_next -= 1;
+        self.stats.degraded_deliveries += 1;
+        self.metrics.record_degraded(self.path.into(), class);
+        true
     }
 
     // --- memory management -------------------------------------------------
@@ -552,13 +616,40 @@ impl HostProcess {
             value,
         };
         if self.in_handler {
-            // Recursive exception: the paper routes these to the kernel as
-            // errors (Section 2.2).
-            return Err(CoreError::RecursiveFault(info));
+            // Recursive exception. The paper routes these to the kernel as
+            // errors (Section 2.2); under `FallbackUnix` the kernel instead
+            // completes the access with kernel rights at Unix-signal cost
+            // and counts the delivery as degraded.
+            match self.degrade_policy {
+                DegradePolicy::Strict => return Err(CoreError::RecursiveFault(info)),
+                DegradePolicy::FallbackUnix => {
+                    let unix = DeliveryCosts::for_path(DeliveryPath::UnixSignals);
+                    self.kernel.charge(unix.simple_deliver + unix.simple_return);
+                    self.stats.degraded_deliveries += 1;
+                    let class = FaultClass::Other;
+                    self.metrics.record_degraded(self.path.into(), class);
+                    return Ok(HandlerAction::Emulate);
+                }
+            }
         }
         if self.handler.is_none() {
             return Err(CoreError::Unhandled(info));
         }
+
+        // An injected degradation forces this delivery onto Unix-signal
+        // costs: the handler still runs (the signal machinery reaches it),
+        // but the fast path's cycle advantage is gone for this fault.
+        let degraded = if self.degrade_next > 0 {
+            self.degrade_next -= 1;
+            true
+        } else {
+            false
+        };
+        let costs = if degraded {
+            DeliveryCosts::for_path(DeliveryPath::UnixSignals)
+        } else {
+            self.costs
+        };
 
         // Charge the delivery cost for this fault class on this path.
         let subpage = self.kernel.process().subpage.manages(fault.vaddr);
@@ -580,13 +671,16 @@ impl HostProcess {
         self.emit(EventKind::FaultRaised, class, &fault);
         self.emit(EventKind::KernelEntered, class, &fault);
         let deliver_cost = match (fault.kind, subpage) {
-            (FaultKind::Protection | FaultKind::NotMapped, true) => self.costs.subpage_deliver,
+            (FaultKind::Protection | FaultKind::NotMapped, true) => costs.subpage_deliver,
             (FaultKind::Protection | FaultKind::NotMapped, false) if fault.code.is_tlb() => {
-                self.costs.prot_deliver
+                costs.prot_deliver
             }
-            _ => self.costs.simple_deliver,
+            _ => costs.simple_deliver,
         };
         self.kernel.charge(deliver_cost);
+        if degraded {
+            self.stats.degraded_deliveries += 1;
+        }
 
         // Eager amplification: grant access before vectoring (Section 3.2.3).
         if self.eager_amplification()
@@ -625,12 +719,20 @@ impl HostProcess {
             .record_deliver(trace_path, class, t_entered - t_raised);
         self.metrics
             .record_page_fault(trace_path, class, fault.vaddr);
+        if degraded {
+            self.metrics.record_degraded(trace_path, class);
+        }
         self.in_handler = true;
-        let mut handler = self.handler.take().expect("checked above");
+        let Some(mut handler) = self.handler.take() else {
+            // Checked above; a typed error beats a panic if a handler ever
+            // unregisters itself mid-delivery.
+            self.in_handler = false;
+            return Err(CoreError::Unhandled(info));
+        };
         let action = {
             let mut ctx = FaultCtx {
                 kernel: &mut self.kernel,
-                costs: &self.costs,
+                costs: &costs,
                 stats: &mut self.stats,
             };
             handler(&mut ctx, info)
@@ -659,7 +761,7 @@ impl HostProcess {
         }
 
         // Charge the return-to-application cost.
-        self.kernel.charge(self.costs.simple_return);
+        self.kernel.charge(costs.simple_return);
         self.emit(EventKind::Resumed, class, &fault);
         self.metrics
             .record_return(trace_path, class, self.kernel.cycles() - t_returned);
@@ -901,6 +1003,96 @@ mod tests {
         assert_eq!(k.handler.count(), 1);
         assert_eq!(k.ret.count(), 1);
         assert_eq!(k.pages.get(&(base >> 12)), Some(&1));
+    }
+
+    #[test]
+    fn injected_degradation_charges_unix_costs_and_counts() {
+        let mut fast = host(DeliveryPath::FastUser);
+        let mut degraded = host(DeliveryPath::FastUser);
+        for h in [&mut fast, &mut degraded] {
+            let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+            h.store_u32(base, 0).unwrap();
+            h.protect(base, 4096, Prot::Read).unwrap();
+            h.set_handler(move |ctx, info| {
+                ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                    .unwrap();
+                HandlerAction::Retry
+            });
+        }
+        let base = efex_simos::layout::USER_DATA_VADDR;
+        degraded.inject_degrade_next_deliveries(1);
+
+        let t0 = fast.cycles();
+        fast.store_u32(base, 1).unwrap();
+        let fast_cost = fast.cycles() - t0;
+        let t0 = degraded.cycles();
+        degraded.store_u32(base, 1).unwrap();
+        let degraded_cost = degraded.cycles() - t0;
+
+        assert!(
+            degraded_cost > 3 * fast_cost,
+            "degraded {degraded_cost} vs fast {fast_cost}"
+        );
+        assert_eq!(degraded.stats().degraded_deliveries, 1);
+        assert_eq!(fast.stats().degraded_deliveries, 0);
+        assert_eq!(degraded.read_raw(base).unwrap(), 1, "handler still ran");
+        assert_eq!(degraded.stats().faults_delivered, 1);
+        // The injection is one-shot: the next fault takes the fast path.
+        degraded.protect(base, 4096, Prot::Read).unwrap();
+        let t0 = degraded.cycles();
+        degraded.store_u32(base, 2).unwrap();
+        assert!(degraded.cycles() - t0 <= fast_cost + 16);
+        assert_eq!(degraded.stats().degraded_deliveries, 1);
+    }
+
+    #[test]
+    fn degraded_deliveries_reach_the_metrics_snapshot() {
+        let mut h = host(DeliveryPath::FastUser);
+        let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+        h.store_u32(base, 0).unwrap();
+        h.protect(base, 4096, Prot::Read).unwrap();
+        h.set_handler(move |ctx, info| {
+            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+                .unwrap();
+            HandlerAction::Retry
+        });
+        h.inject_degrade_next_deliveries(1);
+        h.store_u32(base, 1).unwrap();
+        let snap = h.trace_metrics().snapshot();
+        assert_eq!(snap.get("degraded_deliveries"), Some(1));
+    }
+
+    #[test]
+    fn fallback_unix_policy_survives_recursive_faults() {
+        // Drive deliver() with in_handler forced on — the recursive window
+        // a fault inside a fault handler opens.
+        let fault = HostFault {
+            code: ExcCode::TlbMod,
+            vaddr: 0x1000_0000,
+            kind: FaultKind::Protection,
+            write: true,
+        };
+        let mut strict = host(DeliveryPath::FastUser);
+        strict.set_handler(|_, _| HandlerAction::Retry);
+        strict.in_handler = true;
+        assert!(matches!(
+            strict.deliver(fault, None),
+            Err(CoreError::RecursiveFault(_))
+        ));
+
+        let mut fallback = HostProcess::builder()
+            .delivery(DeliveryPath::FastUser)
+            .degrade_policy(DegradePolicy::FallbackUnix)
+            .build()
+            .unwrap();
+        fallback.set_handler(|_, _| HandlerAction::Retry);
+        fallback.in_handler = true;
+        let t0 = fallback.cycles();
+        let action = fallback.deliver(fault, None).unwrap();
+        assert_eq!(action, HandlerAction::Emulate, "access completes inline");
+        assert_eq!(fallback.stats().degraded_deliveries, 1);
+        let unix = DeliveryCosts::for_path(DeliveryPath::UnixSignals);
+        assert_eq!(fallback.cycles() - t0, unix.simple_round_trip());
     }
 
     #[test]

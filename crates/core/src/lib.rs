@@ -85,7 +85,9 @@ mod system;
 
 pub use delivery::{DeliveryCosts, DeliveryPath};
 pub use error::CoreError;
-pub use host::{FaultCtx, FaultInfo, HandlerAction, HostBuilder, HostProcess, HostStats};
+pub use host::{
+    DegradePolicy, FaultCtx, FaultInfo, HandlerAction, HostBuilder, HostProcess, HostStats,
+};
 pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
 
 pub use efex_mips::ExcCode;

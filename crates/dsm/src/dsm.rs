@@ -200,6 +200,21 @@ impl Dsm {
         self.nodes.iter().map(|n| n.micros()).sum()
     }
 
+    /// Fault injection: the next `n` deliveries on `node` fall back to
+    /// Unix-signal costs. Coherence must be unaffected — only dearer.
+    pub fn inject_degrade_next_deliveries(&mut self, node: usize, n: u64) {
+        if let Some(host) = self.nodes.get_mut(node) {
+            host.inject_degrade_next_deliveries(n);
+        }
+    }
+
+    /// Deliveries on `node` that fell back to the degraded path.
+    pub fn degraded_deliveries(&self, node: usize) -> u64 {
+        self.nodes
+            .get(node)
+            .map_or(0, |h| h.stats().degraded_deliveries)
+    }
+
     fn page_index(&self, addr: u32) -> Result<usize, DsmError> {
         if addr < self.base || addr >= self.base + self.len() {
             return Err(DsmError::OutOfRange(addr));
@@ -271,12 +286,24 @@ impl Dsm {
         }
     }
 
+    /// The delivery costs this miss is charged at: the configured path,
+    /// unless an injected degradation fires on the faulting node.
+    fn delivery_costs_for(&mut self, node: NodeId) -> DeliveryCosts {
+        if self.nodes[node].consume_injected_degradation(efex_trace::FaultClass::WriteProtect) {
+            DeliveryCosts::for_path(DeliveryPath::UnixSignals)
+        } else {
+            self.costs
+        }
+    }
+
     /// Read miss: fetch a read copy from the owner; the owner (if
     /// exclusive) is demoted to shared.
     fn coherence_read_miss(&mut self, node: NodeId, page: usize) -> Result<(), DsmError> {
         self.stats.faults += 1;
-        // The faulting node pays exception delivery + handler return.
-        self.nodes[node].charge(self.costs.prot_deliver + self.costs.simple_return);
+        // The faulting node pays exception delivery + handler return (at
+        // Unix-signal cost when an injected degradation fires).
+        let costs = self.delivery_costs_for(node);
+        self.nodes[node].charge(costs.prot_deliver + costs.simple_return);
         // Request/response over the network.
         self.nodes[node].charge(self.cfg.network_cycles);
 
@@ -299,7 +326,8 @@ impl Dsm {
     /// ownership.
     fn coherence_write_miss(&mut self, node: NodeId, page: usize) -> Result<(), DsmError> {
         self.stats.faults += 1;
-        self.nodes[node].charge(self.costs.prot_deliver + self.costs.simple_return);
+        let costs = self.delivery_costs_for(node);
+        self.nodes[node].charge(costs.prot_deliver + costs.simple_return);
         self.nodes[node].charge(self.cfg.network_cycles);
 
         let owner = self.dir[page].owner;
@@ -384,6 +412,22 @@ mod tests {
         assert_eq!(d.read(1, a).unwrap(), 7, "node 1 sees node 0's write");
         assert_eq!(d.stats().page_transfers, 1);
         assert!(d.stats().faults >= 1);
+    }
+
+    #[test]
+    fn degraded_delivery_on_one_node_keeps_coherence() {
+        // Node 1's next fault delivery is injected to degrade; the page
+        // fetch must still produce the coherent value, and later traffic
+        // (including the degraded node writing) stays consistent.
+        let mut d = dsm(2);
+        let a = d.base();
+        d.write(0, a, 7).unwrap();
+        d.inject_degrade_next_deliveries(1, 1);
+        assert_eq!(d.read(1, a).unwrap(), 7, "remote read still coherent");
+        assert_eq!(d.degraded_deliveries(1), 1);
+        assert_eq!(d.degraded_deliveries(0), 0);
+        d.write(1, a, 9).unwrap();
+        assert_eq!(d.read(0, a).unwrap(), 9);
     }
 
     #[test]

@@ -202,6 +202,18 @@ impl Gc {
         &self.cfg
     }
 
+    /// Fault injection: the next `n` barrier-fault deliveries fall back to
+    /// Unix-signal costs (counted in [`Gc::degraded_deliveries`]). The
+    /// collector must survive with identical heap contents — only dearer.
+    pub fn inject_degrade_next_deliveries(&mut self, n: u64) {
+        self.host.inject_degrade_next_deliveries(n);
+    }
+
+    /// Barrier deliveries that fell back to the degraded (Unix-cost) path.
+    pub fn degraded_deliveries(&self) -> u64 {
+        self.host.stats().degraded_deliveries
+    }
+
     /// Charges application (mutator) compute cycles — workloads model their
     /// own non-heap work through this.
     pub fn charge_app(&mut self, cycles: u64) {
@@ -770,6 +782,27 @@ mod tests {
         assert!(gc.stats().barrier_faults >= 1, "barrier must fault");
         gc.collect_minor();
         // The young object must have survived via the remembered set.
+        let Value::Ref(y2) = gc.load(old, 1).unwrap() else {
+            panic!()
+        };
+        assert_eq!(gc.load(y2, 0).unwrap(), Value::Int(20));
+    }
+
+    #[test]
+    fn degraded_barrier_delivery_preserves_heap_contents() {
+        // Inject one delivery-path degradation: the barrier fault falls
+        // back to Unix-signal costs but the remembered set must come out
+        // identical — the collector survives, it just pays more.
+        let mut gc = gc_with(BarrierKind::PageProtection, true);
+        let old = cons(&mut gc, Value::Int(10), Value::Nil);
+        gc.push_root(old);
+        gc.collect_minor();
+        let young = cons(&mut gc, Value::Int(20), Value::Nil);
+        gc.inject_degrade_next_deliveries(1);
+        gc.store(old, 1, Value::Ref(young)).unwrap();
+        assert_eq!(gc.degraded_deliveries(), 1);
+        assert!(gc.stats().barrier_faults >= 1);
+        gc.collect_minor();
         let Value::Ref(y2) = gc.load(old, 1).unwrap() else {
             panic!()
         };

@@ -1,0 +1,305 @@
+//! # efex-inject — deterministic fault injection for the delivery paths
+//!
+//! The paper's fast exception path works by *trusting* invariants the
+//! kernel establishes out of band: the communication page stays pinned and
+//! mapped, its frames are only written by the first-level handler, the user
+//! handler's code stays reachable, and a handler never re-faults on its own
+//! delivery state. This crate perturbs each of those invariants at a
+//! defined point in the delivery and asserts that the kernel either
+//! recovers **bit-exact** or degrades along a **specified** path — Unix
+//! signal fallback or kill-with-diagnostic, counted in
+//! `degraded_deliveries` — and never wedges or panics the host.
+//!
+//! Every perturbation is a named [`Scenario`]. The full matrix runs in CI
+//! (the `inject` binary in efex-bench, and `tests/matrix.rs` here). Each
+//! scenario is seeded and runs twice per invocation; the two observations
+//! must match field-for-field, so a nondeterministic delivery path fails
+//! the gate even when both runs individually "pass".
+//!
+//! Injection points covered, keyed to the issue's matrix:
+//!
+//! - **Recursive exception while one is in flight** — a Unix handler that
+//!   re-faults before completing (`nested-unix-signals`), a fast handler
+//!   interrupted by a second exception *class* (`second-class-in-flight`),
+//!   and a fault in the handler's return-jump delay slot
+//!   (`handler-return-slot-fault`).
+//! - **Comm-page corruption between state save and user resume** — an
+//!   unused frame word (`corrupt-comm-unused-word`, bit-exact) and the
+//!   saved EPC itself (`corrupt-comm-epc`, specified kill).
+//! - **Pinning violations mid-delivery** — the handler's TLB entry
+//!   (`evict-handler-tlb`), the comm page before a fast delivery
+//!   (`evict-comm-before-save`), and the hardest window: after the guest
+//!   vector wrote the frame but before the handler's comm-page load
+//!   (`evict-comm-breakpoint-window`).
+//! - **Branch-delay-slot emulation shapes** — taken/untaken branch, `jr`,
+//!   branch to a cross-page target, the architecturally unpredictable
+//!   `jalr rd==rs` shape, and the unaligned-fixup path where the emulated
+//!   load clobbers the jump register.
+//! - **Host-level degradation** — an injected fall-back to Unix-signal
+//!   costs on a `HostProcess` delivery (`host-degraded-delivery`).
+
+mod scenarios;
+
+use std::fmt;
+
+/// What a scenario is specified to do under injection.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Expectation {
+    /// The perturbation is absorbed: identical architectural outcome to an
+    /// unperturbed run and `degraded_deliveries == 0`.
+    BitExact,
+    /// The fast path is abandoned but the program still completes
+    /// correctly; the delivery is counted degraded and a diagnostic is
+    /// recorded.
+    DegradedRecovery,
+    /// The process is killed along a specified path (Unix-signal fallback
+    /// with no handler registered, or kill-with-diagnostic) — never a
+    /// wedge, never a host panic.
+    Killed,
+}
+
+impl fmt::Display for Expectation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expectation::BitExact => write!(f, "bit-exact"),
+            Expectation::DegradedRecovery => write!(f, "degraded-recovery"),
+            Expectation::Killed => write!(f, "killed"),
+        }
+    }
+}
+
+/// Everything a scenario run exposes for the determinism comparison.
+///
+/// Two runs of the same scenario with the same seed must produce `Observed`
+/// values that are equal field-for-field — including cycle counts, so a
+/// delivery path that charges nondeterministically is caught even when the
+/// architectural outcome is stable.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Observed {
+    /// Debug rendering of the final run outcome.
+    pub outcome: String,
+    /// Fast-path deliveries completed.
+    pub fast_delivered: u64,
+    /// Unix-signal deliveries completed.
+    pub signals_delivered: u64,
+    /// Deliveries that fell back to a specified degradation.
+    pub degraded_deliveries: u64,
+    /// Subpage emulations performed.
+    pub subpage_emulations: u64,
+    /// Total simulated cycles at the end of the run.
+    pub cycles: u64,
+    /// The kernel's (or host's) recorded diagnostic, if any.
+    pub diagnostic: Option<String>,
+}
+
+/// A named, seeded injection scenario.
+pub struct Scenario {
+    /// Stable identifier (used on the `inject` command line).
+    pub id: &'static str,
+    /// One-line description of the perturbation and the specified result.
+    pub summary: &'static str,
+    /// Specified behavior class.
+    pub expect: Expectation,
+    run: fn(u64) -> Result<Observed, String>,
+}
+
+/// Result of one scenario execution (both deterministic runs passed).
+#[derive(Clone, Debug)]
+pub struct ScenarioReport {
+    /// The scenario's id.
+    pub id: &'static str,
+    /// Specified behavior class.
+    pub expect: Expectation,
+    /// The (deterministic) observation.
+    pub observed: Observed,
+}
+
+/// A scenario failure: which scenario, and why.
+#[derive(Clone, Debug)]
+pub struct InjectError {
+    /// The failing scenario's id.
+    pub id: &'static str,
+    /// Human-readable cause.
+    pub reason: String,
+}
+
+impl fmt::Display for InjectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "scenario {}: {}", self.id, self.reason)
+    }
+}
+
+impl std::error::Error for InjectError {}
+
+/// The default seed the CI matrix runs under.
+pub const DEFAULT_SEED: u64 = 0xefe1994;
+
+/// The full scenario registry, in a stable order.
+pub fn scenarios() -> &'static [Scenario] {
+    scenarios::REGISTRY
+}
+
+/// Look up a scenario by id.
+pub fn find(id: &str) -> Option<&'static Scenario> {
+    scenarios().iter().find(|s| s.id == id)
+}
+
+/// Derive the per-scenario seed from the matrix seed and the scenario id,
+/// so scenarios stay independent when the matrix seed changes.
+fn scenario_seed(seed: u64, id: &str) -> u64 {
+    // FNV-1a over the id, folded into the seed, then one xorshift* mix.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in id.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    let mut x = seed ^ h;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+}
+
+/// A tiny deterministic generator scenarios draw perturbation values from.
+/// (Never the std RNG or the clock: the whole point is replayability.)
+pub struct Xorshift(u64);
+
+impl Xorshift {
+    /// Seeded construction; a zero seed is remapped to a fixed odd value.
+    pub fn new(seed: u64) -> Xorshift {
+        Xorshift(if seed == 0 {
+            0x9e37_79b9_7f4a_7c15
+        } else {
+            seed
+        })
+    }
+
+    /// Next 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Next 32-bit value.
+    pub fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Run one scenario twice under its derived seed; verify determinism, the
+/// expectation-class invariants, and that no run panicked the host.
+pub fn run_one(scenario: &'static Scenario, seed: u64) -> Result<ScenarioReport, InjectError> {
+    let derived = scenario_seed(seed, scenario.id);
+    let fail = |reason: String| InjectError {
+        id: scenario.id,
+        reason,
+    };
+
+    let execute = || -> Result<Observed, InjectError> {
+        // A host panic anywhere in the delivery path is itself a finding:
+        // convert it to an error instead of tearing down the harness.
+        let run = scenario.run;
+        std::panic::catch_unwind(move || run(derived))
+            .map_err(|p| {
+                let msg = p
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| p.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                fail(format!("host panic during delivery: {msg}"))
+            })?
+            .map_err(fail)
+    };
+
+    let first = execute()?;
+    let second = execute()?;
+    if first != second {
+        return Err(fail(format!(
+            "nondeterministic under seed {derived:#x}:\n  first:  {first:?}\n  second: {second:?}"
+        )));
+    }
+
+    match scenario.expect {
+        Expectation::BitExact => {
+            if first.degraded_deliveries != 0 {
+                return Err(fail(format!(
+                    "specified bit-exact but counted {} degraded deliveries",
+                    first.degraded_deliveries
+                )));
+            }
+        }
+        Expectation::DegradedRecovery => {
+            if first.degraded_deliveries == 0 {
+                return Err(fail(
+                    "specified degraded recovery but degraded_deliveries == 0".into(),
+                ));
+            }
+        }
+        Expectation::Killed => {
+            if !first.outcome.contains("Terminated") {
+                return Err(fail(format!(
+                    "specified a kill but the process finished as {}",
+                    first.outcome
+                )));
+            }
+        }
+    }
+
+    Ok(ScenarioReport {
+        id: scenario.id,
+        expect: scenario.expect,
+        observed: first,
+    })
+}
+
+/// Run the full matrix; the first failing scenario aborts with its cause.
+pub fn run_all(seed: u64) -> Result<Vec<ScenarioReport>, InjectError> {
+    scenarios().iter().map(|s| run_one(s, seed)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_stable() {
+        let mut seen = std::collections::BTreeSet::new();
+        for s in scenarios() {
+            assert!(seen.insert(s.id), "duplicate scenario id {}", s.id);
+            assert!(!s.summary.is_empty());
+        }
+        assert!(seen.len() >= 14, "matrix shrank to {}", seen.len());
+    }
+
+    #[test]
+    fn derived_seeds_differ_per_scenario() {
+        let a = scenario_seed(DEFAULT_SEED, "corrupt-comm-epc");
+        let b = scenario_seed(DEFAULT_SEED, "corrupt-comm-unused-word");
+        assert_ne!(a, b);
+        // And per matrix seed.
+        assert_ne!(a, scenario_seed(DEFAULT_SEED + 1, "corrupt-comm-epc"));
+    }
+
+    #[test]
+    fn unknown_scenario_lookup_is_none() {
+        assert!(find("no-such-scenario").is_none());
+        assert!(find("evict-handler-tlb").is_some());
+    }
+
+    #[test]
+    fn xorshift_is_deterministic_and_nonzero() {
+        let mut a = Xorshift::new(7);
+        let mut b = Xorshift::new(7);
+        for _ in 0..64 {
+            let v = a.next_u64();
+            assert_eq!(v, b.next_u64());
+            assert_ne!(v, 0);
+        }
+        // Zero seed must not stick at zero.
+        assert_ne!(Xorshift::new(0).next_u64(), 0);
+    }
+}

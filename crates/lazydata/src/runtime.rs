@@ -245,6 +245,17 @@ impl LazyRuntime {
         self.host.micros()
     }
 
+    /// Fault injection: the next `n` lazy-extension deliveries fall back to
+    /// Unix-signal costs. Forced values must be unchanged — only dearer.
+    pub fn inject_degrade_next_deliveries(&mut self, n: u64) {
+        self.host.inject_degrade_next_deliveries(n);
+    }
+
+    /// Deliveries that fell back to the degraded (Unix-cost) path.
+    pub fn degraded_deliveries(&self) -> u64 {
+        self.host.stats().degraded_deliveries
+    }
+
     /// Creates an unbounded list whose `index`th element is `gen(index)`.
     /// No element is computed until touched.
     ///
@@ -382,6 +393,19 @@ mod tests {
         assert_eq!(v, vec![0, 1, 4, 9, 16]);
         assert_eq!(rt.stats().extensions, 5);
         assert_eq!(rt.stats().faults, 5, "one fault per new element");
+    }
+
+    #[test]
+    fn degraded_extension_delivery_preserves_values() {
+        // The first two extension faults are injected to fall back to
+        // Unix-signal costs; the forced values must be unchanged.
+        let mut rt = rt();
+        let squares = rt.new_stream(|i| (i * i) as i32).unwrap();
+        rt.inject_degrade_next_deliveries(2);
+        let v = rt.take(squares, 5).unwrap();
+        assert_eq!(v, vec![0, 1, 4, 9, 16]);
+        assert_eq!(rt.degraded_deliveries(), 2);
+        assert_eq!(rt.stats().extensions, 5);
     }
 
     #[test]

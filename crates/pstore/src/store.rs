@@ -401,6 +401,18 @@ impl Pstore {
         self.host.trace_metrics()
     }
 
+    /// Fault injection: the next `n` swizzle-fault deliveries fall back to
+    /// Unix-signal costs. Pointer swizzling must still produce the same
+    /// object graph — only dearer.
+    pub fn inject_degrade_next_deliveries(&mut self, n: u64) {
+        self.host.inject_degrade_next_deliveries(n);
+    }
+
+    /// Deliveries that fell back to the degraded (Unix-cost) path.
+    pub fn degraded_deliveries(&self) -> u64 {
+        self.host.stats().degraded_deliveries
+    }
+
     /// Returns the (loaded) root page's virtual address.
     ///
     /// # Errors
@@ -623,6 +635,24 @@ mod tests {
             ),
             Err(PstoreError::Invalid(_))
         ));
+    }
+
+    #[test]
+    fn degraded_swizzle_delivery_preserves_the_graph() {
+        // Two identical stores walk the same pointer; one takes its
+        // swizzle fault through an injected degraded delivery. Same
+        // traversal result, strictly dearer.
+        let mut a = open(Strategy::Unaligned, Policy::Lazy);
+        let mut b = open(Strategy::Unaligned, Policy::Lazy);
+        let root_a = a.root().unwrap();
+        let root_b = b.root().unwrap();
+        b.inject_degrade_next_deliveries(1);
+        let t_a = a.use_pointer(root_a, 0).unwrap();
+        let t_b = b.use_pointer(root_b, 0).unwrap();
+        assert_eq!(t_a, t_b, "same graph, same swizzle target");
+        assert_eq!(b.degraded_deliveries(), 1);
+        assert_eq!(a.degraded_deliveries(), 0);
+        assert!(b.cycles() > a.cycles(), "degraded delivery is dearer");
     }
 
     #[test]

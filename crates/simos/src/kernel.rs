@@ -93,11 +93,30 @@ pub enum KernelError {
     Map(MapError),
     /// The guest kernel faulted (double fault): unrecoverable.
     KernelFault(String),
+    /// A delivery invariant was violated at `epc`: the kernel produces a
+    /// diagnostic instead of panicking, so injected faults surface as
+    /// typed errors (or specified degradations) rather than host panics.
+    Delivery {
+        /// What went wrong, in delivery-path terms.
+        reason: String,
+        /// The exception PC the delivery was servicing.
+        epc: u32,
+    },
+    /// The pinned communication page was lost mid-delivery and could not
+    /// be restored (out of frames): fast delivery is disabled.
+    CommPageLost {
+        /// User virtual address of the (formerly pinned) comm page.
+        comm_vaddr: u32,
+    },
     /// The guest issued an hcall the host does not know.
     UnknownHcall(u32),
     /// The process already exited.
     NotRunning,
 }
+
+/// The simulator's unified error surface: kernel and delivery-path failures
+/// are all typed [`KernelError`] variants, never panics.
+pub type EfexError = KernelError;
 
 impl fmt::Display for KernelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -106,6 +125,12 @@ impl fmt::Display for KernelError {
             KernelError::Machine(e) => write!(f, "machine error: {e}"),
             KernelError::Map(e) => write!(f, "mapping error: {e}"),
             KernelError::KernelFault(s) => write!(f, "kernel fault: {s}"),
+            KernelError::Delivery { reason, epc } => {
+                write!(f, "delivery fault at EPC {epc:#010x}: {reason}")
+            }
+            KernelError::CommPageLost { comm_vaddr } => {
+                write!(f, "comm page {comm_vaddr:#010x} lost and unrepairable")
+            }
             KernelError::UnknownHcall(n) => write!(f, "unknown hcall {n}"),
             KernelError::NotRunning => write!(f, "process is not running"),
         }
@@ -175,6 +200,32 @@ enum Via {
     Refill,
 }
 
+/// A perturbation of the delivery path, applied at a defined point by the
+/// fault-injection harness (`efex-inject`). Queue one with
+/// [`Kernel::inject`]; the kernel consumes it during the next fast-path
+/// delivery and must either recover bit-exact or degrade as specified
+/// (Unix-signal fallback or kill-with-diagnostic) — never wedge or panic.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum InjectAction {
+    /// Overwrite one word of the communication frame for `code` between the
+    /// kernel's state save and the user handler's resume (models a
+    /// concurrent rewrite of the comm page).
+    CorruptCommWord {
+        /// Exception whose frame to corrupt.
+        code: ExcCode,
+        /// Byte offset within the 32-byte frame.
+        offset: u32,
+        /// Replacement word.
+        value: u32,
+    },
+    /// Evict the pinned communication page (page-table residency and TLB
+    /// entry) before delivery starts — a pinning violation.
+    EvictCommPage,
+    /// Invalidate the TLB entry covering the user handler's entry point
+    /// mid-delivery; the resume must refill via the slow path.
+    EvictHandlerTlb,
+}
+
 /// The simulated operating system kernel.
 pub struct Kernel {
     machine: Machine,
@@ -189,9 +240,15 @@ pub struct Kernel {
     trace: SharedSink,
     trace_path: TracePath,
     metrics: Metrics,
-    /// Signal delivery in flight: (class, code, handler-entry cycles),
-    /// consumed by `sigreturn` to close out the handler/return phases.
-    unix_pending: Option<(FaultClass, ExcCode, u64)>,
+    /// Signal deliveries in flight, innermost last: (class, code,
+    /// handler-entry cycles), popped by `sigreturn` to close out the
+    /// handler/return phases. A stack, because a handler can itself fault
+    /// and take a second, nested delivery.
+    unix_pending: Vec<(FaultClass, ExcCode, u64)>,
+    /// Injected perturbations awaiting the next fast-path delivery.
+    pending_injections: Vec<InjectAction>,
+    /// Human-readable diagnostic from the most recent degraded delivery.
+    last_diagnostic: Option<String>,
 }
 
 impl fmt::Debug for Kernel {
@@ -234,7 +291,9 @@ impl Kernel {
             trace: null_sink(),
             trace_path: TracePath::FastUser,
             metrics: Metrics::new(),
-            unix_pending: None,
+            unix_pending: Vec::new(),
+            pending_injections: Vec::new(),
+            last_diagnostic: None,
         };
         // Map and install the user-side runtime (signal trampoline).
         let tramp = assemble(TRAMPOLINE_ASM)?;
@@ -702,6 +761,158 @@ impl Kernel {
         self.proc.fast.eager_amplification = on;
     }
 
+    // --- fault injection ---------------------------------------------------
+
+    /// Queues a delivery-path perturbation; the next fast-path delivery
+    /// consumes it ([`InjectAction`] says where each one bites).
+    pub fn inject(&mut self, action: InjectAction) {
+        self.pending_injections.push(action);
+    }
+
+    /// Diagnostic from the most recent degraded delivery, if any.
+    pub fn last_diagnostic(&self) -> Option<&str> {
+        self.last_diagnostic.as_deref()
+    }
+
+    /// Evicts the pinned communication page *right now* (page-table
+    /// residency, pin bit, and TLB entry all dropped) — for scenarios where
+    /// the perturbation must land while the guest runs without host entry,
+    /// e.g. between a breakpoint delivery and the handler's comm-page load.
+    ///
+    /// The old frame is deliberately leaked, not freed: a stale KSEG0 alias
+    /// may still point at it, and the repair path copies the frame contents
+    /// back when it re-establishes residency.
+    pub fn inject_evict_comm_page(&mut self) {
+        let comm = self.proc.fast.comm_vaddr;
+        if comm == 0 {
+            return;
+        }
+        let _ = self.proc.space_mut().set_pinned(comm, PAGE_SIZE, false);
+        if let Some(pte) = self.proc.space_mut().pte_mut(comm) {
+            pte.pfn = None;
+        }
+        let asid = self.proc.space().asid();
+        self.machine.tlb_mut().invalidate_page(comm, asid);
+    }
+
+    /// Whether the fast path's pinned-comm-page invariant actually holds:
+    /// the page is mapped, resident, pinned, and the published KSEG0 alias
+    /// matches its frame. Host-level registrations (no comm page) are
+    /// vacuously intact. Pure check — charges no simulated cycles, so
+    /// unperturbed runs stay bit-exact.
+    fn fast_path_intact(&self) -> bool {
+        let comm = self.proc.fast.comm_vaddr;
+        if comm == 0 {
+            return true;
+        }
+        let Some(pte) = self.proc.space().pte(comm) else {
+            return false;
+        };
+        if !pte.pinned {
+            return false;
+        }
+        match pte.pfn {
+            Some(pfn) => self.proc.fast.comm_kseg0 == 0x8000_0000 | (pfn << 12),
+            None => false,
+        }
+    }
+
+    /// Re-establishes the comm page after a pinning violation: makes it
+    /// resident again, copies the frame contents from the stale alias frame
+    /// (guest-saved state must survive the eviction), re-pins, and
+    /// republishes the KSEG0 alias. Returns `false` — with fast delivery
+    /// disabled as the specified permanent degradation — if no frame is
+    /// available.
+    fn comm_page_repair(&mut self) -> bool {
+        let comm = self.proc.fast.comm_vaddr;
+        let stale = kseg_to_phys(self.proc.fast.comm_kseg0);
+        match self
+            .proc
+            .space_mut()
+            .ensure_resident(comm, &mut self.frames)
+        {
+            Ok((pfn, paged_in)) => {
+                if paged_in {
+                    self.machine.charge_cycles(self.page_in_cost);
+                }
+                let fresh = pfn << 12;
+                if let Some(src) = stale {
+                    if src != fresh {
+                        let copied = self
+                            .machine
+                            .mem()
+                            .read_bytes(src, PAGE_SIZE as usize)
+                            .ok()
+                            .map(<[u8]>::to_vec);
+                        if let Some(bytes) = copied {
+                            let _ = self.machine.mem_mut().write_bytes(fresh, &bytes);
+                        }
+                    }
+                }
+                let _ = self.proc.space_mut().set_pinned(comm, PAGE_SIZE, true);
+                self.proc.fast.comm_kseg0 = 0x8000_0000 | fresh;
+                self.sync_uarea();
+                true
+            }
+            Err(_) => {
+                self.proc.fast.enabled_mask = 0;
+                self.sync_uarea();
+                false
+            }
+        }
+    }
+
+    /// Applies queued pre-delivery injections (those that must land before
+    /// the kernel inspects fast-path state). Post-delivery ones stay queued.
+    fn apply_pre_injections(&mut self) {
+        let pre: Vec<InjectAction> = self
+            .pending_injections
+            .iter()
+            .copied()
+            .filter(|a| matches!(a, InjectAction::EvictCommPage))
+            .collect();
+        if pre.is_empty() {
+            return;
+        }
+        self.pending_injections
+            .retain(|a| !matches!(a, InjectAction::EvictCommPage));
+        for _ in pre {
+            self.inject_evict_comm_page();
+        }
+    }
+
+    /// Applies queued post-save injections — after [`Kernel::write_comm_frame`],
+    /// before the resume into the user handler. This is the window the
+    /// harness perturbs: state is saved, the handler has not yet run.
+    fn apply_post_injections(&mut self) {
+        for action in std::mem::take(&mut self.pending_injections) {
+            match action {
+                InjectAction::CorruptCommWord {
+                    code,
+                    offset,
+                    value,
+                } => {
+                    let base = self.proc.fast.comm_kseg0;
+                    let Some(phys) = kseg_to_phys(base) else {
+                        continue;
+                    };
+                    let addr = phys + code.code() * layout::COMM_FRAME_SIZE + offset;
+                    let _ = self.machine.mem_mut().write_u32(addr, value);
+                }
+                InjectAction::EvictHandlerTlb => {
+                    let page = self.proc.fast.handler & !(PAGE_SIZE - 1);
+                    let asid = self.proc.space().asid();
+                    self.machine.tlb_mut().invalidate_page(page, asid);
+                }
+                InjectAction::EvictCommPage => {
+                    // Pre-delivery action that slipped through (queued after
+                    // the pre pass ran); apply it now so it is not lost.
+                    self.inject_evict_comm_page();
+                }
+            }
+        }
+    }
+
     // --- guest execution ---------------------------------------------------
 
     /// Runs guest user code until exit, termination, or `max_steps`
@@ -763,6 +974,35 @@ impl Kernel {
             // store to a write-protected page will then raise TlbMod at the
             // general vector, as on real hardware.
             Ok(_) => {
+                self.install_refill_entry(bad);
+                self.resume_user_at(epc);
+                Ok(None)
+            }
+            Err(FaultKind::NotResident)
+                if bad & !(PAGE_SIZE - 1) == self.proc.fast.comm_vaddr
+                    && self.proc.fast.comm_kseg0 != 0
+                    && !self.fast_path_intact() =>
+            {
+                // The pinned comm page was evicted out from under the fast
+                // path (pinning violation). Degrade gracefully: restore the
+                // page — contents included — through the slow refill path
+                // and resume. Extra cycles, identical architectural state.
+                let class = self.fault_class(code, Some(bad));
+                self.proc.stats.degraded_deliveries += 1;
+                self.metrics.record_degraded(self.trace_path, class);
+                self.last_diagnostic = Some(format!(
+                    "pinned comm page {bad:#010x} missed in TLB at EPC {epc:#010x}; \
+                     repaired via slow refill path"
+                ));
+                if !self.comm_page_repair() {
+                    // Out of frames: fast delivery is already disabled;
+                    // kill with a diagnostic rather than loop on the miss.
+                    self.last_diagnostic = Some(format!(
+                        "pinned comm page {bad:#010x} lost and unrepairable; killing process"
+                    ));
+                    return Ok(Some(RunOutcome::Terminated(Signal::Segv)));
+                }
+                self.proc.stats.page_faults += 1;
                 self.install_refill_entry(bad);
                 self.resume_user_at(epc);
                 Ok(None)
@@ -855,7 +1095,26 @@ impl Kernel {
         let class = self.fault_class(code, bad);
         let badv = bad.unwrap_or(0);
 
-        if self.proc.fast.enabled_for(code) && self.proc.fast.handler != 0 {
+        'fast: {
+            if !(self.proc.fast.enabled_for(code) && self.proc.fast.handler != 0) {
+                break 'fast;
+            }
+            self.apply_pre_injections();
+            if !self.fast_path_intact() {
+                // Pinning violation: the comm page the guest save phase just
+                // wrote through (or is about to) is gone. Repair it, count
+                // the delivery as degraded, and fall through to the Unix
+                // signal path — the specified degradation; never wedge.
+                self.proc.stats.degraded_deliveries += 1;
+                self.metrics.record_degraded(self.trace_path, class);
+                self.last_diagnostic = Some(format!(
+                    "comm page {:#010x} lost before {code} delivery at EPC {epc:#010x}; \
+                     falling back to Unix signals",
+                    self.proc.fast.comm_vaddr
+                ));
+                let _ = self.comm_page_repair();
+                break 'fast;
+            }
             let path = self.trace_path;
             let t_raised = self.machine.cycles();
             self.trace_emit(EventKind::FaultRaised, path, class, code, badv, epc);
@@ -870,7 +1129,19 @@ impl Kernel {
                             // Unprotected logical subpage: emulate and resume;
                             // the program never sees the fault.
                             self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
-                            self.emulate_subpage_access(bad, epc, bd)?;
+                            match self.emulate_subpage_access(bad, epc, bd) {
+                                Ok(()) => {}
+                                Err(e @ KernelError::Delivery { .. }) => {
+                                    // Unemulatable shape (e.g. unpredictable
+                                    // link-register use): degrade to signal
+                                    // delivery with a diagnostic.
+                                    self.proc.stats.degraded_deliveries += 1;
+                                    self.metrics.record_degraded(path, class);
+                                    self.last_diagnostic = Some(e.to_string());
+                                    break 'fast;
+                                }
+                                Err(e) => return Err(e),
+                            }
                             self.metrics.record_page_fault(path, class, bad);
                             self.trace_emit(EventKind::Resumed, path, class, code, badv, epc);
                             return Ok(None);
@@ -910,6 +1181,9 @@ impl Kernel {
             self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
             self.write_comm_frame(code, epc, bad);
             self.trace_emit(EventKind::StateSaved, path, class, code, badv, epc);
+            // State is saved, the handler has not yet run: the injection
+            // window for comm-page corruption and TLB eviction.
+            self.apply_post_injections();
             self.proc.stats.fast_delivered += 1;
             let handler = self.proc.fast.handler;
             self.resume_user_at(handler);
@@ -951,7 +1225,14 @@ impl Kernel {
         }
         self.trace_emit(EventKind::KernelEntered, path, class, code, badv, epc);
         self.proc.signals.post(sig);
-        let sig = self.proc.signals.recognize().expect("just posted");
+        let Some(sig) = self.proc.signals.recognize() else {
+            // Unreachable by construction (we just posted), but injection
+            // runs must never turn a broken invariant into a host panic.
+            return Err(KernelError::Delivery {
+                reason: format!("posted {sig:?} but recognize() found nothing pending"),
+                epc,
+            });
+        };
         let handler = match self.proc.signals.disposition(sig) {
             signals::Disposition::Handler(h) => h,
             signals::Disposition::Default => {
@@ -1008,7 +1289,7 @@ impl Kernel {
         if let Some(bad) = bad {
             self.metrics.record_page_fault(path, class, bad);
         }
-        self.unix_pending = Some((class, code, now));
+        self.unix_pending.push((class, code, now));
         Ok(None)
     }
 
@@ -1036,7 +1317,11 @@ impl Kernel {
         if base == 0 {
             return; // host-level registration without a guest comm page
         }
-        let frame = kseg_to_phys(base).unwrap_or(0) + code.code() * layout::COMM_FRAME_SIZE;
+        let Some(phys) = kseg_to_phys(base) else {
+            // A corrupt alias must not alias physical 0 (the UTLB vector).
+            return;
+        };
+        let frame = phys + code.code() * layout::COMM_FRAME_SIZE;
         let cause = self.machine.cp0().cause;
         let at = self.machine.cpu().reg(Reg::AT);
         let a0 = self.machine.cpu().reg(Reg::A0);
@@ -1079,6 +1364,17 @@ impl Kernel {
             .map_err(|e| KernelError::KernelFault(e.to_string()))?;
         let inst = decode(word).map_err(|e| KernelError::KernelFault(e.to_string()))?;
 
+        // Resolve where execution continues BEFORE emulating the access: a
+        // fixed-up load may write the very register the branch reads (e.g.
+        // `jr $t1` with `lw $t1, ...` in its delay slot), and the branch
+        // architecturally consumed the old value when it executed.
+        let next = if bd {
+            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
+            self.emulated_branch_target(epc)?
+        } else {
+            epc.wrapping_add(4)
+        };
+
         use Instruction::*;
         // Byte-wise access through the page table (may straddle a page).
         match inst {
@@ -1107,12 +1403,6 @@ impl Kernel {
         // from free.
         self.machine
             .charge_cycles(costs::SUBPAGE_EMULATE + costs::SUBPAGE_EMULATE / 2);
-        let next = if bd {
-            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
-            self.emulated_branch_target(epc)?
-        } else {
-            epc.wrapping_add(4)
-        };
         self.resume_user_at(next);
         Ok(())
     }
@@ -1131,6 +1421,18 @@ impl Kernel {
             .map_err(|e| KernelError::KernelFault(format!("cannot fetch for emulation: {e}")))?;
         let inst = decode(word)
             .map_err(|e| KernelError::KernelFault(format!("cannot decode for emulation: {e}")))?;
+
+        // Resolve the branch BEFORE emulating the access: an emulated load
+        // may clobber the branch's source register (`jr $t1` with
+        // `lw $t1, ...` in the slot), and the branch architecturally read
+        // the pre-load value when it executed. Doing this first also means
+        // unemulatable shapes error out before any state is mutated.
+        let next = if bd {
+            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
+            self.emulated_branch_target(epc)?
+        } else {
+            epc.wrapping_add(4)
+        };
 
         // Perform the access with kernel rights, straight at the frame.
         let (pfn, _) = self
@@ -1180,21 +1482,23 @@ impl Kernel {
         }
         self.proc.stats.subpage_emulations += 1;
 
-        // Continue past the access. In a branch delay slot, the kernel must
-        // also emulate the branch (the paper calls this case out).
-        let next = if bd {
-            self.machine.charge_cycles(costs::SUBPAGE_EMULATE_BRANCH);
-            self.emulated_branch_target(epc)?
-        } else {
-            epc.wrapping_add(4)
-        };
+        // Continue past the access: sequentially, or at the branch target
+        // resolved above when the access sat in a delay slot (the paper
+        // calls this case out).
         self.resume_user_at(next);
         Ok(())
     }
 
     /// Computes where the branch at `branch_pc` goes, given current
-    /// register state (the branch executed before its delay slot faulted,
-    /// so evaluating it again is idempotent — including link registers).
+    /// register state. The branch executed before its delay slot faulted,
+    /// so its *condition and target* registers still hold the values the
+    /// branch read — EXCEPT when the branch itself wrote its own source
+    /// (`jalr $rd, $rd`, or `bltzal`/`bgezal` testing `$ra`): the link
+    /// write already clobbered the value, the shape is architecturally
+    /// unpredictable, and re-evaluation would silently mis-resume. Those
+    /// shapes get a typed [`KernelError::Delivery`] diagnostic instead.
+    /// This must be called BEFORE the delay-slot access is emulated (a load
+    /// in the slot may overwrite the branch's registers).
     fn emulated_branch_target(&mut self, branch_pc: u32) -> Result<u32, KernelError> {
         let word = self
             .machine
@@ -1212,6 +1516,24 @@ impl Kernel {
         let seq = branch_pc.wrapping_add(8);
         use Instruction::*;
         let target = match inst {
+            Jalr { rd, rs } if rd == rs => {
+                return Err(KernelError::Delivery {
+                    reason: format!(
+                        "jalr with rd == rs ({rs}) at {branch_pc:#010x}: link write clobbered \
+                         the jump target; architecturally unpredictable"
+                    ),
+                    epc: branch_pc,
+                });
+            }
+            Bltzal { rs, .. } | Bgezal { rs, .. } if rs == Reg::RA => {
+                return Err(KernelError::Delivery {
+                    reason: format!(
+                        "branch-and-link testing $ra at {branch_pc:#010x}: link write clobbered \
+                         the condition; architecturally unpredictable"
+                    ),
+                    epc: branch_pc,
+                });
+            }
             Beq { rs, rt, imm } => {
                 if reg(rs) == reg(rt) {
                     rel(imm)
@@ -1313,7 +1635,7 @@ impl Kernel {
             }
             nr::SIGRETURN => {
                 let t_ret = self.machine.cycles();
-                if let Some((class, code, _)) = self.unix_pending {
+                if let Some(&(class, code, _)) = self.unix_pending.last() {
                     let epc = self.machine.cp0().epc;
                     self.trace_emit(
                         EventKind::HandlerReturned,
@@ -1328,7 +1650,7 @@ impl Kernel {
                 match signals::read_sigcontext(&mut self.machine, a0) {
                     Ok(pc) => {
                         self.resume_user_at(pc);
-                        if let Some((class, code, t_entered)) = self.unix_pending.take() {
+                        if let Some((class, code, t_entered)) = self.unix_pending.pop() {
                             let path = TracePath::UnixSignals;
                             self.metrics.record_handler(
                                 path,
@@ -1449,7 +1771,9 @@ impl Kernel {
     /// Publishes the current process's fast-exception state into the fixed
     /// KSEG0 u-area the guest handler reads.
     pub fn sync_uarea(&mut self) {
-        let paddr = kseg_to_phys(layout::UAREA_VADDR).expect("u-area is KSEG0");
+        // UAREA_VADDR is a compile-time KSEG0 constant; translate inline
+        // rather than unwrapping.
+        let paddr = layout::UAREA_VADDR & 0x1fff_ffff;
         let f = &self.proc.fast;
         let mem = self.machine.mem_mut();
         let _ = mem.write_u32(paddr + layout::uarea::ENABLED_MASK, f.enabled_mask);
@@ -1652,6 +1976,188 @@ mod tests {
         assert_eq!(out, RunOutcome::Exited(55));
         // No signal machinery involved.
         assert_eq!(k.process().stats.signals_delivered, 0);
+    }
+
+    #[test]
+    fn nested_signal_delivery_preserves_outer_context() {
+        // Satellite: the recursive-exception window. A SIGBUS handler
+        // itself takes an unaligned fault (second delivery while the first
+        // is in flight). The kernel stacks sigcontexts on the user stack
+        // and must stack its own in-flight bookkeeping the same way — the
+        // inner delivery must not clobber the outer one's saved state.
+        let mut k = boot();
+        let prog = k
+            .load_user_program(
+                r#"
+                .org 0x00400000
+                main:
+                    la  $a1, outer
+                    li  $a0, 10        # SIGBUS
+                    li  $v0, 4         # sigaction
+                    syscall
+                    lw  $t0, 2($zero)  # unaligned -> SIGBUS (outer)
+                    la  $t2, mark      # register writes don't survive
+                    lw  $a0, 0($t2)    # sigreturn; the mark lives in memory
+                    li  $v0, 2
+                    syscall
+                    nop
+                outer:
+                    la  $t2, depth
+                    lw  $t3, 0($t2)
+                    bne $t3, $zero, inner_body
+                    nop
+                    # First (outer) activation: note the depth, then fault
+                    # AGAIN inside the handler.
+                    li  $t3, 1
+                    sw  $t3, 0($t2)
+                    lw  $t0, 6($zero)  # unaligned -> SIGBUS (inner, nested)
+                    # after inner handler returns here:
+                    lw  $t1, 136($a2)  # outer saved pc
+                    addiu $t1, $t1, 4  # skip the original faulting lw
+                    sw  $t1, 136($a2)
+                    jr  $ra
+                    nop
+                inner_body:
+                    la  $t2, mark      # mark in memory: inner handler ran
+                    li  $t3, 42
+                    sw  $t3, 0($t2)
+                    lw  $t1, 136($a2)  # inner saved pc (inside outer handler)
+                    addiu $t1, $t1, 4  # skip the nested faulting lw
+                    sw  $t1, 136($a2)
+                    jr  $ra
+                    nop
+                depth: .word 0
+                mark:  .word 0
+            "#,
+            )
+            .unwrap();
+        let sp = k.setup_stack(8).unwrap();
+        k.exec(prog.entry(), sp);
+        let out = k.run_user(1_000_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(42), "both activations completed");
+        assert_eq!(k.process().stats.signals_delivered, 2);
+    }
+
+    /// Program whose fast path delivers a TlbMod (write-protect) fault;
+    /// the handler skips the faulting store and execution exits 55.
+    const TLBMOD_FAST_PROGRAM: &str = r#"
+        .org 0x00400000
+        main:
+            li  $a0, 0x02            # 1 << TlbMod
+            la  $a1, fast_handler
+            li  $a2, 0x7ffe0000
+            li  $v0, 7               # uexc_enable
+            syscall
+            li  $a0, 8192
+            li  $v0, 13              # sbrk
+            syscall
+            move $s1, $v0
+            sw  $zero, 0($s1)        # resident + writable
+            move $a0, $s1
+            li  $a1, 4096
+            li  $a2, 1               # PROT_READ
+            li  $v0, 9               # uexc_protect
+            syscall
+            sw  $s1, 0($s1)          # TlbMod -> fast delivery
+            li  $a0, 55
+            li  $v0, 2
+            syscall
+            nop
+        fast_handler:
+            li  $t0, 0x7ffe0000
+            lw  $t1, 0x20($t0)       # TlbMod frame EPC
+            addiu $t1, $t1, 4        # skip the store
+            jr  $t1
+            nop
+    "#;
+
+    #[test]
+    fn evict_handler_tlb_injection_recovers_via_refill() {
+        // Mid-delivery TLB eviction of the handler's page: the resume must
+        // come back through the slow refill path and still reach the
+        // handler — bit-exact recovery, extra refill cycles.
+        let mut k = boot();
+        let prog = k.load_user_program(TLBMOD_FAST_PROGRAM).unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        k.inject(InjectAction::EvictHandlerTlb);
+        let out = k.run_user(1_000_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(55));
+        assert_eq!(k.process().stats.fast_delivered, 1);
+        assert_eq!(k.process().stats.degraded_deliveries, 0, "bit-exact");
+    }
+
+    #[test]
+    fn evicted_comm_page_degrades_to_unix_path_not_wedge() {
+        // Pinning violation before a fast delivery: the kernel must detect
+        // the lie, repair the page, count the degradation, and deliver via
+        // Unix signals. With no signal handler the process dies with a
+        // diagnostic — never a hang, never a host panic.
+        let mut k = boot();
+        let prog = k.load_user_program(TLBMOD_FAST_PROGRAM).unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        k.inject(InjectAction::EvictCommPage);
+        let out = k.run_user(1_000_000).unwrap();
+        assert_eq!(out, RunOutcome::Terminated(Signal::Segv));
+        assert_eq!(k.process().stats.degraded_deliveries, 1);
+        assert_eq!(k.process().stats.fast_delivered, 0);
+        assert!(k.last_diagnostic().is_some());
+    }
+
+    #[test]
+    fn comm_page_eviction_between_break_and_handler_read_recovers() {
+        // The hardest pinning-violation window: a breakpoint is delivered
+        // entirely by the guest vector (the host never runs), the comm
+        // frame is written through the KSEG0 alias, and THEN the page is
+        // evicted before the user handler's comm-page load. The load
+        // misses, and the host refill path must notice the violated pin,
+        // restore the frame CONTENTS from the stale alias, and resume —
+        // bit-exact recovery through the slow path.
+        let mut k = boot();
+        let mask = 1 << ExcCode::Breakpoint.code();
+        let prog = k
+            .load_user_program(&format!(
+                r#"
+                .org 0x00400000
+                main:
+                    li  $a0, {mask}
+                    la  $a1, fast_handler
+                    li  $a2, 0x7ffe0000
+                    li  $v0, 7           # uexc_enable
+                    syscall
+                    break 0
+                    li  $a0, 55
+                    li  $v0, 2
+                    syscall
+                    nop
+                fast_handler:
+                    li  $t0, 0x7ffe0000
+                    lw  $t1, 288($t0)    # breakpoint frame EPC
+                    addiu $t1, $t1, 4
+                    jr  $t1
+                    nop
+            "#,
+            ))
+            .unwrap();
+        let sp = k.setup_stack(4).unwrap();
+        k.exec(prog.entry(), sp);
+        // Step until the fast path is armed, then yank the comm page out
+        // from under the guest mid-flight.
+        let mut steps = 0;
+        while k.process().fast.comm_kseg0 == 0 {
+            assert_eq!(k.run_user(1).unwrap(), RunOutcome::StepLimit);
+            steps += 1;
+            assert!(steps < 10_000, "uexc_enable never armed");
+        }
+        k.inject_evict_comm_page();
+        let out = k.run_user(1_000_000).unwrap();
+        assert_eq!(out, RunOutcome::Exited(55), "recovered bit-exact");
+        assert_eq!(k.process().stats.degraded_deliveries, 1);
+        assert!(k
+            .last_diagnostic()
+            .expect("diagnostic recorded")
+            .contains("repaired"));
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod syscall;
 pub mod verify;
 pub mod vm;
 
-pub use kernel::{Kernel, KernelError};
+pub use kernel::{EfexError, InjectAction, Kernel, KernelError};
 pub use process::Process;
 pub use vm::Prot;

@@ -22,6 +22,9 @@ pub struct ProcStats {
     pub subpage_emulations: u64,
     /// Pages eagerly amplified before vectoring (Section 3.2.3).
     pub eager_amplifications: u64,
+    /// Deliveries that could not complete on the fast path and fell back to
+    /// a specified degradation (Unix signals or kill-with-diagnostic).
+    pub degraded_deliveries: u64,
 }
 
 impl efex_trace::Snapshot for ProcStats {
@@ -34,6 +37,7 @@ impl efex_trace::Snapshot for ProcStats {
             .counter("syscalls", self.syscalls)
             .counter("subpage_emulations", self.subpage_emulations)
             .counter("eager_amplifications", self.eager_amplifications)
+            .counter("degraded_deliveries", self.degraded_deliveries)
     }
 }
 

@@ -157,6 +157,90 @@ fn unprotected_subpage_load_is_invisible() {
 }
 
 #[test]
+fn store_in_jr_delay_slot_jumps_through_register() {
+    // `jr` through an unrelated register with the emulated store in its
+    // delay slot: the kernel must resume at the register's value.
+    let program = format!(
+        r#"{SETUP}
+    li   $t0, 88
+    la   $t2, landing
+    jr   $t2
+    sw   $t0, 2048($s1)        # delay slot store, unprotected subpage
+    li   $t0, 0                # (skipped)
+landing:
+    lw   $a0, 2048($s1)
+    li   $v0, 2
+    syscall
+    nop
+{HANDLER}"#
+    );
+    let (mut k, _) = boot_with(&program);
+    let out = k.run_user(1_000_000).unwrap();
+    assert_eq!(out, RunOutcome::Exited(88));
+    assert!(k.process().stats.subpage_emulations >= 1);
+}
+
+#[test]
+fn store_in_taken_branch_to_cross_page_target() {
+    // The emulated branch lands on a different text page whose TLB entry
+    // may be absent: the resume must come back through the refill path,
+    // not wedge.
+    let program = format!(
+        r#"{SETUP}
+    li   $t0, 61
+    li   $t1, 1
+    bnez $t1, far
+    sw   $t0, 2048($s1)        # delay slot store, unprotected subpage
+    li   $t0, 0                # (skipped)
+{HANDLER}
+.org 0x00402000
+far:
+    lw   $a0, 2048($s1)
+    li   $v0, 2
+    syscall
+    nop
+"#
+    );
+    let (mut k, _) = boot_with(&program);
+    let out = k.run_user(1_000_000).unwrap();
+    assert_eq!(out, RunOutcome::Exited(61));
+    assert!(k.process().stats.subpage_emulations >= 1);
+}
+
+#[test]
+fn jalr_linking_to_its_own_source_degrades_with_diagnostic() {
+    // `jalr $t1, $t1` already clobbered its jump target with the link
+    // write before the delay slot faulted: architecturally unpredictable.
+    // The kernel must refuse to guess — specified degradation: the fault
+    // falls back to the Unix path (no handler here, so the process dies)
+    // and the delivery is counted as degraded with a diagnostic.
+    let program = format!(
+        r#"{SETUP}
+    li   $t0, 7
+    la   $t1, after
+    jalr $t1, $t1              # link write clobbers the jump register
+    sw   $t0, 2048($s1)        # delay slot store, unprotected subpage
+after:
+    li   $a0, 1
+    li   $v0, 2
+    syscall
+    nop
+{HANDLER}"#
+    );
+    let (mut k, _) = boot_with(&program);
+    let out = k.run_user(1_000_000).unwrap();
+    // No SIGSEGV handler is registered, so the Unix fallback terminates
+    // the process: kill-with-diagnostic, never a host panic.
+    assert_eq!(
+        out,
+        RunOutcome::Terminated(efex_simos::signals::Signal::Segv)
+    );
+    assert_eq!(k.process().stats.degraded_deliveries, 1);
+    let diag = k.last_diagnostic().expect("diagnostic recorded");
+    assert!(diag.contains("unpredictable"), "diag: {diag}");
+}
+
+#[test]
 fn byte_and_halfword_stores_are_emulated() {
     let program = format!(
         r#"{SETUP}
@@ -176,4 +260,89 @@ fn byte_and_halfword_stores_are_emulated() {
     let out = k.run_user(1_000_000).unwrap();
     assert_eq!(out, RunOutcome::Exited(0xAB + 0x1234));
     assert!(k.process().stats.subpage_emulations >= 2);
+}
+
+#[test]
+fn unaligned_load_in_jr_delay_slot_uses_pre_load_jump_target() {
+    // The mis-resumed-EPC bug this pins: an unaligned LOAD in the delay
+    // slot of `jr $t1` writes the very register the jump reads. The branch
+    // architecturally consumed the OLD value of $t1 when it executed, so
+    // the fixup must resolve the target BEFORE emulating the load. (Before
+    // the fix, the emulated load ran first and execution resumed at the
+    // freshly-loaded value — a wild jump.)
+    let mut k = Kernel::boot(KernelConfig {
+        fixup_unaligned: true,
+        ..KernelConfig::default()
+    })
+    .unwrap();
+    let prog = k
+        .load_user_program(
+            r#"
+            .org 0x00400000
+            main:
+                li   $a0, 8192
+                li   $v0, 13         # sbrk
+                syscall
+                move $s1, $v0
+                li   $t0, 0x00411223
+                sw   $t0, 0($s1)     # bytes for the unaligned read
+                sw   $t0, 4($s1)
+                la   $t1, good
+                jr   $t1
+                lw   $t1, 2($s1)     # delay slot: unaligned load INTO $t1
+                li   $a0, 1          # (skipped — branch was taken)
+                li   $v0, 2
+                syscall
+                nop
+            good:
+                srl  $a0, $t1, 24    # top byte of the loaded value
+                li   $v0, 2
+                syscall
+                nop
+        "#,
+        )
+        .unwrap();
+    let sp = k.setup_stack(4).unwrap();
+    k.exec(prog.entry(), sp);
+    let out = k.run_user(1_000_000).unwrap();
+    // Jump went to `good` (old $t1), and $t1 holds the loaded word:
+    // bytes 2..6 of [23 12 41 00 | 23 12 41 00] = 0x12234100 -> top byte 0x12.
+    assert_eq!(out, RunOutcome::Exited(0x12));
+}
+
+#[test]
+fn unaligned_store_in_taken_branch_delay_slot_is_fixed_up() {
+    // Taken-branch shape through the Ultrix unaligned-fixup path: the
+    // store is emulated byte-wise and execution resumes at the target.
+    let mut k = Kernel::boot(KernelConfig {
+        fixup_unaligned: true,
+        ..KernelConfig::default()
+    })
+    .unwrap();
+    let prog = k
+        .load_user_program(
+            r#"
+            .org 0x00400000
+            main:
+                li   $a0, 8192
+                li   $v0, 13         # sbrk
+                syscall
+                move $s1, $v0
+                li   $t0, 0x5544
+                li   $t2, 1
+                bnez $t2, onward
+                sh   $t0, 1($s1)     # delay slot: unaligned halfword store
+                li   $t0, 0          # (skipped)
+            onward:
+                lbu  $a0, 1($s1)     # low byte of the stored halfword
+                li   $v0, 2
+                syscall
+                nop
+        "#,
+        )
+        .unwrap();
+    let sp = k.setup_stack(4).unwrap();
+    k.exec(prog.entry(), sp);
+    let out = k.run_user(1_000_000).unwrap();
+    assert_eq!(out, RunOutcome::Exited(0x44));
 }

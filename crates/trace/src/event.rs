@@ -206,10 +206,14 @@ impl TraceEvent {
 #[derive(Debug, Clone)]
 pub struct EventRing {
     buf: Vec<TraceEvent>,
+    /// Nominal capacity as requested at construction. `Vec::with_capacity`
+    /// may over-allocate, so the ring tracks the requested size itself —
+    /// both the wrap point and the reported `capacity` stay exact.
+    cap: usize,
     /// Index of the oldest event (only meaningful once full).
     head: usize,
     len: usize,
-    dropped: u64,
+    overwritten: u64,
     next_seq: u64,
 }
 
@@ -221,9 +225,10 @@ impl EventRing {
         assert!(capacity > 0, "EventRing capacity must be positive");
         EventRing {
             buf: Vec::with_capacity(capacity),
+            cap: capacity,
             head: 0,
             len: 0,
-            dropped: 0,
+            overwritten: 0,
             next_seq: 0,
         }
     }
@@ -233,14 +238,13 @@ impl EventRing {
     pub fn push(&mut self, mut ev: TraceEvent) {
         ev.seq = self.next_seq;
         self.next_seq += 1;
-        let cap = self.buf.capacity();
-        if self.len < cap {
+        if self.len < self.cap {
             self.buf.push(ev);
             self.len += 1;
         } else {
             self.buf[self.head] = ev;
-            self.head = (self.head + 1) % cap;
-            self.dropped += 1;
+            self.head = (self.head + 1) % self.cap;
+            self.overwritten += 1;
         }
     }
 
@@ -253,12 +257,20 @@ impl EventRing {
     }
 
     pub fn capacity(&self) -> usize {
-        self.buf.capacity()
+        self.cap
     }
 
-    /// Number of events overwritten because the ring was full.
+    /// Number of events lost because the ring was full (alias of
+    /// [`EventRing::overwritten`], kept for existing callers).
     pub fn dropped(&self) -> u64 {
-        self.dropped
+        self.overwritten
+    }
+
+    /// Number of oldest events overwritten by a wrap of the full ring.
+    /// Lifetime counter: it survives [`EventRing::clear`] and snapshotting,
+    /// so loss stays observable across measurement phases.
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
     }
 
     /// Total events ever pushed (equals the next sequence number).
@@ -272,6 +284,9 @@ impl EventRing {
         start.iter().chain(wrapped.iter())
     }
 
+    /// Discards the buffered events. The lifetime counters — `overwritten`
+    /// (`dropped`) and `total_pushed` — deliberately survive: clearing the
+    /// buffer between phases must not silently erase evidence of loss.
     pub fn clear(&mut self) {
         self.buf.clear();
         self.head = 0;
@@ -280,15 +295,17 @@ impl EventRing {
 }
 
 impl Snapshot for EventRing {
-    /// Ring occupancy and overflow counters. A nonzero `dropped` makes
-    /// overflow observable: the ring silently overwrote that many oldest
-    /// events, so any report built from the buffer is a suffix of the run.
+    /// Ring occupancy and overflow counters. A nonzero `overwritten` (alias
+    /// `dropped`) makes overflow observable: the ring silently overwrote that
+    /// many oldest events, so any report built from the buffer is a suffix of
+    /// the run. Taking a snapshot never resets any counter.
     fn snapshot(&self) -> StatsSnapshot {
         StatsSnapshot::new("event-ring")
             .counter("capacity", self.capacity() as u64)
             .counter("buffered", self.len() as u64)
             .counter("total_pushed", self.total_pushed())
             .counter("dropped", self.dropped())
+            .counter("overwritten", self.overwritten())
     }
 }
 
@@ -354,6 +371,59 @@ mod tests {
         assert!(r.is_empty());
         r.push(ev(2));
         assert_eq!(r.iter().next().unwrap().seq, 2);
+    }
+
+    #[test]
+    fn loss_counters_survive_clear() {
+        let mut r = EventRing::with_capacity(2);
+        for c in 0..5 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.overwritten(), 3);
+        r.clear();
+        assert_eq!(r.overwritten(), 3, "clear must not erase loss evidence");
+        assert_eq!(r.dropped(), 3, "dropped stays an alias of overwritten");
+        assert_eq!(r.total_pushed(), 5);
+        // Losses keep accumulating across the clear.
+        for c in 5..9 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.overwritten(), 5);
+        assert_eq!(r.total_pushed(), 9);
+    }
+
+    #[test]
+    fn snapshot_does_not_reset_counters() {
+        let mut r = EventRing::with_capacity(2);
+        for c in 0..6 {
+            r.push(ev(c));
+        }
+        let a = r.snapshot();
+        let b = r.snapshot();
+        for key in [
+            "capacity",
+            "buffered",
+            "total_pushed",
+            "dropped",
+            "overwritten",
+        ] {
+            assert_eq!(a.get(key), b.get(key), "{key} changed across snapshots");
+        }
+        assert_eq!(a.get("overwritten"), Some(4));
+        assert_eq!(a.get("dropped"), Some(4), "both spellings agree");
+    }
+
+    #[test]
+    fn capacity_is_the_requested_size_exactly() {
+        // Vec::with_capacity may over-allocate; the ring must wrap at the
+        // nominal size regardless, or overflow counts become untrustworthy.
+        let mut r = EventRing::with_capacity(3);
+        for c in 0..7 {
+            r.push(ev(c));
+        }
+        assert_eq!(r.capacity(), 3);
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.overwritten(), 4);
     }
 
     #[test]

@@ -95,17 +95,32 @@ impl Histogram {
         self.count == 0
     }
 
+    /// Resets the histogram to the freshly-constructed empty state: all
+    /// buckets, the count, the sum, and the observed extrema. Quantiles
+    /// return `None` again until new samples are recorded.
+    pub fn clear(&mut self) {
+        *self = Histogram::default();
+    }
+
     /// Estimates the `q`-quantile (`0.0 ≤ q ≤ 1.0`) of the recorded samples.
     ///
-    /// The estimate walks the log2 buckets to the one containing the target
-    /// rank and interpolates linearly within its value range, then clamps to
-    /// the observed `[min, max]` — so single-sample histograms report the
-    /// exact sample and estimates never leave the observed range.
+    /// Edge semantics are exact: `q = 0.0` is the observed minimum and
+    /// `q = 1.0` the observed maximum (out-of-range `q` clamps to these).
+    /// Interior quantiles walk the log2 buckets to the one containing the
+    /// target rank and interpolate linearly within its value range — staying
+    /// strictly inside the bucket's half-open `[lo, hi)` — then clamp to the
+    /// observed `[min, max]`, so single-sample and single-bucket histograms
+    /// report the exact sample and estimates never leave the observed range.
     pub fn quantile(&self, q: f64) -> Option<u64> {
         if self.count == 0 {
             return None;
         }
-        let q = q.clamp(0.0, 1.0);
+        if q <= 0.0 {
+            return Some(self.min);
+        }
+        if q >= 1.0 {
+            return Some(self.max);
+        }
         // 1-based target rank: the smallest rank whose cumulative share ≥ q.
         let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
         let mut cum = 0u64;
@@ -118,8 +133,10 @@ impl Histogram {
                 let (lo, hi) = Self::bucket_range(i);
                 // Position of the target rank within this bucket, in (0, 1].
                 let within = (rank - (cum - c)) as f64 / c as f64;
-                let est = lo as f64 + within * (hi - lo) as f64;
-                return Some((est as u64).clamp(self.min, self.max));
+                let est = (lo as f64 + within * (hi - lo) as f64) as u64;
+                // `hi` itself lies in the *next* bucket; cap at `hi - 1` so a
+                // full-bucket rank does not round one bucket too high.
+                return Some(est.min(hi - 1).clamp(self.min, self.max));
             }
         }
         Some(self.max)
@@ -330,6 +347,107 @@ mod tests {
         }
         assert_eq!(h.p50(), Some(64));
         assert_eq!(h.p99(), Some(64), "clamped to the observed max");
+    }
+
+    #[test]
+    fn quantile_edges_are_exact_min_and_max() {
+        let mut h = Histogram::new();
+        for v in [5u64, 40, 90, 125, 200, 350, 800, 1600, 3000, 9000] {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.0), Some(5), "q=0 is the observed minimum");
+        assert_eq!(h.quantile(1.0), Some(9000), "q=1 is the observed maximum");
+        // Out-of-range q clamps to the edges rather than extrapolating.
+        assert_eq!(h.quantile(-3.0), Some(5));
+        assert_eq!(h.quantile(7.5), Some(9000));
+    }
+
+    #[test]
+    fn single_bucket_quantiles_stay_in_bucket() {
+        // Values 64..128 share bucket 7; every quantile must stay inside
+        // the observed [min, max] — not round up to the bucket's top.
+        let mut h = Histogram::new();
+        for v in [64u64, 80, 100, 120] {
+            h.record(v);
+        }
+        for q in [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = h.quantile(q).unwrap();
+            assert!((64..=120).contains(&v), "q={q} gave {v}");
+        }
+    }
+
+    #[test]
+    fn clear_resets_to_pristine_state() {
+        let mut h = Histogram::new();
+        for v in [5u64, 500, 50_000] {
+            h.record(v);
+        }
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.sum(), 0);
+        assert_eq!(h.min(), None);
+        assert_eq!(h.max(), None);
+        assert_eq!(h.quantile(0.5), None, "post-clear quantiles are None");
+        assert_eq!(h.nonzero_buckets().count(), 0);
+        // Recording after clear behaves exactly like a fresh histogram:
+        // min/max must not leak from before the clear.
+        h.record(375);
+        assert_eq!(h.p50(), Some(375));
+        assert_eq!(h.quantile(0.0), Some(375));
+        assert_eq!(h.quantile(1.0), Some(375));
+    }
+
+    proptest::proptest! {
+        /// For any sample set: quantiles are monotone in q, bounded by the
+        /// observed extrema, exact at the edges, and the interpolated
+        /// estimate never lands above the bucket holding the target rank.
+        #[test]
+        fn quantile_properties(values in proptest::collection::vec(0u64..1_000_000, 1..200)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            let mut values = values;
+            values.sort_unstable();
+            let (lo, hi) = (values[0], *values.last().unwrap());
+            proptest::prop_assert_eq!(h.quantile(0.0), Some(lo));
+            proptest::prop_assert_eq!(h.quantile(1.0), Some(hi));
+            let mut prev = lo;
+            for i in 0..=20 {
+                let q = f64::from(i) / 20.0;
+                let v = h.quantile(q).unwrap();
+                proptest::prop_assert!(v >= prev, "q={} went backwards: {} < {}", q, v, prev);
+                proptest::prop_assert!((lo..=hi).contains(&v), "q={} out of range: {}", q, v);
+                // The estimate must not leave the bucket of the true
+                // rank-statistic (log2 buckets: same-bucket accuracy).
+                if q > 0.0 && q < 1.0 {
+                    let rank = ((q * values.len() as f64).ceil() as usize).clamp(1, values.len());
+                    let exact = values[rank - 1];
+                    proptest::prop_assert_eq!(
+                        Histogram::bucket_index(v.max(1)),
+                        Histogram::bucket_index(exact.max(1)),
+                        "q={} estimate {} left the bucket of exact {}", q, v, exact
+                    );
+                }
+                prev = v;
+            }
+        }
+
+        /// clear() always restores the pristine state regardless of history.
+        #[test]
+        fn clear_is_pristine(values in proptest::collection::vec(0u64..u64::MAX, 0..64)) {
+            let mut h = Histogram::new();
+            for &v in &values {
+                h.record(v);
+            }
+            h.clear();
+            proptest::prop_assert!(h.is_empty());
+            proptest::prop_assert_eq!(h.quantile(0.5), None);
+            h.record(7);
+            proptest::prop_assert_eq!(h.min(), Some(7));
+            proptest::prop_assert_eq!(h.max(), Some(7));
+        }
     }
 
     #[test]

@@ -12,6 +12,10 @@ use std::collections::BTreeMap;
 pub struct KindMetrics {
     /// Faults delivered.
     pub count: u64,
+    /// Deliveries that could not complete on their configured path and fell
+    /// back to a specified degradation (e.g. fast-path comm-page pinning
+    /// violated → Unix-signal delivery).
+    pub degraded: u64,
     /// Cycles from fault to user-handler entry.
     pub deliver: Histogram,
     /// Cycles spent inside the user handler.
@@ -25,6 +29,7 @@ pub struct KindMetrics {
 impl KindMetrics {
     pub fn is_empty(&self) -> bool {
         self.count == 0
+            && self.degraded == 0
             && self.deliver.is_empty()
             && self.handler.is_empty()
             && self.ret.is_empty()
@@ -33,6 +38,7 @@ impl KindMetrics {
 
     pub fn merge(&mut self, other: &KindMetrics) {
         self.count += other.count;
+        self.degraded += other.degraded;
         self.deliver.merge(&other.deliver);
         self.handler.merge(&other.handler);
         self.ret.merge(&other.ret);
@@ -44,6 +50,9 @@ impl KindMetrics {
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         json::field_u64(&mut out, "count", self.count);
+        if self.degraded > 0 {
+            json::field_u64(&mut out, "degraded", self.degraded);
+        }
         json::field_raw(&mut out, "deliver_cycles", &self.deliver.to_json());
         json::field_raw(&mut out, "handler_cycles", &self.handler.to_json());
         json::field_raw(&mut out, "return_cycles", &self.ret.to_json());
@@ -109,9 +118,21 @@ impl Metrics {
             .or_insert(0) += 1;
     }
 
+    /// Records one delivery that fell back to a specified degradation
+    /// instead of completing on its configured path. `path` is the path the
+    /// delivery was *configured* for (the one that degraded).
+    pub fn record_degraded(&mut self, path: TracePath, class: FaultClass) {
+        self.kind_mut(path, class).degraded += 1;
+    }
+
     /// Total faults across every path and class.
     pub fn total_faults(&self) -> u64 {
         self.per.iter().flatten().map(|k| k.count).sum()
+    }
+
+    /// Total degraded deliveries across every path and class.
+    pub fn degraded_deliveries(&self) -> u64 {
+        self.per.iter().flatten().map(|k| k.degraded).sum()
     }
 
     pub fn merge(&mut self, other: &Metrics) {
@@ -157,13 +178,19 @@ impl Metrics {
 
 impl Snapshot for Metrics {
     /// Flattens the non-empty cells into counters: per (path, class) the
-    /// fault count and the deliver-phase p50/p90/p99 cycle estimates, keyed
-    /// `"<path>/<class>/<stat>"`, plus the overall `total_faults`.
+    /// fault count (and degraded count, when nonzero) and the deliver-phase
+    /// p50/p90/p99 cycle estimates, keyed `"<path>/<class>/<stat>"`, plus
+    /// the overall `total_faults` and `degraded_deliveries`.
     fn snapshot(&self) -> StatsSnapshot {
-        let mut s = StatsSnapshot::new("trace").counter("total_faults", self.total_faults());
+        let mut s = StatsSnapshot::new("trace")
+            .counter("total_faults", self.total_faults())
+            .counter("degraded_deliveries", self.degraded_deliveries());
         for (path, class, k) in self.iter_nonempty() {
             let key = |stat: &str| format!("{path}/{class}/{stat}");
             s = s.counter(key("count"), k.count);
+            if k.degraded > 0 {
+                s = s.counter(key("degraded"), k.degraded);
+            }
             for (phase, h) in [("deliver", &k.deliver), ("handler", &k.handler)] {
                 if h.is_empty() {
                     continue;
@@ -254,6 +281,27 @@ mod tests {
             None,
             "quiet cells stay out of the snapshot"
         );
+    }
+
+    #[test]
+    fn degraded_deliveries_are_counted_and_snapshotted() {
+        let mut m = Metrics::new();
+        assert_eq!(m.degraded_deliveries(), 0);
+        let s = m.snapshot();
+        assert_eq!(s.get("degraded_deliveries"), Some(0), "key always present");
+        m.record_degraded(TracePath::FastUser, FaultClass::WriteProtect);
+        m.record_degraded(TracePath::FastUser, FaultClass::WriteProtect);
+        m.record_degraded(TracePath::FastUser, FaultClass::Breakpoint);
+        assert_eq!(m.degraded_deliveries(), 3);
+        let s = m.snapshot();
+        assert_eq!(s.get("degraded_deliveries"), Some(3));
+        assert_eq!(s.get("fast-user/write-protect/degraded"), Some(2));
+        assert_eq!(s.get("fast-user/breakpoint/degraded"), Some(1));
+        // Degraded-only cells are non-empty (visible in JSON and merge).
+        let mut b = Metrics::new();
+        b.merge(&m);
+        assert_eq!(b.degraded_deliveries(), 3);
+        assert!(b.to_json().contains("\"degraded\":2"));
     }
 
     #[test]

@@ -73,14 +73,23 @@ impl RingSink {
         self.ring.borrow().is_empty()
     }
 
+    /// Events lost to ring overflow (alias of [`RingSink::overwritten`]).
     pub fn dropped(&self) -> u64 {
         self.ring.borrow().dropped()
+    }
+
+    /// Oldest events overwritten by ring wrap-around. Lifetime counter:
+    /// survives [`RingSink::clear`] and snapshotting.
+    pub fn overwritten(&self) -> u64 {
+        self.ring.borrow().overwritten()
     }
 
     pub fn total_pushed(&self) -> u64 {
         self.ring.borrow().total_pushed()
     }
 
+    /// Discards buffered events; the `dropped`/`overwritten` and
+    /// `total_pushed` counters survive (see [`EventRing::clear`]).
     pub fn clear(&self) {
         self.ring.borrow_mut().clear();
     }
@@ -213,8 +222,33 @@ mod tests {
         }
         let s = sink.snapshot();
         assert_eq!(s.get("dropped"), Some(3));
+        assert_eq!(s.get("overwritten"), Some(3));
         assert_eq!(s.get("total_pushed"), Some(5));
         assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.overwritten(), 3);
+    }
+
+    #[test]
+    fn ring_sink_counters_survive_snapshot_and_clear() {
+        // Degraded-delivery accounting reads these counters after each
+        // injection phase; a snapshot or an inter-phase clear must not
+        // silently reset them.
+        let sink = RingSink::with_capacity(2);
+        for i in 0..6 {
+            sink.emit(&ev(i, EventKind::FaultRaised));
+        }
+        let before = sink.snapshot();
+        let after = sink.snapshot();
+        assert_eq!(before.get("dropped"), after.get("dropped"));
+        assert_eq!(before.get("overwritten"), after.get("overwritten"));
+        assert_eq!(before.get("total_pushed"), after.get("total_pushed"));
+        sink.clear();
+        assert_eq!(sink.dropped(), 4, "clear keeps the loss count");
+        assert_eq!(sink.total_pushed(), 6, "clear keeps the push count");
+        let s = sink.snapshot();
+        assert_eq!(s.get("buffered"), Some(0));
+        assert_eq!(s.get("dropped"), Some(4));
+        assert_eq!(s.get("overwritten"), Some(4));
     }
 
     #[test]

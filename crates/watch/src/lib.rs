@@ -328,6 +328,17 @@ impl Debugger {
     pub fn micros(&self) -> f64 {
         self.host.micros()
     }
+
+    /// Fault injection: the next `n` watchpoint deliveries fall back to
+    /// Unix-signal costs. Hit detection must be unaffected — only dearer.
+    pub fn inject_degrade_next_deliveries(&mut self, n: u64) {
+        self.host.inject_degrade_next_deliveries(n);
+    }
+
+    /// Deliveries that fell back to the degraded (Unix-cost) path.
+    pub fn degraded_deliveries(&self) -> u64 {
+        self.host.stats().degraded_deliveries
+    }
 }
 
 /// The canonical deterministic workload recorded in `BENCH_baseline.json` by
@@ -377,6 +388,22 @@ mod tests {
         assert_eq!(hits[1].new, 2);
         // The stores actually landed.
         assert_eq!(d.load(mem + 16).unwrap(), 2);
+    }
+
+    #[test]
+    fn degraded_watch_delivery_still_detects_hits() {
+        // The first watched store is injected to deliver at Unix-signal
+        // costs; hit detection and the store's effect must be identical.
+        let mut d = dbg(false);
+        let mem = d.alloc(4096).unwrap();
+        d.store(mem, 0).unwrap();
+        let w = d.watch_write(mem + 16, 4, |_, _| true).unwrap();
+        d.inject_degrade_next_deliveries(1);
+        d.store(mem + 16, 1).unwrap(); // degraded delivery
+        d.store(mem + 16, 2).unwrap(); // fast path again
+        assert_eq!(d.hit_count(w).unwrap(), 2);
+        assert_eq!(d.degraded_deliveries(), 1);
+        assert_eq!(d.load(mem + 16).unwrap(), 2, "stores landed");
     }
 
     #[test]

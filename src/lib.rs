@@ -19,6 +19,7 @@
 //! - [`dsm`] — page-based distributed shared memory.
 //! - [`watch`] — conditional data watchpoints (debugger support).
 //! - [`trace`] — exception lifecycle tracing and per-kind metrics.
+//! - [`inject`] — deterministic fault injection over the delivery paths.
 //! - [`report`] — perf baselines, regression checking, Chrome-trace and
 //!   flamegraph export.
 //! - [`verify`] — static analyzer for the guest handler images (CFG,
@@ -41,6 +42,7 @@ pub use efex_analysis as analysis;
 pub use efex_core as core;
 pub use efex_dsm as dsm;
 pub use efex_gc as gc;
+pub use efex_inject as inject;
 pub use efex_lazydata as lazydata;
 pub use efex_mips as mips;
 pub use efex_oscost as oscost;
