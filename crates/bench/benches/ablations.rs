@@ -6,7 +6,10 @@
 //! - hardware vectoring vs the software fast path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use efex_core::{DeliveryPath, ExceptionKind, HandlerAction, HostProcess, Prot, System};
+use efex_core::{
+    DeliveryPath, ExceptionKind, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
+    Protection, System,
+};
 use efex_gc::{workloads as gcw, BarrierKind, Gc, GcConfig};
 use std::hint::black_box;
 
@@ -45,17 +48,18 @@ fn barrier_loop(eager: bool, rounds: u32) -> u64 {
     let base = h.alloc_region(4096, Prot::ReadWrite).expect("region");
     h.store_u32(base, 0).expect("touch");
     if eager {
-        h.set_handler(|_, _| HandlerAction::Retry);
+        h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry));
     } else {
-        h.set_handler(|ctx, info| {
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+        h.set_handler(HandlerSpec::new(|ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                 .expect("amplify");
             HandlerAction::Retry
-        });
+        }));
     }
     let start = h.cycles();
     for i in 0..rounds {
-        h.protect(base, 4096, Prot::Read).expect("protect");
+        h.protect(Protection::region(base, 4096).read_only())
+            .expect("protect");
         h.store_u32(base, i).expect("store");
     }
     h.cycles() - start

@@ -1,0 +1,282 @@
+//! Multi-tenant fleet runner: scaling exhibit and determinism gate.
+//!
+//! ```text
+//! fleet --tenants 64 --threads 4        one run, aggregate summary
+//! fleet ... --check-determinism         re-run on one thread; the fleet
+//!                                       fingerprints must match bit-exactly
+//! fleet ... --sweep                     scaling table across 1/2/4/8 threads
+//! fleet ... --decode-cache              single-thread wall time with the
+//!                                       decode cache on vs off (results
+//!                                       must be bit-identical)
+//! fleet ... --chrome <path>             per-tenant Chrome-trace rows
+//! fleet ... --seed <n>                  override the fleet base seed
+//! ```
+//!
+//! Simulated results (stats, cycle-derived times, histograms) are
+//! deterministic and gated; wall-clock numbers are printed for the scaling
+//! exhibits but never asserted — CI machines differ.
+
+use efex_fleet::{run_fleet, FleetConfig, FleetReport};
+use efex_mips::cycles::CLOCK_MHZ;
+use std::process::ExitCode;
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn print_summary(r: &FleetReport) {
+    println!(
+        "fleet: {} tenants on {} thread(s): simulated {:.1} ms, wall {:.0} ms",
+        r.tenants.len(),
+        r.threads,
+        r.total_micros / 1000.0,
+        r.wall_seconds * 1000.0,
+    );
+    let us = |v: Option<u64>| v.unwrap_or(0) as f64 / 1000.0;
+    println!(
+        "fleet: {} deliveries ({:.0}/wall-sec), tenant latency p50={:.0}us p90={:.0}us p99={:.0}us",
+        r.deliveries(),
+        r.deliveries_per_wall_sec(),
+        us(r.latency.p50()),
+        us(r.latency.p90()),
+        us(r.latency.p99()),
+    );
+}
+
+fn check_determinism(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> {
+    let many = run_fleet(cfg)?;
+    let one = run_fleet(&FleetConfig { threads: 1, ..*cfg })?;
+    if many.fingerprint() == one.fingerprint() {
+        println!(
+            "fleet: determinism ok — threads={} and threads=1 fingerprints identical",
+            cfg.threads
+        );
+        Ok(true)
+    } else {
+        eprintln!(
+            "fleet: DETERMINISM FAILURE — threads={} and threads=1 disagree",
+            cfg.threads
+        );
+        eprintln!("--- threads={} ---\n{}", cfg.threads, many.fingerprint());
+        eprintln!("--- threads=1 ---\n{}", one.fingerprint());
+        Ok(false)
+    }
+}
+
+fn sweep(cfg: &FleetConfig) -> Result<(), efex_fleet::FleetError> {
+    println!(
+        "fleet: scaling sweep, {} tenants (seed {:#x})",
+        cfg.tenants, cfg.base_seed
+    );
+    println!("  threads    wall-ms    speedup    deliveries/sec");
+    let mut base_wall = None;
+    for threads in [1usize, 2, 4, 8] {
+        let r = run_fleet(&FleetConfig { threads, ..*cfg })?;
+        let wall_ms = r.wall_seconds * 1000.0;
+        let base = *base_wall.get_or_insert(r.wall_seconds);
+        println!(
+            "  {threads:>7} {wall_ms:>10.1} {:>9.2}x {:>17.0}",
+            base / r.wall_seconds,
+            r.deliveries_per_wall_sec(),
+        );
+    }
+    Ok(())
+}
+
+/// Simulated-guest instruction throughput (million instructions per wall
+/// second) of a TLB-mapped 64-instruction loop — the code shape the decode
+/// cache exists for: hot text refetched far more often than it changes.
+fn guest_throughput(cache: bool, steps: u32) -> f64 {
+    use efex_mips::encode::encode;
+    use efex_mips::isa::{Instruction, Reg};
+    use efex_mips::machine::Machine;
+    use efex_mips::tlb::TlbEntry;
+
+    let mut m = Machine::new(1 << 20);
+    m.set_decode_cache_enabled(cache);
+    let base = 0x0010_0000u32;
+    let pfn = 4u32;
+    // A realistically loaded TLB, so the uncached fetch pays a real walk.
+    for i in 0..48u32 {
+        m.tlb_mut().write(
+            i as usize,
+            TlbEntry {
+                vpn: (base >> 12) + i,
+                asid: 0,
+                pfn: pfn + i,
+                valid: true,
+                dirty: true,
+                global: false,
+                user_modifiable: true,
+            },
+        );
+    }
+    let mut prog = Vec::new();
+    for i in 0..63 {
+        prog.push(encode(Instruction::Addiu {
+            rt: Reg::from_field(8 + (i % 8)),
+            rs: Reg::from_field(8 + (i % 8)),
+            imm: 1,
+        }));
+    }
+    prog.push(encode(Instruction::J {
+        target: (base & 0x0fff_ffff) >> 2,
+    }));
+    prog.push(encode(Instruction::NOP));
+    for (i, w) in prog.iter().enumerate() {
+        m.mem_mut()
+            .write_u32((pfn << 12) + 4 * i as u32, *w)
+            .unwrap();
+    }
+    m.cpu_mut().pc = base;
+    m.cpu_mut().next_pc = base.wrapping_add(4);
+    let t0 = std::time::Instant::now();
+    for _ in 0..steps {
+        m.step().expect("throughput loop must not fault");
+    }
+    steps as f64 / t0.elapsed().as_secs_f64() / 1e6
+}
+
+fn decode_cache_compare(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> {
+    let single = FleetConfig {
+        threads: 1,
+        trace: false,
+        ..*cfg
+    };
+    // Warm once so allocator/page-cache effects don't favour either side.
+    run_fleet(&single)?;
+    let on = run_fleet(&single)?;
+    efex_mips::machine::set_decode_cache_default(false);
+    let off = run_fleet(&single);
+    efex_mips::machine::set_decode_cache_default(true);
+    let off = off?;
+    println!(
+        "fleet: decode cache on  {:>8.1} ms wall",
+        on.wall_seconds * 1000.0
+    );
+    println!(
+        "fleet: decode cache off {:>8.1} ms wall ({:.2}x slower)",
+        off.wall_seconds * 1000.0,
+        off.wall_seconds / on.wall_seconds,
+    );
+    guest_throughput(true, 500_000); // warm
+    let thr_on = guest_throughput(true, 4_000_000);
+    let thr_off = guest_throughput(false, 4_000_000);
+    println!(
+        "fleet: guest throughput {:.1} Mips cached vs {:.1} Mips uncached ({:.2}x)",
+        thr_on,
+        thr_off,
+        thr_on / thr_off,
+    );
+    // The cache must never change simulated results, only wall time.
+    if on.fingerprint() == off.fingerprint() {
+        println!("fleet: decode cache is result-transparent (fingerprints identical)");
+        Ok(true)
+    } else {
+        eprintln!("fleet: DECODE CACHE CHANGED RESULTS — on/off fingerprints disagree");
+        Ok(false)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "usage: fleet [--tenants <n>] [--threads <n>] [--seed <n>] \
+             [--check-determinism] [--sweep] [--decode-cache] [--chrome <path>]"
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let mut cfg = FleetConfig {
+        tenants: 16,
+        threads: 4,
+        ..FleetConfig::default()
+    };
+    let mut do_check = false;
+    let mut do_sweep = false;
+    let mut do_dcache = false;
+    let mut chrome_path: Option<String> = None;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        let mut take = |flag: &str| {
+            it.next()
+                .as_deref()
+                .and_then(parse_u64)
+                .ok_or_else(|| format!("fleet: {flag} needs a numeric value"))
+        };
+        match arg.as_str() {
+            "--tenants" => match take("--tenants") {
+                Ok(v) => cfg.tenants = v as u32,
+                Err(e) => return fail(&e),
+            },
+            "--threads" => match take("--threads") {
+                Ok(v) => cfg.threads = v as usize,
+                Err(e) => return fail(&e),
+            },
+            "--seed" => match take("--seed") {
+                Ok(v) => cfg.base_seed = v,
+                Err(e) => return fail(&e),
+            },
+            "--check-determinism" => do_check = true,
+            "--sweep" => do_sweep = true,
+            "--decode-cache" => do_dcache = true,
+            "--chrome" => match it.next() {
+                Some(p) => chrome_path = Some(p),
+                None => return fail("fleet: --chrome needs a file path"),
+            },
+            other => return fail(&format!("fleet: unknown argument {other}")),
+        }
+    }
+
+    cfg.trace = chrome_path.is_some();
+    let mut ok = true;
+
+    let report = match run_fleet(&cfg) {
+        Ok(r) => r,
+        Err(e) => return fail(&format!("fleet: {e}")),
+    };
+    print_summary(&report);
+
+    if let Some(path) = &chrome_path {
+        if let Err(e) = std::fs::write(path, report.chrome_trace(CLOCK_MHZ)) {
+            return fail(&format!("fleet: writing {path}: {e}"));
+        }
+        println!("fleet: wrote per-tenant Chrome trace to {path}");
+    }
+
+    // The remaining modes don't need tracing enabled.
+    cfg.trace = false;
+    if do_check {
+        match check_determinism(&cfg) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
+        }
+    }
+    if do_sweep {
+        if let Err(e) = sweep(&cfg) {
+            return fail(&format!("fleet: {e}"));
+        }
+    }
+    if do_dcache {
+        match decode_cache_compare(&cfg) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
+        }
+    }
+
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fail(msg: &str) -> ExitCode {
+    eprintln!("{msg}");
+    ExitCode::FAILURE
+}

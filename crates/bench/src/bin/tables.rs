@@ -12,7 +12,9 @@
 //! microbenchmarks and a host-level barrier workload.
 
 use efex_bench::suite::GUEST_MATRIX;
-use efex_core::{DeliveryPath, HandlerAction, HostProcess, Prot, System};
+use efex_core::{
+    DeliveryPath, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection, System,
+};
 use efex_trace::{Metrics, Snapshot};
 use std::env;
 
@@ -74,13 +76,14 @@ fn trace_json() {
         let mut h = HostProcess::builder().delivery(path).build().expect("boot");
         let base = h.alloc_region(4096, Prot::ReadWrite).expect("region");
         h.store_u32(base, 0).expect("touch");
-        h.set_handler(|ctx, info| {
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+        h.set_handler(HandlerSpec::new(|ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                 .expect("amplify");
             HandlerAction::Retry
-        });
+        }));
         for round in 0..8u32 {
-            h.protect(base, 4096, Prot::Read).expect("protect");
+            h.protect(Protection::region(base, 4096).read_only())
+                .expect("protect");
             h.store_u32(base + 4 * round, round)
                 .expect("faulting store");
         }

@@ -25,6 +25,7 @@ use efex_trace::{
 
 use crate::delivery::{DeliveryCosts, DeliveryPath};
 use crate::error::CoreError;
+use crate::guestmem::{GuestMem, Protection};
 
 /// Information handed to a fault handler.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -93,19 +94,21 @@ impl FaultCtx<'_> {
     /// # Errors
     ///
     /// Fails on unmapped pages or misalignment.
-    pub fn protect(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), CoreError> {
-        protect_charged(self.kernel, self.costs, self.stats, vaddr, len, prot)
+    pub fn protect(&mut self, region: Protection) -> Result<(), CoreError> {
+        protect_charged(self.kernel, self.costs, self.stats, region)
     }
 
-    /// Changes subpage protection on a 1 KB-aligned range (Section 3.2.4),
-    /// charging one lean protection call.
+    /// Toggles subpage protection on a 1 KB-aligned range (Section 3.2.4),
+    /// charging one lean protection call; armed when
+    /// [`Protection::restricts_writes`].
     ///
     /// # Errors
     ///
     /// Fails on misalignment or unmapped pages.
-    pub fn subpage_protect(&mut self, vaddr: u32, len: u32, on: bool) -> Result<(), CoreError> {
+    pub fn subpage_protect(&mut self, region: Protection) -> Result<(), CoreError> {
         self.stats.protect_calls += 1;
-        self.kernel.sys_subpage_protect(vaddr, len, on)?;
+        self.kernel
+            .sys_subpage_protect(region.base(), region.len(), region.restricts_writes())?;
         Ok(())
     }
 
@@ -284,6 +287,7 @@ impl HostBuilder {
             path: self.path,
             costs: DeliveryCosts::for_path(self.path),
             handler: None,
+            handler_name: None,
             in_handler: false,
             stats: HostStats::default(),
             metrics: Metrics::new(),
@@ -297,12 +301,65 @@ impl HostBuilder {
 
 type Handler = Box<dyn FnMut(&mut FaultCtx<'_>, FaultInfo) -> HandlerAction>;
 
+/// A typed fault-handler registration: the closure plus a diagnostic name.
+///
+/// Built fluently, like every builder in the workspace:
+///
+/// ```no_run
+/// use efex_core::{HandlerAction, HandlerSpec, HostProcess};
+///
+/// # fn main() -> Result<(), efex_core::CoreError> {
+/// let mut host = HostProcess::builder().build()?;
+/// host.set_handler(
+///     HandlerSpec::new(|_ctx, _info| HandlerAction::Retry).named("gc-barrier"),
+/// );
+/// assert_eq!(host.handler_name(), Some("gc-barrier"));
+/// # Ok(())
+/// # }
+/// ```
+pub struct HandlerSpec {
+    name: &'static str,
+    handler: Handler,
+}
+
+impl HandlerSpec {
+    /// Wraps a handler closure under the default name `"handler"`.
+    pub fn new(
+        handler: impl FnMut(&mut FaultCtx<'_>, FaultInfo) -> HandlerAction + 'static,
+    ) -> HandlerSpec {
+        HandlerSpec {
+            name: "handler",
+            handler: Box::new(handler),
+        }
+    }
+
+    /// Names the handler for diagnostics (`Debug` output, fleet reports).
+    pub fn named(mut self, name: &'static str) -> HandlerSpec {
+        self.name = name;
+        self
+    }
+
+    /// The diagnostic name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+}
+
+impl fmt::Debug for HandlerSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HandlerSpec")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
 /// A Rust application running over the simulated MMU with fault delivery.
 pub struct HostProcess {
     kernel: Kernel,
     path: DeliveryPath,
     costs: DeliveryCosts,
     handler: Option<Handler>,
+    handler_name: Option<&'static str>,
     in_handler: bool,
     stats: HostStats,
     metrics: Metrics,
@@ -318,6 +375,7 @@ impl fmt::Debug for HostProcess {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("HostProcess")
             .field("path", &self.path)
+            .field("handler", &self.handler_name)
             .field("stats", &self.stats)
             .finish_non_exhaustive()
     }
@@ -393,16 +451,20 @@ impl HostProcess {
     }
 
     /// Registers the fault handler, replacing any previous one.
-    pub fn set_handler(
-        &mut self,
-        handler: impl FnMut(&mut FaultCtx<'_>, FaultInfo) -> HandlerAction + 'static,
-    ) {
-        self.handler = Some(Box::new(handler));
+    pub fn set_handler(&mut self, spec: HandlerSpec) {
+        self.handler_name = Some(spec.name);
+        self.handler = Some(spec.handler);
     }
 
     /// Removes the handler.
     pub fn clear_handler(&mut self) {
         self.handler = None;
+        self.handler_name = None;
+    }
+
+    /// The registered handler's diagnostic name, if any.
+    pub fn handler_name(&self) -> Option<&'static str> {
+        self.handler_name
     }
 
     /// The degradation policy in force.
@@ -460,124 +522,6 @@ impl HostProcess {
         // Leave a guard page between regions: stray accesses fault loudly.
         self.next_alloc = base + len + PAGE_SIZE;
         Ok(base)
-    }
-
-    /// Changes protection on a region, charging the configured path's
-    /// protection-call cost.
-    ///
-    /// # Errors
-    ///
-    /// Fails on unmapped pages or misalignment.
-    pub fn protect(&mut self, vaddr: u32, len: u32, prot: Prot) -> Result<(), CoreError> {
-        protect_charged(
-            &mut self.kernel,
-            &self.costs,
-            &mut self.stats,
-            vaddr,
-            len,
-            prot,
-        )
-    }
-
-    /// Puts `[vaddr, vaddr+len)` (1 KB aligned) under subpage write
-    /// protection, or releases it (Section 3.2.4).
-    ///
-    /// # Errors
-    ///
-    /// Fails on misalignment or unmapped pages.
-    pub fn subpage_protect(&mut self, vaddr: u32, len: u32, on: bool) -> Result<(), CoreError> {
-        self.stats.protect_calls += 1;
-        self.kernel.sys_subpage_protect(vaddr, len, on)?;
-        Ok(())
-    }
-
-    // --- memory access -------------------------------------------------------
-
-    /// Loads a word with full fault semantics.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`CoreError::Unhandled`], [`CoreError::Aborted`], or
-    /// [`CoreError::RecursiveFault`] when delivery cannot complete the
-    /// access.
-    pub fn load_u32(&mut self, vaddr: u32) -> Result<u32, CoreError> {
-        self.stats.accesses += 1;
-        self.kernel.charge(self.access_cost);
-        let mut addr = vaddr;
-        for _attempt in 0..MAX_RETRIES {
-            match self.kernel.host_load_u32(addr) {
-                Ok(v) => return Ok(v),
-                Err(fault) => match self.deliver(fault, None)? {
-                    HandlerAction::Retry => {}
-                    HandlerAction::Redirect(a) => addr = a,
-                    HandlerAction::Emulate => {
-                        // Perform the load with kernel rights, leaving the
-                        // protection in place.
-                        self.kernel.charge(efex_simos::costs::SUBPAGE_EMULATE);
-                        let bytes = self.kernel.host_read_bytes(addr, 4)?;
-                        return Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
-                    }
-                    HandlerAction::Abort => unreachable!("deliver maps Abort to Err"),
-                },
-            }
-        }
-        Err(CoreError::Measurement(format!(
-            "load at {vaddr:#x} still faulting after {MAX_RETRIES} handler retries"
-        )))
-    }
-
-    /// Stores a word with full fault semantics (see [`HostProcess::load_u32`]).
-    ///
-    /// # Errors
-    ///
-    /// As for loads.
-    pub fn store_u32(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
-        self.stats.accesses += 1;
-        self.kernel.charge(self.access_cost);
-        let mut addr = vaddr;
-        for _attempt in 0..MAX_RETRIES {
-            match self.kernel.host_store_u32(addr, value) {
-                Ok(()) => return Ok(()),
-                Err(fault) => match self.deliver_store(fault, value)? {
-                    Deliverance::Handled(HandlerAction::Retry) => {}
-                    Deliverance::Handled(HandlerAction::Redirect(a)) => addr = a,
-                    Deliverance::Handled(HandlerAction::Emulate) => {
-                        self.kernel.charge(efex_simos::costs::SUBPAGE_EMULATE);
-                        self.kernel.host_write_bytes(addr, &value.to_le_bytes())?;
-                        return Ok(());
-                    }
-                    Deliverance::Handled(HandlerAction::Abort) => {
-                        unreachable!("deliver maps Abort to Err")
-                    }
-                    Deliverance::Emulated => return Ok(()),
-                },
-            }
-        }
-        Err(CoreError::Measurement(format!(
-            "store at {vaddr:#x} still faulting after {MAX_RETRIES} handler retries"
-        )))
-    }
-
-    /// Reads a word with kernel rights (no faults, no delivery): run-time
-    /// system internals such as GC scanning use this.
-    ///
-    /// # Errors
-    ///
-    /// Fails if the page is unmapped.
-    pub fn read_raw(&mut self, vaddr: u32) -> Result<u32, CoreError> {
-        let bytes = self.kernel.host_read_bytes(vaddr, 4)?;
-        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
-    }
-
-    /// Writes a word with kernel rights (no faults, no delivery).
-    ///
-    /// # Errors
-    ///
-    /// Fails if the page is unmapped.
-    pub fn write_raw(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
-        self.kernel
-            .host_write_bytes(vaddr, &value.to_le_bytes())
-            .map_err(CoreError::from)
     }
 
     // --- delivery ---------------------------------------------------------------
@@ -773,6 +717,92 @@ impl HostProcess {
     }
 }
 
+impl GuestMem for HostProcess {
+    /// Loads a word with full fault semantics: protection/unmapped faults
+    /// are delivered to the registered handler on the configured path, then
+    /// the access is retried (or redirected/emulated per the handler's
+    /// [`HandlerAction`]).
+    fn load_u32(&mut self, vaddr: u32) -> Result<u32, CoreError> {
+        self.stats.accesses += 1;
+        self.kernel.charge(self.access_cost);
+        let mut addr = vaddr;
+        for _attempt in 0..MAX_RETRIES {
+            match self.kernel.host_load_u32(addr) {
+                Ok(v) => return Ok(v),
+                Err(fault) => match self.deliver(fault, None)? {
+                    HandlerAction::Retry => {}
+                    HandlerAction::Redirect(a) => addr = a,
+                    HandlerAction::Emulate => {
+                        // Perform the load with kernel rights, leaving the
+                        // protection in place.
+                        self.kernel.charge(efex_simos::costs::SUBPAGE_EMULATE);
+                        let bytes = self.kernel.host_read_bytes(addr, 4)?;
+                        return Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]));
+                    }
+                    HandlerAction::Abort => unreachable!("deliver maps Abort to Err"),
+                },
+            }
+        }
+        Err(CoreError::Measurement(format!(
+            "load at {vaddr:#x} still faulting after {MAX_RETRIES} handler retries"
+        )))
+    }
+
+    fn store_u32(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
+        self.stats.accesses += 1;
+        self.kernel.charge(self.access_cost);
+        let mut addr = vaddr;
+        for _attempt in 0..MAX_RETRIES {
+            match self.kernel.host_store_u32(addr, value) {
+                Ok(()) => return Ok(()),
+                Err(fault) => match self.deliver_store(fault, value)? {
+                    Deliverance::Handled(HandlerAction::Retry) => {}
+                    Deliverance::Handled(HandlerAction::Redirect(a)) => addr = a,
+                    Deliverance::Handled(HandlerAction::Emulate) => {
+                        self.kernel.charge(efex_simos::costs::SUBPAGE_EMULATE);
+                        self.kernel.host_write_bytes(addr, &value.to_le_bytes())?;
+                        return Ok(());
+                    }
+                    Deliverance::Handled(HandlerAction::Abort) => {
+                        unreachable!("deliver maps Abort to Err")
+                    }
+                    Deliverance::Emulated => return Ok(()),
+                },
+            }
+        }
+        Err(CoreError::Measurement(format!(
+            "store at {vaddr:#x} still faulting after {MAX_RETRIES} handler retries"
+        )))
+    }
+
+    /// Reads a word with kernel rights (no faults, no delivery): run-time
+    /// system internals such as GC scanning use this.
+    fn read_raw(&mut self, vaddr: u32) -> Result<u32, CoreError> {
+        let bytes = self.kernel.host_read_bytes(vaddr, 4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn write_raw(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
+        self.kernel
+            .host_write_bytes(vaddr, &value.to_le_bytes())
+            .map_err(CoreError::from)
+    }
+
+    /// Changes protection on a page-aligned region, charging one protection
+    /// call on the configured delivery path plus per-page page-table work,
+    /// and shooting down the affected TLB entries.
+    fn protect(&mut self, region: Protection) -> Result<(), CoreError> {
+        protect_charged(&mut self.kernel, &self.costs, &mut self.stats, region)
+    }
+
+    fn subpage_protect(&mut self, region: Protection) -> Result<(), CoreError> {
+        self.stats.protect_calls += 1;
+        self.kernel
+            .sys_subpage_protect(region.base(), region.len(), region.restricts_writes())?;
+        Ok(())
+    }
+}
+
 enum Deliverance {
     Handled(HandlerAction),
     Emulated,
@@ -784,19 +814,17 @@ fn protect_charged(
     kernel: &mut Kernel,
     costs: &DeliveryCosts,
     stats: &mut HostStats,
-    vaddr: u32,
-    len: u32,
-    prot: Prot,
+    region: Protection,
 ) -> Result<(), CoreError> {
     stats.protect_calls += 1;
-    let pages = u64::from(len.div_ceil(PAGE_SIZE));
+    let pages = u64::from(region.len().div_ceil(PAGE_SIZE));
     kernel.charge(costs.protect_call + costs.protect_per_page * pages);
     // The uncharged kernel half does the page-table work; we already
     // charged the modeled cost above, so use the internal (free) interface.
     let touched = kernel
         .process_mut()
         .space_mut()
-        .protect_region(vaddr, len, prot)
+        .protect_region(region.base(), region.len(), region.prot())
         .map_err(efex_simos::KernelError::Map)?;
     let asid = kernel.process().space().asid();
     for page in touched {
@@ -842,15 +870,16 @@ mod tests {
         let mut h = host(DeliveryPath::FastUser);
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
-        h.protect(base, 4096, Prot::Read).unwrap();
+        h.protect(Protection::region(base, 4096).read_only())
+            .unwrap();
         let dirty: Rc<RefCell<Vec<u32>>> = Rc::default();
         let log = dirty.clone();
-        h.set_handler(move |ctx, info| {
+        h.set_handler(HandlerSpec::new(move |ctx, info| {
             log.borrow_mut().push(info.vaddr & !0xfff);
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                 .unwrap();
             HandlerAction::Retry
-        });
+        }));
         h.store_u32(base + 8, 42).unwrap();
         assert_eq!(h.load_u32(base + 8).unwrap(), 42);
         assert_eq!(*dirty.borrow(), vec![base]);
@@ -869,8 +898,9 @@ mod tests {
             .unwrap();
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
-        h.protect(base, 4096, Prot::Read).unwrap();
-        h.set_handler(|_, _| HandlerAction::Retry); // no protect needed
+        h.protect(Protection::region(base, 4096).read_only())
+            .unwrap();
+        h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry)); // no protect needed
         h.store_u32(base, 9).unwrap();
         assert_eq!(h.stats().eager_amplified, 1);
         assert_eq!(h.load_u32(base).unwrap(), 9);
@@ -881,10 +911,10 @@ mod tests {
         let mut h = host(DeliveryPath::FastUser);
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base + 16, 1234).unwrap();
-        h.set_handler(move |_, info| {
+        h.set_handler(HandlerSpec::new(move |_, info| {
             // Unaligned tag: real address is vaddr - 2.
             HandlerAction::Redirect(info.vaddr - 2)
-        });
+        }));
         assert_eq!(h.load_u32(base + 18).unwrap(), 1234);
         assert_eq!(h.stats().faults_delivered, 1);
     }
@@ -897,7 +927,7 @@ mod tests {
         // handler called back into the app path. Simulate via Abort check:
         let mut h = host(DeliveryPath::FastUser);
         let base = h.alloc_region(4096, Prot::Read).unwrap();
-        h.set_handler(|_, _| HandlerAction::Abort);
+        h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Abort));
         match h.store_u32(base, 1) {
             Err(CoreError::Aborted(_)) => {}
             other => panic!("expected Aborted, got {other:?}"),
@@ -915,12 +945,13 @@ mod tests {
             let mut h = host(path);
             let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
             h.store_u32(base, 0).unwrap();
-            h.protect(base, 4096, Prot::Read).unwrap();
-            h.set_handler(move |ctx, info| {
-                ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+            h.protect(Protection::region(base, 4096).read_only())
+                .unwrap();
+            h.set_handler(HandlerSpec::new(move |ctx, info| {
+                ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                     .unwrap();
                 HandlerAction::Retry
-            });
+            }));
             let before = h.cycles();
             h.store_u32(base, 1).unwrap();
             cycle_counts.push(h.cycles() - before);
@@ -945,8 +976,9 @@ mod tests {
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
         // Protect only the first 1 KB subpage.
-        h.subpage_protect(base, 1024, true).unwrap();
-        h.set_handler(|_, _| HandlerAction::Retry);
+        h.subpage_protect(Protection::region(base, 1024).read_only())
+            .unwrap();
+        h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry));
         // Store into an unprotected subpage: emulated, no handler call.
         h.store_u32(base + 2048, 5).unwrap();
         assert_eq!(h.stats().subpage_emulated, 1);
@@ -968,12 +1000,13 @@ mod tests {
             .unwrap();
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
-        h.protect(base, 4096, Prot::Read).unwrap();
-        h.set_handler(move |ctx, info| {
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+        h.protect(Protection::region(base, 4096).read_only())
+            .unwrap();
+        h.set_handler(HandlerSpec::new(move |ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                 .unwrap();
             HandlerAction::Retry
-        });
+        }));
         h.store_u32(base, 7).unwrap();
 
         use efex_trace::EventKind::*;
@@ -1012,12 +1045,13 @@ mod tests {
         for h in [&mut fast, &mut degraded] {
             let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
             h.store_u32(base, 0).unwrap();
-            h.protect(base, 4096, Prot::Read).unwrap();
-            h.set_handler(move |ctx, info| {
-                ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+            h.protect(Protection::region(base, 4096).read_only())
+                .unwrap();
+            h.set_handler(HandlerSpec::new(move |ctx, info| {
+                ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                     .unwrap();
                 HandlerAction::Retry
-            });
+            }));
         }
         let base = efex_simos::layout::USER_DATA_VADDR;
         degraded.inject_degrade_next_deliveries(1);
@@ -1038,7 +1072,9 @@ mod tests {
         assert_eq!(degraded.read_raw(base).unwrap(), 1, "handler still ran");
         assert_eq!(degraded.stats().faults_delivered, 1);
         // The injection is one-shot: the next fault takes the fast path.
-        degraded.protect(base, 4096, Prot::Read).unwrap();
+        degraded
+            .protect(Protection::region(base, 4096).read_only())
+            .unwrap();
         let t0 = degraded.cycles();
         degraded.store_u32(base, 2).unwrap();
         assert!(degraded.cycles() - t0 <= fast_cost + 16);
@@ -1050,12 +1086,13 @@ mod tests {
         let mut h = host(DeliveryPath::FastUser);
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
-        h.protect(base, 4096, Prot::Read).unwrap();
-        h.set_handler(move |ctx, info| {
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
+        h.protect(Protection::region(base, 4096).read_only())
+            .unwrap();
+        h.set_handler(HandlerSpec::new(move |ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
                 .unwrap();
             HandlerAction::Retry
-        });
+        }));
         h.inject_degrade_next_deliveries(1);
         h.store_u32(base, 1).unwrap();
         let snap = h.trace_metrics().snapshot();
@@ -1073,7 +1110,7 @@ mod tests {
             write: true,
         };
         let mut strict = host(DeliveryPath::FastUser);
-        strict.set_handler(|_, _| HandlerAction::Retry);
+        strict.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry));
         strict.in_handler = true;
         assert!(matches!(
             strict.deliver(fault, None),
@@ -1085,7 +1122,7 @@ mod tests {
             .degrade_policy(DegradePolicy::FallbackUnix)
             .build()
             .unwrap();
-        fallback.set_handler(|_, _| HandlerAction::Retry);
+        fallback.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry));
         fallback.in_handler = true;
         let t0 = fallback.cycles();
         let action = fallback.deliver(fault, None).unwrap();

@@ -79,14 +79,17 @@
 
 mod delivery;
 mod error;
+mod guestmem;
 mod host;
 pub(crate) mod progs;
 mod system;
 
 pub use delivery::{DeliveryCosts, DeliveryPath};
 pub use error::CoreError;
+pub use guestmem::{GuestConfig, GuestMem, Protection};
 pub use host::{
-    DegradePolicy, FaultCtx, FaultInfo, HandlerAction, HostBuilder, HostProcess, HostStats,
+    DegradePolicy, FaultCtx, FaultInfo, HandlerAction, HandlerSpec, HostBuilder, HostProcess,
+    HostStats,
 };
 pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
 

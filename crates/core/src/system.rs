@@ -12,10 +12,12 @@ use efex_mips::cycles::to_micros;
 use efex_mips::profile::{Profiler, RegionSpan};
 use efex_simos::fastexc::TABLE3_PHASES;
 use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
+use efex_simos::layout::PAGE_SIZE;
 use efex_trace::{EventKind, FaultClass, Metrics, SharedSink, TraceEvent};
 
-use crate::delivery::DeliveryPath;
+use crate::delivery::{DeliveryCosts, DeliveryPath};
 use crate::error::CoreError;
+use crate::guestmem::{GuestMem, Protection};
 use crate::progs;
 
 /// The exception classes the microbenchmarks exercise (Table 2 rows).
@@ -461,6 +463,69 @@ impl System {
             "PC never reached {target:#x} within {max} steps"
         )))
     }
+}
+
+/// Guest-level access goes through the kernel's host interface: faults are
+/// *not* delivered to a handler (there is no registered Rust closure at
+/// guest level); they surface as [`CoreError::Unhandled`] for the caller —
+/// injection scenarios and fleet tenants — to deal with.
+impl GuestMem for System {
+    fn load_u32(&mut self, vaddr: u32) -> Result<u32, CoreError> {
+        self.kernel.host_load_u32(vaddr).map_err(unhandled)
+    }
+
+    fn store_u32(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
+        self.kernel.host_store_u32(vaddr, value).map_err(unhandled)
+    }
+
+    fn read_raw(&mut self, vaddr: u32) -> Result<u32, CoreError> {
+        let bytes = self.kernel.host_read_bytes(vaddr, 4)?;
+        Ok(u32::from_le_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]))
+    }
+
+    fn write_raw(&mut self, vaddr: u32, value: u32) -> Result<(), CoreError> {
+        self.kernel
+            .host_write_bytes(vaddr, &value.to_le_bytes())
+            .map_err(CoreError::from)
+    }
+
+    fn protect(&mut self, region: Protection) -> Result<(), CoreError> {
+        let costs = DeliveryCosts::for_path(self.path);
+        let pages = u64::from(region.len().div_ceil(PAGE_SIZE));
+        self.kernel
+            .charge(costs.protect_call + costs.protect_per_page * pages);
+        let touched = self
+            .kernel
+            .process_mut()
+            .space_mut()
+            .protect_region(region.base(), region.len(), region.prot())
+            .map_err(efex_simos::KernelError::Map)?;
+        let asid = self.kernel.process().space().asid();
+        for page in touched {
+            self.kernel
+                .machine_mut()
+                .tlb_mut()
+                .invalidate_page(page, asid);
+        }
+        Ok(())
+    }
+
+    fn subpage_protect(&mut self, region: Protection) -> Result<(), CoreError> {
+        self.kernel
+            .sys_subpage_protect(region.base(), region.len(), region.restricts_writes())?;
+        Ok(())
+    }
+}
+
+/// Maps a raw host-interface fault to the unhandled-fault error.
+fn unhandled(fault: efex_simos::kernel::HostFault) -> CoreError {
+    CoreError::Unhandled(crate::host::FaultInfo {
+        code: fault.code,
+        vaddr: fault.vaddr,
+        write: fault.write,
+        kind: fault.kind,
+        value: None,
+    })
 }
 
 #[cfg(test)]

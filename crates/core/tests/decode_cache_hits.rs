@@ -1,0 +1,43 @@
+//! The decode cache must actually *hit* on the delivery path, not merely be
+//! transparent. A systematic slot-aliasing bug (user text and KSEG0 kernel
+//! text evicting each other every exception) once drove the hit rate to
+//! zero while every correctness test still passed — this pins the cache's
+//! effectiveness, not just its invisibility.
+
+use efex_core::{DeliveryPath, ExceptionKind, System};
+
+#[test]
+fn fast_path_delivery_hits_the_decode_cache() {
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .build()
+        .unwrap();
+    sys.measure_null_roundtrip(ExceptionKind::WriteProtect)
+        .unwrap();
+    let (hits, misses) = sys.kernel().machine().decode_cache_stats();
+    assert!(
+        hits > misses,
+        "repeated deliveries re-execute the same user loop and kernel fast \
+         path, so hits must dominate: {hits} hits vs {misses} misses"
+    );
+}
+
+#[test]
+fn every_delivery_path_keeps_a_warm_cache() {
+    for path in [
+        DeliveryPath::UnixSignals,
+        DeliveryPath::FastUser,
+        DeliveryPath::HardwareVectored,
+    ] {
+        let mut sys = System::builder().delivery(path).build().unwrap();
+        sys.measure_null_roundtrip(ExceptionKind::Breakpoint)
+            .unwrap();
+        let (hits, misses) = sys.kernel().machine().decode_cache_stats();
+        // The signal path runs more once-executed setup code than the fast
+        // paths, so only require a substantial hit share, not a majority.
+        assert!(
+            hits * 2 > misses,
+            "{path:?}: {hits} hits vs {misses} misses"
+        );
+    }
+}

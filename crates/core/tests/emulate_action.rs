@@ -1,7 +1,9 @@
 //! Tests of `HandlerAction::Emulate`: the handler completes the access
 //! with kernel rights and the protection stays in place.
 
-use efex_core::{CoreError, DeliveryPath, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    CoreError, DeliveryPath, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection,
+};
 
 #[test]
 fn emulated_stores_land_and_keep_protection() {
@@ -11,8 +13,9 @@ fn emulated_stores_land_and_keep_protection() {
         .unwrap();
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base, 0).unwrap();
-    h.protect(base, 4096, Prot::Read).unwrap();
-    h.set_handler(|_, _| HandlerAction::Emulate);
+    h.protect(Protection::region(base, 4096).read_only())
+        .unwrap();
+    h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Emulate));
     for i in 1..=5 {
         h.store_u32(base + 4 * i, i).unwrap();
     }
@@ -31,8 +34,9 @@ fn emulated_loads_return_the_real_value() {
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base + 8, 77).unwrap();
     // Revoke ALL access: loads fault too (read-watchpoint style).
-    h.protect(base, 4096, Prot::None).unwrap();
-    h.set_handler(|_, _| HandlerAction::Emulate);
+    h.protect(Protection::region(base, 4096).no_access())
+        .unwrap();
+    h.set_handler(HandlerSpec::new(|_, _| HandlerAction::Emulate));
     assert_eq!(h.load_u32(base + 8).unwrap(), 77);
     assert_eq!(h.stats().faults_delivered, 1);
     // Still protected: the next load faults again.
@@ -48,15 +52,16 @@ fn store_value_reaches_the_handler() {
         .unwrap();
     let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
     h.store_u32(base, 0).unwrap();
-    h.protect(base, 4096, Prot::Read).unwrap();
+    h.protect(Protection::region(base, 4096).read_only())
+        .unwrap();
     use std::cell::Cell;
     use std::rc::Rc;
     let seen: Rc<Cell<Option<u32>>> = Rc::default();
     let s2 = seen.clone();
-    h.set_handler(move |_, info| {
+    h.set_handler(HandlerSpec::new(move |_, info| {
         s2.set(info.value);
         HandlerAction::Emulate
-    });
+    }));
     h.store_u32(base, 0xabcd).unwrap();
     assert_eq!(seen.get(), Some(0xabcd));
 }
@@ -72,10 +77,10 @@ fn loads_carry_no_store_value() {
     use std::rc::Rc;
     let seen: Rc<Cell<Option<Option<u32>>>> = Rc::default();
     let s2 = seen.clone();
-    h.set_handler(move |_, info| {
+    h.set_handler(HandlerSpec::new(move |_, info| {
         s2.set(Some(info.value));
         HandlerAction::Emulate
-    });
+    }));
     let _ = h.load_u32(base);
     assert_eq!(seen.get(), Some(None));
 }
@@ -87,13 +92,13 @@ fn abort_from_emulating_handler_possible() {
         .build()
         .unwrap();
     let base = h.alloc_region(4096, Prot::Read).unwrap();
-    h.set_handler(|_, info| {
+    h.set_handler(HandlerSpec::new(|_, info| {
         if info.vaddr % 8 == 0 {
             HandlerAction::Emulate
         } else {
             HandlerAction::Abort
         }
-    });
+    }));
     assert!(h.store_u32(base, 1).is_ok());
     assert!(matches!(
         h.store_u32(base + 4, 1),

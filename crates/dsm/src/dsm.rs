@@ -3,7 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
-use efex_core::{CoreError, DeliveryCosts, DeliveryPath, HostProcess, Prot};
+use efex_core::{CoreError, DeliveryCosts, DeliveryPath, GuestMem, HostProcess, Prot, Protection};
 use efex_simos::layout::PAGE_SIZE;
 use efex_simos::vm::FaultKind;
 use efex_trace::{Snapshot, StatsSnapshot};
@@ -377,7 +377,7 @@ impl Dsm {
     /// protection-call cost).
     fn protect_on(&mut self, node: NodeId, page: usize, prot: Prot) -> Result<(), DsmError> {
         let addr = self.base + page as u32 * PAGE_SIZE;
-        self.nodes[node].protect(addr, PAGE_SIZE, prot)?;
+        self.nodes[node].protect(Protection::region(addr, PAGE_SIZE).with_prot(prot))?;
         Ok(())
     }
 }

@@ -70,6 +70,23 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), DsmError> {
     Ok((r.total_us, snap))
 }
 
+/// A seeded fleet-tenant variant of [`baseline_workload`]: the same
+/// two-node false-sharing ping-pong over the fast path, with the round
+/// count derived deterministically from `seed`. Equal seeds reproduce
+/// bit-identical fault and transfer counts.
+///
+/// # Errors
+///
+/// Propagates DSM errors.
+pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), DsmError> {
+    let rounds = 12 + (seed % 17) as u32;
+    let r = false_sharing(DeliveryPath::FastUser, rounds, true)?;
+    let snap = StatsSnapshot::new("dsm")
+        .counter("faults", r.faults)
+        .counter("page_transfers", r.page_transfers);
+    Ok((r.total_us, snap))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

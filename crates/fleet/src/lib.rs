@@ -1,0 +1,474 @@
+//! # efex-fleet — sharded multi-tenant simulation
+//!
+//! Runs N independent guest instances ("tenants"), each executing one of the
+//! five application-crate workloads with a deterministic per-tenant seed,
+//! across a configurable pool of OS worker threads. Results are aggregated
+//! into one fleet report: summed [`StatsSnapshot`]s, a merged per-tenant
+//! latency [`Histogram`], total simulated time, wall-clock scaling numbers,
+//! and (optionally) per-tenant Chrome-trace rows.
+//!
+//! ## Determinism
+//!
+//! A tenant's result depends only on its spec (suite + seed) — tenants share
+//! no state, so it never depends on which worker ran it or in what order.
+//! Aggregation is order-independent by construction: [`StatsSnapshot::merge`]
+//! sums counters by name and [`Histogram::merge`] sums bucket counts, both
+//! commutative, and the per-tenant vector is collected into id order before
+//! anything reads it. The fleet aggregate is therefore bit-identical across
+//! thread-pool sizes — [`FleetReport::fingerprint`] captures exactly the
+//! deterministic portion (everything except wall-clock time) so callers can
+//! assert it.
+
+use std::rc::Rc;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use efex_core::{DeliveryPath, ExceptionKind, System};
+use efex_report::chrome::TID_TENANT_BASE;
+use efex_report::ChromeTrace;
+use efex_trace::{Histogram, RingSink, StatsSnapshot, TraceEvent};
+
+/// Stack reserved per worker thread: the simulator types (`System`, `Gc`,
+/// `Pstore`, …) are large by value and unoptimized builds keep several
+/// temporaries live per construction (same sizing as the bench suite).
+const WORKER_STACK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Which application suite a tenant runs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// Generational GC with the page-protection write barrier.
+    Gc,
+    /// Two-node false-sharing DSM ping-pong.
+    Dsm,
+    /// Persistent store with lazy unaligned-tag swizzling.
+    Pstore,
+    /// Lazy streams and futures over access faults.
+    Lazydata,
+    /// Conditional write watchpoints with subpage protection.
+    Watch,
+}
+
+impl Suite {
+    /// Every suite, in the fixed round-robin order [`plan`] assigns.
+    pub const ALL: [Suite; 5] = [
+        Suite::Gc,
+        Suite::Dsm,
+        Suite::Pstore,
+        Suite::Lazydata,
+        Suite::Watch,
+    ];
+
+    /// Stable lowercase name (used in reports and trace row labels).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Suite::Gc => "gc",
+            Suite::Dsm => "dsm",
+            Suite::Pstore => "pstore",
+            Suite::Lazydata => "lazydata",
+            Suite::Watch => "watch",
+        }
+    }
+
+    /// The exception kind characteristic of the suite, used for the traced
+    /// fast-path delivery sample that populates a tenant's Chrome-trace row.
+    fn sample_kind(self) -> ExceptionKind {
+        match self {
+            Suite::Gc | Suite::Dsm | Suite::Lazydata => ExceptionKind::WriteProtect,
+            Suite::Pstore => ExceptionKind::UnalignedSpecialized,
+            Suite::Watch => ExceptionKind::Subpage,
+        }
+    }
+}
+
+impl std::fmt::Display for Suite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One tenant: an independent guest instance with its own workload seed.
+#[derive(Clone, Copy, Debug)]
+pub struct TenantSpec {
+    /// Fleet-assigned index, `0..tenants`.
+    pub id: u32,
+    /// Which application workload this tenant runs.
+    pub suite: Suite,
+    /// Deterministic workload seed (derived from the fleet base seed).
+    pub seed: u64,
+}
+
+/// Fleet shape and scheduling knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of tenants to run.
+    pub tenants: u32,
+    /// OS worker threads; `1` runs the whole fleet on one worker.
+    pub threads: usize,
+    /// Base seed every per-tenant seed derives from.
+    pub base_seed: u64,
+    /// Capture a traced fast-path delivery sample per tenant (for Chrome
+    /// export). Off by default: determinism checks don't need it.
+    pub trace: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> FleetConfig {
+        FleetConfig {
+            tenants: 16,
+            threads: 1,
+            base_seed: 0xf1ee7,
+            trace: false,
+        }
+    }
+}
+
+/// A tenant workload failed.
+#[derive(Debug)]
+pub struct FleetError {
+    /// Failing tenant id.
+    pub tenant: u32,
+    /// Failing tenant's suite name.
+    pub suite: &'static str,
+    /// Rendered underlying error.
+    pub message: String,
+}
+
+impl std::fmt::Display for FleetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "tenant {} ({}) failed: {}",
+            self.tenant, self.suite, self.message
+        )
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// One tenant's completed run.
+#[derive(Clone, Debug)]
+pub struct TenantReport {
+    /// Fleet-assigned index.
+    pub id: u32,
+    /// Workload suite the tenant ran.
+    pub suite: Suite,
+    /// Seed the workload ran under.
+    pub seed: u64,
+    /// Simulated run time, µs.
+    pub micros: f64,
+    /// The workload's stats counters.
+    pub stats: StatsSnapshot,
+    /// Traced fast-path lifecycle sample (empty unless `FleetConfig::trace`).
+    pub events: Vec<TraceEvent>,
+}
+
+/// Aggregated results of one fleet run.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Per-tenant reports, in id order regardless of scheduling.
+    pub tenants: Vec<TenantReport>,
+    /// All tenant stats merged (counters summed by name).
+    pub aggregate: StatsSnapshot,
+    /// Per-tenant simulated run time, recorded in nanoseconds: shard
+    /// histograms merged across workers.
+    pub latency: Histogram,
+    /// Total simulated time across tenants, µs.
+    pub total_micros: f64,
+    /// Real elapsed time for the whole fleet, seconds.
+    pub wall_seconds: f64,
+    /// Worker threads the run used.
+    pub threads: usize,
+}
+
+impl FleetReport {
+    /// Total exception deliveries across the fleet: the sum of every
+    /// aggregate counter whose name mentions faults (`barrier_faults`,
+    /// `faults`, …) — each suite counts its deliveries under such a name.
+    pub fn deliveries(&self) -> u64 {
+        self.aggregate
+            .counters
+            .iter()
+            .filter(|(name, _)| name.contains("fault"))
+            .map(|&(_, v)| v)
+            .sum()
+    }
+
+    /// Deliveries per wall-clock second — the fleet throughput metric.
+    pub fn deliveries_per_wall_sec(&self) -> f64 {
+        if self.wall_seconds <= 0.0 {
+            return 0.0;
+        }
+        self.deliveries() as f64 / self.wall_seconds
+    }
+
+    /// A stable rendering of everything deterministic in the report —
+    /// per-tenant specs, stats and simulated times, the aggregate, and the
+    /// latency histogram — excluding wall-clock time and thread count. Two
+    /// runs of the same fleet must produce byte-identical fingerprints no
+    /// matter how many workers they used.
+    pub fn fingerprint(&self) -> String {
+        let mut out = String::new();
+        for t in &self.tenants {
+            out.push_str(&format!(
+                "tenant {} {} seed={:#x} micros={} stats={}\n",
+                t.id,
+                t.suite,
+                t.seed,
+                t.micros.to_bits(),
+                t.stats.to_json()
+            ));
+        }
+        out.push_str(&format!("aggregate {}\n", self.aggregate.to_json()));
+        out.push_str(&format!("latency {}\n", self.latency.to_json()));
+        out.push_str(&format!("total_micros {}\n", self.total_micros.to_bits()));
+        out
+    }
+
+    /// Exports the fleet as a Chrome trace-event document: each tenant's
+    /// lifecycle sample on its own named thread row (requires the fleet to
+    /// have run with `FleetConfig::trace`).
+    pub fn chrome_trace(&self, clock_mhz: f64) -> String {
+        let mut trace = ChromeTrace::new(clock_mhz);
+        for t in &self.tenants {
+            trace.push_tenant_lifecycle(
+                TID_TENANT_BASE + t.id,
+                &format!("tenant-{:02} ({})", t.id, t.suite),
+                &t.events,
+            );
+        }
+        trace.to_json()
+    }
+}
+
+/// Expands a config into the tenant list: suites assigned round-robin in
+/// [`Suite::ALL`] order, seeds derived from the base seed by a fixed mix so
+/// neighbouring tenants get well-separated workload parameters.
+pub fn plan(cfg: &FleetConfig) -> Vec<TenantSpec> {
+    (0..cfg.tenants)
+        .map(|id| TenantSpec {
+            id,
+            suite: Suite::ALL[id as usize % Suite::ALL.len()],
+            seed: cfg
+                .base_seed
+                .wrapping_add(u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+        })
+        .collect()
+}
+
+/// Runs one tenant to completion on the calling thread.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if the tenant's workload fails.
+pub fn run_tenant(spec: TenantSpec, trace: bool) -> Result<TenantReport, FleetError> {
+    let err = |e: &dyn std::fmt::Display| FleetError {
+        tenant: spec.id,
+        suite: spec.suite.as_str(),
+        message: e.to_string(),
+    };
+    let (micros, stats) = match spec.suite {
+        Suite::Gc => efex_gc::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
+        Suite::Dsm => efex_dsm::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
+        Suite::Pstore => efex_pstore::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
+        Suite::Lazydata => efex_lazydata::tenant_workload(spec.seed).map_err(|e| err(&e))?,
+        Suite::Watch => efex_watch::tenant_workload(spec.seed).map_err(|e| err(&e))?,
+    };
+    let events = if trace {
+        lifecycle_sample(spec.suite).map_err(|e| err(&e))?
+    } else {
+        Vec::new()
+    };
+    Ok(TenantReport {
+        id: spec.id,
+        suite: spec.suite,
+        seed: spec.seed,
+        micros,
+        stats,
+        events,
+    })
+}
+
+/// One traced fast-path delivery of the suite's characteristic exception
+/// kind: real lifecycle events for the tenant's Chrome-trace row.
+fn lifecycle_sample(suite: Suite) -> Result<Vec<TraceEvent>, efex_core::CoreError> {
+    let ring = Rc::new(RingSink::with_capacity(64));
+    let mut sys = System::builder()
+        .delivery(DeliveryPath::FastUser)
+        .trace_sink(ring.clone())
+        .build()?;
+    sys.measure_null_roundtrip(suite.sample_kind())?;
+    Ok(ring.events())
+}
+
+/// Runs the whole fleet across `cfg.threads` workers and aggregates.
+///
+/// Workers claim tenants from a shared atomic index (work stealing), so load
+/// balances even when suites differ wildly in cost; results land in an
+/// id-indexed table, so aggregation order — and with it every aggregate —
+/// is independent of the claiming order.
+///
+/// # Errors
+///
+/// Returns the first (lowest-id) [`FleetError`] if any tenant fails.
+pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
+    let specs = plan(cfg);
+    let threads = cfg.threads.max(1);
+    let next = AtomicUsize::new(0);
+    let slots: Mutex<Vec<Option<Result<TenantReport, FleetError>>>> =
+        Mutex::new((0..specs.len()).map(|_| None).collect());
+    // One latency shard per worker; merged after join. Bucket counts sum,
+    // so the merged histogram is invariant to how tenants were partitioned.
+    let shards: Mutex<Vec<Histogram>> = Mutex::new(Vec::new());
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        let worker = || {
+            let mut shard = Histogram::new();
+            loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(spec) = specs.get(i).copied() else {
+                    break;
+                };
+                let result = run_tenant(spec, cfg.trace);
+                if let Ok(r) = &result {
+                    shard.record((r.micros * 1000.0) as u64); // µs → ns
+                }
+                slots.lock().unwrap()[i] = Some(result);
+            }
+            shards.lock().unwrap().push(shard);
+        };
+        let mut handles = Vec::with_capacity(threads);
+        for w in 0..threads {
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("efex-fleet-{w}"))
+                    .stack_size(WORKER_STACK_BYTES)
+                    .spawn_scoped(scope, worker)
+                    .expect("spawn fleet worker"),
+            );
+        }
+        for h in handles {
+            h.join().expect("fleet worker panicked");
+        }
+    });
+    let wall_seconds = start.elapsed().as_secs_f64();
+
+    let mut tenants = Vec::with_capacity(specs.len());
+    for slot in slots.into_inner().unwrap() {
+        tenants.push(slot.expect("every tenant claimed")?);
+    }
+    tenants.sort_by_key(|t| t.id);
+    let mut latency = Histogram::new();
+    for shard in shards.into_inner().unwrap().iter() {
+        latency.merge(shard);
+    }
+
+    let aggregate = StatsSnapshot::aggregate("fleet", tenants.iter().map(|t| t.stats.clone()));
+    let total_micros = tenants.iter().map(|t| t.micros).sum();
+    Ok(FleetReport {
+        tenants,
+        aggregate,
+        latency,
+        total_micros,
+        wall_seconds,
+        threads,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_is_deterministic_and_round_robin() {
+        let cfg = FleetConfig {
+            tenants: 12,
+            ..FleetConfig::default()
+        };
+        let a = plan(&cfg);
+        let b = plan(&cfg);
+        assert_eq!(a.len(), 12);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!((x.id, x.suite, x.seed), (y.id, y.suite, y.seed));
+        }
+        assert_eq!(a[0].suite, Suite::Gc);
+        assert_eq!(a[5].suite, Suite::Gc, "round-robin wraps at 5");
+        assert_ne!(a[0].seed, a[5].seed, "same suite, distinct seeds");
+    }
+
+    #[test]
+    fn single_tenant_reports_stats_and_time() {
+        let r = run_tenant(
+            TenantSpec {
+                id: 0,
+                suite: Suite::Dsm,
+                seed: 3,
+            },
+            false,
+        )
+        .unwrap();
+        assert!(r.micros > 0.0);
+        assert!(r.stats.get("faults").unwrap() > 0);
+        assert!(r.events.is_empty(), "tracing was off");
+    }
+
+    #[test]
+    fn fleet_aggregates_every_tenant() {
+        let cfg = FleetConfig {
+            tenants: 10,
+            threads: 2,
+            ..FleetConfig::default()
+        };
+        let r = run_fleet(&cfg).unwrap();
+        assert_eq!(r.tenants.len(), 10);
+        for (i, t) in r.tenants.iter().enumerate() {
+            assert_eq!(t.id as usize, i, "id order regardless of scheduling");
+        }
+        assert_eq!(r.latency.count(), 10, "one latency sample per tenant");
+        assert!(r.deliveries() > 0);
+        assert!(r.total_micros > 0.0);
+        // The aggregate really is the per-tenant sum.
+        let by_hand = StatsSnapshot::aggregate("fleet", r.tenants.iter().map(|t| t.stats.clone()));
+        assert_eq!(r.aggregate, by_hand);
+    }
+
+    #[test]
+    fn fleet_aggregates_are_thread_count_invariant() {
+        let base = FleetConfig {
+            tenants: 10,
+            threads: 1,
+            ..FleetConfig::default()
+        };
+        let one = run_fleet(&base).unwrap();
+        for threads in [2, 4] {
+            let many = run_fleet(&FleetConfig { threads, ..base }).unwrap();
+            assert_eq!(
+                one.fingerprint(),
+                many.fingerprint(),
+                "threads=1 vs threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn traced_fleet_exports_tenant_rows() {
+        let cfg = FleetConfig {
+            tenants: 3,
+            threads: 2,
+            trace: true,
+            ..FleetConfig::default()
+        };
+        let r = run_fleet(&cfg).unwrap();
+        for t in &r.tenants {
+            assert!(!t.events.is_empty(), "tenant {} has no events", t.id);
+        }
+        let json = r.chrome_trace(25.0);
+        for id in 0..3 {
+            assert!(
+                json.contains(&format!("tenant-{id:02}")),
+                "missing row label for tenant {id}"
+            );
+        }
+    }
+}

@@ -5,7 +5,9 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{CoreError, FaultInfo, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    CoreError, FaultInfo, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection,
+};
 use efex_simos::layout::{PAGE_SIZE, SUBPAGE_SIZE};
 use efex_simos::vm::FaultKind;
 use efex_trace::{Snapshot, StatsSnapshot};
@@ -124,42 +126,60 @@ impl Gc {
             BarrierKind::PageProtection => {
                 let state = Rc::clone(&st);
                 let eager = cfg.eager_amplification;
-                host.set_handler(move |ctx, info: FaultInfo| {
-                    let mut s = state.borrow_mut();
-                    if info.write && info.kind == FaultKind::Protection && s.contains(info.vaddr) {
-                        let page = HeapState::page_of(info.vaddr);
-                        s.dirty_pages.insert(page);
-                        if !eager {
-                            // Without eager amplification the handler must
-                            // re-enable access itself before retrying.
-                            if ctx.protect(page, PAGE_SIZE, Prot::ReadWrite).is_err() {
-                                return HandlerAction::Abort;
+                host.set_handler(
+                    HandlerSpec::new(move |ctx, info: FaultInfo| {
+                        let mut s = state.borrow_mut();
+                        if info.write
+                            && info.kind == FaultKind::Protection
+                            && s.contains(info.vaddr)
+                        {
+                            let page = HeapState::page_of(info.vaddr);
+                            s.dirty_pages.insert(page);
+                            if !eager {
+                                // Without eager amplification the handler must
+                                // re-enable access itself before retrying.
+                                if ctx
+                                    .protect(Protection::region(page, PAGE_SIZE).read_write())
+                                    .is_err()
+                                {
+                                    return HandlerAction::Abort;
+                                }
                             }
+                            HandlerAction::Retry
+                        } else {
+                            HandlerAction::Abort
                         }
-                        HandlerAction::Retry
-                    } else {
-                        HandlerAction::Abort
-                    }
-                });
+                    })
+                    .named("gc-page-barrier"),
+                );
             }
             BarrierKind::SubpageProtection => {
                 let state = Rc::clone(&st);
-                host.set_handler(move |ctx, info: FaultInfo| {
-                    let mut s = state.borrow_mut();
-                    if info.write && info.kind == FaultKind::Protection && s.contains(info.vaddr) {
-                        let sub = info.vaddr & !(SUBPAGE_SIZE - 1);
-                        s.dirty_pages.insert(sub);
-                        // Release only this 1 KB subpage: the rest of the
-                        // page keeps faulting (or being kernel-emulated)
-                        // so dirty tracking stays fine-grained.
-                        if ctx.subpage_protect(sub, SUBPAGE_SIZE, false).is_err() {
-                            return HandlerAction::Abort;
+                host.set_handler(
+                    HandlerSpec::new(move |ctx, info: FaultInfo| {
+                        let mut s = state.borrow_mut();
+                        if info.write
+                            && info.kind == FaultKind::Protection
+                            && s.contains(info.vaddr)
+                        {
+                            let sub = info.vaddr & !(SUBPAGE_SIZE - 1);
+                            s.dirty_pages.insert(sub);
+                            // Release only this 1 KB subpage: the rest of the
+                            // page keeps faulting (or being kernel-emulated)
+                            // so dirty tracking stays fine-grained.
+                            if ctx
+                                .subpage_protect(Protection::region(sub, SUBPAGE_SIZE).read_write())
+                                .is_err()
+                            {
+                                return HandlerAction::Abort;
+                            }
+                            HandlerAction::Retry
+                        } else {
+                            HandlerAction::Abort
                         }
-                        HandlerAction::Retry
-                    } else {
-                        HandlerAction::Abort
-                    }
-                });
+                    })
+                    .named("gc-subpage-barrier"),
+                );
             }
             BarrierKind::SoftwareCheck => {}
         }
@@ -686,10 +706,12 @@ impl Gc {
             // Failures here would mean the heap region is unmapped — a
             // simulator bug; surface loudly in debug builds.
             let r = match self.cfg.barrier {
-                BarrierKind::PageProtection => self.host.protect(start, end - start, Prot::Read),
-                BarrierKind::SubpageProtection => {
-                    self.host.subpage_protect(start, end - start, true)
-                }
+                BarrierKind::PageProtection => self
+                    .host
+                    .protect(Protection::region(start, end - start).read_only()),
+                BarrierKind::SubpageProtection => self
+                    .host
+                    .subpage_protect(Protection::region(start, end - start).read_only()),
                 BarrierKind::SoftwareCheck => unreachable!("handled above"),
             };
             debug_assert!(r.is_ok(), "reprotect failed: {r:?}");

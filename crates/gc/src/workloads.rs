@@ -150,6 +150,38 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), GcError> {
     Ok((r.micros, r.stats.snapshot()))
 }
 
+/// A seeded fleet-tenant variant of [`baseline_workload`]: the same
+/// collector configuration running a [`lisp_ops`] instance whose size and
+/// RNG stream are derived deterministically from `seed`. Two tenants with
+/// equal seeds produce bit-identical counters; different seeds exercise the
+/// barrier with different allocation/store patterns.
+///
+/// # Errors
+///
+/// Propagates collector errors.
+pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), GcError> {
+    let mut gc = Gc::new(GcConfig {
+        path: DeliveryPath::FastUser,
+        barrier: BarrierKind::PageProtection,
+        eager_amplification: true,
+        heap_bytes: 2 * 1024 * 1024,
+        minor_threshold: 16 * 1024,
+        ..GcConfig::default()
+    })?;
+    let r = lisp_ops(
+        &mut gc,
+        LispOpsParams {
+            iterations: 16 + (seed % 8) as u32,
+            depth: 6,
+            table_pages: 16,
+            stores_per_iteration: 6 + (seed % 5) as u32,
+            mutator_cycles: 1_000,
+            seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 7,
+        },
+    )?;
+    Ok((r.micros, r.stats.snapshot()))
+}
+
 fn build_tree(gc: &mut Gc, depth: u32, rng: &mut StdRng) -> Result<crate::ObjRef, GcError> {
     if depth == 0 {
         let leaf = gc.alloc(2)?;

@@ -4,7 +4,9 @@
 //! is drawn from the seeded [`Xorshift`] so a matrix run replays exactly.
 
 use crate::{Expectation, Observed, Scenario, Xorshift};
-use efex_core::{DeliveryPath, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    DeliveryPath, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection,
+};
 use efex_mips::ExcCode;
 use efex_simos::kernel::{InjectAction, Kernel, KernelConfig, RunOutcome};
 use efex_trace::Snapshot;
@@ -696,20 +698,23 @@ fn host_degraded_delivery(_seed: u64) -> Result<Observed, String> {
         .map_err(|e| format!("alloc: {e}"))?;
     h.store_u32(base, 0)
         .map_err(|e| format!("seed store: {e}"))?;
-    h.protect(base, 4096, Prot::Read)
+    h.protect(Protection::region(base, 4096).read_only())
         .map_err(|e| format!("protect: {e}"))?;
-    h.set_handler(move |ctx, info| {
-        ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite)
-            .expect("re-protect");
-        HandlerAction::Retry
-    });
+    h.set_handler(
+        HandlerSpec::new(move |ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
+                .expect("re-protect");
+            HandlerAction::Retry
+        })
+        .named("amplify-retry"),
+    );
     h.inject_degrade_next_deliveries(1);
     let t0 = h.cycles();
     h.store_u32(base, 1)
         .map_err(|e| format!("degraded store: {e}"))?;
     let degraded_cost = h.cycles() - t0;
 
-    h.protect(base, 4096, Prot::Read)
+    h.protect(Protection::region(base, 4096).read_only())
         .map_err(|e| format!("re-protect: {e}"))?;
     let t1 = h.cycles();
     h.store_u32(base, 2)

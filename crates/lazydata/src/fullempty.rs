@@ -15,7 +15,7 @@
 use std::error::Error;
 use std::fmt;
 
-use efex_core::CoreError;
+use efex_core::{CoreError, GuestMem};
 
 use crate::runtime::{LazyError, LazyRuntime};
 

@@ -38,4 +38,6 @@ pub mod fullempty;
 pub mod runtime;
 
 pub use fullempty::{SyncError, SyncVar};
-pub use runtime::{baseline_workload, LazyError, LazyList, LazyRuntime, LazyStats};
+pub use runtime::{
+    baseline_workload, tenant_workload, LazyError, LazyList, LazyRuntime, LazyStats,
+};

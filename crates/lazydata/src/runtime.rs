@@ -13,7 +13,9 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{CoreError, DeliveryPath, FaultInfo, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    CoreError, DeliveryPath, FaultInfo, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
+};
 use efex_mips::ExcCode;
 use efex_trace::{Snapshot, StatsSnapshot};
 
@@ -168,58 +170,62 @@ impl LazyRuntime {
         }));
 
         let state = Rc::clone(&st);
-        host.set_handler(move |ctx, info: FaultInfo| {
-            if !matches!(info.code, ExcCode::AddrErrLoad | ExcCode::AddrErrStore) {
-                return HandlerAction::Abort;
-            }
-            // The fault address is tag + in-cell offset (0 or 4).
-            let offset = (info.vaddr - 2) % 8;
-            let Some(id) = RtState::id_of(info.vaddr - offset) else {
-                return HandlerAction::Abort;
-            };
-            let mut s = state.borrow_mut();
-            if id >= s.suspensions.len() {
-                return HandlerAction::Abort;
-            }
-            // Force the suspension.
-            let Some(cell) = s.alloc_cell() else {
-                return HandlerAction::Abort;
-            };
-            let susp = std::mem::replace(&mut s.suspensions[id], Suspension::Done);
-            let filled = match susp {
-                Suspension::Stream { mut gen, index } => {
-                    let datum = gen(index);
-                    // The new cell's tail is a fresh suspension continuing
-                    // the same stream.
-                    s.suspensions.push(Suspension::Stream {
-                        gen,
-                        index: index + 1,
-                    });
-                    let tail_tag = s.tag_for(s.suspensions.len() - 1);
-                    s.extensions += 1;
-                    (datum as u32, tail_tag)
-                }
-                Suspension::Future(Some(p)) => {
-                    let v = p();
-                    s.forces += 1;
-                    (v as u32, 0)
-                }
-                Suspension::Future(None) | Suspension::Done => return HandlerAction::Abort,
-            };
-            // Charge the force's own work (allocation + fill).
-            ctx.charge(20);
-            if ctx.write_raw(cell, filled.0).is_err() || ctx.write_raw(cell + 4, filled.1).is_err()
-            {
-                return HandlerAction::Abort;
-            }
-            // Repair the pointer that held the tag, so later uses are free.
-            if let Some(slot) = s.pending_slot.take() {
-                if ctx.write_raw(slot, cell).is_err() {
+        host.set_handler(
+            HandlerSpec::new(move |ctx, info: FaultInfo| {
+                if !matches!(info.code, ExcCode::AddrErrLoad | ExcCode::AddrErrStore) {
                     return HandlerAction::Abort;
                 }
-            }
-            HandlerAction::Redirect(cell + offset)
-        });
+                // The fault address is tag + in-cell offset (0 or 4).
+                let offset = (info.vaddr - 2) % 8;
+                let Some(id) = RtState::id_of(info.vaddr - offset) else {
+                    return HandlerAction::Abort;
+                };
+                let mut s = state.borrow_mut();
+                if id >= s.suspensions.len() {
+                    return HandlerAction::Abort;
+                }
+                // Force the suspension.
+                let Some(cell) = s.alloc_cell() else {
+                    return HandlerAction::Abort;
+                };
+                let susp = std::mem::replace(&mut s.suspensions[id], Suspension::Done);
+                let filled = match susp {
+                    Suspension::Stream { mut gen, index } => {
+                        let datum = gen(index);
+                        // The new cell's tail is a fresh suspension continuing
+                        // the same stream.
+                        s.suspensions.push(Suspension::Stream {
+                            gen,
+                            index: index + 1,
+                        });
+                        let tail_tag = s.tag_for(s.suspensions.len() - 1);
+                        s.extensions += 1;
+                        (datum as u32, tail_tag)
+                    }
+                    Suspension::Future(Some(p)) => {
+                        let v = p();
+                        s.forces += 1;
+                        (v as u32, 0)
+                    }
+                    Suspension::Future(None) | Suspension::Done => return HandlerAction::Abort,
+                };
+                // Charge the force's own work (allocation + fill).
+                ctx.charge(20);
+                if ctx.write_raw(cell, filled.0).is_err()
+                    || ctx.write_raw(cell + 4, filled.1).is_err()
+                {
+                    return HandlerAction::Abort;
+                }
+                // Repair the pointer that held the tag, so later uses are free.
+                if let Some(slot) = s.pending_slot.take() {
+                    if ctx.write_raw(slot, cell).is_err() {
+                        return HandlerAction::Abort;
+                    }
+                }
+                HandlerAction::Redirect(cell + offset)
+            })
+            .named("lazy-fill"),
+        );
 
         Ok(LazyRuntime { host, st })
     }
@@ -373,6 +379,29 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), LazyError> {
     let first = rt.touch(fut)?; // forces the producer (one fault)
     let again = rt.touch(fut)?; // free afterwards
     debug_assert_eq!((first, again), (41, 41));
+    Ok((rt.micros(), rt.stats().snapshot()))
+}
+
+/// A seeded fleet-tenant variant of [`baseline_workload`]: the same
+/// stream-plus-future shape with the element count, generator multiplier,
+/// and future value derived deterministically from `seed`. Equal seeds
+/// reproduce bit-identical extension and force counts.
+///
+/// # Errors
+///
+/// Propagates runtime errors.
+pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), LazyError> {
+    let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 256 * 1024)?;
+    let mult = 1 + (seed % 9) as i32;
+    let list = rt.new_stream(move |i| (i as i32) * mult)?;
+    let n = 10 + (seed % 16) as usize;
+    let elems = rt.take(list, n)?;
+    debug_assert_eq!(elems.len(), n);
+    let value = 40 + (seed % 13) as i32;
+    let fut = rt.make_future(move || value)?;
+    let first = rt.touch(fut)?; // forces the producer (one fault)
+    let again = rt.touch(fut)?; // free afterwards
+    debug_assert_eq!((first, again), (value, value));
     Ok((rt.micros(), rt.stats().snapshot()))
 }
 

@@ -165,6 +165,83 @@ pub enum Vectored {
     User(u32),
 }
 
+/// Slots in the decoded-instruction cache (direct-mapped by virtual page).
+const DCACHE_SLOTS: usize = 64;
+/// Instruction words per 4 KB page.
+const DCACHE_WORDS: usize = 1024;
+
+/// One page of decoded instructions.
+///
+/// A cached line is only usable while every input that produced it is
+/// provably unchanged:
+///
+/// - the *translation* — tagged by virtual page, ASID, processor mode, and
+///   the TLB's [`Tlb::generation`] counter (TLB-mapped pages only; KSEG0/1
+///   translations are fixed by the architecture);
+/// - the *text* — tagged by physical page and the page's
+///   [`Memory::page_version`] write counter.
+///
+/// Any TLB write/eviction/flush, `utlbp` protection change, or store to the
+/// page (guest or host) changes a tag and the stale lines miss. The cache
+/// therefore never affects architectural state, cycle accounting, or fault
+/// behaviour — only host-side wall-clock time.
+#[derive(Clone)]
+struct DecodePage {
+    vpn: u32,
+    asid: u8,
+    user: bool,
+    /// Translation went through the TLB (KUSEG/KSEG2) rather than the
+    /// fixed KSEG0/KSEG1 windows.
+    mapped: bool,
+    tlb_gen: u64,
+    page_paddr: u32,
+    mem_version: u32,
+    lines: Box<[Option<(u32, Instruction)>; DCACHE_WORDS]>,
+}
+
+impl fmt::Debug for DecodePage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DecodePage")
+            .field("vpn", &self.vpn)
+            .field("asid", &self.asid)
+            .field("user", &self.user)
+            .field("mapped", &self.mapped)
+            .field("tlb_gen", &self.tlb_gen)
+            .field("page_paddr", &self.page_paddr)
+            .field("mem_version", &self.mem_version)
+            .field("lines", &self.lines.iter().flatten().count())
+            .finish()
+    }
+}
+
+/// Decode-cache slot for a virtual page number. Folds the high vpn bits in
+/// so pages that are congruent mod `DCACHE_SLOTS` in different address
+/// windows don't systematically alias: user text at `0x0040_k000` and the
+/// kernel's KSEG0 text at `0x8000_k000` are both multiples of 64 pages
+/// apart, and a plain `vpn % DCACHE_SLOTS` maps every user page onto its
+/// kernel counterpart — each exception delivery then evicts the other's
+/// lines and the cache never hits.
+fn dcache_slot(vpn: u32) -> usize {
+    ((vpn ^ (vpn >> 6) ^ (vpn >> 12)) as usize) & (DCACHE_SLOTS - 1)
+}
+
+/// Process-wide default for [`Machine::new`]'s decode-cache state. The
+/// cache never affects architectural results, so this exists purely for
+/// wall-clock A/B measurement (e.g. `efex-bench`'s `fleet --decode-cache`)
+/// across code that constructs machines internally.
+static DECODE_CACHE_DEFAULT: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(true);
+
+/// Sets the decode-cache default newly-created machines inherit.
+pub fn set_decode_cache_default(on: bool) {
+    DECODE_CACHE_DEFAULT.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The decode-cache default newly-created machines inherit.
+pub fn decode_cache_default() -> bool {
+    DECODE_CACHE_DEFAULT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The simulated machine.
 #[derive(Clone, Debug)]
 pub struct Machine {
@@ -180,6 +257,10 @@ pub struct Machine {
     prev_was_branch: bool,
     profiler: Option<Profiler>,
     trace: Option<crate::trace::Trace>,
+    dcache: [Option<Box<DecodePage>>; DCACHE_SLOTS],
+    dcache_enabled: bool,
+    dcache_hits: u64,
+    dcache_misses: u64,
 }
 
 impl Machine {
@@ -197,6 +278,10 @@ impl Machine {
             prev_was_branch: false,
             profiler: None,
             trace: None,
+            dcache: std::array::from_fn(|_| None),
+            dcache_enabled: decode_cache_default(),
+            dcache_hits: 0,
+            dcache_misses: 0,
         }
     }
 
@@ -286,6 +371,28 @@ impl Machine {
     /// Mutable access to the attached profiler.
     pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
         self.profiler.as_mut()
+    }
+
+    /// Enables or disables the decoded-instruction cache. Disabling drops
+    /// all cached pages; the architecturally-visible behaviour is identical
+    /// either way (the reference runs in the invalidation tests rely on
+    /// that).
+    pub fn set_decode_cache_enabled(&mut self, on: bool) {
+        if !on {
+            self.dcache = std::array::from_fn(|_| None);
+        }
+        self.dcache_enabled = on;
+    }
+
+    /// Whether the decoded-instruction cache is active (default: yes).
+    pub fn decode_cache_enabled(&self) -> bool {
+        self.dcache_enabled
+    }
+
+    /// Decode-cache (hits, misses) over the machine's lifetime. Host-side
+    /// observability only — never part of architectural state.
+    pub fn decode_cache_stats(&self) -> (u64, u64) {
+        (self.dcache_hits, self.dcache_misses)
     }
 
     /// Current ASID (from `EntryHi`).
@@ -389,30 +496,63 @@ impl Machine {
             self.raise(ExcCode::AddrErrLoad, pc, Some(pc), in_delay);
             return Ok(None);
         }
-        let paddr = match self.translate(pc, Access::Fetch, user) {
-            Ok(p) => p,
-            Err((code, bad)) => {
-                self.raise(code, pc, Some(bad), in_delay);
-                return Ok(None);
+        // Decode-cache probe: skips translate + memory read + decode when
+        // every tag still matches (see `DecodePage`).
+        let mut cached = None;
+        if self.dcache_enabled {
+            let slot = dcache_slot(pc >> 12);
+            let asid = self.asid();
+            let tlb_gen = self.tlb.generation();
+            if let Some(page) = self.dcache[slot].as_deref() {
+                if page.vpn == pc >> 12
+                    && page.user == user
+                    && (!page.mapped || (page.asid == asid && page.tlb_gen == tlb_gen))
+                    && page.mem_version == self.mem.page_version(page.page_paddr)
+                {
+                    cached = page.lines[((pc >> 2) & 0x3ff) as usize];
+                }
             }
-        };
-        let word = match self.mem.read_u32(paddr) {
-            Ok(w) => w,
-            Err(_) => {
-                self.raise(ExcCode::BusErrFetch, pc, Some(pc), in_delay);
-                return Ok(None);
-            }
-        };
-        let inst = match decode(word) {
-            Ok(i) => i,
-            Err(_) => {
-                self.raise(ExcCode::ReservedInstr, pc, None, in_delay);
-                return Ok(None);
-            }
-        };
-        if let Some(t) = self.trace.as_mut() {
-            t.record(pc, word, user);
         }
+        let inst = match cached {
+            Some((word, inst)) => {
+                self.dcache_hits += 1;
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(pc, word, user);
+                }
+                inst
+            }
+            None => {
+                let paddr = match self.translate(pc, Access::Fetch, user) {
+                    Ok(p) => p,
+                    Err((code, bad)) => {
+                        self.raise(code, pc, Some(bad), in_delay);
+                        return Ok(None);
+                    }
+                };
+                let word = match self.mem.read_u32(paddr) {
+                    Ok(w) => w,
+                    Err(_) => {
+                        self.raise(ExcCode::BusErrFetch, pc, Some(pc), in_delay);
+                        return Ok(None);
+                    }
+                };
+                let inst = match decode(word) {
+                    Ok(i) => i,
+                    Err(_) => {
+                        self.raise(ExcCode::ReservedInstr, pc, None, in_delay);
+                        return Ok(None);
+                    }
+                };
+                if self.dcache_enabled {
+                    self.dcache_misses += 1;
+                    self.dcache_install(pc, user, paddr, word, inst);
+                }
+                if let Some(t) = self.trace.as_mut() {
+                    t.record(pc, word, user);
+                }
+                inst
+            }
+        };
 
         // Advance sequentially; branches below overwrite next_pc.
         self.cpu.pc = self.cpu.next_pc;
@@ -449,6 +589,43 @@ impl Machine {
                 Ok(None)
             }
         }
+    }
+
+    /// Installs a freshly fetched+decoded instruction into the cache. The
+    /// slot is re-tagged when any tag moved; decoded lines survive a pure
+    /// translation-tag change (same physical text) since decode is a pure
+    /// function of the word.
+    fn dcache_install(&mut self, pc: u32, user: bool, paddr: u32, word: u32, inst: Instruction) {
+        let vpn = pc >> 12;
+        let slot = dcache_slot(vpn);
+        let mapped = !(0x8000_0000..0xc000_0000).contains(&pc);
+        let asid = self.asid();
+        let tlb_gen = self.tlb.generation();
+        let page_paddr = paddr & !0xfff;
+        let mem_version = self.mem.page_version(page_paddr);
+        let page = self.dcache[slot].get_or_insert_with(|| {
+            Box::new(DecodePage {
+                vpn,
+                asid,
+                user,
+                mapped,
+                tlb_gen,
+                page_paddr,
+                mem_version,
+                lines: Box::new([None; DCACHE_WORDS]),
+            })
+        });
+        if page.page_paddr != page_paddr || page.mem_version != mem_version {
+            page.lines.fill(None);
+        }
+        page.vpn = vpn;
+        page.asid = asid;
+        page.user = user;
+        page.mapped = mapped;
+        page.tlb_gen = tlb_gen;
+        page.page_paddr = page_paddr;
+        page.mem_version = mem_version;
+        page.lines[((pc >> 2) & 0x3ff) as usize] = Some((word, inst));
     }
 
     fn execute(

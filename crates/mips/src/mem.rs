@@ -22,24 +22,64 @@ impl fmt::Display for BusError {
 
 impl Error for BusError {}
 
+/// Page shift for the per-page write version counters (4 KB, matching
+/// [`crate::tlb::PAGE_SIZE`]).
+const PAGE_SHIFT: u32 = 12;
+
 /// Byte-addressable physical memory, little-endian like the DECstation's
 /// R3000 configuration.
+///
+/// Every write bumps a per-page **version counter** ([`Memory::page_version`]).
+/// The decode cache in [`crate::machine::Machine`] tags cached instructions
+/// with the version of the page they were fetched from, so any store to
+/// mapped text — guest stores, host `mem_mut()` writes, image loads —
+/// invalidates the affected cache lines without explicit hooks.
 #[derive(Clone, Debug)]
 pub struct Memory {
     bytes: Vec<u8>,
+    page_versions: Vec<u32>,
 }
 
 impl Memory {
     /// Allocates `size` bytes of zeroed physical memory.
     pub fn new(size: usize) -> Memory {
+        let pages = size.div_ceil(1 << PAGE_SHIFT);
         Memory {
             bytes: vec![0; size],
+            page_versions: vec![0; pages],
         }
     }
 
     /// Total size in bytes.
     pub fn size(&self) -> usize {
         self.bytes.len()
+    }
+
+    /// The write-version of the page containing `paddr`. Out-of-range
+    /// addresses report version 0 (they hold no cacheable text).
+    pub fn page_version(&self, paddr: u32) -> u32 {
+        self.page_versions
+            .get((paddr >> PAGE_SHIFT) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn bump_page(&mut self, paddr: u32) {
+        let page = (paddr >> PAGE_SHIFT) as usize;
+        if let Some(v) = self.page_versions.get_mut(page) {
+            *v = v.wrapping_add(1);
+        }
+    }
+
+    fn bump_range(&mut self, paddr: u32, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let first = (paddr >> PAGE_SHIFT) as usize;
+        let last = (((paddr as usize + len - 1) >> PAGE_SHIFT) + 1).min(self.page_versions.len());
+        for v in &mut self.page_versions[first..last] {
+            *v = v.wrapping_add(1);
+        }
     }
 
     fn check(&self, paddr: u32, len: u32) -> Result<usize, BusError> {
@@ -78,6 +118,7 @@ impl Memory {
     pub fn write_u8(&mut self, paddr: u32, v: u8) -> Result<(), BusError> {
         let i = self.check(paddr, 1)?;
         self.bytes[i] = v;
+        self.bump_page(paddr);
         Ok(())
     }
 
@@ -85,6 +126,7 @@ impl Memory {
     pub fn write_u16(&mut self, paddr: u32, v: u16) -> Result<(), BusError> {
         let i = self.check(paddr, 2)?;
         self.bytes[i..i + 2].copy_from_slice(&v.to_le_bytes());
+        self.bump_page(paddr);
         Ok(())
     }
 
@@ -92,6 +134,7 @@ impl Memory {
     pub fn write_u32(&mut self, paddr: u32, v: u32) -> Result<(), BusError> {
         let i = self.check(paddr, 4)?;
         self.bytes[i..i + 4].copy_from_slice(&v.to_le_bytes());
+        self.bump_page(paddr);
         Ok(())
     }
 
@@ -99,6 +142,7 @@ impl Memory {
     pub fn write_bytes(&mut self, paddr: u32, data: &[u8]) -> Result<(), BusError> {
         let i = self.check(paddr, data.len() as u32)?;
         self.bytes[i..i + data.len()].copy_from_slice(data);
+        self.bump_range(paddr, data.len());
         Ok(())
     }
 
@@ -112,6 +156,7 @@ impl Memory {
     pub fn zero(&mut self, paddr: u32, len: usize) -> Result<(), BusError> {
         let i = self.check(paddr, len as u32)?;
         self.bytes[i..i + len].fill(0);
+        self.bump_range(paddr, len);
         Ok(())
     }
 }
@@ -137,6 +182,28 @@ mod tests {
         assert_eq!(m.read_u32(6).unwrap_err(), BusError { paddr: 6 });
         assert!(m.write_u8(7, 1).is_ok());
         assert!(m.write_u16(7, 1).is_err());
+    }
+
+    #[test]
+    fn page_versions_track_every_write_path() {
+        let mut m = Memory::new(3 << 12);
+        assert_eq!(m.page_version(0), 0);
+        m.write_u8(0x10, 1).unwrap();
+        m.write_u16(0x20, 2).unwrap();
+        m.write_u32(0x30, 3).unwrap();
+        assert_eq!(m.page_version(0xfff), 3, "same page, three writes");
+        assert_eq!(m.page_version(0x1000), 0, "neighbour untouched");
+        // A spanning copy bumps every page it touches.
+        m.write_bytes(0x0ffe, &[0; 4]).unwrap();
+        assert_eq!(m.page_version(0), 4);
+        assert_eq!(m.page_version(0x1000), 1);
+        m.zero(0x1000, 2 << 12).unwrap();
+        assert_eq!(m.page_version(0x1000), 2);
+        assert_eq!(m.page_version(0x2000), 1);
+        // Reads never bump; out-of-range queries report 0.
+        m.read_u32(0).unwrap();
+        assert_eq!(m.page_version(0), 4);
+        assert_eq!(m.page_version(0x4000_0000), 0);
     }
 
     #[test]

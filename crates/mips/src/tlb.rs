@@ -138,6 +138,10 @@ impl fmt::Display for TlbFault {
 #[derive(Clone, Debug)]
 pub struct Tlb {
     entries: [Option<TlbEntry>; TLB_ENTRIES],
+    /// Bumped by every mutating operation. Consumers that cache derived
+    /// translation state (the decode cache in `machine.rs`) compare this to
+    /// detect TLB writes, evictions, flushes, and protection changes.
+    generation: u64,
 }
 
 impl Default for Tlb {
@@ -151,7 +155,13 @@ impl Tlb {
     pub fn new() -> Tlb {
         Tlb {
             entries: [None; TLB_ENTRIES],
+            generation: 0,
         }
+    }
+
+    /// Mutation counter: changes whenever any entry may have changed.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Translates `vaddr` for `asid`, checking write permission when
@@ -203,6 +213,7 @@ impl Tlb {
     ///
     /// Panics if `index >= TLB_ENTRIES`.
     pub fn write(&mut self, index: usize, entry: TlbEntry) {
+        self.generation = self.generation.wrapping_add(1);
         for (i, slot) in self.entries.iter_mut().enumerate() {
             if i == index {
                 continue;
@@ -222,16 +233,19 @@ impl Tlb {
     ///
     /// Panics if `index >= TLB_ENTRIES`.
     pub fn clear(&mut self, index: usize) {
+        self.generation = self.generation.wrapping_add(1);
         self.entries[index] = None;
     }
 
     /// Empties every slot (full flush).
     pub fn flush(&mut self) {
+        self.generation = self.generation.wrapping_add(1);
         self.entries = [None; TLB_ENTRIES];
     }
 
     /// Empties all slots belonging to one address space.
     pub fn flush_asid(&mut self, asid: u8) {
+        self.generation = self.generation.wrapping_add(1);
         for slot in &mut self.entries {
             if slot.is_some_and(|e| !e.global && e.asid == asid) {
                 *slot = None;
@@ -242,6 +256,7 @@ impl Tlb {
     /// Empties any slot translating `vaddr` for `asid` (kernel page
     /// protection changes must shoot the stale mapping down).
     pub fn invalidate_page(&mut self, vaddr: u32, asid: u8) {
+        self.generation = self.generation.wrapping_add(1);
         for slot in &mut self.entries {
             if slot.is_some_and(|e| e.matches(vaddr, asid)) {
                 *slot = None;
@@ -252,6 +267,9 @@ impl Tlb {
     /// Mutable access to the entry matching `vaddr`/`asid`, used by the
     /// `utlbp` implementation.
     pub fn entry_matching_mut(&mut self, vaddr: u32, asid: u8) -> Option<&mut TlbEntry> {
+        // The caller may rewrite protection bits through the returned
+        // reference; bump conservatively at hand-out time.
+        self.generation = self.generation.wrapping_add(1);
         self.entries
             .iter_mut()
             .flatten()
@@ -365,6 +383,26 @@ mod tests {
         assert_eq!(tlb.translate(0x0040_0000, 1, false), Err(TlbFault::Miss));
         assert!(tlb.translate(0x0050_0000, 2, false).is_ok());
         assert!(tlb.translate(0x0060_0000, 1, false).is_ok());
+    }
+
+    #[test]
+    fn generation_bumps_on_every_mutation() {
+        let mut tlb = Tlb::new();
+        let g0 = tlb.generation();
+        tlb.write(0, entry(0x00400, 1, 0x00080));
+        let g1 = tlb.generation();
+        assert_ne!(g0, g1);
+        tlb.translate(0x0040_0000, 1, false).unwrap();
+        tlb.probe(0x0040_0000, 1);
+        assert_eq!(tlb.generation(), g1, "reads must not bump");
+        tlb.entry_matching_mut(0x0040_0000, 1).unwrap().dirty = false;
+        let g2 = tlb.generation();
+        assert_ne!(g1, g2, "protection edits through entry_matching_mut bump");
+        tlb.invalidate_page(0x0040_0000, 1);
+        let g3 = tlb.generation();
+        assert_ne!(g2, g3);
+        tlb.flush();
+        assert_ne!(g3, tlb.generation());
     }
 
     #[test]

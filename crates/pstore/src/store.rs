@@ -5,7 +5,10 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{CoreError, DeliveryPath, FaultCtx, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    CoreError, DeliveryPath, FaultCtx, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
+    Protection,
+};
 use efex_mips::ExcCode;
 use efex_simos::layout::PAGE_SIZE;
 use efex_trace::{Snapshot, StatsSnapshot};
@@ -238,7 +241,7 @@ impl StoreOps for FaultCtx<'_> {
         self.write_raw(addr, v)
     }
     fn set_prot(&mut self, addr: u32, len: u32, prot: Prot) -> Result<(), CoreError> {
-        self.protect(addr, len, prot)
+        self.protect(Protection::region(addr, len).with_prot(prot))
     }
     fn charge(&mut self, cycles: u64) {
         FaultCtx::charge(self, cycles);
@@ -250,7 +253,7 @@ impl StoreOps for HostProcess {
         self.write_raw(addr, v)
     }
     fn set_prot(&mut self, addr: u32, len: u32, prot: Prot) -> Result<(), CoreError> {
-        self.protect(addr, len, prot)
+        self.protect(Protection::region(addr, len).with_prot(prot))
     }
     fn charge(&mut self, cycles: u64) {
         HostProcess::charge(self, cycles);
@@ -323,41 +326,44 @@ impl Pstore {
 
         if cfg.strategy != Strategy::SoftwareCheck {
             let st = Rc::clone(&shared);
-            host.set_handler(move |ctx, info| {
-                let mut s = st.borrow_mut();
-                match info.code {
-                    // Unaligned dereference of a tagged pointer: load the
-                    // target page and repair the pointer (lazy swizzling).
-                    ExcCode::AddrErrLoad | ExcCode::AddrErrStore
-                        if Shared::is_tagged(info.vaddr) =>
-                    {
-                        let Some(target) = s.oid_of(info.vaddr - 2) else {
-                            return HandlerAction::Abort;
-                        };
-                        if s.load_page(ctx, target).is_err() {
-                            return HandlerAction::Abort;
-                        }
-                        let aligned = s.vbase(target) + (info.vaddr - 2) % PAGE_SIZE;
-                        if let Some(slot) = s.pending_slot.take() {
-                            if s.swizzle_slot(ctx, slot, target).is_err() {
+            host.set_handler(
+                HandlerSpec::new(move |ctx, info| {
+                    let mut s = st.borrow_mut();
+                    match info.code {
+                        // Unaligned dereference of a tagged pointer: load the
+                        // target page and repair the pointer (lazy swizzling).
+                        ExcCode::AddrErrLoad | ExcCode::AddrErrStore
+                            if Shared::is_tagged(info.vaddr) =>
+                        {
+                            let Some(target) = s.oid_of(info.vaddr - 2) else {
+                                return HandlerAction::Abort;
+                            };
+                            if s.load_page(ctx, target).is_err() {
                                 return HandlerAction::Abort;
                             }
+                            let aligned = s.vbase(target) + (info.vaddr - 2) % PAGE_SIZE;
+                            if let Some(slot) = s.pending_slot.take() {
+                                if s.swizzle_slot(ctx, slot, target).is_err() {
+                                    return HandlerAction::Abort;
+                                }
+                            }
+                            HandlerAction::Redirect(aligned)
                         }
-                        HandlerAction::Redirect(aligned)
-                    }
-                    // Protection fault on a reserved page: load it.
-                    ExcCode::TlbMod | ExcCode::TlbLoad | ExcCode::TlbStore => {
-                        let Some(target) = s.oid_of(info.vaddr) else {
-                            return HandlerAction::Abort;
-                        };
-                        if s.load_page(ctx, target).is_err() {
-                            return HandlerAction::Abort;
+                        // Protection fault on a reserved page: load it.
+                        ExcCode::TlbMod | ExcCode::TlbLoad | ExcCode::TlbStore => {
+                            let Some(target) = s.oid_of(info.vaddr) else {
+                                return HandlerAction::Abort;
+                            };
+                            if s.load_page(ctx, target).is_err() {
+                                return HandlerAction::Abort;
+                            }
+                            HandlerAction::Retry
                         }
-                        HandlerAction::Retry
+                        _ => HandlerAction::Abort,
                     }
-                    _ => HandlerAction::Abort,
-                }
-            });
+                })
+                .named("pstore-swizzle"),
+            );
         }
 
         Ok(Pstore {

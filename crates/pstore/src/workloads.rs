@@ -130,6 +130,36 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), PstoreError> {
     Ok((r.micros, snap))
 }
 
+/// A seeded fleet-tenant variant of [`baseline_workload`]: lazy
+/// unaligned-tag swizzling over the fast path on a random graph whose shape
+/// and reuse factor derive deterministically from `seed`. Equal seeds
+/// reproduce bit-identical fault/swizzle counters.
+///
+/// # Errors
+///
+/// Propagates store errors.
+pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), PstoreError> {
+    let graph = StableGraph::random(
+        16 + (seed % 8) as u32,
+        50,
+        30 + (seed % 11) as u32,
+        seed.wrapping_mul(0x2545_f491_4f6c_dd1d) ^ 0xb5,
+    );
+    let cfg = PstoreConfig {
+        strategy: Strategy::Unaligned,
+        policy: Policy::Lazy,
+        path: DeliveryPath::FastUser,
+        ..PstoreConfig::default()
+    };
+    let r = pointer_uses(graph, cfg, 8 + (seed % 7) as u32)?;
+    let snap = StatsSnapshot::new("pstore")
+        .counter("uses", r.uses)
+        .counter("faults", r.faults)
+        .counter("checks", r.checks)
+        .counter("swizzles", r.swizzles);
+    Ok((r.micros, snap))
+}
+
 fn count_pointers(graph: &StableGraph) -> u32 {
     graph
         .page(crate::graph::Oid(0))

@@ -22,6 +22,9 @@ use efex_trace::{json_escape, EventKind, TraceEvent};
 pub const TID_LIFECYCLE: u32 = 1;
 /// Thread id used for guest-kernel profiler region spans.
 pub const TID_REGIONS: u32 = 2;
+/// First thread id for per-tenant fleet rows ([`ChromeTrace::push_tenant_lifecycle`]);
+/// tenant `i` conventionally lands on `TID_TENANT_BASE + i`.
+pub const TID_TENANT_BASE: u32 = 16;
 
 /// Builder for a trace-event-format JSON document.
 #[derive(Clone, Debug)]
@@ -86,6 +89,20 @@ impl ChromeTrace {
     /// lifecycles at the stream edges (a ring that wrapped mid-fault) emit
     /// whatever phases are complete and drop the rest.
     pub fn push_lifecycle(&mut self, events: &[TraceEvent]) {
+        self.push_lifecycle_on(TID_LIFECYCLE, events);
+    }
+
+    /// Folds a tenant's lifecycle stream onto its own named thread row —
+    /// the multi-tenant (fleet) variant of [`ChromeTrace::push_lifecycle`].
+    /// Each tenant gets a distinct `tid` (conventionally
+    /// [`TID_TENANT_BASE`]` + tenant index`), so N tenants render as N
+    /// parallel timeline rows in one document.
+    pub fn push_tenant_lifecycle(&mut self, tid: u32, name: &str, events: &[TraceEvent]) {
+        self.push_thread_name(tid, name);
+        self.push_lifecycle_on(tid, events);
+    }
+
+    fn push_lifecycle_on(&mut self, tid: u32, events: &[TraceEvent]) {
         let mut raised: Option<&TraceEvent> = None;
         let mut handler_entered: Option<&TraceEvent> = None;
         let mut handler_returned: Option<&TraceEvent> = None;
@@ -97,7 +114,7 @@ impl ChromeTrace {
             match ev.kind {
                 EventKind::FaultRaised => {
                     self.push_instant(
-                        TID_LIFECYCLE,
+                        tid,
                         &format!("fault:{}", ev.class),
                         self.us(ev.cycles),
                         &args,
@@ -109,7 +126,7 @@ impl ChromeTrace {
                 EventKind::HandlerEntered => {
                     if let Some(start) = raised {
                         self.push_complete(
-                            TID_LIFECYCLE,
+                            tid,
                             "deliver",
                             self.us(start.cycles),
                             self.us(ev.cycles.saturating_sub(start.cycles)),
@@ -121,7 +138,7 @@ impl ChromeTrace {
                 EventKind::HandlerReturned => {
                     if let Some(start) = handler_entered.take() {
                         self.push_complete(
-                            TID_LIFECYCLE,
+                            tid,
                             "handler",
                             self.us(start.cycles),
                             self.us(ev.cycles.saturating_sub(start.cycles)),
@@ -133,7 +150,7 @@ impl ChromeTrace {
                 EventKind::Resumed => {
                     if let Some(start) = handler_returned.take() {
                         self.push_complete(
-                            TID_LIFECYCLE,
+                            tid,
                             "return",
                             self.us(start.cycles),
                             self.us(ev.cycles.saturating_sub(start.cycles)),
@@ -260,6 +277,37 @@ mod tests {
             .map(|e| e.get("name").unwrap().as_str().unwrap())
             .collect();
         assert_eq!(spans, ["return"], "only the complete phase is emitted");
+    }
+
+    #[test]
+    fn tenant_lifecycles_land_on_their_own_rows() {
+        let mut t = ChromeTrace::new(25.0);
+        t.push_tenant_lifecycle(TID_TENANT_BASE, "tenant 0: gc", &lifecycle(1000));
+        t.push_tenant_lifecycle(TID_TENANT_BASE + 1, "tenant 1: dsm", &lifecycle(1000));
+        let doc = jsonval::parse(&t.to_json()).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        for (tid, name) in [
+            (TID_TENANT_BASE, "tenant 0: gc"),
+            (TID_TENANT_BASE + 1, "tenant 1: dsm"),
+        ] {
+            assert!(
+                events.iter().any(|e| {
+                    e.get("name").and_then(|n| n.as_str()) == Some("thread_name")
+                        && e.get("tid").unwrap().as_u64() == Some(u64::from(tid))
+                        && e.get("args").unwrap().get("name").unwrap().as_str() == Some(name)
+                }),
+                "row {tid} named {name:?}"
+            );
+            let spans: Vec<&str> = events
+                .iter()
+                .filter(|e| {
+                    e.get("ph").and_then(|p| p.as_str()) == Some("X")
+                        && e.get("tid").unwrap().as_u64() == Some(u64::from(tid))
+                })
+                .map(|e| e.get("name").unwrap().as_str().unwrap())
+                .collect();
+            assert_eq!(spans, ["deliver", "handler", "return"], "row {tid}");
+        }
     }
 
     #[test]

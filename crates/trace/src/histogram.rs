@@ -310,6 +310,30 @@ mod tests {
     }
 
     #[test]
+    fn merged_quantiles_match_single_histogram_of_all_samples() {
+        // Fleet aggregation merges per-tenant histograms; p50/p90/p99 of the
+        // merge must equal what one histogram fed every sample would report.
+        let shards: [&[u64]; 3] = [&[5, 40, 90, 125], &[200, 350, 800], &[1600, 3000, 9000]];
+        let mut merged = Histogram::new();
+        let mut reference = Histogram::new();
+        for shard in shards {
+            let mut h = Histogram::new();
+            for &v in shard {
+                h.record(v);
+                reference.record(v);
+            }
+            merged.merge(&h);
+        }
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.sum(), reference.sum());
+        assert_eq!(merged.p50(), reference.p50());
+        assert_eq!(merged.p90(), reference.p90());
+        assert_eq!(merged.p99(), reference.p99());
+        assert_eq!(merged.quantile(0.0), reference.quantile(0.0));
+        assert_eq!(merged.quantile(1.0), reference.quantile(1.0));
+    }
+
+    #[test]
     fn quantiles_on_empty_and_single_sample() {
         let mut h = Histogram::new();
         assert_eq!(h.quantile(0.5), None);
@@ -431,6 +455,36 @@ mod tests {
                     );
                 }
                 prev = v;
+            }
+        }
+
+        /// Merging any chunked partition of a sample set is indistinguishable
+        /// from recording every sample into one histogram — the invariant
+        /// fleet aggregation relies on.
+        #[test]
+        fn merge_partition_invariance(
+            values in proptest::collection::vec(0u64..1_000_000, 1..200),
+            chunk in 1usize..32,
+        ) {
+            let mut reference = Histogram::new();
+            for &v in &values {
+                reference.record(v);
+            }
+            let mut merged = Histogram::new();
+            for shard in values.chunks(chunk) {
+                let mut h = Histogram::new();
+                for &v in shard {
+                    h.record(v);
+                }
+                merged.merge(&h);
+            }
+            proptest::prop_assert_eq!(merged.count(), reference.count());
+            proptest::prop_assert_eq!(merged.sum(), reference.sum());
+            proptest::prop_assert_eq!(merged.min(), reference.min());
+            proptest::prop_assert_eq!(merged.max(), reference.max());
+            for i in 0..=10 {
+                let q = f64::from(i) / 10.0;
+                proptest::prop_assert_eq!(merged.quantile(q), reference.quantile(q));
             }
         }
 

@@ -40,6 +40,32 @@ impl StatsSnapshot {
             .map(|&(_, v)| v)
     }
 
+    /// Adds `other`'s counters into this snapshot, summing values with
+    /// matching names; names not yet present are appended in `other`'s
+    /// order. Fleet aggregation sums per-tenant snapshots this way, so the
+    /// result is independent of how tenants were scheduled across threads
+    /// (addition is commutative; ordering is fixed by the first snapshot).
+    pub fn merge(&mut self, other: &StatsSnapshot) {
+        for (name, value) in &other.counters {
+            match self.counters.iter_mut().find(|(n, _)| n == name) {
+                Some((_, v)) => *v = v.saturating_add(*value),
+                None => self.counters.push((name.clone(), *value)),
+            }
+        }
+    }
+
+    /// Sums an iterator of snapshots into one under `component`.
+    pub fn aggregate(
+        component: &'static str,
+        snaps: impl IntoIterator<Item = StatsSnapshot>,
+    ) -> StatsSnapshot {
+        let mut out = StatsSnapshot::new(component);
+        for s in snaps {
+            out.merge(&s);
+        }
+        out
+    }
+
     /// `{"component":"gc","counters":{"minor_collections":3,…}}`
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
@@ -89,6 +115,38 @@ mod tests {
         assert_eq!(s.get("faults"), Some(3));
         assert_eq!(s.get("missing"), None);
         assert_eq!(s.counters[0].0, "faults");
+    }
+
+    #[test]
+    fn merge_sums_by_name_and_appends_unknowns() {
+        let mut a = Demo {
+            faults: 3,
+            retries: 1,
+        }
+        .snapshot();
+        let b = StatsSnapshot::new("demo")
+            .counter("retries", 9)
+            .counter("evictions", 2);
+        a.merge(&b);
+        assert_eq!(a.get("faults"), Some(3));
+        assert_eq!(a.get("retries"), Some(10));
+        assert_eq!(a.get("evictions"), Some(2));
+        assert_eq!(a.counters.len(), 3, "no duplicate names after merge");
+    }
+
+    #[test]
+    fn aggregate_is_order_independent() {
+        let mk = |f, r| {
+            StatsSnapshot::new("demo")
+                .counter("faults", f)
+                .counter("retries", r)
+        };
+        let forward = StatsSnapshot::aggregate("fleet", vec![mk(1, 10), mk(2, 20), mk(4, 40)]);
+        let reverse = StatsSnapshot::aggregate("fleet", vec![mk(4, 40), mk(2, 20), mk(1, 10)]);
+        assert_eq!(forward.get("faults"), Some(7));
+        assert_eq!(forward.get("retries"), Some(70));
+        assert_eq!(forward.counters, reverse.counters);
+        assert_eq!(forward.component, "fleet");
     }
 
     #[test]

@@ -43,7 +43,10 @@ use std::error::Error;
 use std::fmt;
 use std::rc::Rc;
 
-use efex_core::{CoreError, DeliveryPath, FaultInfo, HandlerAction, HostProcess, Prot};
+use efex_core::{
+    CoreError, DeliveryPath, FaultInfo, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
+    Protection,
+};
 use efex_simos::layout::{PAGE_SIZE, SUBPAGE_SIZE};
 use efex_simos::vm::FaultKind;
 use efex_trace::{Snapshot, StatsSnapshot};
@@ -175,32 +178,35 @@ impl Debugger {
         let mut host = HostProcess::builder().delivery(path).build()?;
         let shared: Rc<RefCell<Shared>> = Rc::default();
         let st = Rc::clone(&shared);
-        host.set_handler(move |ctx, info: FaultInfo| {
-            if !(info.write && info.kind == FaultKind::Protection) {
-                return HandlerAction::Abort;
-            }
-            let mut s = st.borrow_mut();
-            // The condition check models a handful of debugger
-            // instructions.
-            ctx.charge(10);
-            if let Some(idx) = s.matching(info.vaddr) {
-                let old = ctx.read_raw(info.vaddr & !3).unwrap_or(0);
-                let new = info.value.unwrap_or(0);
-                if (s.watches[idx].condition)(old, new) {
-                    s.watches[idx].hits += 1;
-                    s.hits.push(WatchHit {
-                        watch: WatchId(idx),
-                        vaddr: info.vaddr,
-                        old,
-                        new,
-                    });
+        host.set_handler(
+            HandlerSpec::new(move |ctx, info: FaultInfo| {
+                if !(info.write && info.kind == FaultKind::Protection) {
+                    return HandlerAction::Abort;
                 }
-            } else {
-                s.false_hits += 1;
-            }
-            // Complete the store and keep the page protected.
-            HandlerAction::Emulate
-        });
+                let mut s = st.borrow_mut();
+                // The condition check models a handful of debugger
+                // instructions.
+                ctx.charge(10);
+                if let Some(idx) = s.matching(info.vaddr) {
+                    let old = ctx.read_raw(info.vaddr & !3).unwrap_or(0);
+                    let new = info.value.unwrap_or(0);
+                    if (s.watches[idx].condition)(old, new) {
+                        s.watches[idx].hits += 1;
+                        s.hits.push(WatchHit {
+                            watch: WatchId(idx),
+                            vaddr: info.vaddr,
+                            old,
+                            new,
+                        });
+                    }
+                } else {
+                    s.false_hits += 1;
+                }
+                // Complete the store and keep the page protected.
+                HandlerAction::Emulate
+            })
+            .named("watchpoint"),
+        );
         Ok(Debugger {
             host,
             shared,
@@ -266,13 +272,14 @@ impl Debugger {
         if self.use_subpages {
             let first = addr & !(SUBPAGE_SIZE - 1);
             let last = (addr + len - 1) & !(SUBPAGE_SIZE - 1);
-            self.host
-                .subpage_protect(first, last - first + SUBPAGE_SIZE, true)?;
+            self.host.subpage_protect(
+                Protection::region(first, last - first + SUBPAGE_SIZE).read_only(),
+            )?;
         } else {
             let first = addr & !(PAGE_SIZE - 1);
             let last = (addr + len - 1) & !(PAGE_SIZE - 1);
             self.host
-                .protect(first, last - first + PAGE_SIZE, Prot::Read)?;
+                .protect(Protection::region(first, last - first + PAGE_SIZE).read_only())?;
         }
         Ok(id)
     }
@@ -357,6 +364,28 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), WatchError> {
     dbg.watch_write(base + 64, 8, |_, new| new > 100)?;
     for i in 0..32 {
         dbg.store(base + 64, i * 10)?; // watched word: hit when i*10 > 100
+        dbg.store(base + 256, i)?; // same subpage, unwatched: false hit
+        dbg.store(base + 2048, i)?; // same page, other subpage: absorbed
+    }
+    Ok((dbg.micros(), dbg.stats().snapshot()))
+}
+
+/// A seeded fleet-tenant variant of [`baseline_workload`]: the same
+/// conditional-watch store loop with the iteration count and condition
+/// threshold derived deterministically from `seed`. Equal seeds reproduce
+/// bit-identical hit and delivery counters.
+///
+/// # Errors
+///
+/// Propagates debugger errors.
+pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), WatchError> {
+    let mut dbg = Debugger::new(DeliveryPath::FastUser, true)?;
+    let base = dbg.alloc(8192)?;
+    let threshold = 60 + (seed % 80) as u32;
+    dbg.watch_write(base + 64, 8, move |_, new| new > threshold)?;
+    let iterations = 20 + (seed % 16) as u32;
+    for i in 0..iterations {
+        dbg.store(base + 64, i * 10)?; // watched word: hit past the threshold
         dbg.store(base + 256, i)?; // same subpage, unwatched: false hit
         dbg.store(base + 2048, i)?; // same page, other subpage: absorbed
     }

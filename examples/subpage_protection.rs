@@ -9,7 +9,9 @@
 //! the other three subpages are emulated by the kernel and the program
 //! never notices.
 
-use efex::core::{DeliveryPath, HandlerAction, HostProcess, Prot};
+use efex::core::{
+    DeliveryPath, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection,
+};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut h = HostProcess::builder()
@@ -19,11 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     h.store_u32(page, 0)?; // make it resident
 
     // Protect only the first 1 KB logical page.
-    h.subpage_protect(page, 1024, true)?;
-    h.set_handler(|_, info| {
+    h.subpage_protect(Protection::region(page, 1024).read_only())?;
+    h.set_handler(HandlerSpec::new(|_, info| {
         println!("  handler: write to protected subpage at {:#x}", info.vaddr);
         HandlerAction::Retry
-    });
+    }));
 
     println!("store into unprotected subpage (offset 2048):");
     h.store_u32(page + 2048, 7)?;

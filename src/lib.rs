@@ -13,6 +13,7 @@
 //! - [`core`] — the paper's user-level exception API.
 //! - [`oscost`] — Table-1 operating-system delivery cost models.
 //! - [`analysis`] — break-even models (Table 5, Figures 3 and 4).
+//! - [`fleet`] — sharded multi-tenant simulation across worker threads.
 //! - [`gc`] — generational collector with pluggable write barriers.
 //! - [`pstore`] — persistent store with pointer swizzling.
 //! - [`lazydata`] — unbounded structures / futures / full-empty bits.
@@ -41,6 +42,7 @@
 pub use efex_analysis as analysis;
 pub use efex_core as core;
 pub use efex_dsm as dsm;
+pub use efex_fleet as fleet;
 pub use efex_gc as gc;
 pub use efex_inject as inject;
 pub use efex_lazydata as lazydata;

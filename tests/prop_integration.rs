@@ -1,6 +1,8 @@
 //! Property-based tests over the full stack.
 
-use efex::core::{DeliveryPath, HandlerAction, HostProcess, Prot};
+use efex::core::{
+    DeliveryPath, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot, Protection,
+};
 use efex::gc::{BarrierKind, Gc, GcConfig, ObjRef, Value};
 use proptest::prelude::*;
 
@@ -117,14 +119,15 @@ proptest! {
             .unwrap();
         let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         h.store_u32(base, 0).unwrap();
-        h.set_handler(move |ctx, info| {
-            ctx.protect(info.vaddr & !0xfff, 4096, Prot::ReadWrite).unwrap();
+        h.set_handler(HandlerSpec::new(move |ctx, info| {
+            ctx.protect(Protection::region(info.vaddr & !0xfff, 4096).read_write())
+                .unwrap();
             HandlerAction::Retry
-        });
+        }));
         let mut shadow = std::collections::BTreeMap::new();
         for (i, (word, value)) in writes.iter().enumerate() {
             if i % protect_every == 0 {
-                h.protect(base, 4096, Prot::Read).unwrap();
+                h.protect(Protection::region(base, 4096).read_only()).unwrap();
             }
             let addr = base + word * 4;
             h.store_u32(addr, *value).unwrap();
