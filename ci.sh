@@ -8,6 +8,7 @@ cargo test --workspace -q
 cargo run --release -p efex-bench --bin lint
 cargo run --release -p efex-bench --bin inject -- --all
 cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --check-determinism
+cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --health
 cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
 cargo clippy --workspace --all-targets -- -D warnings
 cargo fmt --check

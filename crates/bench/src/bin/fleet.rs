@@ -10,6 +10,14 @@
 //!                                       must be bit-identical)
 //! fleet ... --chrome <path>             per-tenant Chrome-trace rows
 //! fleet ... --seed <n>                  override the fleet base seed
+//! fleet ... --health                    evaluate the fleet invariant set;
+//!                                       nonzero exit on any finding, and
+//!                                       the health-on/off fingerprints
+//!                                       must match (health observes, it
+//!                                       never perturbs)
+//! fleet ... --metrics-out <path>        write the health registry —
+//!                                       Prometheus text for `.prom`,
+//!                                       JSONL for `.jsonl`
 //! ```
 //!
 //! Simulated results (stats, cycle-derived times, histograms) are
@@ -182,12 +190,74 @@ fn decode_cache_compare(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetErro
     }
 }
 
+/// The `--health` exhibit: evaluate the fleet invariant set, print every
+/// finding, measure (but never gate) the health plane's host-side cost, and
+/// gate that the health plane changed nothing deterministic.
+fn run_health(
+    report: &FleetReport,
+    cfg: &FleetConfig,
+    metrics_out: Option<&str>,
+) -> Result<bool, String> {
+    let mut ok = true;
+
+    // Host-side overhead: re-run without the health plane. Wall time is
+    // printed, not gated (CI machines differ); the fingerprint comparison
+    // IS gated — health must add zero simulated cycles.
+    let bare = run_fleet(&FleetConfig {
+        health: false,
+        trace: false,
+        ..*cfg
+    })
+    .map_err(|e| e.to_string())?;
+    println!(
+        "fleet: health plane host overhead: {:.1} ms wall with vs {:.1} ms without ({:+.1}%)",
+        report.wall_seconds * 1000.0,
+        bare.wall_seconds * 1000.0,
+        (report.wall_seconds / bare.wall_seconds - 1.0) * 100.0,
+    );
+    if report.fingerprint() == bare.fingerprint() {
+        println!("fleet: health plane is result-transparent (fingerprints identical on/off)");
+    } else {
+        eprintln!("fleet: HEALTH PLANE CHANGED RESULTS — on/off fingerprints disagree");
+        ok = false;
+    }
+
+    let mut mon = report.health_monitor();
+    let findings = mon.finish().to_vec();
+    for f in &findings {
+        eprintln!("{f}");
+    }
+    println!(
+        "fleet: health: {} invariants, {} evaluations, {} findings",
+        mon.invariants().len(),
+        mon.evaluations(),
+        findings.len(),
+    );
+    ok &= findings.is_empty();
+
+    if let Some(path) = metrics_out {
+        let text = if path.ends_with(".jsonl") {
+            efex_health::to_jsonl(&mon)
+        } else if path.ends_with(".prom") {
+            efex_health::to_prometheus(&mon)
+        } else {
+            return Err(format!(
+                "--metrics-out {path}: extension must be .prom or .jsonl"
+            ));
+        };
+        std::fs::write(path, text).map_err(|e| format!("writing {path}: {e}"))?;
+        println!("fleet: wrote health metrics to {path}");
+    }
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: fleet [--tenants <n>] [--threads <n>] [--seed <n>] \
-             [--check-determinism] [--sweep] [--decode-cache] [--chrome <path>]"
+             [--check-determinism] [--sweep] [--decode-cache] [--chrome <path>] \
+             [--health] [--metrics-out <path>]"
         );
         return ExitCode::SUCCESS;
     }
@@ -200,7 +270,9 @@ fn main() -> ExitCode {
     let mut do_check = false;
     let mut do_sweep = false;
     let mut do_dcache = false;
+    let mut do_health = false;
     let mut chrome_path: Option<String> = None;
+    let mut metrics_out: Option<String> = None;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         let mut take = |flag: &str| {
@@ -225,9 +297,14 @@ fn main() -> ExitCode {
             "--check-determinism" => do_check = true,
             "--sweep" => do_sweep = true,
             "--decode-cache" => do_dcache = true,
+            "--health" => do_health = true,
             "--chrome" => match it.next() {
                 Some(p) => chrome_path = Some(p),
                 None => return fail("fleet: --chrome needs a file path"),
+            },
+            "--metrics-out" => match it.next() {
+                Some(p) => metrics_out = Some(p),
+                None => return fail("fleet: --metrics-out needs a file path"),
             },
             other => return fail(&format!("fleet: unknown argument {other}")),
         }
@@ -247,6 +324,13 @@ fn main() -> ExitCode {
             return fail(&format!("fleet: writing {path}: {e}"));
         }
         println!("fleet: wrote per-tenant Chrome trace to {path}");
+    }
+
+    if do_health || metrics_out.is_some() {
+        match run_health(&report, &cfg, metrics_out.as_deref()) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
+        }
     }
 
     // The remaining modes don't need tracing enabled.

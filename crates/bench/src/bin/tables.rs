@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! tables [--table1] [--table2] [--table3] [--table4] [--table5]
-//!        [--fig3] [--fig4] [--dsm] [--all] [--trace-json]
+//!        [--fig3] [--fig4] [--dsm] [--health] [--all] [--trace-json]
 //! ```
 //!
 //! With no arguments, prints everything. Output is paper-value vs measured
@@ -49,6 +49,9 @@ fn main() {
     }
     if want("--dsm") {
         dsm();
+    }
+    if want("--health") {
+        health();
     }
 }
 
@@ -228,6 +231,56 @@ fn fig4() {
             "{:>10} {:>12.0} {:>12.0}",
             m.pointers_used, m.eager_us, m.lazy_us
         );
+    }
+}
+
+/// The health-plane exhibit: a small fleet run under the always-on monitor,
+/// with the headline effectiveness metrics and every invariant verdict.
+fn health() {
+    use efex_fleet::{run_fleet, FleetConfig};
+
+    banner("Extension: health plane — fleet effectiveness invariants (measured)");
+    let cfg = FleetConfig {
+        tenants: 10,
+        threads: 2,
+        ..FleetConfig::default()
+    };
+    let report = run_fleet(&cfg).expect("fleet");
+    let mut mon = report.health_monitor();
+    let findings = mon.finish().to_vec();
+    let reg = mon.registry_ref();
+    let g = |name: &str| reg.get("tenant-health", None, name).unwrap_or(0);
+    println!(
+        "decode cache (delivery probes): {} hits / {} misses / {} evictions",
+        g("probe_decode_cache_hits"),
+        g("probe_decode_cache_misses"),
+        g("probe_decode_cache_evictions"),
+    );
+    println!(
+        "repairs: {} utlb, {} comm-page; degraded deliveries: {}",
+        g("utlb_repairs"),
+        g("comm_page_repairs"),
+        g("degraded_deliveries"),
+    );
+    println!(
+        "trace rings: {} events pushed, {} overwritten",
+        g("probe_ring_total_pushed"),
+        g("probe_ring_overwritten"),
+    );
+    if let Some(fp) = &report.fast_path {
+        println!(
+            "fast path: measured {} instructions vs static bound {} instructions / {} cycles",
+            fp.total_measured_instructions, fp.static_instructions, fp.static_cycles,
+        );
+    }
+    println!(
+        "invariants: {} checked over {} evaluations -> {} findings",
+        mon.invariants().len(),
+        mon.evaluations(),
+        findings.len(),
+    );
+    for f in &findings {
+        println!("{f}");
     }
 }
 

@@ -439,10 +439,36 @@ impl HostProcess {
         });
     }
 
+    /// Read-only access to the underlying kernel (stats, page-table and
+    /// machine inspection).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
     /// Access to the underlying kernel (advanced uses: subpage setup,
     /// TLB grants, page-table inspection).
     pub fn kernel_mut(&mut self) -> &mut Kernel {
         &mut self.kernel
+    }
+
+    /// Health-plane snapshot: the kernel's [`Kernel::health_snapshot`]
+    /// merged with this host's own delivery counters. Pure read — charges
+    /// no simulated cycles.
+    pub fn health_snapshot(&self) -> StatsSnapshot {
+        let mut snap = self.kernel.health_snapshot();
+        snap.component = "host-health";
+        for (name, value) in self.stats.snapshot().counters {
+            // `degraded_deliveries` exists in both; the kernel's copy counts
+            // the same degradations from the other side, so keep them
+            // distinct rather than summing.
+            if name == "degraded_deliveries" {
+                snap.counters
+                    .push(("host_degraded_deliveries".into(), value));
+            } else {
+                snap.counters.push((name, value));
+            }
+        }
+        snap
     }
 
     /// Whether eager amplification is on.

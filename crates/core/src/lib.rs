@@ -83,6 +83,7 @@ mod guestmem;
 mod host;
 pub(crate) mod progs;
 mod system;
+mod workload;
 
 pub use delivery::{DeliveryCosts, DeliveryPath};
 pub use error::CoreError;
@@ -92,6 +93,7 @@ pub use host::{
     HostStats,
 };
 pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
+pub use workload::WorkloadRun;
 
 pub use efex_mips::ExcCode;
 pub use efex_simos::Prot;

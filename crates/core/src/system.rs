@@ -206,6 +206,13 @@ impl System {
         &self.metrics
     }
 
+    /// Health-plane snapshot of the underlying kernel (see
+    /// [`Kernel::health_snapshot`]). Pure read — charges no simulated
+    /// cycles.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        self.kernel.health_snapshot()
+    }
+
     /// Emits a measurement-level lifecycle event at a recorded timestamp.
     fn emit(&self, kind: EventKind, cycles: u64, class: FaultClass, exc_code: u8, pc: u32) {
         self.kernel.trace_sink().emit(&TraceEvent {

@@ -190,6 +190,15 @@ impl Dsm {
         merged
     }
 
+    /// Health-plane snapshot merged across every node's host kernel
+    /// (counters summed by name). Pure read.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        efex_trace::StatsSnapshot::aggregate(
+            "host-health",
+            self.nodes.iter().map(|n| n.health_snapshot()),
+        )
+    }
+
     /// Total simulated cycles across all nodes.
     pub fn total_cycles(&self) -> u64 {
         self.nodes.iter().map(|n| n.cycles()).sum()

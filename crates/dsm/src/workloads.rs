@@ -8,7 +8,7 @@
 //! from the other node — pure protocol overhead with no true data sharing.
 
 use crate::dsm::{Dsm, DsmConfig, DsmError};
-use efex_core::DeliveryPath;
+use efex_core::{DeliveryPath, WorkloadRun};
 use efex_simos::layout::PAGE_SIZE;
 use efex_trace::StatsSnapshot;
 
@@ -35,12 +35,27 @@ pub fn false_sharing(
     rounds: u32,
     same_page: bool,
 ) -> Result<FalseSharingReport, DsmError> {
-    let mut d = Dsm::new(DsmConfig {
+    let mut d = two_node_dsm(path)?;
+    false_sharing_on(&mut d, rounds, same_page)
+}
+
+/// The two-node, two-page DSM every false-sharing run uses.
+fn two_node_dsm(path: DeliveryPath) -> Result<Dsm, DsmError> {
+    Dsm::new(DsmConfig {
         nodes: 2,
         pages: 2,
         path,
         ..DsmConfig::default()
-    })?;
+    })
+}
+
+/// Runs the ping-pong rounds on an already-built DSM (so callers that need
+/// post-run state — e.g. the health snapshot — can keep it alive).
+fn false_sharing_on(
+    d: &mut Dsm,
+    rounds: u32,
+    same_page: bool,
+) -> Result<FalseSharingReport, DsmError> {
     let a = d.base();
     let b = if same_page { a + 64 } else { a + PAGE_SIZE };
     for i in 0..rounds {
@@ -75,16 +90,21 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), DsmError> {
 /// count derived deterministically from `seed`. Equal seeds reproduce
 /// bit-identical fault and transfer counts.
 ///
+/// The returned [`WorkloadRun`] carries the node kernels' merged
+/// health-plane snapshot alongside the deterministic stats; only the
+/// latter enter fleet fingerprints.
+///
 /// # Errors
 ///
 /// Propagates DSM errors.
-pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), DsmError> {
+pub fn tenant_workload(seed: u64) -> Result<WorkloadRun, DsmError> {
     let rounds = 12 + (seed % 17) as u32;
-    let r = false_sharing(DeliveryPath::FastUser, rounds, true)?;
+    let mut d = two_node_dsm(DeliveryPath::FastUser)?;
+    let r = false_sharing_on(&mut d, rounds, true)?;
     let snap = StatsSnapshot::new("dsm")
         .counter("faults", r.faults)
         .counter("page_transfers", r.page_transfers);
-    Ok((r.total_us, snap))
+    Ok(WorkloadRun::new(r.total_us, snap, d.health_snapshot()))
 }
 
 #[cfg(test)]

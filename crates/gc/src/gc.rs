@@ -207,6 +207,12 @@ impl Gc {
         self.host.trace_metrics()
     }
 
+    /// Health-plane snapshot of the host kernel underneath the collector
+    /// (decode cache, TLB repairs, degraded deliveries). Pure read.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        self.host.health_snapshot()
+    }
+
     /// Simulated time elapsed, µs.
     pub fn micros(&self) -> f64 {
         self.host.micros()

@@ -19,7 +19,7 @@ use rand::{Rng, SeedableRng};
 use crate::config::{BarrierKind, GcConfig};
 use crate::gc::{Gc, GcError, GcStats};
 use crate::heap::Value;
-use efex_core::DeliveryPath;
+use efex_core::{DeliveryPath, WorkloadRun};
 use efex_trace::{Snapshot, StatsSnapshot};
 
 /// The outcome of one workload run.
@@ -156,10 +156,14 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), GcError> {
 /// equal seeds produce bit-identical counters; different seeds exercise the
 /// barrier with different allocation/store patterns.
 ///
+/// The returned [`WorkloadRun`] carries the collector's health-plane
+/// snapshot alongside the deterministic stats; only the latter enter fleet
+/// fingerprints.
+///
 /// # Errors
 ///
 /// Propagates collector errors.
-pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), GcError> {
+pub fn tenant_workload(seed: u64) -> Result<WorkloadRun, GcError> {
     let mut gc = Gc::new(GcConfig {
         path: DeliveryPath::FastUser,
         barrier: BarrierKind::PageProtection,
@@ -179,7 +183,11 @@ pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), GcError> {
             seed: seed.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 7,
         },
     )?;
-    Ok((r.micros, r.stats.snapshot()))
+    Ok(WorkloadRun::new(
+        r.micros,
+        r.stats.snapshot(),
+        gc.health_snapshot(),
+    ))
 }
 
 fn build_tree(gc: &mut Gc, depth: u32, rng: &mut StdRng) -> Result<crate::ObjRef, GcError> {

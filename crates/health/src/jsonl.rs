@@ -1,0 +1,107 @@
+//! JSONL exposition: one self-describing JSON object per line, in the same
+//! hand-rolled style as the rest of the workspace (the build is offline —
+//! see `efex_trace::json`). Lines come in three types: `sample`,
+//! `histogram`, and `finding`, so a stream consumer can filter without a
+//! schema.
+
+use efex_trace::json;
+
+use crate::monitor::{HealthFinding, HealthMonitor};
+use crate::registry::Registry;
+
+fn sample_lines(out: &mut String, reg: &Registry) {
+    for s in reg.samples() {
+        let mut line = String::from("{");
+        json::field_str(&mut line, "type", "sample");
+        json::field_str(&mut line, "component", &s.component);
+        json::field_str(&mut line, "name", &s.name);
+        if let Some(t) = s.tenant {
+            json::field_u64(&mut line, "tenant", u64::from(t));
+        }
+        json::field_str(&mut line, "kind", s.kind.as_str());
+        json::field_u64(&mut line, "value", s.value);
+        json::close_object(&mut line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+}
+
+fn histogram_lines(out: &mut String, reg: &Registry) {
+    for (name, h) in reg.histograms() {
+        let mut line = String::from("{");
+        json::field_str(&mut line, "type", "histogram");
+        json::field_str(&mut line, "name", name);
+        json::field_raw(&mut line, "histogram", &h.to_json());
+        json::close_object(&mut line);
+        out.push_str(&line);
+        out.push('\n');
+    }
+}
+
+/// Renders one finding as a single JSON line.
+pub fn finding_to_json(f: &HealthFinding) -> String {
+    let mut line = String::from("{");
+    json::field_str(&mut line, "type", "finding");
+    json::field_str(&mut line, "invariant", &f.invariant);
+    if let Some(t) = f.tenant {
+        json::field_u64(&mut line, "tenant", u64::from(t));
+    }
+    if let Some(c) = f.cycles {
+        json::field_u64(&mut line, "cycles", c);
+    }
+    json::field_str(&mut line, "observed", &f.observed);
+    json::field_str(&mut line, "bound", &f.bound);
+    json::field_str(&mut line, "hint", &f.hint);
+    json::close_object(&mut line);
+    line
+}
+
+/// Renders the whole monitor — samples, histograms, findings — as JSONL.
+pub fn to_jsonl(mon: &HealthMonitor) -> String {
+    let mut out = String::new();
+    sample_lines(&mut out, mon.registry_ref());
+    histogram_lines(&mut out, mon.registry_ref());
+    for f in mon.findings() {
+        out.push_str(&finding_to_json(f));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::invariant::{Invariant, MetricRef};
+    use efex_trace::Histogram;
+
+    #[test]
+    fn each_line_is_typed_and_self_contained() {
+        let mut mon = HealthMonitor::new()
+            .invariant(Invariant::min("floor", MetricRef::new("k", "events"), 10).per_tenant());
+        mon.registry().record_counter("k", Some(2), "events", 3);
+        let mut h = Histogram::new();
+        h.record(44);
+        mon.registry().record_histogram("lat", &h);
+        mon.finish();
+
+        let text = to_jsonl(&mon);
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        assert!(
+            lines[0].starts_with("{\"type\":\"sample\"") && lines[0].contains("\"tenant\":2"),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].starts_with("{\"type\":\"histogram\"") && lines[1].contains("\"count\":1"),
+            "{}",
+            lines[1]
+        );
+        assert!(
+            lines[2].starts_with("{\"type\":\"finding\"")
+                && lines[2].contains("\"invariant\":\"floor\""),
+            "{}",
+            lines[2]
+        );
+    }
+}

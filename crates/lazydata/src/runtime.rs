@@ -15,6 +15,7 @@ use std::rc::Rc;
 
 use efex_core::{
     CoreError, DeliveryPath, FaultInfo, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
+    WorkloadRun,
 };
 use efex_mips::ExcCode;
 use efex_trace::{Snapshot, StatsSnapshot};
@@ -246,6 +247,12 @@ impl LazyRuntime {
         self.host.trace_metrics()
     }
 
+    /// Health-plane snapshot of the host kernel underneath the runtime
+    /// (decode cache, TLB repairs, degraded deliveries). Pure read.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        self.host.health_snapshot()
+    }
+
     /// Simulated time, µs.
     pub fn micros(&self) -> f64 {
         self.host.micros()
@@ -387,10 +394,14 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), LazyError> {
 /// and future value derived deterministically from `seed`. Equal seeds
 /// reproduce bit-identical extension and force counts.
 ///
+/// The returned [`WorkloadRun`] carries the runtime's health-plane
+/// snapshot alongside the deterministic stats; only the latter enter fleet
+/// fingerprints.
+///
 /// # Errors
 ///
 /// Propagates runtime errors.
-pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), LazyError> {
+pub fn tenant_workload(seed: u64) -> Result<WorkloadRun, LazyError> {
     let mut rt = LazyRuntime::new(DeliveryPath::FastUser, 256 * 1024)?;
     let mult = 1 + (seed % 9) as i32;
     let list = rt.new_stream(move |i| (i as i32) * mult)?;
@@ -402,7 +413,11 @@ pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), LazyError> {
     let first = rt.touch(fut)?; // forces the producer (one fault)
     let again = rt.touch(fut)?; // free afterwards
     debug_assert_eq!((first, again), (value, value));
-    Ok((rt.micros(), rt.stats().snapshot()))
+    Ok(WorkloadRun::new(
+        rt.micros(),
+        rt.stats().snapshot(),
+        rt.health_snapshot(),
+    ))
 }
 
 #[cfg(test)]

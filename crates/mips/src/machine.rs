@@ -222,7 +222,37 @@ impl fmt::Debug for DecodePage {
 /// kernel counterpart — each exception delivery then evicts the other's
 /// lines and the cache never hits.
 fn dcache_slot(vpn: u32) -> usize {
+    if decode_cache_mod64_slots() {
+        // Test-only pathological hash (see `set_decode_cache_mod64_slots`):
+        // the plain modulo mapping whose systematic user/KSEG0 aliasing the
+        // XOR fold above exists to prevent.
+        return (vpn as usize) & (DCACHE_SLOTS - 1);
+    }
     ((vpn ^ (vpn >> 6) ^ (vpn >> 12)) as usize) & (DCACHE_SLOTS - 1)
+}
+
+/// Test-only hook: when set, [`dcache_slot`] reverts to the plain
+/// `vpn % DCACHE_SLOTS` mapping — the exact slot-aliasing pathology fixed
+/// after it drove the delivery-path hit rate to zero while every
+/// correctness test stayed green. The health plane's canary test re-arms it
+/// to prove the hit-rate invariant catches the regression; nothing
+/// architecturally visible changes either way.
+static DECODE_CACHE_MOD64_SLOTS: std::sync::atomic::AtomicBool =
+    std::sync::atomic::AtomicBool::new(false);
+
+/// Arms (or disarms) the pathological mod-64 slot hash. Test-only: exists so
+/// effectiveness monitors can be shown to catch a silent hit-rate collapse.
+/// Process-wide; callers must restore `false` (results are identical either
+/// way — only hit/miss/eviction counters move).
+#[doc(hidden)]
+pub fn set_decode_cache_mod64_slots(on: bool) {
+    DECODE_CACHE_MOD64_SLOTS.store(on, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// Whether the test-only mod-64 slot hash is armed.
+#[doc(hidden)]
+pub fn decode_cache_mod64_slots() -> bool {
+    DECODE_CACHE_MOD64_SLOTS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
 /// Process-wide default for [`Machine::new`]'s decode-cache state. The
@@ -261,6 +291,7 @@ pub struct Machine {
     dcache_enabled: bool,
     dcache_hits: u64,
     dcache_misses: u64,
+    dcache_evictions: u64,
 }
 
 impl Machine {
@@ -282,6 +313,7 @@ impl Machine {
             dcache_enabled: decode_cache_default(),
             dcache_hits: 0,
             dcache_misses: 0,
+            dcache_evictions: 0,
         }
     }
 
@@ -393,6 +425,15 @@ impl Machine {
     /// observability only — never part of architectural state.
     pub fn decode_cache_stats(&self) -> (u64, u64) {
         (self.dcache_hits, self.dcache_misses)
+    }
+
+    /// Decode-cache slot evictions over the machine's lifetime: installs
+    /// that displaced a *different* cached page (slot re-tag churn). A
+    /// healthy slot hash keeps this far below the miss count; systematic
+    /// aliasing (two hot pages congruent in the slot function) drives it to
+    /// ~one eviction per miss. Host-side observability only.
+    pub fn decode_cache_evictions(&self) -> u64 {
+        self.dcache_evictions
     }
 
     /// Current ASID (from `EntryHi`).
@@ -603,6 +644,15 @@ impl Machine {
         let tlb_gen = self.tlb.generation();
         let page_paddr = paddr & !0xfff;
         let mem_version = self.mem.page_version(page_paddr);
+        if self.dcache[slot]
+            .as_deref()
+            .is_some_and(|p| p.vpn != vpn || p.user != user)
+        {
+            // The slot held a different page: its decoded lines are about
+            // to be displaced. Per-page churn like this is exactly what a
+            // slot-aliasing pathology amplifies, so it is counted.
+            self.dcache_evictions += 1;
+        }
         let page = self.dcache[slot].get_or_insert_with(|| {
             Box::new(DecodePage {
                 vpn,

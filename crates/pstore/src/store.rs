@@ -407,6 +407,12 @@ impl Pstore {
         self.host.trace_metrics()
     }
 
+    /// Health-plane snapshot of the host kernel underneath the store
+    /// (decode cache, TLB repairs, degraded deliveries). Pure read.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        self.host.health_snapshot()
+    }
+
     /// Fault injection: the next `n` swizzle-fault deliveries fall back to
     /// Unix-signal costs. Pointer swizzling must still produce the same
     /// object graph — only dearer.

@@ -2,7 +2,7 @@
 
 use crate::graph::StableGraph;
 use crate::store::{Policy, Pstore, PstoreConfig, PstoreError, Strategy};
-use efex_core::DeliveryPath;
+use efex_core::{DeliveryPath, WorkloadRun};
 use efex_trace::StatsSnapshot;
 
 /// Result of one workload run.
@@ -36,6 +36,16 @@ pub fn pointer_uses(
 ) -> Result<RunReport, PstoreError> {
     let pointers = count_pointers(&graph);
     let mut ps = Pstore::open(graph, cfg)?;
+    pointer_uses_on(&mut ps, pointers, uses_per_pointer)
+}
+
+/// [`pointer_uses`] on an already-opened store (so callers that need
+/// post-run state — e.g. the health snapshot — can keep it alive).
+fn pointer_uses_on(
+    ps: &mut Pstore,
+    pointers: u32,
+    uses_per_pointer: u32,
+) -> Result<RunReport, PstoreError> {
     let root = ps.root()?;
     let start = ps.micros();
     let s0 = ps.stats();
@@ -135,10 +145,14 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), PstoreError> {
 /// and reuse factor derive deterministically from `seed`. Equal seeds
 /// reproduce bit-identical fault/swizzle counters.
 ///
+/// The returned [`WorkloadRun`] carries the store's health-plane snapshot
+/// alongside the deterministic stats; only the latter enter fleet
+/// fingerprints.
+///
 /// # Errors
 ///
 /// Propagates store errors.
-pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), PstoreError> {
+pub fn tenant_workload(seed: u64) -> Result<WorkloadRun, PstoreError> {
     let graph = StableGraph::random(
         16 + (seed % 8) as u32,
         50,
@@ -151,13 +165,15 @@ pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), PstoreError> {
         path: DeliveryPath::FastUser,
         ..PstoreConfig::default()
     };
-    let r = pointer_uses(graph, cfg, 8 + (seed % 7) as u32)?;
+    let pointers = count_pointers(&graph);
+    let mut ps = Pstore::open(graph, cfg)?;
+    let r = pointer_uses_on(&mut ps, pointers, 8 + (seed % 7) as u32)?;
     let snap = StatsSnapshot::new("pstore")
         .counter("uses", r.uses)
         .counter("faults", r.faults)
         .counter("checks", r.checks)
         .counter("swizzles", r.swizzles);
-    Ok((r.micros, snap))
+    Ok(WorkloadRun::new(r.micros, snap, ps.health_snapshot()))
 }
 
 fn count_pointers(graph: &StableGraph) -> u32 {

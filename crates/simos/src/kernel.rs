@@ -387,6 +387,25 @@ impl Kernel {
         &mut self.metrics
     }
 
+    /// One flat health-plane snapshot of this kernel: the per-process
+    /// counters plus the machine-level effectiveness numbers (decode-cache
+    /// hits/misses/evictions, TLB writes, simulated cycles) the health
+    /// monitor watches. Pure read — charges no simulated cycles, so a run
+    /// with health monitoring on stays bit-identical to one without.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        use efex_trace::Snapshot as _;
+        let (hits, misses) = self.machine.decode_cache_stats();
+        let mut snap = self.proc.stats.snapshot();
+        snap.component = "kernel-health";
+        snap.counter("decode_cache_hits", hits)
+            .counter("decode_cache_misses", misses)
+            .counter(
+                "decode_cache_evictions",
+                self.machine.decode_cache_evictions(),
+            )
+            .counter("cycles", self.machine.cycles())
+    }
+
     /// Emits one lifecycle event stamped with the current cycle counter.
     fn trace_emit(
         &self,
@@ -994,6 +1013,7 @@ impl Kernel {
                     "pinned comm page {bad:#010x} missed in TLB at EPC {epc:#010x}; \
                      repaired via slow refill path"
                 ));
+                self.proc.stats.utlb_repairs += 1;
                 if !self.comm_page_repair() {
                     // Out of frames: fast delivery is already disabled;
                     // kill with a diagnostic rather than loop on the miss.
@@ -1002,6 +1022,7 @@ impl Kernel {
                     ));
                     return Ok(Some(RunOutcome::Terminated(Signal::Segv)));
                 }
+                self.proc.stats.comm_page_repairs += 1;
                 self.proc.stats.page_faults += 1;
                 self.install_refill_entry(bad);
                 self.resume_user_at(epc);
@@ -1112,7 +1133,9 @@ impl Kernel {
                      falling back to Unix signals",
                     self.proc.fast.comm_vaddr
                 ));
-                let _ = self.comm_page_repair();
+                if self.comm_page_repair() {
+                    self.proc.stats.comm_page_repairs += 1;
+                }
                 break 'fast;
             }
             let path = self.trace_path;

@@ -25,6 +25,12 @@ pub struct ProcStats {
     /// Deliveries that could not complete on the fast path and fell back to
     /// a specified degradation (Unix signals or kill-with-diagnostic).
     pub degraded_deliveries: u64,
+    /// UTLB misses on a pinned comm page that had to be repaired through the
+    /// slow refill path (the pin was lost; Section 3.2 requires it resident).
+    pub utlb_repairs: u64,
+    /// Comm pages re-pinned and republished after their frame went missing,
+    /// whether detected at UTLB-miss time or just before a delivery.
+    pub comm_page_repairs: u64,
 }
 
 impl efex_trace::Snapshot for ProcStats {
@@ -38,6 +44,8 @@ impl efex_trace::Snapshot for ProcStats {
             .counter("subpage_emulations", self.subpage_emulations)
             .counter("eager_amplifications", self.eager_amplifications)
             .counter("degraded_deliveries", self.degraded_deliveries)
+            .counter("utlb_repairs", self.utlb_repairs)
+            .counter("comm_page_repairs", self.comm_page_repairs)
     }
 }
 

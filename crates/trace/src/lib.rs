@@ -44,7 +44,10 @@
 
 mod event;
 mod histogram;
-mod json;
+/// Hand-rolled JSON append helpers (the build is offline; no serde). Public
+/// so the sibling crates that emit JSON shapes (e.g. `efex-health`) share
+/// one escaping/formatting implementation.
+pub mod json;
 mod metrics;
 mod sink;
 mod snapshot;

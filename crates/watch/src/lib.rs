@@ -45,7 +45,7 @@ use std::rc::Rc;
 
 use efex_core::{
     CoreError, DeliveryPath, FaultInfo, GuestMem, HandlerAction, HandlerSpec, HostProcess, Prot,
-    Protection,
+    Protection, WorkloadRun,
 };
 use efex_simos::layout::{PAGE_SIZE, SUBPAGE_SIZE};
 use efex_simos::vm::FaultKind;
@@ -331,6 +331,12 @@ impl Debugger {
         self.host.trace_metrics()
     }
 
+    /// Health-plane snapshot of the host kernel underneath the debugger
+    /// (decode cache, TLB repairs, degraded deliveries). Pure read.
+    pub fn health_snapshot(&self) -> efex_trace::StatsSnapshot {
+        self.host.health_snapshot()
+    }
+
     /// Simulated time, µs.
     pub fn micros(&self) -> f64 {
         self.host.micros()
@@ -375,10 +381,14 @@ pub fn baseline_workload() -> Result<(f64, StatsSnapshot), WatchError> {
 /// threshold derived deterministically from `seed`. Equal seeds reproduce
 /// bit-identical hit and delivery counters.
 ///
+/// The returned [`WorkloadRun`] carries the debugger's health-plane
+/// snapshot alongside the deterministic stats; only the latter enter fleet
+/// fingerprints.
+///
 /// # Errors
 ///
 /// Propagates debugger errors.
-pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), WatchError> {
+pub fn tenant_workload(seed: u64) -> Result<WorkloadRun, WatchError> {
     let mut dbg = Debugger::new(DeliveryPath::FastUser, true)?;
     let base = dbg.alloc(8192)?;
     let threshold = 60 + (seed % 80) as u32;
@@ -389,7 +399,11 @@ pub fn tenant_workload(seed: u64) -> Result<(f64, StatsSnapshot), WatchError> {
         dbg.store(base + 256, i)?; // same subpage, unwatched: false hit
         dbg.store(base + 2048, i)?; // same page, other subpage: absorbed
     }
-    Ok((dbg.micros(), dbg.stats().snapshot()))
+    Ok(WorkloadRun::new(
+        dbg.micros(),
+        dbg.stats().snapshot(),
+        dbg.health_snapshot(),
+    ))
 }
 
 #[cfg(test)]

@@ -14,6 +14,8 @@
 //! - [`oscost`] — Table-1 operating-system delivery cost models.
 //! - [`analysis`] — break-even models (Table 5, Figures 3 and 4).
 //! - [`fleet`] — sharded multi-tenant simulation across worker threads.
+//! - [`health`] — always-on effectiveness monitoring: metric registry,
+//!   declarative invariants, Prometheus/JSONL exposition.
 //! - [`gc`] — generational collector with pluggable write barriers.
 //! - [`pstore`] — persistent store with pointer swizzling.
 //! - [`lazydata`] — unbounded structures / futures / full-empty bits.
@@ -44,6 +46,7 @@ pub use efex_core as core;
 pub use efex_dsm as dsm;
 pub use efex_fleet as fleet;
 pub use efex_gc as gc;
+pub use efex_health as health;
 pub use efex_inject as inject;
 pub use efex_lazydata as lazydata;
 pub use efex_mips as mips;
