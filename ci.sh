@@ -1,14 +1,27 @@
 #!/bin/sh
 # The full CI gate: build, test, lint, format. Run before every push.
-set -eux
+# Each stage runs through gate() so the log shows per-stage wall time —
+# when CI slows down, the offending stage is visible at a glance.
+set -eu
 
-cargo build --release
-cargo test -q
-cargo test --workspace -q
-cargo run --release -p efex-bench --bin lint
-cargo run --release -p efex-bench --bin inject -- --all
-cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --check-determinism
-cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --health
-cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
-cargo clippy --workspace --all-targets -- -D warnings
-cargo fmt --check
+gate() {
+    gate_name="$1"
+    shift
+    gate_start=$(date +%s)
+    echo ">>> gate: ${gate_name}: $*"
+    "$@"
+    echo "<<< gate: ${gate_name}: $(( $(date +%s) - gate_start ))s"
+}
+
+gate build cargo build --release
+gate test cargo test -q
+gate test-workspace cargo test --workspace -q
+gate lint cargo run --release -p efex-bench --bin lint -- --baseline BENCH_baseline.json
+gate inject cargo run --release -p efex-bench --bin inject -- --all
+gate fleet-determinism cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --check-determinism
+gate fleet-health cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --health
+gate baseline cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
+gate clippy cargo clippy --workspace --all-targets -- -D warnings
+gate fmt cargo fmt --check
+
+echo "ci: all gates passed"

@@ -1,135 +1,170 @@
-//! Static lint gate over every guest image the suite executes.
+//! Static verification gate over every guest image the suite executes.
 //!
 //! ```text
-//! lint            analyze all embedded guest images; exit 1 on any finding
-//! lint --table    also print the static fast-path instruction/cycle table
+//! lint                     run every static pass; exit 1 on any finding
+//! lint --table             also print the static fast-path + bounds tables
+//! lint --json              emit one machine-readable JSON document instead
+//! lint --baseline PATH     also cross-check static bounds against the
+//!                          recorded table2 metrics in PATH
 //! ```
 //!
-//! Three classes of image are analyzed:
+//! Three layers of verification run:
 //!
-//! - the **kernel image** (vectors + fast-path handler) under the full
-//!   contract from [`efex_simos::verify`]: hazards, save-set liveness,
-//!   pinned-memory proof, and the Table 3 instruction budget;
-//! - the **signal trampoline** under the hazard lints;
-//! - every **microbenchmark program** (including the subpage and
-//!   unaligned-emulation stubs) under the hazard lints, rooted at both the
-//!   program entry and its user-handler veneer.
+//! - **classic per-image lints** ([`efex_verify::analyze`]): the kernel
+//!   image under the full contract from [`efex_simos::verify`] (hazards,
+//!   save-set liveness, pinned-memory proof, Table 3 budget); the signal
+//!   trampoline and every microbenchmark program under the hazard lints;
+//! - the **kernel-only symbolic pass** ([`efex_verify::symex`]): every
+//!   architecturally raisable exception class explored through the kernel
+//!   image under a symbolic registration;
+//! - the **composed symbolic pass**: kernel + trampoline + guest program
+//!   explored as one control-flow system per Table 2 bench, deep through
+//!   the guest handler to the user resume, producing static per-class
+//!   deliver/return cycle bounds.
+//!
+//! With `--baseline`, the static bounds must bracket the dynamic
+//! `table2/*` cycle metrics recorded in the committed baseline —
+//! bit-exactly where the path is deterministic.
 //!
 //! Diagnostics cite label+offset and the source line, with disassembly, so
 //! a regression points straight at the offending instruction.
 
-use efex_core::debug_progs as progs;
-use efex_mips::asm::assemble;
-use efex_simos::fastexc::KERNEL_ASM;
-use efex_simos::kernel::TRAMPOLINE_ASM;
+use efex_bench::symgate;
 use efex_simos::verify as simverify;
-use efex_verify::{Report, VerifyConfig};
 use std::process::ExitCode;
-
-/// A benchmark program's exception count only sizes its loop; the static
-/// shape is identical for any n.
-const BENCH_N: u32 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
-        println!("usage: lint [--table]");
+        println!("usage: lint [--table] [--json] [--baseline PATH]");
         return ExitCode::SUCCESS;
     }
     let table = args.iter().any(|a| a == "--table");
+    let json = args.iter().any(|a| a == "--json");
+    let baseline_path = args
+        .iter()
+        .position(|a| a == "--baseline")
+        .and_then(|i| args.get(i + 1).cloned());
 
-    let mut failed = false;
-    let mut check = |name: &str, report: &Report| {
-        if report.is_clean() {
+    let gate = symgate::run_gate();
+    let mut failed = !gate.clean();
+
+    // Baseline cross-check runs in both output modes; its errors go to
+    // stderr so the JSON document on stdout stays parseable.
+    let mut crosschecks = Vec::new();
+    if let Some(path) = &baseline_path {
+        match std::fs::read_to_string(path) {
+            Ok(text) => match symgate::crosscheck_baseline(&gate, &text) {
+                Ok(checks) => crosschecks = checks,
+                Err(errors) => {
+                    failed = true;
+                    for e in errors {
+                        eprintln!("lint: baseline cross-check: {e}");
+                    }
+                }
+            },
+            Err(e) => {
+                failed = true;
+                eprintln!("lint: cannot read baseline {path}: {e}");
+            }
+        }
+    }
+
+    if json {
+        println!("{}", gate.to_json());
+        return if failed {
+            ExitCode::FAILURE
+        } else {
+            ExitCode::SUCCESS
+        };
+    }
+
+    for e in &gate.errors {
+        eprintln!("lint: build error: {e}");
+    }
+    for img in &gate.images {
+        if img.report.is_clean() {
             println!(
-                "lint: {name}: clean ({} instructions analyzed)",
-                report.instructions_analyzed
+                "lint: {}: clean ({} instructions analyzed)",
+                img.name, img.report.instructions_analyzed
             );
         } else {
-            failed = true;
-            println!("lint: {name}: {} finding(s)", report.findings.len());
-            for f in &report.findings {
+            println!(
+                "lint: {}: {} finding(s)",
+                img.name,
+                img.report.findings.len()
+            );
+            for f in &img.report.findings {
                 println!("  {f}");
             }
         }
-    };
-
-    // Kernel image: full contract.
-    let kernel = match assemble(KERNEL_ASM) {
-        Ok(p) => p,
-        Err(e) => {
-            eprintln!("lint: kernel image does not assemble: {e}");
-            return ExitCode::FAILURE;
-        }
-    };
-    let kernel_report = simverify::verify_kernel_image(&kernel);
-    check("kernel image (KERNEL_ASM)", &kernel_report);
-
-    // Signal trampoline: hazard lints.
-    match assemble(TRAMPOLINE_ASM) {
-        Ok(p) => check(
-            "signal trampoline (TRAMPOLINE_ASM)",
-            &simverify::verify_trampoline_image(&p),
-        ),
-        Err(e) => {
-            eprintln!("lint: trampoline does not assemble: {e}");
-            return ExitCode::FAILURE;
+    }
+    if let Some(ko) = &gate.kernel_only {
+        if ko.is_clean() {
+            println!(
+                "lint: symex kernel-only: clean ({} scenarios, {} paths)",
+                ko.scenarios.len(),
+                ko.paths_explored
+            );
+        } else {
+            println!("lint: symex kernel-only: {} finding(s)", ko.findings.len());
+            for f in &ko.findings {
+                println!("  {f}");
+            }
         }
     }
-
-    // Every microbenchmark guest program: hazard lints, rooted at the
-    // program entry plus the user-handler veneer (entered by exception
-    // delivery, not by any statically visible jump).
-    type BenchGen = fn(u32) -> String;
-    let benches: [(&str, BenchGen); 7] = [
-        ("fast_simple_bench", progs::fast_simple_bench),
-        ("hw_simple_bench", progs::hw_simple_bench),
-        ("unix_simple_bench", progs::unix_simple_bench),
-        ("fast_prot_bench", progs::fast_prot_bench),
-        ("unix_prot_bench", progs::unix_prot_bench),
-        ("fast_subpage_bench", progs::fast_subpage_bench),
-        (
-            "fast_unaligned_specialized_bench",
-            progs::fast_unaligned_specialized_bench,
-        ),
-    ];
-    for (name, gen) in benches {
-        let src = gen(BENCH_N);
-        let prog = match assemble(&src) {
-            Ok(p) => p,
-            Err(e) => {
-                eprintln!("lint: {name} does not assemble: {e}");
-                return ExitCode::FAILURE;
-            }
-        };
-        let mut config = VerifyConfig::hazards_only(prog.entry());
-        for root in ["uh_entry", "null_handler"] {
-            if let Some(&addr) = prog.labels().get(root) {
-                config.extra_roots.push(addr);
+    for b in &gate.benches {
+        if b.report.is_clean() {
+            let bounds = match b.bounds {
+                Some(rb) => format!(
+                    "deliver [{}, {}] return [{}, {}] cycles",
+                    rb.deliver.0, rb.deliver.1, rb.ret.0, rb.ret.1
+                ),
+                None => "no measured path".to_string(),
+            };
+            println!(
+                "lint: symex {}: clean ({} paths, {bounds})",
+                b.kind.row(),
+                b.report.paths_explored
+            );
+        } else {
+            println!(
+                "lint: symex {}: {} finding(s)",
+                b.kind.row(),
+                b.report.findings.len()
+            );
+            for f in &b.report.findings {
+                println!("  {f}");
             }
         }
-        match efex_verify::analyze(&prog, &config) {
-            Ok(report) => check(name, &report),
-            Err(e) => {
-                eprintln!("lint: {name}: bad config: {e}");
-                return ExitCode::FAILURE;
-            }
-        }
+    }
+    for c in &crosschecks {
+        let how = if c.exact() { "bit-exact" } else { "bracketed" };
+        println!(
+            "lint: baseline {}: dynamic {} within static [{}, {}] ({how})",
+            c.metric, c.dynamic, c.bound.0, c.bound.1
+        );
     }
 
     if table {
-        if let Some(fp) = &kernel_report.fast_path {
+        let fast_path = gate
+            .images
+            .iter()
+            .find(|i| i.name.starts_with("kernel image"))
+            .and_then(|i| i.report.fast_path.as_ref());
+        if let Some(fp) = fast_path {
             println!("\nstatic fast-path bound (kernel image):");
             println!("  {:<16} {:>12} {:>8}", "phase", "instructions", "cycles");
             for p in &fp.per_phase {
                 println!("  {:<16} {:>12} {:>8}", p.label, p.instructions, p.cycles);
             }
             println!(
-                "  {:<16} {:>12} {:>8}  (budget {})",
+                "  {:<16} {:>12} {:>8}  (budget {}/{} instructions/cycles)",
                 "total",
                 fp.total_instructions,
                 fp.total_cycles,
-                simverify::FAST_PATH_BUDGET
+                simverify::FAST_PATH_BUDGET,
+                efex_verify::FAST_PATH_CYCLES,
             );
         }
     }

@@ -8,6 +8,7 @@
 //! where the crossovers fall).
 
 pub mod suite;
+pub mod symgate;
 
 use efex_analysis::{gc as gc_model, swizzle};
 use efex_core::{DeliveryPath, ExceptionKind, System};

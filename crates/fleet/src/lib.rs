@@ -32,6 +32,8 @@
 //! deterministic portion (everything except wall-clock time) so callers can
 //! assert it.
 
+#![warn(missing_docs)]
+
 use std::rc::Rc;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -448,34 +450,15 @@ pub fn fleet_invariants() -> Vec<Invariant> {
             ),
     ];
     // Measured fast-path work must stay within the static bound efex-verify
-    // proves over the assembled kernel image — per phase and in total.
+    // proves over the assembled kernel image — per phase and in total — and
+    // the computed bound must itself match the published Table 3 budget.
+    // All ceilings come from `efex_health::budget`, built from the single
+    // authoritative constants in `efex_verify::budget`.
     for (label, _, _) in efex_simos::fastexc::TABLE3_PHASES {
-        invs.push(
-            Invariant::ratio_max(
-                format!("fast-path-budget-{label}"),
-                MetricRef::new("fast-path", format!("{label}_measured_instructions")),
-                MetricRef::new("fast-path", format!("{label}_static_instructions")),
-                1.0,
-            )
-            .hint(
-                "measured dynamic instructions exceed the verifier's static \
-                 bound for this phase; the fast path grew a hidden branch \
-                 (compare efex-verify's PathBounds against Table 3)",
-            ),
-        );
+        invs.push(efex_health::fast_path_phase_budget(label));
     }
-    invs.push(
-        Invariant::ratio_max(
-            "fast-path-total-budget",
-            MetricRef::new("fast-path", "total_measured_instructions"),
-            MetricRef::new("fast-path", "static_instructions"),
-            1.0,
-        )
-        .hint(
-            "the whole fast path executes more instructions than the static \
-             44-instruction bound; re-run efex-verify against the kernel image",
-        ),
-    );
+    invs.push(efex_health::fast_path_total_budget());
+    invs.extend(efex_health::fast_path_published_budget());
     invs
 }
 

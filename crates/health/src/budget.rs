@@ -1,0 +1,123 @@
+//! Stock invariants for the fast exception path's static budget.
+//!
+//! The Table 3 budget lives in one place — [`efex_verify::budget`] — and
+//! every watcher of the fast path builds its ceiling from the re-exported
+//! constants here instead of transcribing the numbers again (the 44/65 vs
+//! 44/55 split-brain this module replaced). The metric names follow the
+//! `fast-path` component `efex-fleet` records from its kernel-image probe:
+//! `{phase}_measured_instructions` / `{phase}_static_instructions` per
+//! phase, plus `total_measured_instructions`, `static_instructions`, and
+//! `static_cycles` for the whole path.
+
+use crate::invariant::{Invariant, MetricRef};
+
+pub use efex_verify::{FAST_PATH_CYCLES, FAST_PATH_INSTRUCTIONS};
+
+/// Component name under which the fast-path budget metrics are recorded.
+pub const FAST_PATH_COMPONENT: &str = "fast-path";
+
+/// Per-phase ceiling: the dynamic instruction count measured for `label`
+/// must not exceed the static bound the verifier proved for that phase.
+pub fn fast_path_phase_budget(label: &str) -> Invariant {
+    Invariant::ratio_max(
+        format!("fast-path-budget-{label}"),
+        MetricRef::new(
+            FAST_PATH_COMPONENT,
+            format!("{label}_measured_instructions"),
+        ),
+        MetricRef::new(FAST_PATH_COMPONENT, format!("{label}_static_instructions")),
+        1.0,
+    )
+    .hint(
+        "measured dynamic instructions exceed the verifier's static \
+         bound for this phase; the fast path grew a hidden branch \
+         (compare efex-verify's PathBounds against Table 3)",
+    )
+}
+
+/// Whole-path ceiling: total measured instructions must stay within the
+/// verifier's computed static bound.
+pub fn fast_path_total_budget() -> Invariant {
+    Invariant::ratio_max(
+        "fast-path-total-budget",
+        MetricRef::new(FAST_PATH_COMPONENT, "total_measured_instructions"),
+        MetricRef::new(FAST_PATH_COMPONENT, "static_instructions"),
+        1.0,
+    )
+    .hint(format!(
+        "the whole fast path executes more instructions than the static \
+         {FAST_PATH_INSTRUCTIONS}-instruction bound; re-run efex-verify \
+         against the kernel image"
+    ))
+}
+
+/// Drift ceilings: the static bounds the verifier computes over the
+/// assembled image must equal the published Table 3 budget. A kernel edit
+/// that lengthens the fast path moves the computed bound past these
+/// constants and trips the invariant before any baseline diff runs.
+pub fn fast_path_published_budget() -> Vec<Invariant> {
+    vec![
+        Invariant::max(
+            "fast-path-published-instructions",
+            MetricRef::new(FAST_PATH_COMPONENT, "static_instructions"),
+            FAST_PATH_INSTRUCTIONS,
+        )
+        .hint(format!(
+            "the verifier's computed fast-path instruction bound exceeds \
+             the published Table 3 budget of {FAST_PATH_INSTRUCTIONS}; \
+             update efex_verify::budget deliberately or shrink the handler"
+        )),
+        Invariant::max(
+            "fast-path-published-cycles",
+            MetricRef::new(FAST_PATH_COMPONENT, "static_cycles"),
+            FAST_PATH_CYCLES,
+        )
+        .hint(format!(
+            "the verifier's computed fast-path cycle bound exceeds the \
+             published Table 3 budget of {FAST_PATH_CYCLES}; update \
+             efex_verify::budget deliberately or shrink the handler"
+        )),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn total_budget_trips_on_overrun_and_names_the_published_bound() {
+        let mut reg = Registry::new();
+        reg.record_gauge(FAST_PATH_COMPONENT, None, "total_measured_instructions", 45);
+        reg.record_gauge(
+            FAST_PATH_COMPONENT,
+            None,
+            "static_instructions",
+            FAST_PATH_INSTRUCTIONS,
+        );
+        let inv = fast_path_total_budget();
+        assert!(
+            inv.check.evaluate(&reg, None).is_some(),
+            "overrun must trip"
+        );
+        assert!(inv.hint.contains("44-instruction"), "{}", inv.hint);
+    }
+
+    #[test]
+    fn published_budget_trips_when_the_computed_bound_drifts() {
+        let mut reg = Registry::new();
+        reg.record_gauge(
+            FAST_PATH_COMPONENT,
+            None,
+            "static_instructions",
+            FAST_PATH_INSTRUCTIONS + 1,
+        );
+        reg.record_gauge(FAST_PATH_COMPONENT, None, "static_cycles", FAST_PATH_CYCLES);
+        let tripped: Vec<_> = fast_path_published_budget()
+            .into_iter()
+            .filter(|i| i.check.evaluate(&reg, None).is_some())
+            .collect();
+        assert_eq!(tripped.len(), 1);
+        assert_eq!(tripped[0].name, "fast-path-published-instructions");
+    }
+}

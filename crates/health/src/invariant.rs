@@ -20,6 +20,7 @@ pub struct MetricRef {
 }
 
 impl MetricRef {
+    /// A reference to `name` under `component`.
     pub fn new(component: impl Into<String>, name: impl Into<String>) -> MetricRef {
         MetricRef {
             component: component.into(),
@@ -52,19 +53,35 @@ pub enum Scope {
 #[derive(Clone, Debug)]
 pub enum Check {
     /// `metric >= min`.
-    Min { metric: MetricRef, min: u64 },
+    Min {
+        /// The watched metric.
+        metric: MetricRef,
+        /// Lower bound, inclusive.
+        min: u64,
+    },
     /// `metric <= max`.
-    Max { metric: MetricRef, max: u64 },
+    Max {
+        /// The watched metric.
+        metric: MetricRef,
+        /// Upper bound, inclusive.
+        max: u64,
+    },
     /// `num / den >= min`. Skipped while `den == 0` (no signal yet).
     RatioMin {
+        /// Numerator metric.
         num: MetricRef,
+        /// Denominator metric.
         den: MetricRef,
+        /// Lower bound on the ratio, inclusive.
         min: f64,
     },
     /// `num / den <= max`. Skipped while `den == 0`.
     RatioMax {
+        /// Numerator metric.
         num: MetricRef,
+        /// Denominator metric.
         den: MetricRef,
+        /// Upper bound on the ratio, inclusive.
         max: f64,
     },
 }

@@ -41,12 +41,18 @@
 //! assert!(mon.finish().is_empty());
 //! ```
 
+#![warn(missing_docs)]
+
+pub mod budget;
 mod invariant;
 mod jsonl;
 mod monitor;
 mod prom;
 mod registry;
 
+pub use budget::{
+    fast_path_phase_budget, fast_path_published_budget, fast_path_total_budget, FAST_PATH_COMPONENT,
+};
 pub use invariant::{Check, Invariant, MetricRef, Scope, Violation, Warmup};
 pub use jsonl::{finding_to_json, to_jsonl};
 pub use monitor::{HealthFinding, HealthMonitor};

@@ -67,6 +67,7 @@ pub struct HealthMonitor {
 }
 
 impl HealthMonitor {
+    /// A monitor with no invariants and the default evaluation interval.
     pub fn new() -> HealthMonitor {
         HealthMonitor::default()
     }

@@ -56,6 +56,7 @@ pub struct Registry {
 }
 
 impl Registry {
+    /// An empty registry.
     pub fn new() -> Registry {
         Registry::default()
     }

@@ -23,6 +23,9 @@
 //!   an optional hardware user-level exception vectoring mode (the Tera-style
 //!   PC/exception-target exchange of Section 2.1).
 //! - [`cycles`] — the cycle cost model and its calibration anchors.
+//! - [`sem`] — pure instruction semantics (ALU folding, branch conditions)
+//!   shared between the interpreter and the static analyzers in
+//!   `efex-verify`.
 //! - [`profile`] — per-region instruction attribution used to regenerate the
 //!   paper's Table 3 (kernel handler instruction breakdown).
 //!
@@ -64,6 +67,7 @@ pub mod isa;
 pub mod machine;
 pub mod mem;
 pub mod profile;
+pub mod sem;
 pub mod tlb;
 pub mod trace;
 

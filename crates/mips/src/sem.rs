@@ -1,0 +1,223 @@
+//! Pure instruction semantics, factored out of the interpreter for reuse by
+//! static analyzers.
+//!
+//! The symbolic delivery-path explorer in `efex-verify` folds an instruction
+//! to a concrete result whenever all of its operands are known. Rather than
+//! re-implementing (and inevitably skewing from) the interpreter's
+//! arithmetic, the foldable fragment lives here as pure functions over `u32`
+//! operand values:
+//!
+//! - [`alu_result`] — the result an ALU instruction writes, or `None` when
+//!   the instruction is not a foldable ALU operation (loads, stores,
+//!   control transfers, CP0 moves, `mult`/`div` pairs).
+//! - [`branch_taken`] — whether a conditional branch is taken.
+//! - [`alu_overflows`] — whether a trapping add/sub raises `Overflow`.
+//!
+//! The functions are *total* over their domain: they never panic, matching
+//! the hardware they model.
+
+use crate::isa::Instruction;
+
+/// The concrete result written by a foldable ALU instruction, given the
+/// values of its source registers.
+///
+/// `rs` and `rt` are the values of the instruction's `rs`/`rt` (or
+/// `base`/`rt`) register fields; unused operands are ignored. Returns `None`
+/// for instructions that are not simple register-writing ALU operations
+/// (memory accesses, branches, `mult`/`div` — which write HI/LO — CP0 moves,
+/// and system instructions), and for trapping `add`/`addi`/`sub` *when the
+/// operation would overflow* (the instruction then writes nothing and raises
+/// [`crate::exception::ExcCode::Overflow`]).
+///
+/// ```
+/// use efex_mips::isa::{Instruction, Reg};
+/// use efex_mips::sem::alu_result;
+/// let i = Instruction::Addiu { rt: Reg::T0, rs: Reg::T1, imm: -4 };
+/// assert_eq!(alu_result(i, 100, 0), Some(96));
+/// ```
+pub fn alu_result(inst: Instruction, rs: u32, rt: u32) -> Option<u32> {
+    use Instruction::*;
+    Some(match inst {
+        Sll { shamt, .. } => rt << shamt,
+        Srl { shamt, .. } => rt >> shamt,
+        Sra { shamt, .. } => ((rt as i32) >> shamt) as u32,
+        Sllv { .. } => rt << (rs & 31),
+        Srlv { .. } => rt >> (rs & 31),
+        Srav { .. } => ((rt as i32) >> (rs & 31)) as u32,
+        Add { .. } => (rs as i32).checked_add(rt as i32)? as u32,
+        Addu { .. } => rs.wrapping_add(rt),
+        Sub { .. } => (rs as i32).checked_sub(rt as i32)? as u32,
+        Subu { .. } => rs.wrapping_sub(rt),
+        And { .. } => rs & rt,
+        Or { .. } => rs | rt,
+        Xor { .. } => rs ^ rt,
+        Nor { .. } => !(rs | rt),
+        Slt { .. } => ((rs as i32) < (rt as i32)) as u32,
+        Sltu { .. } => (rs < rt) as u32,
+        Addi { imm, .. } => (rs as i32).checked_add(imm as i32)? as u32,
+        Addiu { imm, .. } => rs.wrapping_add(imm as i32 as u32),
+        Slti { imm, .. } => ((rs as i32) < (imm as i32)) as u32,
+        Sltiu { imm, .. } => (rs < (imm as i32 as u32)) as u32,
+        Andi { imm, .. } => rs & (imm as u32),
+        Ori { imm, .. } => rs | (imm as u32),
+        Xori { imm, .. } => rs ^ (imm as u32),
+        Lui { imm, .. } => (imm as u32) << 16,
+        _ => return None,
+    })
+}
+
+/// Whether a trapping `add`/`addi`/`sub` overflows (and therefore raises an
+/// exception instead of writing its destination) for the given operand
+/// values. Always `false` for non-trapping instructions.
+pub fn alu_overflows(inst: Instruction, rs: u32, rt: u32) -> bool {
+    use Instruction::*;
+    match inst {
+        Add { .. } => (rs as i32).checked_add(rt as i32).is_none(),
+        Sub { .. } => (rs as i32).checked_sub(rt as i32).is_none(),
+        Addi { imm, .. } => (rs as i32).checked_add(imm as i32).is_none(),
+        _ => false,
+    }
+}
+
+/// Whether a conditional branch is taken, given its source register values.
+///
+/// Returns `None` for instructions that are not conditional branches
+/// (unconditional jumps transfer control regardless; everything else falls
+/// through).
+pub fn branch_taken(inst: Instruction, rs: u32, rt: u32) -> Option<bool> {
+    use Instruction::*;
+    Some(match inst {
+        Beq { .. } => rs == rt,
+        Bne { .. } => rs != rt,
+        Blez { .. } => (rs as i32) <= 0,
+        Bgtz { .. } => (rs as i32) > 0,
+        Bltz { .. } | Bltzal { .. } => (rs as i32) < 0,
+        Bgez { .. } | Bgezal { .. } => (rs as i32) >= 0,
+        _ => return None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::isa::Reg;
+
+    fn r3(_: ()) -> (Reg, Reg, Reg) {
+        (Reg::T0, Reg::T1, Reg::T2)
+    }
+
+    #[test]
+    fn alu_matches_two_complement_semantics() {
+        let (rd, rs, rt) = r3(());
+        assert_eq!(
+            alu_result(Instruction::Addu { rd, rs, rt }, u32::MAX, 1),
+            Some(0)
+        );
+        assert_eq!(
+            alu_result(Instruction::Sub { rd, rs, rt }, 5, 7),
+            Some((-2i32) as u32)
+        );
+        assert_eq!(
+            alu_result(Instruction::Sra { rd, rt, shamt: 4 }, 0, 0x8000_0000),
+            Some(0xf800_0000)
+        );
+        assert_eq!(alu_result(Instruction::Sltu { rd, rs, rt }, 1, 2), Some(1));
+        assert_eq!(
+            alu_result(
+                Instruction::Slti {
+                    rt: rd,
+                    rs,
+                    imm: -1
+                },
+                u32::MAX,
+                0
+            ),
+            Some(0)
+        );
+        assert_eq!(
+            alu_result(
+                Instruction::Lui {
+                    rt: rd,
+                    imm: 0x8000
+                },
+                0,
+                0
+            ),
+            Some(0x8000_0000)
+        );
+    }
+
+    #[test]
+    fn trapping_forms_refuse_to_fold_on_overflow() {
+        let (rd, rs, rt) = r3(());
+        assert_eq!(
+            alu_result(Instruction::Add { rd, rs, rt }, 0x7fff_ffff, 1),
+            None
+        );
+        assert!(alu_overflows(
+            Instruction::Add { rd, rs, rt },
+            0x7fff_ffff,
+            1
+        ));
+        assert!(!alu_overflows(
+            Instruction::Addu { rd, rs, rt },
+            0x7fff_ffff,
+            1
+        ));
+        assert!(alu_overflows(
+            Instruction::Addi { rt, rs, imm: -1 },
+            0x8000_0000,
+            0
+        ));
+    }
+
+    #[test]
+    fn branch_conditions() {
+        let (_, rs, rt) = r3(());
+        assert_eq!(
+            branch_taken(Instruction::Beq { rs, rt, imm: 1 }, 3, 3),
+            Some(true)
+        );
+        assert_eq!(
+            branch_taken(Instruction::Bne { rs, rt, imm: 1 }, 3, 3),
+            Some(false)
+        );
+        assert_eq!(
+            branch_taken(Instruction::Bltz { rs, imm: 1 }, 0x8000_0000, 0),
+            Some(true)
+        );
+        assert_eq!(
+            branch_taken(Instruction::Bgez { rs, imm: 1 }, 0, 0),
+            Some(true)
+        );
+        assert_eq!(branch_taken(Instruction::J { target: 0 }, 0, 0), None);
+    }
+
+    #[test]
+    fn non_alu_instructions_do_not_fold() {
+        assert_eq!(
+            alu_result(
+                Instruction::Lw {
+                    rt: Reg::T0,
+                    base: Reg::SP,
+                    imm: 0
+                },
+                0,
+                0
+            ),
+            None
+        );
+        assert_eq!(alu_result(Instruction::Rfe, 0, 0), None);
+        assert_eq!(
+            alu_result(
+                Instruction::Mult {
+                    rs: Reg::T0,
+                    rt: Reg::T1
+                },
+                2,
+                3
+            ),
+            None
+        );
+    }
+}

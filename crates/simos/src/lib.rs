@@ -27,6 +27,7 @@
 //!   instantiated with this kernel's layout contracts; debug builds check
 //!   both embedded images at boot.
 
+pub mod compose;
 pub mod costs;
 pub mod fastexc;
 pub mod frames;

@@ -1,0 +1,39 @@
+//! The single source of truth for the fast-path static budget (Table 3).
+//!
+//! Historically the verifier carried a 65-cycle budget while the health
+//! invariants checked 44 instructions / 55 cycles — a split-brain where the
+//! same paper table was transcribed twice with different arithmetic. The
+//! constants below are the one authoritative transcription; `efex-simos`
+//! re-exports them for its boot-time image verification, and `efex-health`
+//! and `efex-fleet` build their ceiling invariants from them.
+//!
+//! The numbers are the *static* longest vector-exit path through the
+//! assembled first-level handler, as proven by both the abstract
+//! interpreter ([`crate::analyze`]) and the symbolic explorer
+//! ([`crate::symex`]): 44 instructions, 55 cycles under the
+//! [`efex_mips::cycles`] model (every instruction costs its base cycle, and
+//! the save phase's one load plus seven stores each add a memory-access
+//! cycle).
+
+/// Maximum instructions on any path from the general exception vector to
+/// the vector exit (`jr`/`rfe`), per Table 3 of the paper: decode 7 +
+/// compat 7 + save 17 + fpcheck 6 + tlbcheck 3 + vector 4.
+pub const FAST_PATH_INSTRUCTIONS: u64 = 44;
+
+/// Cycle cost of that same longest path under the simulator's cost model:
+/// the 44 base cycles plus 11 memory-access cycles (save phase: 1 load +
+/// 7 stores; one load each in the compat, fpcheck, and vector phases).
+pub const FAST_PATH_CYCLES: u64 = 55;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycle_budget_exceeds_instruction_budget_by_memory_accesses() {
+        // Under the cost model every instruction is at least one cycle, so
+        // the cycle budget can never be below the instruction budget; the
+        // difference is exactly the fast path's 11 memory-access cycles.
+        assert_eq!(FAST_PATH_CYCLES - FAST_PATH_INSTRUCTIONS, 11);
+    }
+}

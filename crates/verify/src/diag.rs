@@ -6,7 +6,7 @@ use efex_mips::isa::{Instruction, Reg};
 use std::fmt;
 
 /// The kind of defect a [`Finding`] reports.
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
 pub enum Lint {
     /// A branch or jump sits in another control transfer's delay slot —
     /// architecturally undefined on the MIPS.
@@ -43,6 +43,34 @@ pub enum Lint {
     RunsOffImage,
     /// A reachable word that does not decode to an instruction.
     Undecodable,
+    /// A protocol register saved into a comm-frame slot other than its
+    /// canonical one (symbolic pass).
+    WrongSlotSave,
+    /// A register restored from a comm-frame slot that does not belong to
+    /// it on some path to the resume (symbolic pass).
+    WrongSlotRestore,
+    /// A comm-page word read on a path where no earlier instruction (guest
+    /// or host) defined it during this delivery (symbolic pass).
+    UndefinedCommRead,
+    /// A path reaches the vector-to-user exit without having saved one of
+    /// the protocol registers (symbolic pass).
+    MissingSaveOnPath,
+    /// A faultable instruction executes while EPC/Cause/BadVaddr are still
+    /// live in CP0 outside the documented recursive-exception window
+    /// (symbolic pass).
+    VulnerableWindow,
+    /// The UTLB refill loop re-raised more times than the architectural
+    /// bound — the refill path does not terminate (symbolic pass).
+    RefillDivergence,
+    /// An indirect jump whose target the symbolic executor cannot resolve
+    /// to a concrete address or a known protocol value (symbolic pass).
+    UnresolvedJump,
+    /// An architecturally raisable exception class that never reaches any
+    /// handler terminal (symbolic pass).
+    ClassUnreachable,
+    /// A call-graph cycle through `jal`/`jr` — recursion with no static
+    /// path bound (symbolic pass).
+    RecursiveCall,
 }
 
 impl Lint {
@@ -61,6 +89,15 @@ impl Lint {
             Lint::UnpinnedMemoryReference => "unpinned-memory-reference",
             Lint::RunsOffImage => "runs-off-image",
             Lint::Undecodable => "undecodable",
+            Lint::WrongSlotSave => "wrong-slot-save",
+            Lint::WrongSlotRestore => "wrong-slot-restore",
+            Lint::UndefinedCommRead => "undefined-comm-read",
+            Lint::MissingSaveOnPath => "missing-save-on-path",
+            Lint::VulnerableWindow => "vulnerable-window",
+            Lint::RefillDivergence => "refill-divergence",
+            Lint::UnresolvedJump => "unresolved-jump",
+            Lint::ClassUnreachable => "class-unreachable",
+            Lint::RecursiveCall => "recursive-call",
         }
     }
 }
@@ -182,6 +219,18 @@ impl Report {
         self.findings.iter().filter(move |f| f.lint == lint)
     }
 
+    /// Drops all but the first finding for each `(address, lint)` pair.
+    ///
+    /// The analysis phases overlap on purpose (the hazard walk, the save-set
+    /// pass, and the symbolic explorer all visit the same instructions), so
+    /// one defect can surface several times with slightly different
+    /// wording. Reports keep the first — phases run in severity order — and
+    /// callers see each defect once.
+    pub fn dedup(&mut self) {
+        let mut seen = std::collections::HashSet::new();
+        self.findings.retain(|f| seen.insert((f.addr, f.lint)));
+    }
+
     /// Renders the report as a monospace block: findings first, then the
     /// fast-path table when present.
     pub fn render(&self) -> String {
@@ -202,6 +251,44 @@ impl Report {
             }
         }
         out
+    }
+}
+
+/// Escapes `s` for inclusion in a JSON string literal (RFC 8259: quote,
+/// backslash, and control characters).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl Finding {
+    /// The finding as a JSON object (one line, no trailing newline), for
+    /// the machine-readable `lint --json` output.
+    pub fn to_json(&self) -> String {
+        let line = match self.line {
+            Some(n) => n.to_string(),
+            None => "null".to_string(),
+        };
+        format!(
+            "{{\"lint\":\"{}\",\"addr\":{},\"location\":\"{}\",\"line\":{},\"message\":\"{}\",\"context\":\"{}\"}}",
+            self.lint.code(),
+            self.addr,
+            json_escape(&self.location),
+            line,
+            json_escape(&self.message),
+            json_escape(&self.context),
+        )
     }
 }
 

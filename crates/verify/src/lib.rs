@@ -39,17 +39,25 @@
 #![warn(missing_docs)]
 
 pub mod absint;
+pub mod budget;
 pub mod cfg;
 pub mod checks;
 pub mod defuse;
 pub mod diag;
+pub mod interproc;
+pub mod symex;
 
 use efex_mips::asm::Program;
 use efex_mips::isa::Reg;
 use std::error::Error;
 use std::fmt;
 
+pub use budget::{FAST_PATH_CYCLES, FAST_PATH_INSTRUCTIONS};
 pub use diag::{Finding, Lint, PathBounds, PhaseBound, Report};
+pub use interproc::{CallGraph, Images};
+pub use symex::{
+    explore, DeliveryVariant, Depth, EntryKind, Scenario, ScenarioOutcome, SymexConfig, SymexReport,
+};
 
 /// A pinned memory region the analyzed handler is allowed to touch.
 #[derive(Clone, PartialEq, Eq, Debug)]
@@ -229,5 +237,6 @@ pub fn analyze(prog: &Program, config: &VerifyConfig) -> Result<Report, VerifyEr
     }
     report.instructions_analyzed = graph.len();
     report.findings.sort_by_key(|f| f.addr);
+    report.dedup();
     Ok(report)
 }
