@@ -21,6 +21,11 @@ gate inject cargo run --release -p efex-bench --bin inject -- --all
 gate fleet-determinism cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --check-determinism
 gate fleet-health cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --health
 gate baseline cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json
+# The superblock engine must reproduce the interpreter-recorded baseline
+# bit-exactly (report --record refuses to run under it, so no re-record
+# can satisfy this gate). The throughput ratio is printed, not gated.
+gate baseline-superblock cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json --engine superblock
+gate throughput cargo run --release -p efex-bench --bin fleet -- --throughput
 gate clippy cargo clippy --workspace --all-targets -- -D warnings
 gate fmt cargo fmt --check
 

@@ -8,6 +8,12 @@
 //! fleet ... --decode-cache              single-thread wall time with the
 //!                                       decode cache on vs off (results
 //!                                       must be bit-identical)
+//! fleet ... --engine superblock         run every tenant under the given
+//!                                       execution engine (interpreter is
+//!                                       the default; results identical)
+//! fleet ... --throughput                interpreter-vs-superblock guest
+//!                                       Mips A/B exhibit (printed, never
+//!                                       gated on wall time)
 //! fleet ... --chrome <path>             per-tenant Chrome-trace rows
 //! fleet ... --seed <n>                  override the fleet base seed
 //! fleet ... --health                    evaluate the fleet invariant set;
@@ -26,6 +32,7 @@
 
 use efex_fleet::{run_fleet, FleetConfig, FleetReport};
 use efex_mips::cycles::CLOCK_MHZ;
+use efex_mips::machine::{ExecEngine, MachineConfig};
 use std::process::ExitCode;
 
 fn parse_u64(s: &str) -> Option<u64> {
@@ -75,10 +82,10 @@ fn check_determinism(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> 
     }
 }
 
-fn sweep(cfg: &FleetConfig) -> Result<(), efex_fleet::FleetError> {
+fn sweep(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> {
     println!(
-        "fleet: scaling sweep, {} tenants (seed {:#x})",
-        cfg.tenants, cfg.base_seed
+        "fleet: scaling sweep, {} tenants (seed {:#x}, engine {})",
+        cfg.tenants, cfg.base_seed, cfg.machine.engine,
     );
     println!("  threads    wall-ms    speedup    deliveries/sec");
     let mut base_wall = None;
@@ -92,20 +99,45 @@ fn sweep(cfg: &FleetConfig) -> Result<(), efex_fleet::FleetError> {
             r.deliveries_per_wall_sec(),
         );
     }
-    Ok(())
+    // The engine A/B half of the exhibit: same fleet under both engines
+    // (bit-exactness gated), plus the hot-loop guest-Mips ratio (printed,
+    // never gated — wall time depends on the CI box).
+    let interp = run_fleet(&FleetConfig {
+        machine: cfg.machine.engine(ExecEngine::Interpreter),
+        ..*cfg
+    })?;
+    let sb = run_fleet(&FleetConfig {
+        machine: cfg.machine.engine(ExecEngine::Superblock),
+        ..*cfg
+    })?;
+    println!(
+        "fleet: engine A/B: interpreter {:.1} ms wall vs superblock {:.1} ms wall ({:.2}x)",
+        interp.wall_seconds * 1000.0,
+        sb.wall_seconds * 1000.0,
+        interp.wall_seconds / sb.wall_seconds,
+    );
+    throughput_exhibit();
+    if interp.fingerprint() == sb.fingerprint() {
+        println!("fleet: engines are bit-exact (fingerprints identical)");
+        Ok(true)
+    } else {
+        eprintln!("fleet: ENGINE MISMATCH — interpreter/superblock fingerprints disagree");
+        Ok(false)
+    }
 }
 
 /// Simulated-guest instruction throughput (million instructions per wall
 /// second) of a TLB-mapped 64-instruction loop — the code shape the decode
-/// cache exists for: hot text refetched far more often than it changes.
-fn guest_throughput(cache: bool, steps: u32) -> f64 {
+/// and superblock caches exist for: hot text refetched far more often than
+/// it changes. The machine builds from `mcfg`, so one helper serves the
+/// decode-cache and execution-engine A/B exhibits.
+fn guest_throughput(mcfg: MachineConfig, steps: u64) -> f64 {
     use efex_mips::encode::encode;
     use efex_mips::isa::{Instruction, Reg};
-    use efex_mips::machine::Machine;
+    use efex_mips::machine::{Machine, StopReason};
     use efex_mips::tlb::TlbEntry;
 
-    let mut m = Machine::new(1 << 20);
-    m.set_decode_cache_enabled(cache);
+    let mut m = Machine::with_config(1 << 20, mcfg);
     let base = 0x0010_0000u32;
     let pfn = 4u32;
     // A realistically loaded TLB, so the uncached fetch pays a real walk.
@@ -143,10 +175,26 @@ fn guest_throughput(cache: bool, steps: u32) -> f64 {
     m.cpu_mut().pc = base;
     m.cpu_mut().next_pc = base.wrapping_add(4);
     let t0 = std::time::Instant::now();
-    for _ in 0..steps {
-        m.step().expect("throughput loop must not fault");
-    }
-    steps as f64 / t0.elapsed().as_secs_f64() / 1e6
+    let stop = m.run(steps).expect("throughput loop must not fault");
+    let elapsed = t0.elapsed().as_secs_f64();
+    assert_eq!(stop, StopReason::StepLimit, "loop must run its full budget");
+    steps as f64 / elapsed / 1e6
+}
+
+/// The interpreter-vs-superblock guest-Mips exhibit: printed, never gated —
+/// wall time depends on the host. Returns the speedup ratio.
+fn throughput_exhibit() -> f64 {
+    let interp_cfg = MachineConfig::default();
+    let sb_cfg = MachineConfig::default().engine(ExecEngine::Superblock);
+    guest_throughput(interp_cfg, 500_000); // warm
+    guest_throughput(sb_cfg, 500_000);
+    let interp = guest_throughput(interp_cfg, 4_000_000);
+    let sb = guest_throughput(sb_cfg, 4_000_000);
+    println!(
+        "fleet: guest throughput {interp:.1} Mips interpreter vs {sb:.1} Mips superblock ({:.2}x)",
+        sb / interp,
+    );
+    sb / interp
 }
 
 fn decode_cache_compare(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> {
@@ -158,10 +206,12 @@ fn decode_cache_compare(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetErro
     // Warm once so allocator/page-cache effects don't favour either side.
     run_fleet(&single)?;
     let on = run_fleet(&single)?;
-    efex_mips::machine::set_decode_cache_default(false);
-    let off = run_fleet(&single);
-    efex_mips::machine::set_decode_cache_default(true);
-    let off = off?;
+    // Per-tenant machine config — no process-global toggling, so this A/B
+    // stays sound even if other fleets run concurrently in-process.
+    let off = run_fleet(&FleetConfig {
+        machine: single.machine.decode_cache(false),
+        ..single
+    })?;
     println!(
         "fleet: decode cache on  {:>8.1} ms wall",
         on.wall_seconds * 1000.0
@@ -171,9 +221,9 @@ fn decode_cache_compare(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetErro
         off.wall_seconds * 1000.0,
         off.wall_seconds / on.wall_seconds,
     );
-    guest_throughput(true, 500_000); // warm
-    let thr_on = guest_throughput(true, 4_000_000);
-    let thr_off = guest_throughput(false, 4_000_000);
+    guest_throughput(MachineConfig::default(), 500_000); // warm
+    let thr_on = guest_throughput(MachineConfig::default(), 4_000_000);
+    let thr_off = guest_throughput(MachineConfig::default().decode_cache(false), 4_000_000);
     println!(
         "fleet: guest throughput {:.1} Mips cached vs {:.1} Mips uncached ({:.2}x)",
         thr_on,
@@ -256,7 +306,8 @@ fn main() -> ExitCode {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         println!(
             "usage: fleet [--tenants <n>] [--threads <n>] [--seed <n>] \
-             [--check-determinism] [--sweep] [--decode-cache] [--chrome <path>] \
+             [--engine interpreter|superblock] [--check-determinism] [--sweep] \
+             [--decode-cache] [--throughput] [--chrome <path>] \
              [--health] [--metrics-out <path>]"
         );
         return ExitCode::SUCCESS;
@@ -270,6 +321,7 @@ fn main() -> ExitCode {
     let mut do_check = false;
     let mut do_sweep = false;
     let mut do_dcache = false;
+    let mut do_throughput = false;
     let mut do_health = false;
     let mut chrome_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
@@ -297,7 +349,12 @@ fn main() -> ExitCode {
             "--check-determinism" => do_check = true,
             "--sweep" => do_sweep = true,
             "--decode-cache" => do_dcache = true,
+            "--throughput" => do_throughput = true,
             "--health" => do_health = true,
+            "--engine" => match it.next().as_deref().and_then(ExecEngine::parse) {
+                Some(engine) => cfg.machine = cfg.machine.engine(engine),
+                None => return fail("fleet: --engine needs 'interpreter' or 'superblock'"),
+            },
             "--chrome" => match it.next() {
                 Some(p) => chrome_path = Some(p),
                 None => return fail("fleet: --chrome needs a file path"),
@@ -342,8 +399,9 @@ fn main() -> ExitCode {
         }
     }
     if do_sweep {
-        if let Err(e) = sweep(&cfg) {
-            return fail(&format!("fleet: {e}"));
+        match sweep(&cfg) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
         }
     }
     if do_dcache {
@@ -351,6 +409,9 @@ fn main() -> ExitCode {
             Ok(pass) => ok &= pass,
             Err(e) => return fail(&format!("fleet: {e}")),
         }
+    }
+    if do_throughput {
+        throughput_exhibit();
     }
 
     if ok {

@@ -15,6 +15,12 @@
 //! report                              summary: delivery quantiles + ring stats
 //! ```
 //!
+//! `--engine interpreter|superblock` runs the suite under the given machine
+//! execution engine (default interpreter). Both engines must produce the
+//! same recorded metrics, so `--check FILE --engine superblock` against the
+//! interpreter-recorded baseline is the bit-exactness gate for the
+//! superblock engine — no re-record allowed.
+//!
 //! All numbers are simulated cycles — deterministic across runs and hosts —
 //! so `--check` against a committed baseline is a meaningful CI gate: any
 //! change to cost constants, the guest kernel, or workload behavior shows up
@@ -22,6 +28,7 @@
 
 use efex_bench::suite;
 use efex_core::System;
+use efex_mips::machine::{with_machine_config, ExecEngine, MachineConfig};
 use efex_report::{compare, Baseline, DEFAULT_TOLERANCE};
 use efex_trace::{RingSink, Snapshot};
 use std::process::ExitCode;
@@ -56,14 +63,36 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print!(
             "usage: report [--record [FILE]] [--check FILE [--tol PCT]]\n\
-             \x20             [--chrome [FILE]] [--flame [FILE]]\n"
+             \x20             [--chrome [FILE]] [--flame [FILE]]\n\
+             \x20             [--engine interpreter|superblock]\n"
         );
         return Ok(ExitCode::SUCCESS);
     }
 
+    let engine = match flag_value("--engine") {
+        Some(name) => {
+            ExecEngine::parse(name).ok_or_else(|| format!("bad --engine value {name:?}"))?
+        }
+        None => ExecEngine::Interpreter,
+    };
+    // Every machine the suite constructs (the builders construct them
+    // internally) inherits the selected engine; the binary is
+    // single-threaded, so one scope covers the whole run.
+    let run_suite = || {
+        with_machine_config(
+            MachineConfig::default().engine(engine),
+            suite::record_baseline,
+        )
+    };
+
     if args.iter().any(|a| a == "--record") {
+        if engine != ExecEngine::Interpreter {
+            return Err("--record uses the reference interpreter; \
+                        check other engines against it with --check --engine"
+                .into());
+        }
         let path = target("--record", "BENCH_baseline.json");
-        let baseline = suite::record_baseline()?;
+        let baseline = run_suite()?;
         std::fs::write(&path, baseline.to_json())?;
         println!("recorded {} metrics to {path}", baseline.metrics.len());
         return Ok(ExitCode::SUCCESS);
@@ -83,12 +112,12 @@ fn run(args: &[String]) -> Result<ExitCode, Box<dyn std::error::Error>> {
         };
         let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
         let baseline = Baseline::from_json(&text).map_err(|e| format!("{path}: {e}"))?;
-        let current = suite::record_baseline()?;
+        let current = run_suite()?;
         let report = compare(&baseline, &current, tolerance);
         let verbose = args.iter().any(|a| a == "--verbose");
         print!("{}", report.render_table(verbose));
         return if report.passed() {
-            println!("baseline check PASSED against {path}");
+            println!("baseline check PASSED against {path} (engine: {engine})");
             Ok(ExitCode::SUCCESS)
         } else {
             println!(

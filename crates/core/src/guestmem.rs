@@ -14,6 +14,7 @@
 //! so multi-tenant workers ship a `GuestConfig` across the thread boundary
 //! and build the tenant — sink, handlers and all — inside the worker.
 
+use efex_mips::machine::MachineConfig;
 use efex_simos::Prot;
 
 use crate::delivery::DeliveryPath;
@@ -172,6 +173,10 @@ pub struct GuestConfig {
     pub access_cost: u64,
     /// Degradation policy for deliveries that cannot take the path.
     pub degrade_policy: DegradePolicy,
+    /// Machine configuration (execution engine, decode cache). `None`
+    /// inherits the building thread's scoped default — see
+    /// [`efex_mips::machine::with_machine_config`].
+    pub machine: Option<MachineConfig>,
 }
 
 impl Default for GuestConfig {
@@ -189,24 +194,33 @@ impl GuestConfig {
             eager_amplification: false,
             access_cost: 2,
             degrade_policy: DegradePolicy::default(),
+            machine: None,
         }
     }
 
     /// A [`HostBuilder`] primed with this config.
     pub fn host_builder(&self) -> HostBuilder {
-        HostProcess::builder()
+        let mut b = HostProcess::builder()
             .delivery(self.path)
             .phys_bytes(self.phys_bytes)
             .eager_amplification(self.eager_amplification)
             .access_cost(self.access_cost)
-            .degrade_policy(self.degrade_policy)
+            .degrade_policy(self.degrade_policy);
+        if let Some(m) = self.machine {
+            b = b.machine_config(m);
+        }
+        b
     }
 
     /// A [`SystemBuilder`] primed with this config.
     pub fn system_builder(&self) -> SystemBuilder {
-        System::builder()
+        let mut b = System::builder()
             .delivery(self.path)
-            .phys_bytes(self.phys_bytes)
+            .phys_bytes(self.phys_bytes);
+        if let Some(m) = self.machine {
+            b = b.machine_config(m);
+        }
+        b
     }
 }
 

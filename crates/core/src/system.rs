@@ -9,6 +9,7 @@
 
 use efex_mips::cycles::to_micros;
 
+use efex_mips::machine::MachineConfig;
 use efex_mips::profile::{Profiler, RegionSpan};
 use efex_simos::fastexc::TABLE3_PHASES;
 use efex_simos::kernel::{Kernel, KernelConfig, RunOutcome};
@@ -96,6 +97,7 @@ pub struct SystemBuilder {
     path: DeliveryPath,
     phys_bytes: usize,
     trace: Option<SharedSink>,
+    machine: Option<MachineConfig>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -104,6 +106,7 @@ impl std::fmt::Debug for SystemBuilder {
             .field("path", &self.path)
             .field("phys_bytes", &self.phys_bytes)
             .field("trace", &self.trace.is_some())
+            .field("machine", &self.machine)
             .finish()
     }
 }
@@ -114,6 +117,7 @@ impl Default for SystemBuilder {
             path: DeliveryPath::FastUser,
             phys_bytes: efex_simos::layout::DEFAULT_PHYS_BYTES,
             trace: None,
+            machine: None,
         }
     }
 }
@@ -128,6 +132,14 @@ impl SystemBuilder {
     /// Sets the physical memory size.
     pub fn phys_bytes(mut self, bytes: usize) -> SystemBuilder {
         self.phys_bytes = bytes;
+        self
+    }
+
+    /// Selects the machine configuration (execution engine, decode cache).
+    /// Unset, the booting thread's scoped default applies — see
+    /// [`efex_mips::machine::with_machine_config`].
+    pub fn machine_config(mut self, cfg: MachineConfig) -> SystemBuilder {
+        self.machine = Some(cfg);
         self
     }
 
@@ -148,6 +160,7 @@ impl SystemBuilder {
     pub fn build(self) -> Result<System, CoreError> {
         let mut kernel = Kernel::boot(KernelConfig {
             phys_bytes: self.phys_bytes,
+            machine: self.machine,
             ..KernelConfig::default()
         })?;
         kernel.set_trace_path(self.path.into());

@@ -1,0 +1,73 @@
+//! Engine-invariance of the measurement plane: any guest microbenchmark,
+//! run under the superblock engine, must produce the same `RoundTrip`
+//! figures and the same trace-metrics `StatsSnapshot` as the reference
+//! interpreter — the numbers the paper reproduction reports cannot depend
+//! on how the simulator executes the guest.
+
+use efex_core::{DeliveryPath, ExceptionKind, System};
+use efex_mips::machine::{ExecEngine, MachineConfig};
+use efex_trace::Snapshot;
+use proptest::prelude::*;
+
+/// Every (path, kind) pair `measure_null_roundtrip` has a guest program for.
+const COMBOS: &[(DeliveryPath, ExceptionKind)] = &[
+    (DeliveryPath::FastUser, ExceptionKind::Breakpoint),
+    (DeliveryPath::FastUser, ExceptionKind::WriteProtect),
+    (DeliveryPath::FastUser, ExceptionKind::Subpage),
+    (DeliveryPath::FastUser, ExceptionKind::UnalignedSpecialized),
+    (DeliveryPath::HardwareVectored, ExceptionKind::Breakpoint),
+    (DeliveryPath::UnixSignals, ExceptionKind::Breakpoint),
+    (DeliveryPath::UnixSignals, ExceptionKind::WriteProtect),
+];
+
+fn run(
+    engine: ExecEngine,
+    combos: &[usize],
+) -> (
+    Vec<efex_core::RoundTrip>,
+    Vec<efex_trace::StatsSnapshot>,
+    Vec<u64>,
+) {
+    let mut trips = Vec::new();
+    let mut snaps = Vec::new();
+    let mut cycles = Vec::new();
+    for &i in combos {
+        let (path, kind) = COMBOS[i];
+        let mut sys = System::builder()
+            .delivery(path)
+            .machine_config(MachineConfig::default().engine(engine))
+            .build()
+            .expect("boot");
+        trips.push(sys.measure_null_roundtrip(kind).expect("roundtrip"));
+        snaps.push(sys.trace_metrics().snapshot());
+        cycles.push(sys.kernel().machine().cycles());
+    }
+    (trips, snaps, cycles)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+    /// Random sequences of microbenchmarks yield identical measurements
+    /// under both engines.
+    #[test]
+    fn engines_produce_identical_stats_snapshots(
+        combos in proptest::collection::vec(0usize..COMBOS.len(), 1..4),
+    ) {
+        let interp = run(ExecEngine::Interpreter, &combos);
+        let sb = run(ExecEngine::Superblock, &combos);
+        prop_assert_eq!(&interp.0, &sb.0, "RoundTrip figures diverged");
+        prop_assert_eq!(&interp.1, &sb.1, "trace StatsSnapshots diverged");
+        prop_assert_eq!(&interp.2, &sb.2, "machine cycle counts diverged");
+    }
+}
+
+/// Deterministic spot-check of every combo (proptest samples; this pins).
+#[test]
+fn every_microbenchmark_is_engine_invariant() {
+    let all: Vec<usize> = (0..COMBOS.len()).collect();
+    let interp = run(ExecEngine::Interpreter, &all);
+    let sb = run(ExecEngine::Superblock, &all);
+    assert_eq!(interp.0, sb.0, "RoundTrip figures diverged");
+    assert_eq!(interp.1, sb.1, "trace StatsSnapshots diverged");
+    assert_eq!(interp.2, sb.2, "machine cycle counts diverged");
+}

@@ -41,6 +41,7 @@ use std::time::Instant;
 
 use efex_core::{DeliveryPath, ExceptionKind, System};
 use efex_health::{HealthMonitor, Invariant, MetricRef};
+use efex_mips::machine::{with_machine_config, MachineConfig};
 use efex_report::chrome::TID_TENANT_BASE;
 use efex_report::ChromeTrace;
 use efex_trace::{Histogram, RingSink, StatsSnapshot, TraceEvent};
@@ -112,6 +113,11 @@ pub struct TenantSpec {
     pub suite: Suite,
     /// Deterministic workload seed (derived from the fleet base seed).
     pub seed: u64,
+    /// Machine configuration (execution engine, decode cache) every guest
+    /// this tenant constructs builds from. Applied as the worker thread's
+    /// scoped default, so tenants on different engines never race — the fix
+    /// for the old process-global decode-cache switches.
+    pub machine: MachineConfig,
 }
 
 /// Fleet shape and scheduling knobs.
@@ -130,6 +136,10 @@ pub struct FleetConfig {
     /// default (the health plane is meant to be always-on); it is host-side
     /// only, so turning it off changes nothing deterministic.
     pub health: bool,
+    /// Machine configuration every tenant builds its guests from (engine
+    /// selection for A/B runs; per-tenant, race-free). The aggregate
+    /// fingerprint is invariant to it — both engines are bit-exact.
+    pub machine: MachineConfig,
 }
 
 impl Default for FleetConfig {
@@ -140,6 +150,7 @@ impl Default for FleetConfig {
             base_seed: 0xf1ee7,
             trace: false,
             health: true,
+            machine: MachineConfig::default(),
         }
     }
 }
@@ -473,6 +484,7 @@ pub fn plan(cfg: &FleetConfig) -> Vec<TenantSpec> {
             seed: cfg
                 .base_seed
                 .wrapping_add(u64::from(id).wrapping_mul(0x9e37_79b9_7f4a_7c15)),
+            machine: cfg.machine,
         })
         .collect()
 }
@@ -488,20 +500,23 @@ pub fn run_tenant(spec: TenantSpec, trace: bool, health: bool) -> Result<TenantR
         suite: spec.suite.as_str(),
         message: e.to_string(),
     };
-    let run = match spec.suite {
-        Suite::Gc => efex_gc::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
-        Suite::Dsm => efex_dsm::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
-        Suite::Pstore => efex_pstore::workloads::tenant_workload(spec.seed).map_err(|e| err(&e))?,
-        Suite::Lazydata => efex_lazydata::tenant_workload(spec.seed).map_err(|e| err(&e))?,
-        Suite::Watch => efex_watch::tenant_workload(spec.seed).map_err(|e| err(&e))?,
-    };
+    // The workloads construct their guests internally (their signatures
+    // predate engine selection), so the tenant's machine config rides in as
+    // this worker thread's scoped default — no process-global state.
+    let run = with_machine_config(spec.machine, || match spec.suite {
+        Suite::Gc => efex_gc::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
+        Suite::Dsm => efex_dsm::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
+        Suite::Pstore => efex_pstore::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
+        Suite::Lazydata => efex_lazydata::tenant_workload(spec.seed).map_err(|e| err(&e)),
+        Suite::Watch => efex_watch::tenant_workload(spec.seed).map_err(|e| err(&e)),
+    })?;
     let mut health_snap = StatsSnapshot::new("tenant-health");
     if health {
         health_snap.merge(&run.health);
     }
     let mut events = Vec::new();
     if trace || health {
-        let probe = delivery_probe(spec.suite).map_err(|e| err(&e))?;
+        let probe = delivery_probe(spec.suite, spec.machine).map_err(|e| err(&e))?;
         if trace {
             events = probe.events;
         }
@@ -532,11 +547,21 @@ struct DeliveryProbe {
 /// simulation: the ring buffers the lifecycle events, and the guest's
 /// kernel/machine counters (decode cache, repairs, ring occupancy) become
 /// the tenant's `probe_*` health metrics.
-fn delivery_probe(suite: Suite) -> Result<DeliveryProbe, efex_core::CoreError> {
+fn delivery_probe(
+    suite: Suite,
+    tenant: MachineConfig,
+) -> Result<DeliveryProbe, efex_core::CoreError> {
     let ring = Rc::new(RingSink::with_capacity(64));
+    // The probe's decode-cache health invariants (hit rate, eviction churn)
+    // characterize the reference engine's per-instruction cache, so the
+    // probe guest pins the interpreter with the cache on, whatever engine
+    // the tenant runs — only the test-only slot-hash pathology carries over
+    // (the canary arms it per-tenant and expects the probe to feel it).
+    let probe_cfg = MachineConfig::default().mod64_slots(tenant.mod64_slots.unwrap_or(false));
     let mut sys = System::builder()
         .delivery(DeliveryPath::FastUser)
         .trace_sink(ring.clone())
+        .machine_config(probe_cfg)
         .build()?;
     sys.measure_null_roundtrip(suite.sample_kind())?;
     let mut health = StatsSnapshot::new("tenant-health");
@@ -709,6 +734,7 @@ mod tests {
                 id: 0,
                 suite: Suite::Dsm,
                 seed: 3,
+                machine: MachineConfig::default(),
             },
             false,
             false,
@@ -727,6 +753,7 @@ mod tests {
                 id: 0,
                 suite: Suite::Gc,
                 seed: 7,
+                machine: MachineConfig::default(),
             },
             false,
             true,

@@ -4,11 +4,12 @@
 //!
 //! The pathology is *architecturally invisible* — every delivery still
 //! produces bit-identical results, just slower — which is exactly why it
-//! needs a health invariant rather than a correctness test. This lives in
-//! its own integration-test binary because the hook is process-global.
+//! needs a health invariant rather than a correctness test. The hook rides
+//! in per-tenant through `MachineConfig::mod64_slots` (the old process-wide
+//! switch is deprecated: worker threads raced it).
 
 use efex_fleet::{run_fleet, FleetConfig};
-use efex_mips::machine::set_decode_cache_mod64_slots;
+use efex_mips::machine::MachineConfig;
 
 #[test]
 fn mod64_slot_aliasing_trips_the_hit_rate_invariant() {
@@ -20,9 +21,10 @@ fn mod64_slot_aliasing_trips_the_hit_rate_invariant() {
 
     // With the pathological slot hash: consecutive code pages alias to the
     // same 64 slots, so the delivery probe's decode cache thrashes.
-    set_decode_cache_mod64_slots(true);
-    let sick = run_fleet(&cfg);
-    set_decode_cache_mod64_slots(false);
+    let sick = run_fleet(&FleetConfig {
+        machine: MachineConfig::default().mod64_slots(true),
+        ..cfg
+    });
     let sick = sick.expect("aliasing is a performance bug, not a fault");
 
     let mut mon = sick.health_monitor();

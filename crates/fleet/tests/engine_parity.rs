@@ -1,0 +1,58 @@
+//! Fleet-level engine bit-exactness: the same fleet run under the
+//! interpreter and the superblock engine must produce identical simulated
+//! results — per-tenant `StatsSnapshot`s, simulated times, and the
+//! thread-count-invariant aggregate fingerprint. Only host-side wall time
+//! (and the engines' own cache counters) may differ.
+
+use efex_fleet::{run_fleet, FleetConfig};
+use efex_mips::machine::{ExecEngine, MachineConfig};
+
+#[test]
+fn superblock_fleet_is_bit_exact_with_interpreter() {
+    let cfg = FleetConfig {
+        tenants: 10, // every suite twice, distinct seeds
+        threads: 2,
+        ..FleetConfig::default()
+    };
+    let interp = run_fleet(&cfg).expect("interpreter fleet");
+    let sb = run_fleet(&FleetConfig {
+        machine: MachineConfig::default().engine(ExecEngine::Superblock),
+        ..cfg
+    })
+    .expect("superblock fleet");
+
+    assert_eq!(
+        interp.fingerprint(),
+        sb.fingerprint(),
+        "engines must agree on every deterministic result"
+    );
+    for (a, b) in interp.tenants.iter().zip(&sb.tenants) {
+        assert_eq!(a.id, b.id);
+        assert_eq!(a.stats, b.stats, "tenant {} StatsSnapshot drifted", a.id);
+        assert_eq!(a.micros, b.micros, "tenant {} simulated time drifted", a.id);
+    }
+}
+
+#[test]
+fn superblock_fleet_health_probe_stays_meaningful() {
+    // The delivery probe pins the reference interpreter, so decode-cache
+    // effectiveness invariants hold no matter which engine tenants run.
+    let sb = run_fleet(&FleetConfig {
+        tenants: 5,
+        threads: 1,
+        machine: MachineConfig::default().engine(ExecEngine::Superblock),
+        ..FleetConfig::default()
+    })
+    .expect("superblock fleet");
+    let mut mon = sb.health_monitor();
+    let findings = mon.finish().to_vec();
+    assert!(
+        findings.is_empty(),
+        "superblock fleet must be healthy:\n{}",
+        findings
+            .iter()
+            .map(|f| f.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}

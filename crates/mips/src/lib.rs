@@ -73,5 +73,5 @@ pub mod trace;
 
 pub use exception::ExcCode;
 pub use isa::{Instruction, Reg};
-pub use machine::{Machine, StopReason};
+pub use machine::{with_machine_config, ExecEngine, Machine, MachineConfig, StopReason};
 pub use profile::{Profiler, Region, RegionCounts, RegionSpan};

@@ -221,9 +221,9 @@ impl fmt::Debug for DecodePage {
 /// apart, and a plain `vpn % DCACHE_SLOTS` maps every user page onto its
 /// kernel counterpart — each exception delivery then evicts the other's
 /// lines and the cache never hits.
-fn dcache_slot(vpn: u32) -> usize {
-    if decode_cache_mod64_slots() {
-        // Test-only pathological hash (see `set_decode_cache_mod64_slots`):
+fn dcache_slot_hash(vpn: u32, mod64: bool) -> usize {
+    if mod64 {
+        // Test-only pathological hash (see `MachineConfig::mod64_slots`):
         // the plain modulo mapping whose systematic user/KSEG0 aliasing the
         // XOR fold above exists to prevent.
         return (vpn as usize) & (DCACHE_SLOTS - 1);
@@ -231,45 +231,268 @@ fn dcache_slot(vpn: u32) -> usize {
     ((vpn ^ (vpn >> 6) ^ (vpn >> 12)) as usize) & (DCACHE_SLOTS - 1)
 }
 
-/// Test-only hook: when set, [`dcache_slot`] reverts to the plain
-/// `vpn % DCACHE_SLOTS` mapping — the exact slot-aliasing pathology fixed
-/// after it drove the delivery-path hit rate to zero while every
-/// correctness test stayed green. The health plane's canary test re-arms it
-/// to prove the hit-rate invariant catches the regression; nothing
-/// architecturally visible changes either way.
+/// Which engine drives [`Machine::run`].
+///
+/// Both engines are architecturally identical — same register/CP0/TLB state,
+/// same cycle and instruction counts, same trace events, same exception
+/// delivery points. They differ only in host-side wall-clock cost (and in
+/// the host-side cache counters they maintain).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ExecEngine {
+    /// The reference engine: one full fetch–decode–dispatch round per
+    /// instruction through [`Machine::step`].
+    #[default]
+    Interpreter,
+    /// The superblock engine: straight-line runs (up to the next control
+    /// transfer, delay slot included) are pre-decoded once into flat blocks
+    /// with precomputed cycle costs, then replayed by a tight dispatch loop
+    /// that re-enters the generic [`Machine::step`] path only on block
+    /// exit, exception, TLB miss, or self-modified text.
+    Superblock,
+}
+
+impl ExecEngine {
+    /// Stable lower-case name (`"interpreter"` / `"superblock"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ExecEngine::Interpreter => "interpreter",
+            ExecEngine::Superblock => "superblock",
+        }
+    }
+
+    /// Parses the name produced by [`ExecEngine::as_str`].
+    pub fn parse(s: &str) -> Option<ExecEngine> {
+        match s {
+            "interpreter" => Some(ExecEngine::Interpreter),
+            "superblock" => Some(ExecEngine::Superblock),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ExecEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Per-machine execution configuration, fixed at construction.
+///
+/// This replaces the old process-global decode-cache switches (which fleet
+/// worker threads raced): every knob is a plain field, owned by the machine
+/// that was built from it. Code that cannot pass a config down to the
+/// machines it constructs internally (the kernel, app workloads) inherits
+/// the calling thread's scoped default — see [`with_machine_config`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct MachineConfig {
+    /// Execution engine for [`Machine::run`].
+    pub engine: ExecEngine,
+    /// Whether the per-instruction decode cache starts enabled.
+    pub decode_cache: bool,
+    /// Test-only: force the pathological mod-64 decode-cache slot hash on
+    /// (`Some(true)`) or off (`Some(false)`). `None` follows the deprecated
+    /// process-wide hook for back-compat with older canary harnesses.
+    pub mod64_slots: Option<bool>,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            engine: ExecEngine::Interpreter,
+            decode_cache: true,
+            mod64_slots: None,
+        }
+    }
+}
+
+impl MachineConfig {
+    /// Returns the config with the execution engine replaced.
+    #[must_use]
+    pub fn engine(mut self, engine: ExecEngine) -> MachineConfig {
+        self.engine = engine;
+        self
+    }
+
+    /// Returns the config with the decode-cache switch replaced.
+    #[must_use]
+    pub fn decode_cache(mut self, on: bool) -> MachineConfig {
+        self.decode_cache = on;
+        self
+    }
+
+    /// Returns the config with the mod-64 slot-hash override replaced.
+    #[must_use]
+    pub fn mod64_slots(mut self, on: bool) -> MachineConfig {
+        self.mod64_slots = Some(on);
+        self
+    }
+
+    /// The config [`Machine::new`] uses: the calling thread's scoped
+    /// override when one is active (see [`with_machine_config`]), else the
+    /// defaults (seeded from the deprecated process-wide shims so existing
+    /// A/B binaries keep working).
+    pub fn inherited() -> MachineConfig {
+        CONFIG_OVERRIDE.with(|c| c.get()).unwrap_or_else(|| {
+            #[allow(deprecated)]
+            MachineConfig::default().decode_cache(decode_cache_default())
+        })
+    }
+}
+
+thread_local! {
+    static CONFIG_OVERRIDE: std::cell::Cell<Option<MachineConfig>> =
+        const { std::cell::Cell::new(None) };
+}
+
+/// Runs `f` with `cfg` as the calling thread's machine-construction default:
+/// every [`Machine::new`] on this thread inside `f` (however deeply nested —
+/// kernel boot, app workloads) builds from `cfg`. Scopes nest and restore on
+/// unwind, and the override is thread-local, so concurrent fleet tenants can
+/// each select their own engine without racing — the fix for the old
+/// process-global switches.
+pub fn with_machine_config<R>(cfg: MachineConfig, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<MachineConfig>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            CONFIG_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = CONFIG_OVERRIDE.with(|c| c.replace(Some(cfg)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Deprecated process-wide mod-64 slot-hash hook. Superseded by
+/// [`MachineConfig::mod64_slots`]; kept so older canary harnesses keep
+/// working. Only consulted at machine *construction* (when the config
+/// leaves `mod64_slots` unset), so mid-run toggles no longer race workers.
 static DECODE_CACHE_MOD64_SLOTS: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(false);
 
-/// Arms (or disarms) the pathological mod-64 slot hash. Test-only: exists so
-/// effectiveness monitors can be shown to catch a silent hit-rate collapse.
-/// Process-wide; callers must restore `false` (results are identical either
-/// way — only hit/miss/eviction counters move).
+/// Arms (or disarms) the pathological mod-64 slot hash for machines built
+/// afterwards without an explicit [`MachineConfig::mod64_slots`].
 #[doc(hidden)]
+#[deprecated(note = "use MachineConfig::mod64_slots (per-machine, race-free)")]
 pub fn set_decode_cache_mod64_slots(on: bool) {
     DECODE_CACHE_MOD64_SLOTS.store(on, std::sync::atomic::Ordering::Relaxed);
 }
 
-/// Whether the test-only mod-64 slot hash is armed.
+/// Whether the deprecated process-wide mod-64 hook is armed.
 #[doc(hidden)]
+#[deprecated(note = "use MachineConfig::mod64_slots (per-machine, race-free)")]
 pub fn decode_cache_mod64_slots() -> bool {
     DECODE_CACHE_MOD64_SLOTS.load(std::sync::atomic::Ordering::Relaxed)
 }
 
-/// Process-wide default for [`Machine::new`]'s decode-cache state. The
-/// cache never affects architectural results, so this exists purely for
-/// wall-clock A/B measurement (e.g. `efex-bench`'s `fleet --decode-cache`)
-/// across code that constructs machines internally.
+/// Deprecated process-wide decode-cache default. Superseded by
+/// [`MachineConfig::decode_cache`] plus [`with_machine_config`]; kept as a
+/// thin shim for existing A/B binaries. Read once per [`Machine::new`] when
+/// no scoped config is active.
 static DECODE_CACHE_DEFAULT: std::sync::atomic::AtomicBool =
     std::sync::atomic::AtomicBool::new(true);
 
 /// Sets the decode-cache default newly-created machines inherit.
+#[deprecated(note = "use with_machine_config (per-thread, race-free)")]
 pub fn set_decode_cache_default(on: bool) {
     DECODE_CACHE_DEFAULT.store(on, std::sync::atomic::Ordering::Relaxed);
 }
 
 /// The decode-cache default newly-created machines inherit.
+#[deprecated(note = "use with_machine_config (per-thread, race-free)")]
 pub fn decode_cache_default() -> bool {
     DECODE_CACHE_DEFAULT.load(std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Longest straight-line run one superblock may hold. Runs end at the first
+/// control transfer anyway, so 64 comfortably covers real basic blocks; the
+/// cap only bounds pathological branch-free pages.
+const SBLOCK_MAX_OPS: usize = 64;
+/// Superblock cache slots (direct-mapped by block start address).
+const SBLOCK_SLOTS: usize = 256;
+
+/// One pre-decoded instruction inside a superblock.
+#[derive(Clone, Copy)]
+struct SbOp {
+    /// The raw instruction word (trace events record it).
+    word: u32,
+    inst: Instruction,
+    /// Static part of the cycle cost (`BASE` + `MEM_ACCESS` for loads and
+    /// stores); `execute` adds dynamic extras (mult/div, TLB ops) on top.
+    base_cost: u64,
+    /// Control transfer — the op after it (if present) is its delay slot,
+    /// and a block never extends past that slot.
+    is_ct: bool,
+    /// Store — after it retires the block re-checks its own text page's
+    /// write version so in-place patches take effect on the next fetch.
+    is_store: bool,
+}
+
+/// A cached straight-line run, validated by the same tag set as
+/// [`DecodePage`] (translation identity + text-page write version) but as a
+/// whole: one check at entry covers every op in the block. A store inside
+/// the block that hits the block's own page aborts it mid-run (and drops
+/// it), so self-modifying code observes patched text on the very next
+/// fetch, exactly like the interpreter.
+#[derive(Clone)]
+struct SuperBlock {
+    start_pc: u32,
+    user: bool,
+    /// Translation went through the TLB (KUSEG/KSEG2) rather than the
+    /// fixed KSEG0/KSEG1 windows.
+    mapped: bool,
+    asid: u8,
+    tlb_gen: u64,
+    page_paddr: u32,
+    mem_version: u32,
+    ops: Vec<SbOp>,
+}
+
+impl fmt::Debug for SuperBlock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SuperBlock")
+            .field("start_pc", &self.start_pc)
+            .field("user", &self.user)
+            .field("mapped", &self.mapped)
+            .field("asid", &self.asid)
+            .field("tlb_gen", &self.tlb_gen)
+            .field("page_paddr", &self.page_paddr)
+            .field("mem_version", &self.mem_version)
+            .field("ops", &self.ops.len())
+            .finish()
+    }
+}
+
+/// Superblock-cache slot for a block start address. Folds high bits in for
+/// the same reason as the decode cache's slot hash: user text and its KSEG0
+/// kernel counterpart must not systematically alias.
+fn sblock_slot(pc: u32) -> usize {
+    let x = pc >> 2;
+    ((x ^ (x >> 8) ^ (x >> 17)) as usize) & (SBLOCK_SLOTS - 1)
+}
+
+/// Whether an instruction must run through the generic [`Machine::step`]
+/// path and therefore ends superblock construction *before* it.
+///
+/// These are the ops that can invalidate a block's entry-time tags mid-run:
+/// CP0 writes (mode/ASID changes), TLB mutations (translation changes),
+/// `rfe` (mode change), and `xpcu` (PC redirect with no delay slot).
+/// `syscall`/`break`/`hcall` are safe inside blocks — they leave via the
+/// fault/host-call arms, which exit the block.
+fn ends_block(inst: Instruction) -> bool {
+    use Instruction::*;
+    matches!(
+        inst,
+        Mtc0 { .. } | Tlbr | Tlbwi | Tlbwr | Tlbp | Utlbp { .. } | Rfe | Xpcu
+    )
+}
+
+/// Static per-op cycle cost (the dynamic extras stay in `execute`).
+fn sb_base_cost(inst: Instruction) -> u64 {
+    let mut cost = cycles::BASE;
+    if inst.is_memory_access() {
+        cost += cycles::MEM_ACCESS;
+    }
+    cost
 }
 
 /// The simulated machine.
@@ -289,15 +512,33 @@ pub struct Machine {
     trace: Option<crate::trace::Trace>,
     dcache: [Option<Box<DecodePage>>; DCACHE_SLOTS],
     dcache_enabled: bool,
+    /// Pathological mod-64 decode-cache slot hash (test-only), resolved
+    /// once at construction so the hot path never reads process globals.
+    dcache_mod64: bool,
     dcache_hits: u64,
     dcache_misses: u64,
     dcache_evictions: u64,
+    engine: ExecEngine,
+    /// Superblock cache (empty unless the superblock engine is selected).
+    sbcache: Vec<Option<Box<SuperBlock>>>,
+    sb_hits: u64,
+    sb_misses: u64,
+    sb_invalidations: u64,
 }
 
 impl Machine {
     /// Creates a machine with `phys_bytes` of physical memory, in kernel
-    /// mode at PC 0.
+    /// mode at PC 0, configured from [`MachineConfig::inherited`] (the
+    /// calling thread's scoped config, else the process defaults).
     pub fn new(phys_bytes: usize) -> Machine {
+        Machine::with_config(phys_bytes, MachineConfig::inherited())
+    }
+
+    /// Creates a machine with `phys_bytes` of physical memory, in kernel
+    /// mode at PC 0, with an explicit per-machine configuration.
+    pub fn with_config(phys_bytes: usize, cfg: MachineConfig) -> Machine {
+        #[allow(deprecated)]
+        let mod64 = cfg.mod64_slots.unwrap_or_else(decode_cache_mod64_slots);
         Machine {
             cpu: Cpu::new(),
             cp0: Cp0::new(),
@@ -310,10 +551,19 @@ impl Machine {
             profiler: None,
             trace: None,
             dcache: std::array::from_fn(|_| None),
-            dcache_enabled: decode_cache_default(),
+            dcache_enabled: cfg.decode_cache,
+            dcache_mod64: mod64,
             dcache_hits: 0,
             dcache_misses: 0,
             dcache_evictions: 0,
+            engine: cfg.engine,
+            sbcache: match cfg.engine {
+                ExecEngine::Superblock => (0..SBLOCK_SLOTS).map(|_| None).collect(),
+                ExecEngine::Interpreter => Vec::new(),
+            },
+            sb_hits: 0,
+            sb_misses: 0,
+            sb_invalidations: 0,
         }
     }
 
@@ -436,6 +686,31 @@ impl Machine {
         self.dcache_evictions
     }
 
+    /// The execution engine driving [`Machine::run`].
+    pub fn engine(&self) -> ExecEngine {
+        self.engine
+    }
+
+    /// Switches the execution engine. Cached superblocks are dropped on any
+    /// switch; architecturally-visible behaviour is identical either way.
+    pub fn set_engine(&mut self, engine: ExecEngine) {
+        if engine != self.engine {
+            self.sbcache = match engine {
+                ExecEngine::Superblock => (0..SBLOCK_SLOTS).map(|_| None).collect(),
+                ExecEngine::Interpreter => Vec::new(),
+            };
+            self.engine = engine;
+        }
+    }
+
+    /// Superblock-cache (hits, misses, invalidations) over the machine's
+    /// lifetime. Hits and misses count block *entries*; invalidations count
+    /// blocks dropped because a store rewrote their own text mid-run.
+    /// Host-side observability only — never part of architectural state.
+    pub fn superblock_stats(&self) -> (u64, u64, u64) {
+        (self.sb_hits, self.sb_misses, self.sb_invalidations)
+    }
+
     /// Current ASID (from `EntryHi`).
     pub fn asid(&self) -> u8 {
         ((self.cp0.entry_hi >> 6) & 0x3f) as u8
@@ -514,13 +789,216 @@ impl Machine {
     // --- execution -------------------------------------------------------
 
     /// Runs until a host call, or until `max_steps` instructions retire.
+    /// The step budget counts instructions *attempted* (a faulting
+    /// instruction consumes its slot) — identically under both engines.
     pub fn run(&mut self, max_steps: u64) -> Result<StopReason, MachineError> {
+        if self.engine == ExecEngine::Superblock {
+            return self.run_superblock(max_steps);
+        }
         for _ in 0..max_steps {
             if let Some(stop) = self.step()? {
                 return Ok(stop);
             }
         }
         Ok(StopReason::StepLimit)
+    }
+
+    /// The superblock engine's run loop: execute whole cached blocks from
+    /// the current PC, falling back to one generic [`Machine::step`]
+    /// whenever the leading instruction can't live in a block (pending
+    /// delay slot, misaligned PC, sensitive op, fetch fault).
+    fn run_superblock(&mut self, max_steps: u64) -> Result<StopReason, MachineError> {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            if self.prev_was_branch || self.cpu.pc & 3 != 0 {
+                // A pending branch means the next op is a delay slot whose
+                // next_pc must not be sequential — blocks assume sequential
+                // entry, so the generic path runs it (this also covers the
+                // branch-in-delay-slot corner exactly as the interpreter).
+                if let Some(stop) = self.step()? {
+                    return Ok(stop);
+                }
+                remaining -= 1;
+                continue;
+            }
+            if let Some(stop) = self.exec_block(&mut remaining)? {
+                return Ok(stop);
+            }
+        }
+        Ok(StopReason::StepLimit)
+    }
+
+    /// Probes (building on miss) and dispatches the superblock starting at
+    /// the current PC, charging `remaining` once per instruction attempted.
+    fn exec_block(&mut self, remaining: &mut u64) -> Result<Option<StopReason>, MachineError> {
+        let pc = self.cpu.pc;
+        let user = self.cp0.user_mode();
+        let slot = sblock_slot(pc);
+        let asid = self.asid();
+        let tlb_gen = self.tlb.generation();
+        let valid = self.sbcache[slot].as_deref().is_some_and(|b| {
+            b.start_pc == pc
+                && b.user == user
+                && (!b.mapped || (b.asid == asid && b.tlb_gen == tlb_gen))
+                && b.mem_version == self.mem.page_version(b.page_paddr)
+        });
+        if valid {
+            self.sb_hits += 1;
+        } else {
+            self.sb_misses += 1;
+            if !self.build_block(pc, user) {
+                // No block can start here (sensitive leading op, fetch
+                // fault, undecodable word): one generic step handles it —
+                // including raising the exact fault the interpreter would.
+                let stop = self.step()?;
+                *remaining -= 1;
+                return Ok(stop);
+            }
+        }
+        let block = self.sbcache[slot]
+            .take()
+            .expect("block probed or just built");
+        let result = self.exec_ops(&block, remaining);
+        if self.mem.page_version(block.page_paddr) == block.mem_version {
+            self.sbcache[slot] = Some(block);
+        } else {
+            // A store rewrote the block's own text page: the pre-decoded
+            // ops are stale, so the block is dropped instead of reinstalled
+            // and the next entry refetches the patched words.
+            self.sb_invalidations += 1;
+        }
+        result
+    }
+
+    /// Pre-decodes the straight-line run starting at `pc` into a superblock
+    /// and installs it. The run ends at the first control transfer (its
+    /// delay slot rides along when it is a plain same-page op), before any
+    /// block-ending sensitive op (see [`ends_block`]), at the page
+    /// boundary, or at [`SBLOCK_MAX_OPS`]. Returns `false` when no block
+    /// can start at `pc`.
+    fn build_block(&mut self, pc: u32, user: bool) -> bool {
+        let Ok(paddr) = self.translate(pc, Access::Fetch, user) else {
+            return false;
+        };
+        let page_paddr = paddr & !0xfff;
+        let mem_version = self.mem.page_version(page_paddr);
+        let mut ops: Vec<SbOp> = Vec::with_capacity(8);
+        let mut va = pc;
+        let mut pa = paddr;
+        while ops.len() < SBLOCK_MAX_OPS {
+            let Ok(word) = self.mem.read_u32(pa) else {
+                break;
+            };
+            let Ok(inst) = decode(word) else { break };
+            if ends_block(inst) {
+                break;
+            }
+            let is_ct = inst.is_control_transfer();
+            ops.push(SbOp {
+                word,
+                inst,
+                base_cost: sb_base_cost(inst),
+                is_ct,
+                is_store: inst.is_store(),
+            });
+            if is_ct {
+                // The delay slot joins the block when it is a plain op on
+                // the same page; otherwise the block ends at the branch and
+                // the generic path picks the slot up (covering cross-page
+                // slots and branch-in-delay-slot identically either way).
+                if va.wrapping_add(4) & 0xfff != 0 {
+                    if let Ok(w) = self.mem.read_u32(pa + 4) {
+                        if let Ok(di) = decode(w) {
+                            if !di.is_control_transfer() && !ends_block(di) {
+                                ops.push(SbOp {
+                                    word: w,
+                                    inst: di,
+                                    base_cost: sb_base_cost(di),
+                                    is_ct: false,
+                                    is_store: di.is_store(),
+                                });
+                            }
+                        }
+                    }
+                }
+                break;
+            }
+            va = va.wrapping_add(4);
+            if va & 0xfff == 0 {
+                break;
+            }
+            pa += 4;
+        }
+        if ops.is_empty() {
+            return false;
+        }
+        let mapped = !(0x8000_0000..0xc000_0000).contains(&pc);
+        self.sbcache[sblock_slot(pc)] = Some(Box::new(SuperBlock {
+            start_pc: pc,
+            user,
+            mapped,
+            asid: self.asid(),
+            tlb_gen: self.tlb.generation(),
+            page_paddr,
+            mem_version,
+            ops,
+        }));
+        true
+    }
+
+    /// Dispatches a pre-decoded block. Every op replays exactly what
+    /// [`Machine::step`] would have done — trace record, sequential PC
+    /// advance, cycle/instret accounting, profiler attribution, fault
+    /// delivery — minus the per-instruction fetch, tag probe, and decode.
+    fn exec_ops(
+        &mut self,
+        b: &SuperBlock,
+        remaining: &mut u64,
+    ) -> Result<Option<StopReason>, MachineError> {
+        let user = b.user;
+        for op in &b.ops {
+            if *remaining == 0 {
+                return Ok(None);
+            }
+            let pc = self.cpu.pc;
+            let in_delay = self.prev_was_branch;
+            if let Some(t) = self.trace.as_mut() {
+                t.record(pc, op.word, user);
+            }
+            self.cpu.pc = self.cpu.next_pc;
+            self.cpu.next_pc = self.cpu.next_pc.wrapping_add(4);
+            self.prev_was_branch = op.is_ct;
+            let mut cost = op.base_cost;
+            let outcome = self.execute(op.inst, pc, in_delay, user, &mut cost);
+            self.cycles += cost;
+            *remaining -= 1;
+            match outcome {
+                Exec::Ok => {
+                    self.instret += 1;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.record(pc, cost);
+                    }
+                }
+                Exec::HostCall(code) => {
+                    self.instret += 1;
+                    if let Some(p) = self.profiler.as_mut() {
+                        p.record(pc, cost);
+                    }
+                    return Ok(Some(StopReason::HostCall(code)));
+                }
+                Exec::Fault(code, bad) => {
+                    self.raise(code, pc, bad, in_delay);
+                    return Ok(None);
+                }
+            }
+            if op.is_store && self.mem.page_version(b.page_paddr) != b.mem_version {
+                // The store hit this block's own text: the remaining
+                // pre-decoded ops may be stale, so fall back to the generic
+                // path, which refetches the patched words.
+                return Ok(None);
+            }
+        }
+        Ok(None)
     }
 
     /// Executes one instruction (or takes one exception).
@@ -541,7 +1019,7 @@ impl Machine {
         // every tag still matches (see `DecodePage`).
         let mut cached = None;
         if self.dcache_enabled {
-            let slot = dcache_slot(pc >> 12);
+            let slot = dcache_slot_hash(pc >> 12, self.dcache_mod64);
             let asid = self.asid();
             let tlb_gen = self.tlb.generation();
             if let Some(page) = self.dcache[slot].as_deref() {
@@ -638,7 +1116,7 @@ impl Machine {
     /// function of the word.
     fn dcache_install(&mut self, pc: u32, user: bool, paddr: u32, word: u32, inst: Instruction) {
         let vpn = pc >> 12;
-        let slot = dcache_slot(vpn);
+        let slot = dcache_slot_hash(vpn, self.dcache_mod64);
         let mapped = !(0x8000_0000..0xc000_0000).contains(&pc);
         let asid = self.asid();
         let tlb_gen = self.tlb.generation();

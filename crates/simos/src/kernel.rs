@@ -27,7 +27,7 @@ use efex_mips::cycles;
 use efex_mips::decode::decode;
 use efex_mips::exception::ExcCode;
 use efex_mips::isa::{Instruction, Reg};
-use efex_mips::machine::{kseg_to_phys, Machine, MachineError, StopReason};
+use efex_mips::machine::{kseg_to_phys, Machine, MachineConfig, MachineError, StopReason};
 use efex_mips::tlb::TLB_ENTRIES;
 use efex_trace::{null_sink, EventKind, FaultClass, Metrics, SharedSink, TraceEvent, TracePath};
 
@@ -69,6 +69,10 @@ pub struct KernelConfig {
     /// exceptions"). Fast-path delivery, when enabled for the exception,
     /// takes precedence — applications that *want* the fault get it.
     pub fixup_unaligned: bool,
+    /// Machine construction config (execution engine + decode cache).
+    /// `None` inherits the booting thread's scoped default — see
+    /// [`efex_mips::machine::with_machine_config`].
+    pub machine: Option<MachineConfig>,
 }
 
 impl Default for KernelConfig {
@@ -78,6 +82,7 @@ impl Default for KernelConfig {
             page_in_cost: costs::PAGE_IN_DEFAULT,
             clock_mhz: cycles::CLOCK_MHZ,
             fixup_unaligned: false,
+            machine: None,
         }
     }
 }
@@ -269,7 +274,8 @@ impl Kernel {
     ///
     /// Fails if the embedded images do not assemble or do not fit.
     pub fn boot(cfg: KernelConfig) -> Result<Kernel, KernelError> {
-        let mut machine = Machine::new(cfg.phys_bytes);
+        let machine_cfg = cfg.machine.unwrap_or_else(MachineConfig::inherited);
+        let mut machine = Machine::with_config(cfg.phys_bytes, machine_cfg);
         let kimage = assemble(crate::fastexc::KERNEL_ASM)?;
         machine.load_image(&kimage)?;
 
@@ -397,12 +403,16 @@ impl Kernel {
         let (hits, misses) = self.machine.decode_cache_stats();
         let mut snap = self.proc.stats.snapshot();
         snap.component = "kernel-health";
+        let (sb_hits, sb_misses, sb_invalidations) = self.machine.superblock_stats();
         snap.counter("decode_cache_hits", hits)
             .counter("decode_cache_misses", misses)
             .counter(
                 "decode_cache_evictions",
                 self.machine.decode_cache_evictions(),
             )
+            .counter("superblock_hits", sb_hits)
+            .counter("superblock_misses", sb_misses)
+            .counter("superblock_invalidations", sb_invalidations)
             .counter("cycles", self.machine.cycles())
     }
 
