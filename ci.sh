@@ -25,8 +25,13 @@ gate baseline cargo run --release -p efex-bench --bin report -- --check BENCH_ba
 # bit-exactly (report --record refuses to run under it, so no re-record
 # can satisfy this gate). The throughput ratio is printed, not gated.
 gate baseline-superblock cargo run --release -p efex-bench --bin report -- --check BENCH_baseline.json --engine superblock
+gate snap cargo run --release -p efex-bench --bin snap
+gate fleet-migrate cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --migrate
+gate fleet-kill-shard cargo run --release -p efex-bench --bin fleet -- --tenants 16 --threads 4 --kill-shard 1
 gate throughput cargo run --release -p efex-bench --bin fleet -- --throughput
 gate clippy cargo clippy --workspace --all-targets -- -D warnings
+gate doc env RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace
+gate doctest cargo test --doc --workspace -q
 gate fmt cargo fmt --check
 
 echo "ci: all gates passed"

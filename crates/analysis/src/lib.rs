@@ -12,6 +12,8 @@
 //! All functions are pure; the companion measurements live in `efex-gc`
 //! and `efex-pstore`.
 
+#![warn(missing_docs)]
+
 pub mod gc {
     //! Write-barrier break-even (Section 4.1, Table 5).
 

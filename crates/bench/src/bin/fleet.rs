@@ -24,13 +24,22 @@
 //! fleet ... --metrics-out <path>        write the health registry —
 //!                                       Prometheus text for `.prom`,
 //!                                       JSONL for `.jsonl`
+//! fleet ... --migrate                   live-migration drill: checkpoint
+//!                                       every tenant mid-suite, resume it
+//!                                       on a different worker shard; the
+//!                                       aggregate fingerprint must match
+//!                                       the uninterrupted run
+//! fleet ... --kill-shard <n>            crash-recovery drill: kill shard
+//!                                       n mid-run, restore its tenants
+//!                                       from their last checkpoints on the
+//!                                       survivors; fingerprint must match
 //! ```
 //!
 //! Simulated results (stats, cycle-derived times, histograms) are
 //! deterministic and gated; wall-clock numbers are printed for the scaling
 //! exhibits but never asserted — CI machines differ.
 
-use efex_fleet::{run_fleet, FleetConfig, FleetReport};
+use efex_fleet::{run_fleet, run_fleet_kill_shard, run_fleet_migrate, FleetConfig, FleetReport};
 use efex_mips::cycles::CLOCK_MHZ;
 use efex_mips::machine::{ExecEngine, MachineConfig};
 use std::process::ExitCode;
@@ -301,6 +310,45 @@ fn run_health(
     Ok(ok)
 }
 
+/// Live-migration drill: checkpoint every tenant mid-suite on its home
+/// shard, resume it on a different one, and demand the aggregate
+/// fingerprint match an uninterrupted run of the same legged fleet.
+fn migrate_drill(cfg: &FleetConfig) -> Result<bool, efex_fleet::FleetError> {
+    let legged = FleetConfig {
+        legs: cfg.legs.max(2),
+        ..*cfg
+    };
+    let baseline = run_fleet(&legged)?;
+    let migrated = run_fleet_migrate(&legged)?;
+    let ok = baseline.fingerprint() == migrated.fingerprint();
+    println!(
+        "fleet: migration drill: {} tenants checkpointed and resumed on a \
+         different shard: fingerprints {}",
+        migrated.migrations,
+        if ok { "MATCH" } else { "DIFFER" },
+    );
+    Ok(ok)
+}
+
+/// Crash-recovery drill: kill one worker shard mid-run and restore its
+/// tenants from their last serialized checkpoints on the survivors.
+fn kill_shard_drill(cfg: &FleetConfig, dead: usize) -> Result<bool, efex_fleet::FleetError> {
+    let legged = FleetConfig {
+        legs: cfg.legs.max(2),
+        ..*cfg
+    };
+    let baseline = run_fleet(&legged)?;
+    let drilled = run_fleet_kill_shard(&legged, dead)?;
+    let ok = baseline.fingerprint() == drilled.fingerprint() && drilled.recoveries > 0;
+    println!(
+        "fleet: kill-shard drill: shard {dead} killed, {} tenant(s) restored \
+         from checkpoint as degraded recoveries: fingerprints {}",
+        drilled.recoveries,
+        if ok { "MATCH" } else { "DIFFER" },
+    );
+    Ok(ok)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--help" || a == "-h") {
@@ -308,7 +356,7 @@ fn main() -> ExitCode {
             "usage: fleet [--tenants <n>] [--threads <n>] [--seed <n>] \
              [--engine interpreter|superblock] [--check-determinism] [--sweep] \
              [--decode-cache] [--throughput] [--chrome <path>] \
-             [--health] [--metrics-out <path>]"
+             [--health] [--metrics-out <path>] [--migrate] [--kill-shard <n>]"
         );
         return ExitCode::SUCCESS;
     }
@@ -323,6 +371,8 @@ fn main() -> ExitCode {
     let mut do_dcache = false;
     let mut do_throughput = false;
     let mut do_health = false;
+    let mut do_migrate = false;
+    let mut kill_shard: Option<usize> = None;
     let mut chrome_path: Option<String> = None;
     let mut metrics_out: Option<String> = None;
     let mut it = args.into_iter();
@@ -344,6 +394,11 @@ fn main() -> ExitCode {
             },
             "--seed" => match take("--seed") {
                 Ok(v) => cfg.base_seed = v,
+                Err(e) => return fail(&e),
+            },
+            "--migrate" => do_migrate = true,
+            "--kill-shard" => match take("--kill-shard") {
+                Ok(v) => kill_shard = Some(v as usize),
                 Err(e) => return fail(&e),
             },
             "--check-determinism" => do_check = true,
@@ -412,6 +467,18 @@ fn main() -> ExitCode {
     }
     if do_throughput {
         throughput_exhibit();
+    }
+    if do_migrate {
+        match migrate_drill(&cfg) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
+        }
+    }
+    if let Some(dead) = kill_shard {
+        match kill_shard_drill(&cfg, dead) {
+            Ok(pass) => ok &= pass,
+            Err(e) => return fail(&format!("fleet: {e}")),
+        }
     }
 
     if ok {

@@ -7,6 +7,8 @@
 //! paper's qualitative conclusions (who wins, by roughly what factor,
 //! where the crossovers fall).
 
+#![warn(missing_docs)]
+
 pub mod suite;
 pub mod symgate;
 
@@ -18,10 +20,15 @@ use efex_pstore::{workloads as ps_workloads, Policy, PstoreConfig, StableGraph, 
 /// One row of Table 1: conventional OS delivery costs.
 #[derive(Clone, Debug)]
 pub struct Table1Row {
+    /// Operating system / hardware combination.
     pub system: String,
+    /// Simple-exception delivery cost, µs.
     pub deliver_simple_us: f64,
+    /// Write-protection-exception delivery cost, µs.
     pub deliver_write_prot_us: f64,
+    /// Handler-return cost, µs.
     pub return_us: f64,
+    /// Full round-trip cost, µs.
     pub round_trip_us: f64,
 }
 
@@ -42,6 +49,7 @@ pub fn table1() -> Vec<Table1Row> {
 /// One row of Table 2: fast-exception operation costs vs Ultrix.
 #[derive(Clone, Debug)]
 pub struct Table2Row {
+    /// The measured operation, named as in the paper.
     pub operation: &'static str,
     /// Measured on the simulator's fast path, µs.
     pub fast_us: f64,
@@ -125,6 +133,7 @@ pub fn table3() -> Result<Vec<efex_core::Table3Row>, efex_core::CoreError> {
 /// One row of Table 4: generational-GC application times.
 #[derive(Clone, Debug)]
 pub struct Table4Row {
+    /// The GC application, named as in the paper.
     pub application: &'static str,
     /// Simulated run time with SIGSEGV + `mprotect` (Ultrix path), µs.
     pub sigsegv_us: f64,
@@ -141,9 +150,13 @@ pub struct Table4Row {
 /// Workload scale for [`table4`].
 #[derive(Clone, Copy, Debug)]
 pub struct Table4Scale {
+    /// Lisp-operations benchmark iterations.
     pub lisp_iterations: u32,
+    /// Lisp-operations tree depth.
     pub lisp_depth: u32,
+    /// Array-test array size in words.
     pub array_words: u32,
+    /// Array-test replacement count.
     pub array_replacements: u32,
 }
 
@@ -224,6 +237,7 @@ pub fn table4(scale: Table4Scale) -> Result<Vec<Table4Row>, efex_gc::GcError> {
 /// applications.
 #[derive(Clone, Debug)]
 pub struct Table5Row {
+    /// The Hosking & Moss application.
     pub application: &'static str,
     /// Break-even exception cost `y = c·x / (f·t)`, µs.
     pub breakeven_us: f64,
@@ -278,9 +292,13 @@ pub fn figure3_curves() -> (Vec<Fig3Point>, Vec<Fig3Point>) {
 /// root-page pointer under each strategy.
 #[derive(Clone, Copy, Debug)]
 pub struct Fig3Measured {
+    /// Uses of each root-page pointer.
     pub uses_per_pointer: u32,
+    /// Simulated time under software checks, µs.
     pub checks_us: f64,
+    /// Simulated time under fast unaligned exceptions, µs.
     pub fast_exceptions_us: f64,
+    /// Simulated time under Unix-signal exceptions, µs.
     pub signal_exceptions_us: f64,
 }
 
@@ -369,8 +387,11 @@ pub fn figure4_curves() -> (Vec<Fig4Point>, Vec<Fig4Point>) {
 /// pointer-use density.
 #[derive(Clone, Copy, Debug)]
 pub struct Fig4Measured {
+    /// Pointers actually used per page.
     pub pointers_used: u32,
+    /// Simulated eager-swizzling time, µs.
     pub eager_us: f64,
+    /// Simulated lazy-swizzling time, µs.
     pub lazy_us: f64,
 }
 
@@ -417,8 +438,11 @@ pub fn figure4_measured(densities: &[u32]) -> Result<Vec<Fig4Measured>, efex_pst
 /// Extension experiment: DSM coherence-miss latency under each path.
 #[derive(Clone, Copy, Debug)]
 pub struct DsmRow {
+    /// The delivery path under test.
     pub path: DeliveryPath,
+    /// Total simulated time, µs.
     pub total_us: f64,
+    /// Coherence faults taken.
     pub faults: u64,
 }
 

@@ -464,6 +464,72 @@ impl HostProcess {
         &mut self.kernel
     }
 
+    /// Checkpoints this process: the full kernel state plus the host-side
+    /// delivery accounting (stats, access cost, allocation cursor, degrade
+    /// policy, pending injected degradations).
+    ///
+    /// The registered fault handler is a host-side Rust closure and is
+    /// *never* serialized — restore keeps the receiver's handler (see
+    /// [`crate::HostSnapshot`]). For the same reason a snapshot cannot be
+    /// taken while a handler invocation is on the host stack: the
+    /// closure's in-flight state would be load-bearing and unsaveable.
+    /// Guest-side delivery state, including the vulnerable window between
+    /// the comm-frame save and handler entry, lives entirely in guest
+    /// memory and CP0 and round-trips fine.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invalid`] when called from inside a fault handler.
+    pub fn snapshot(&mut self) -> Result<crate::HostSnapshot, CoreError> {
+        if self.in_handler {
+            return Err(CoreError::Invalid(
+                "cannot checkpoint while a fault handler is running — the \
+                 handler closure's state lives on the host stack"
+                    .into(),
+            ));
+        }
+        Ok(crate::HostSnapshot {
+            path: self.path,
+            kernel: self.kernel.snapshot(),
+            stats: self.stats,
+            access_cost: self.access_cost,
+            next_alloc: self.next_alloc,
+            degrade_policy: self.degrade_policy,
+            degrade_next: self.degrade_next,
+        })
+    }
+
+    /// Restores a checkpoint taken by [`HostProcess::snapshot`]. The
+    /// receiver must be built with the same delivery path and must not be
+    /// inside a handler invocation; it keeps its own registered handler
+    /// closure and metrics/trace plane.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invalid`] on path mismatch or when called from inside
+    /// a handler; kernel-level snapshot errors propagate as
+    /// [`CoreError::Kernel`].
+    pub fn restore(&mut self, s: &crate::HostSnapshot) -> Result<(), CoreError> {
+        if self.in_handler {
+            return Err(CoreError::Invalid(
+                "cannot restore while a fault handler is running".into(),
+            ));
+        }
+        if s.path != self.path {
+            return Err(CoreError::Invalid(format!(
+                "snapshot was taken on the {} path, this process delivers via {}",
+                s.path, self.path
+            )));
+        }
+        self.kernel.restore(&s.kernel)?;
+        self.stats = s.stats;
+        self.access_cost = s.access_cost;
+        self.next_alloc = s.next_alloc;
+        self.degrade_policy = s.degrade_policy;
+        self.degrade_next = s.degrade_next;
+        Ok(())
+    }
+
     /// Health-plane snapshot: the kernel's [`Kernel::health_snapshot`]
     /// merged with this host's own delivery counters. Pure read — charges
     /// no simulated cycles.
@@ -525,7 +591,7 @@ impl HostProcess {
     /// `true`. Subsystems that drive their own fault handling off the
     /// kernel (the DSM coherence protocol reads faults directly) call this
     /// at their delivery point and charge Unix-signal costs when it fires;
-    /// [`HostProcess::deliver`]-based subsystems never need it.
+    /// `HostProcess::deliver`-based subsystems never need it.
     pub fn consume_injected_degradation(&mut self, class: FaultClass) -> bool {
         if self.degrade_next == 0 {
             return false;
@@ -1178,5 +1244,47 @@ mod tests {
         let b = h.alloc_region(4096, Prot::ReadWrite).unwrap();
         assert!(b >= a + 8192, "guard page must separate regions");
         assert!(matches!(h.load_u32(a + 4096), Err(CoreError::Unhandled(_))));
+    }
+
+    #[test]
+    fn snapshot_inside_handler_is_rejected() {
+        // The handler closure's in-flight state lives on the host stack and
+        // cannot be serialized; both snapshot and restore refuse the window.
+        let mut h = host(DeliveryPath::FastUser);
+        let snap = h.snapshot().unwrap();
+        h.in_handler = true;
+        assert!(matches!(h.snapshot(), Err(CoreError::Invalid(_))));
+        assert!(matches!(h.restore(&snap), Err(CoreError::Invalid(_))));
+        h.in_handler = false;
+        h.restore(&snap).unwrap();
+    }
+
+    #[test]
+    fn host_snapshot_round_trips_accounting_and_memory() {
+        let mut h = host(DeliveryPath::FastUser);
+        let base = h.alloc_region(4096, Prot::ReadWrite).unwrap();
+        let hits = std::rc::Rc::new(std::cell::Cell::new(0u32));
+        let hits2 = hits.clone();
+        h.set_handler(HandlerSpec::new(move |_, _| {
+            hits2.set(hits2.get() + 1);
+            HandlerAction::Emulate
+        }));
+        h.store_u32(base, 7).unwrap();
+        h.protect(Protection::region(base, 4096).read_only())
+            .unwrap();
+        h.store_u32(base, 8).unwrap();
+        let snap = h.snapshot().unwrap();
+        let bytes = snap.to_bytes();
+
+        // A fresh process (with its own handler re-registered) restored
+        // from the wire continues with identical memory, stats and cycles.
+        let mut g = host(DeliveryPath::FastUser);
+        g.set_handler(HandlerSpec::new(|_, _| HandlerAction::Retry));
+        g.restore(&crate::HostSnapshot::from_bytes(&bytes).unwrap())
+            .unwrap();
+        assert_eq!(g.cycles(), h.cycles(), "restored cycle clock diverged");
+        assert_eq!(g.stats().faults_delivered, h.stats().faults_delivered);
+        assert_eq!(g.load_u32(base).unwrap(), 8, "restored memory diverged");
+        assert_eq!(hits.get(), 1, "original handler saw the protect fault");
     }
 }

@@ -77,11 +77,15 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod delivery;
 mod error;
 mod guestmem;
 mod host;
 pub(crate) mod progs;
+pub mod replay;
+mod snapshot;
 mod system;
 mod workload;
 
@@ -92,6 +96,7 @@ pub use host::{
     DegradePolicy, FaultCtx, FaultInfo, HandlerAction, HandlerSpec, HostBuilder, HostProcess,
     HostStats,
 };
+pub use snapshot::{HostSnapshot, SystemSnapshot};
 pub use system::{ExceptionKind, RoundTrip, System, SystemBuilder, Table3Row};
 pub use workload::WorkloadRun;
 

@@ -1,0 +1,504 @@
+//! Deterministic record-replay with divergence bisection.
+//!
+//! The paper's delivery paths are deterministic by construction, and the
+//! repo's fingerprint machinery proves two runs identical — but a bare
+//! fingerprint mismatch says nothing about *where* two runs parted ways.
+//! This module closes that gap:
+//!
+//! 1. **Record**: run a workload stepping one retired instruction at a
+//!    time, folding the machine's register-state digest
+//!    ([`efex_mips::machine::Machine::step_digest`]) into a [`Recording`]
+//!    at a configurable stride.
+//! 2. **Compare**: [`first_divergence`] binary-searches two recordings
+//!    for the first differing stride checkpoint — valid because the
+//!    digest covers the monotone cycle/instret counters, so once two runs
+//!    diverge their digests never re-converge.
+//! 3. **Bisect**: [`bisect`] replays both runs into the diverging stride
+//!    window and steps them in lockstep to the exact first diverging
+//!    step, reporting both sides' PC and disassembly context as a
+//!    [`Divergence`].
+//!
+//! Replay is abstracted by the [`Replay`] trait; [`KernelReplay`] is the
+//! standard implementation over a freshly booted kernel factory, with an
+//! optional per-step hook for deliberately perturbing a run (how the CI
+//! demo and tests manufacture a divergence to bisect).
+
+use efex_simos::Kernel;
+use efex_snap::{Flavor, Reader, SnapError, Writer};
+
+use crate::CoreError;
+
+/// A per-step digest trail captured at fixed stride.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Recording {
+    /// Steps between recorded digests.
+    pub stride: u64,
+    /// `digests[i]` is the machine digest after `i * stride` steps
+    /// (`digests[0]` is the initial state); one final digest is appended
+    /// at the end of the run if it did not land on a stride boundary.
+    pub digests: Vec<u64>,
+    /// Total steps the recorded run executed.
+    pub steps: u64,
+}
+
+impl Recording {
+    /// Serializes as a standalone [`Flavor::Recording`] artifact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = Writer::new(Flavor::Recording);
+        w.u64(self.stride);
+        w.u64(self.steps);
+        w.u32(self.digests.len() as u32);
+        for d in &self.digests {
+            w.u64(*d);
+        }
+        w.finish()
+    }
+
+    /// Deserializes a standalone [`Flavor::Recording`] artifact.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`SnapError`] on any malformation; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Recording, SnapError> {
+        let mut r = Reader::open(bytes, Flavor::Recording)?;
+        let stride = r.u64()?;
+        if stride == 0 {
+            return Err(SnapError::Corrupt("zero stride".into()));
+        }
+        let steps = r.u64()?;
+        let n = r.count(8)?;
+        let mut digests = Vec::with_capacity(n);
+        for _ in 0..n {
+            digests.push(r.u64()?);
+        }
+        r.done()?;
+        Ok(Recording {
+            stride,
+            digests,
+            steps,
+        })
+    }
+}
+
+/// One side's state at a step, as reported by [`bisect`].
+#[derive(Clone, Debug)]
+pub struct StepState {
+    /// Machine register-state digest after the step.
+    pub digest: u64,
+    /// PC of the *next* instruction to execute.
+    pub pc: u32,
+    /// Disassembly of a few instructions at that PC.
+    pub disasm: String,
+}
+
+/// The first diverging step of two replayed runs.
+#[derive(Clone, Debug)]
+pub struct Divergence {
+    /// The first step after which the two runs' digests differ
+    /// (divergence happened *during* this step; steps are 1-based here:
+    /// step `n` means the n-th retired instruction of the run).
+    pub step: u64,
+    /// The baseline run's state after that step.
+    pub a: StepState,
+    /// The diverged run's state after that step.
+    pub b: StepState,
+}
+
+impl std::fmt::Display for Divergence {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "first divergence at step {}: digest {:#018x} vs {:#018x}",
+            self.step, self.a.digest, self.b.digest
+        )?;
+        writeln!(f, "  run A at pc {:#010x}:", self.a.pc)?;
+        for line in self.a.disasm.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        writeln!(f, "  run B at pc {:#010x}:", self.b.pc)?;
+        for line in self.b.disasm.lines() {
+            writeln!(f, "    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A deterministic run that can be rewound and stepped one retired
+/// instruction at a time (exception deliveries ride along inside a step,
+/// exactly as they do in a normal run).
+pub trait Replay {
+    /// Rewinds to the initial state of the run.
+    ///
+    /// # Errors
+    ///
+    /// Propagates construction failures from the underlying run factory.
+    fn reset(&mut self) -> Result<(), CoreError>;
+
+    /// Advances exactly one retired instruction. Returns `false` once the
+    /// run has ended (process exit or termination).
+    ///
+    /// # Errors
+    ///
+    /// Propagates kernel errors (double faults, unknown hcalls).
+    fn step(&mut self) -> Result<bool, CoreError>;
+
+    /// Digest of the current architectural register state.
+    fn digest(&self) -> u64;
+
+    /// Current PC plus a short disassembly context for diagnostics.
+    fn context(&self) -> StepState;
+}
+
+/// A per-step perturbation hook: called with `(step index, kernel)`.
+type StepHook = Box<dyn FnMut(u64, &mut Kernel)>;
+
+/// The standard [`Replay`] implementation: a factory that boots (or
+/// rebuilds) a kernel, stepped via [`Kernel::run_user`] with a
+/// single-instruction budget. An optional per-step hook can perturb the
+/// kernel after a chosen step — the supported way to manufacture a
+/// divergence for the bisector to find.
+pub struct KernelReplay {
+    factory: Box<dyn FnMut() -> Result<Kernel, CoreError>>,
+    hook: Option<StepHook>,
+    kernel: Option<Kernel>,
+    steps: u64,
+    running: bool,
+}
+
+impl KernelReplay {
+    /// A replay over kernels produced by `factory`. The factory runs once
+    /// per [`Replay::reset`] and must produce identical kernels each time
+    /// (same program, same seed) for replay to be meaningful.
+    pub fn new(factory: impl FnMut() -> Result<Kernel, CoreError> + 'static) -> KernelReplay {
+        KernelReplay {
+            factory: Box::new(factory),
+            hook: None,
+            kernel: None,
+            steps: 0,
+            running: false,
+        }
+    }
+
+    /// Installs a hook called after every step with `(step index, kernel)`
+    /// — perturb state at a chosen step to create a controlled divergence.
+    #[must_use]
+    pub fn with_hook(mut self, hook: impl FnMut(u64, &mut Kernel) + 'static) -> KernelReplay {
+        self.hook = Some(Box::new(hook));
+        self
+    }
+
+    /// Steps executed since the last reset.
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The current kernel (after a reset).
+    pub fn kernel(&self) -> Option<&Kernel> {
+        self.kernel.as_ref()
+    }
+}
+
+impl Replay for KernelReplay {
+    fn reset(&mut self) -> Result<(), CoreError> {
+        self.kernel = Some((self.factory)()?);
+        self.steps = 0;
+        self.running = true;
+        Ok(())
+    }
+
+    fn step(&mut self) -> Result<bool, CoreError> {
+        if !self.running {
+            return Ok(false);
+        }
+        let kernel = self
+            .kernel
+            .as_mut()
+            .ok_or_else(|| CoreError::Invalid("replay not reset".into()))?;
+        match kernel.run_user(1)? {
+            efex_simos::RunOutcome::StepLimit => {
+                self.steps += 1;
+                if let Some(hook) = &mut self.hook {
+                    hook(self.steps, kernel);
+                }
+                Ok(true)
+            }
+            efex_simos::RunOutcome::Exited(_) | efex_simos::RunOutcome::Terminated(_) => {
+                self.steps += 1;
+                self.running = false;
+                Ok(false)
+            }
+        }
+    }
+
+    fn digest(&self) -> u64 {
+        self.kernel
+            .as_ref()
+            .map_or(0, |k| k.machine().step_digest())
+    }
+
+    fn context(&self) -> StepState {
+        match self.kernel.as_ref() {
+            None => StepState {
+                digest: 0,
+                pc: 0,
+                disasm: String::new(),
+            },
+            Some(k) => {
+                let m = k.machine();
+                let pc = m.cpu().pc;
+                let rows = efex_mips::disasm::disassemble_range(m, pc, 4, None);
+                StepState {
+                    digest: m.step_digest(),
+                    pc,
+                    disasm: efex_mips::disasm::listing(&rows, None),
+                }
+            }
+        }
+    }
+}
+
+/// Runs a replay from its initial state for up to `max_steps`, recording
+/// the digest every `stride` steps (plus the initial and final states).
+///
+/// # Errors
+///
+/// [`CoreError::Invalid`] for a zero stride; replay errors propagate.
+pub fn record(
+    replay: &mut dyn Replay,
+    stride: u64,
+    max_steps: u64,
+) -> Result<Recording, CoreError> {
+    if stride == 0 {
+        return Err(CoreError::Invalid("record stride must be nonzero".into()));
+    }
+    replay.reset()?;
+    let mut digests = vec![replay.digest()];
+    let mut steps = 0u64;
+    while steps < max_steps {
+        if !replay.step()? {
+            steps += 1;
+            break;
+        }
+        steps += 1;
+        if steps.is_multiple_of(stride) {
+            digests.push(replay.digest());
+        }
+    }
+    if !steps.is_multiple_of(stride) {
+        digests.push(replay.digest());
+    }
+    Ok(Recording {
+        stride,
+        digests,
+        steps,
+    })
+}
+
+/// The first stride index at which two recordings disagree, found by
+/// binary search (sound because the digest covers the monotone
+/// cycle/instret counters: once two runs diverge, their digests stay
+/// different). Returns `None` when the recordings are identical.
+pub fn first_divergence(a: &Recording, b: &Recording) -> Option<usize> {
+    let n = a.digests.len().min(b.digests.len());
+    if n == 0 {
+        return if a.digests.len() == b.digests.len() {
+            None
+        } else {
+            Some(0)
+        };
+    }
+    if a.digests[..n] == b.digests[..n] {
+        // Identical common prefix: diverged only if one run kept going.
+        return if a.digests.len() == b.digests.len() && a.steps == b.steps {
+            None
+        } else {
+            Some(n)
+        };
+    }
+    // Invariant: digests equal at `lo`, different somewhere in (lo, hi].
+    let (mut lo, mut hi) = (0usize, n - 1);
+    if a.digests[0] != b.digests[0] {
+        return Some(0);
+    }
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if a.digests[mid] == b.digests[mid] {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(hi)
+}
+
+/// Replays both runs into the first diverging stride window and steps
+/// them in lockstep to the exact first diverging step.
+///
+/// Returns `Ok(None)` when the recordings are identical.
+///
+/// # Errors
+///
+/// [`CoreError::Invalid`] if the recordings' strides differ, or
+/// [`CoreError::Measurement`] if the replays do not reproduce the
+/// recorded divergence (the drivers are not the runs that were recorded).
+pub fn bisect(
+    a_rec: &Recording,
+    b_rec: &Recording,
+    a: &mut dyn Replay,
+    b: &mut dyn Replay,
+) -> Result<Option<Divergence>, CoreError> {
+    if a_rec.stride != b_rec.stride {
+        return Err(CoreError::Invalid(format!(
+            "recordings have different strides ({} vs {})",
+            a_rec.stride, b_rec.stride
+        )));
+    }
+    let Some(idx) = first_divergence(a_rec, b_rec) else {
+        return Ok(None);
+    };
+    // Digests matched after (idx-1)*stride steps; the divergence lies in
+    // the following window.
+    let window_start = (idx.saturating_sub(1) as u64) * a_rec.stride;
+    a.reset()?;
+    b.reset()?;
+    for _ in 0..window_start {
+        if !a.step()? || !b.step()? {
+            return Err(CoreError::Measurement(
+                "replay ended before the recorded divergence window".into(),
+            ));
+        }
+    }
+    if a.digest() != b.digest() {
+        return Err(CoreError::Measurement(
+            "replays already differ at the window start — drivers do not \
+             match the recorded runs"
+                .into(),
+        ));
+    }
+    // Search at most two windows past the start: the recorded divergence
+    // must appear within one stride, the slack covers an end-of-run
+    // checkpoint off the stride grid.
+    let budget = 2 * a_rec.stride + 2;
+    for step in window_start + 1..=window_start + budget {
+        let a_alive = a.step()?;
+        let b_alive = b.step()?;
+        if a.digest() != b.digest() || a_alive != b_alive {
+            return Ok(Some(Divergence {
+                step,
+                a: a.context(),
+                b: b.context(),
+            }));
+        }
+        if !a_alive {
+            break;
+        }
+    }
+    Err(CoreError::Measurement(
+        "recorded divergence did not reproduce during step-level replay".into(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter {
+        limit: u64,
+        poison_at: Option<u64>,
+        n: u64,
+    }
+
+    impl Replay for Counter {
+        fn reset(&mut self) -> Result<(), CoreError> {
+            self.n = 0;
+            Ok(())
+        }
+        fn step(&mut self) -> Result<bool, CoreError> {
+            self.n += 1;
+            Ok(self.n < self.limit)
+        }
+        fn digest(&self) -> u64 {
+            if self.poison_at.is_some_and(|p| self.n >= p) {
+                self.n.wrapping_mul(31).wrapping_add(7)
+            } else {
+                self.n.wrapping_mul(31)
+            }
+        }
+        fn context(&self) -> StepState {
+            StepState {
+                digest: self.digest(),
+                pc: self.n as u32,
+                disasm: format!("step {}", self.n),
+            }
+        }
+    }
+
+    #[test]
+    fn identical_runs_have_no_divergence() {
+        let mut a = Counter {
+            limit: 100,
+            poison_at: None,
+            n: 0,
+        };
+        let mut b = Counter {
+            limit: 100,
+            poison_at: None,
+            n: 0,
+        };
+        let ra = record(&mut a, 8, 1000).unwrap();
+        let rb = record(&mut b, 8, 1000).unwrap();
+        assert_eq!(ra.steps, 100);
+        assert_eq!(first_divergence(&ra, &rb), None);
+        assert!(bisect(&ra, &rb, &mut a, &mut b).unwrap().is_none());
+    }
+
+    #[test]
+    fn bisect_finds_exact_step() {
+        let mut a = Counter {
+            limit: 200,
+            poison_at: None,
+            n: 0,
+        };
+        let mut b = Counter {
+            limit: 200,
+            poison_at: Some(77),
+            n: 0,
+        };
+        let ra = record(&mut a, 16, 1000).unwrap();
+        let rb = record(&mut b, 16, 1000).unwrap();
+        let idx = first_divergence(&ra, &rb).unwrap();
+        // 77 lies in window (64, 80] → first differing checkpoint index 5
+        // (80 steps).
+        assert_eq!(idx, 5);
+        let d = bisect(&ra, &rb, &mut a, &mut b).unwrap().unwrap();
+        assert_eq!(d.step, 77);
+        assert_ne!(d.a.digest, d.b.digest);
+    }
+
+    #[test]
+    fn recording_wire_round_trip() {
+        let rec = Recording {
+            stride: 64,
+            digests: vec![1, 2, 3, 0xdead_beef],
+            steps: 200,
+        };
+        let bytes = rec.to_bytes();
+        assert_eq!(Recording::from_bytes(&bytes).unwrap(), rec);
+        assert!(Recording::from_bytes(&bytes[..10]).is_err());
+    }
+
+    #[test]
+    fn length_mismatch_is_divergence() {
+        let a = Recording {
+            stride: 4,
+            digests: vec![1, 2, 3],
+            steps: 8,
+        };
+        let b = Recording {
+            stride: 4,
+            digests: vec![1, 2],
+            steps: 4,
+        };
+        assert_eq!(first_divergence(&a, &b), Some(2));
+    }
+}

@@ -211,6 +211,44 @@ impl System {
         &mut self.kernel
     }
 
+    /// Consumes the system, yielding the kernel — the replay driver
+    /// ([`crate::replay::KernelReplay`]) owns a bare kernel; the system's
+    /// measurement plane is host-side and irrelevant to replay.
+    pub fn into_kernel(self) -> Kernel {
+        self.kernel
+    }
+
+    /// Checkpoints the system: the full kernel state plus the delivery
+    /// path it was built with. Serialize with
+    /// [`SystemSnapshot::to_bytes`](crate::SystemSnapshot::to_bytes).
+    pub fn snapshot(&mut self) -> crate::SystemSnapshot {
+        crate::SystemSnapshot {
+            path: self.path,
+            kernel: self.kernel.snapshot(),
+        }
+    }
+
+    /// Restores a checkpoint taken by [`System::snapshot`]. The receiver
+    /// must be built with the same delivery path — a snapshot's measured
+    /// costs are path-specific, and restoring across paths would silently
+    /// measure the wrong thing. The measurement metrics plane is host-side
+    /// observability and keeps the receiver's history.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Invalid`] on delivery-path mismatch; kernel-level
+    /// snapshot errors propagate as [`CoreError::Kernel`].
+    pub fn restore(&mut self, s: &crate::SystemSnapshot) -> Result<(), CoreError> {
+        if s.path != self.path {
+            return Err(CoreError::Invalid(format!(
+                "snapshot was taken on the {} path, this system delivers via {}",
+                s.path, self.path
+            )));
+        }
+        self.kernel.restore(&s.kernel)?;
+        Ok(())
+    }
+
     /// Measurement-level metrics: one sample per measured round trip,
     /// keyed by (path, class). The kernel keeps its own table for the
     /// deliveries it mediates; merge both with [`Metrics::merge`] for a

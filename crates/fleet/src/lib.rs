@@ -105,6 +105,24 @@ impl std::fmt::Display for Suite {
 }
 
 /// One tenant: an independent guest instance with its own workload seed.
+///
+/// Running the same spec twice is bit-identical — every source of
+/// nondeterminism is derived from the seed:
+///
+/// ```
+/// use efex_fleet::{run_tenant, Suite, TenantSpec};
+/// use efex_mips::machine::MachineConfig;
+///
+/// let spec = TenantSpec {
+///     id: 0,
+///     suite: Suite::Gc,
+///     seed: 0x5eed,
+///     machine: MachineConfig::default(),
+/// };
+/// let a = run_tenant(spec, false, false).unwrap();
+/// let b = run_tenant(spec, false, false).unwrap();
+/// assert_eq!(a.micros.to_bits(), b.micros.to_bits());
+/// ```
 #[derive(Clone, Copy, Debug)]
 pub struct TenantSpec {
     /// Fleet-assigned index, `0..tenants`.
@@ -140,6 +158,12 @@ pub struct FleetConfig {
     /// selection for A/B runs; per-tenant, race-free). The aggregate
     /// fingerprint is invariant to it — both engines are bit-exact.
     pub machine: MachineConfig,
+    /// Legs per tenant: each leg is one workload pass under a leg-derived
+    /// seed, and the tenant's report is the merge of its legs. Legs are the
+    /// checkpoint granularity for the migration and crash-recovery drills
+    /// ([`run_fleet_migrate`], [`run_fleet_kill_shard`]). The default, `1`,
+    /// is bit-identical to the pre-leg fleet.
+    pub legs: u32,
 }
 
 impl Default for FleetConfig {
@@ -151,6 +175,7 @@ impl Default for FleetConfig {
             trace: false,
             health: true,
             machine: MachineConfig::default(),
+            legs: 1,
         }
     }
 }
@@ -248,6 +273,13 @@ pub struct FleetReport {
     /// Measured-vs-static fast-path budget (`None` unless
     /// [`FleetConfig::health`]). Probed once per fleet, not per tenant.
     pub fast_path: Option<FastPathBudget>,
+    /// Tenants that completed after a live migration to a different worker
+    /// shard ([`run_fleet_migrate`]). Drill accounting, like wall-clock
+    /// time: excluded from [`FleetReport::fingerprint`].
+    pub migrations: u32,
+    /// Tenants restored from their last checkpoint after a shard was killed
+    /// ([`run_fleet_kill_shard`]). Excluded from the fingerprint.
+    pub recoveries: u32,
 }
 
 impl FleetReport {
@@ -378,6 +410,18 @@ impl FleetReport {
             .record_gauge("fleet", None, "tenants", self.tenants.len() as u64);
         mon.registry()
             .record_gauge("fleet", None, "threads", self.threads as u64);
+        mon.registry().record_gauge(
+            "fleet",
+            None,
+            "migrated_tenants",
+            u64::from(self.migrations),
+        );
+        mon.registry().record_gauge(
+            "fleet",
+            None,
+            "recovered_tenants",
+            u64::from(self.recoveries),
+        );
         mon
     }
 }
@@ -459,6 +503,20 @@ pub fn fleet_invariants() -> Vec<Invariant> {
                 "a tenant's delivery probe reported no simulated cycles; the \
                  health plane is blind for this tenant",
             ),
+        // A restored checkpoint whose machine digest does not match the one
+        // recorded at capture means snapshot/restore is lossy — the
+        // migration and crash-recovery drills would silently resume wrong
+        // state.
+        Invariant::max(
+            "snapshot-restore-divergence",
+            th("snapshot_restore_divergence"),
+            0,
+        )
+        .hint(
+            "a kernel restore failed its capture-digest check; check \
+             Kernel::restore and MachineState round-tripping (efex-simos, \
+             efex-snap)",
+        ),
     ];
     // Measured fast-path work must stay within the static bound efex-verify
     // proves over the assembled kernel image — per phase and in total — and
@@ -500,16 +558,9 @@ pub fn run_tenant(spec: TenantSpec, trace: bool, health: bool) -> Result<TenantR
         suite: spec.suite.as_str(),
         message: e.to_string(),
     };
-    // The workloads construct their guests internally (their signatures
-    // predate engine selection), so the tenant's machine config rides in as
-    // this worker thread's scoped default — no process-global state.
-    let run = with_machine_config(spec.machine, || match spec.suite {
-        Suite::Gc => efex_gc::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
-        Suite::Dsm => efex_dsm::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
-        Suite::Pstore => efex_pstore::workloads::tenant_workload(spec.seed).map_err(|e| err(&e)),
-        Suite::Lazydata => efex_lazydata::tenant_workload(spec.seed).map_err(|e| err(&e)),
-        Suite::Watch => efex_watch::tenant_workload(spec.seed).map_err(|e| err(&e)),
-    })?;
+    // Leg 0 runs under the tenant's own seed, so a single-leg tenant is
+    // exactly the pre-leg behaviour.
+    let run = run_leg(spec, 0)?;
     let mut health_snap = StatsSnapshot::new("tenant-health");
     if health {
         health_snap.merge(&run.health);
@@ -533,6 +584,514 @@ pub fn run_tenant(spec: TenantSpec, trace: bool, health: bool) -> Result<TenantR
         events,
         health: health_snap,
     })
+}
+
+/// The seed a tenant's `leg`-th workload pass runs under. Leg 0 is the
+/// tenant's own seed, so a one-leg fleet is bit-identical to the pre-leg
+/// fleet; later legs mix in a fixed odd constant for well-separated
+/// workload parameters.
+pub fn leg_seed(seed: u64, leg: u32) -> u64 {
+    seed.wrapping_add(u64::from(leg).wrapping_mul(0xd1b5_4a32_d192_ed03))
+}
+
+/// One workload pass (no probe, no health merge) under the leg's seed.
+fn run_leg(spec: TenantSpec, leg: u32) -> Result<efex_core::WorkloadRun, FleetError> {
+    let err = |e: &dyn std::fmt::Display| FleetError {
+        tenant: spec.id,
+        suite: spec.suite.as_str(),
+        message: e.to_string(),
+    };
+    let seed = leg_seed(spec.seed, leg);
+    with_machine_config(spec.machine, || match spec.suite {
+        Suite::Gc => efex_gc::workloads::tenant_workload(seed).map_err(|e| err(&e)),
+        Suite::Dsm => efex_dsm::workloads::tenant_workload(seed).map_err(|e| err(&e)),
+        Suite::Pstore => efex_pstore::workloads::tenant_workload(seed).map_err(|e| err(&e)),
+        Suite::Lazydata => efex_lazydata::tenant_workload(seed).map_err(|e| err(&e)),
+        Suite::Watch => efex_watch::tenant_workload(seed).map_err(|e| err(&e)),
+    })
+}
+
+/// A tenant checkpoint: the spec plus everything its completed legs
+/// produced. Serializes to a standalone [`efex_snap::Flavor::Tenant`]
+/// artifact, so a checkpoint taken on one worker shard (or one process)
+/// can be resumed on another with [`resume_tenant`] — the unit of live
+/// migration and crash recovery in the fleet drills.
+#[derive(Clone, Debug)]
+pub struct TenantCheckpoint {
+    /// The tenant being checkpointed (including its machine config, which
+    /// must travel with it — the resuming shard may default differently).
+    pub spec: TenantSpec,
+    /// Total legs the tenant's run consists of.
+    pub legs_total: u32,
+    /// Legs already completed and folded into the fields below.
+    pub legs_done: u32,
+    /// Simulated µs accumulated over the completed legs.
+    pub micros: f64,
+    /// Workload stats merged over the completed legs (`None` before the
+    /// first leg completes).
+    pub stats: Option<StatsSnapshot>,
+    /// Health counters merged over the completed legs (empty when the
+    /// fleet runs with health off).
+    pub health: StatsSnapshot,
+}
+
+impl TenantCheckpoint {
+    /// The checkpoint of a tenant that has not run yet.
+    pub fn initial(spec: TenantSpec, legs_total: u32) -> TenantCheckpoint {
+        TenantCheckpoint {
+            spec,
+            legs_total: legs_total.max(1),
+            legs_done: 0,
+            micros: 0.0,
+            stats: None,
+            health: StatsSnapshot::new("tenant-health"),
+        }
+    }
+
+    /// Serializes as a standalone [`efex_snap::Flavor::Tenant`] artifact.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut w = efex_snap::Writer::new(efex_snap::Flavor::Tenant);
+        w.u32(self.spec.id);
+        w.u8(Suite::ALL
+            .iter()
+            .position(|s| *s == self.spec.suite)
+            .expect("suite in ALL") as u8);
+        w.u64(self.spec.seed);
+        w.u8(match self.spec.machine.engine {
+            efex_mips::machine::ExecEngine::Interpreter => 0,
+            efex_mips::machine::ExecEngine::Superblock => 1,
+        });
+        w.bool(self.spec.machine.decode_cache);
+        w.u8(match self.spec.machine.mod64_slots {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        w.u32(self.legs_total);
+        w.u32(self.legs_done);
+        w.f64(self.micros);
+        w.bool(self.stats.is_some());
+        if let Some(stats) = &self.stats {
+            encode_counters(&mut w, stats);
+        }
+        encode_counters(&mut w, &self.health);
+        w.finish()
+    }
+
+    /// Deserializes a standalone [`efex_snap::Flavor::Tenant`] artifact.
+    ///
+    /// # Errors
+    ///
+    /// Typed [`efex_snap::SnapError`] on any malformation; never panics.
+    pub fn from_bytes(bytes: &[u8]) -> Result<TenantCheckpoint, efex_snap::SnapError> {
+        let mut r = efex_snap::Reader::open(bytes, efex_snap::Flavor::Tenant)?;
+        let id = r.u32()?;
+        let suite = *Suite::ALL
+            .get(r.u8()? as usize)
+            .ok_or_else(|| efex_snap::SnapError::Corrupt("suite tag out of range".into()))?;
+        let seed = r.u64()?;
+        let engine = match r.u8()? {
+            0 => efex_mips::machine::ExecEngine::Interpreter,
+            1 => efex_mips::machine::ExecEngine::Superblock,
+            t => return Err(efex_snap::SnapError::Corrupt(format!("engine tag {t}"))),
+        };
+        let decode_cache = r.bool()?;
+        let mod64_slots = match r.u8()? {
+            0 => None,
+            1 => Some(false),
+            2 => Some(true),
+            t => return Err(efex_snap::SnapError::Corrupt(format!("mod64 tag {t}"))),
+        };
+        let legs_total = r.u32()?;
+        let legs_done = r.u32()?;
+        if legs_total == 0 || legs_done > legs_total {
+            return Err(efex_snap::SnapError::Corrupt(format!(
+                "leg counts {legs_done}/{legs_total}"
+            )));
+        }
+        let micros = r.f64()?;
+        let stats = if r.bool()? {
+            Some(decode_counters(&mut r, suite.as_str())?)
+        } else {
+            None
+        };
+        let health = decode_counters(&mut r, "tenant-health")?;
+        r.done()?;
+        let machine = MachineConfig {
+            engine,
+            decode_cache,
+            mod64_slots,
+        };
+        Ok(TenantCheckpoint {
+            spec: TenantSpec {
+                id,
+                suite,
+                seed,
+                machine,
+            },
+            legs_total,
+            legs_done,
+            micros,
+            stats,
+            health,
+        })
+    }
+}
+
+fn encode_counters(w: &mut efex_snap::Writer, snap: &StatsSnapshot) {
+    w.u32(snap.counters.len() as u32);
+    for (name, value) in &snap.counters {
+        w.str(name);
+        w.u64(*value);
+    }
+}
+
+/// Counter names are arbitrary strings but the component is a `&'static
+/// str`, so the caller supplies the component the checkpoint's context
+/// implies (the suite name for workload stats, `"tenant-health"` for the
+/// health plane).
+fn decode_counters(
+    r: &mut efex_snap::Reader<'_>,
+    component: &'static str,
+) -> Result<StatsSnapshot, efex_snap::SnapError> {
+    let n = r.count(3)?;
+    let mut snap = StatsSnapshot::new(component);
+    for _ in 0..n {
+        let name = r.str()?.to_string();
+        let value = r.u64()?;
+        snap.counters.push((name, value));
+    }
+    Ok(snap)
+}
+
+/// Runs a tenant's next legs up to (not including) `until_leg`, folding
+/// each completed leg into the checkpoint.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if a leg's workload fails.
+pub fn advance_tenant(ckpt: &mut TenantCheckpoint, until_leg: u32) -> Result<(), FleetError> {
+    let until = until_leg.min(ckpt.legs_total);
+    while ckpt.legs_done < until {
+        let run = run_leg(ckpt.spec, ckpt.legs_done)?;
+        ckpt.micros += run.micros;
+        match &mut ckpt.stats {
+            Some(stats) => stats.merge(&run.stats),
+            None => ckpt.stats = Some(run.stats),
+        }
+        ckpt.health.merge(&run.health);
+        ckpt.legs_done += 1;
+    }
+    Ok(())
+}
+
+/// Runs the tenant from the checkpoint to completion — the remaining legs
+/// plus the end-of-run delivery probe — and builds its report. The
+/// checkpoint may come from this process or off the wire
+/// ([`TenantCheckpoint::from_bytes`]); a resumed tenant reports exactly
+/// what an uninterrupted one would.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if a remaining leg's workload (or the probe)
+/// fails.
+pub fn resume_tenant(
+    ckpt: &TenantCheckpoint,
+    trace: bool,
+    health: bool,
+) -> Result<TenantReport, FleetError> {
+    let mut ckpt = ckpt.clone();
+    let total = ckpt.legs_total;
+    advance_tenant(&mut ckpt, total)?;
+    let err = |e: &dyn std::fmt::Display| FleetError {
+        tenant: ckpt.spec.id,
+        suite: ckpt.spec.suite.as_str(),
+        message: e.to_string(),
+    };
+    let mut health_snap = StatsSnapshot::new("tenant-health");
+    if health {
+        health_snap.merge(&ckpt.health);
+    }
+    let mut events = Vec::new();
+    if trace || health {
+        let probe = delivery_probe(ckpt.spec.suite, ckpt.spec.machine).map_err(|e| err(&e))?;
+        if trace {
+            events = probe.events;
+        }
+        if health {
+            health_snap.merge(&probe.health);
+        }
+    }
+    Ok(TenantReport {
+        id: ckpt.spec.id,
+        suite: ckpt.spec.suite,
+        seed: ckpt.spec.seed,
+        micros: ckpt.micros,
+        stats: ckpt.stats.unwrap_or_else(|| StatsSnapshot::new("fleet")),
+        events,
+        health: health_snap,
+    })
+}
+
+/// Runs a tenant as `legs` workload passes (plus the probe). `legs <= 1`
+/// is exactly [`run_tenant`].
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if any leg's workload fails.
+pub fn run_tenant_legged(
+    spec: TenantSpec,
+    legs: u32,
+    trace: bool,
+    health: bool,
+) -> Result<TenantReport, FleetError> {
+    if legs <= 1 {
+        return run_tenant(spec, trace, health);
+    }
+    resume_tenant(&TenantCheckpoint::initial(spec, legs), trace, health)
+}
+
+/// Runs `f(shard, item)` for each item on a scoped worker pool with a
+/// *static* assignment `shard = shard_of(index)` — the drills need to
+/// prove which worker ran what, so no work stealing here. Results come
+/// back in item order.
+fn scatter<T: Send, R: Send>(
+    items: Vec<T>,
+    threads: usize,
+    shard_of: impl Fn(usize) -> usize + Sync,
+    f: impl Fn(usize, T) -> R + Sync,
+) -> Vec<R> {
+    let threads = threads.max(1);
+    let slots: Mutex<Vec<Option<R>>> = Mutex::new((0..items.len()).map(|_| None).collect());
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    std::thread::scope(|scope| {
+        for w in 0..threads {
+            let slots = &slots;
+            let items = &items;
+            let shard_of = &shard_of;
+            let f = &f;
+            std::thread::Builder::new()
+                .name(format!("efex-fleet-{w}"))
+                .stack_size(WORKER_STACK_BYTES)
+                .spawn_scoped(scope, move || {
+                    for (i, cell) in items.iter().enumerate() {
+                        if shard_of(i) % threads != w {
+                            continue;
+                        }
+                        let item = cell.lock().unwrap().take().expect("item claimed once");
+                        let r = f(w, item);
+                        slots.lock().unwrap()[i] = Some(r);
+                    }
+                })
+                .expect("spawn fleet worker");
+        }
+    });
+    slots
+        .into_inner()
+        .unwrap()
+        .into_iter()
+        .map(|slot| slot.expect("every item ran"))
+        .collect()
+}
+
+/// How many legs a drill splits a tenant into, and the leg after which the
+/// checkpoint is taken: drills need at least two legs to have a
+/// "mid-suite" point, so a one-leg config is promoted to two.
+fn drill_legs(cfg: &FleetConfig) -> (u32, u32) {
+    let legs = cfg.legs.max(2);
+    (legs, legs / 2)
+}
+
+/// Aggregates drill-produced tenant reports the same way [`run_fleet`]
+/// does (id order, merged stats, merged latency shards are unnecessary —
+/// one record per tenant in id order is the same histogram).
+fn aggregate_reports(
+    mut tenants: Vec<TenantReport>,
+    threads: usize,
+    fast_path: Option<FastPathBudget>,
+    wall_seconds: f64,
+    migrations: u32,
+    recoveries: u32,
+) -> FleetReport {
+    tenants.sort_by_key(|t| t.id);
+    let mut latency = Histogram::new();
+    for t in &tenants {
+        latency.record((t.micros * 1000.0) as u64); // µs → ns
+    }
+    let aggregate = StatsSnapshot::aggregate("fleet", tenants.iter().map(|t| t.stats.clone()));
+    let total_micros = tenants.iter().map(|t| t.micros).sum();
+    FleetReport {
+        tenants,
+        aggregate,
+        latency,
+        total_micros,
+        wall_seconds,
+        threads,
+        fast_path,
+        migrations,
+        recoveries,
+    }
+}
+
+fn drill_fast_path(cfg: &FleetConfig) -> Result<Option<FastPathBudget>, FleetError> {
+    if cfg.health {
+        Ok(Some(fast_path_budget().map_err(|message| FleetError {
+            tenant: 0,
+            suite: "health-probe",
+            message,
+        })?))
+    } else {
+        Ok(None)
+    }
+}
+
+fn first_error<R>(results: Vec<Result<R, FleetError>>) -> Result<Vec<R>, FleetError> {
+    let mut out = Vec::with_capacity(results.len());
+    for r in results {
+        out.push(r?);
+    }
+    Ok(out)
+}
+
+/// The live-migration drill: every tenant runs its first legs on its home
+/// shard, is checkpointed **through the wire**
+/// ([`TenantCheckpoint::to_bytes`]), and completes on a *different* worker
+/// shard. The report must fingerprint identically to an uninterrupted
+/// [`run_fleet`] of the same (legged) config — the assertion the `snap` CI
+/// gate makes.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if any tenant's workload fails or a checkpoint
+/// fails to round-trip.
+pub fn run_fleet_migrate(cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
+    let threads = cfg.threads.max(1);
+    let (legs, split) = drill_legs(cfg);
+    let fast_path = drill_fast_path(cfg)?;
+    let start = Instant::now();
+    let specs = plan(cfg);
+    // Phase A: home shard = id % threads, run to the checkpoint, serialize.
+    let blobs = first_error(scatter(
+        specs,
+        threads,
+        |i| i,
+        |_, spec| {
+            let mut ckpt = TenantCheckpoint::initial(spec, legs);
+            advance_tenant(&mut ckpt, split)?;
+            Ok::<Vec<u8>, FleetError>(ckpt.to_bytes())
+        },
+    ))?;
+    // Phase B: fresh worker pool, every tenant one shard over from home.
+    let reports = first_error(scatter(
+        blobs,
+        threads,
+        |i| i + 1,
+        |_, bytes: Vec<u8>| {
+            let ckpt = TenantCheckpoint::from_bytes(&bytes).map_err(|e| FleetError {
+                tenant: u32::MAX,
+                suite: "migrate",
+                message: format!("checkpoint failed to round-trip: {e}"),
+            })?;
+            resume_tenant(&ckpt, cfg.trace, cfg.health)
+        },
+    ))?;
+    let migrations = reports.len() as u32;
+    Ok(aggregate_reports(
+        reports,
+        threads,
+        fast_path,
+        start.elapsed().as_secs_f64(),
+        migrations,
+        0,
+    ))
+}
+
+/// The crash-recovery drill: every tenant checkpoints after its first
+/// legs; then shard `dead` is killed. Its tenants' in-flight state is
+/// gone — they restart from their last serialized checkpoint on the
+/// surviving shards and are counted as [`FleetReport::recoveries`]
+/// (surfaced to the health plane as the `recovered_tenants` gauge and a
+/// per-tenant `restored_from_checkpoint` health counter). Tenants on
+/// surviving shards complete undisturbed. The fingerprint must equal the
+/// uninterrupted legged run's.
+///
+/// # Errors
+///
+/// [`FleetError`] if `dead` is out of range, the fleet has fewer than two
+/// shards (nowhere to recover to), any workload fails, or a checkpoint
+/// fails to round-trip.
+pub fn run_fleet_kill_shard(cfg: &FleetConfig, dead: usize) -> Result<FleetReport, FleetError> {
+    let threads = cfg.threads.max(1);
+    if threads < 2 || dead >= threads {
+        return Err(FleetError {
+            tenant: 0,
+            suite: "kill-shard",
+            message: format!(
+                "need >= 2 shards and a valid victim (threads={threads}, dead={dead})"
+            ),
+        });
+    }
+    let (legs, split) = drill_legs(cfg);
+    let fast_path = drill_fast_path(cfg)?;
+    let start = Instant::now();
+    let specs = plan(cfg);
+    // Phase A: everyone runs to the checkpoint on their home shard and
+    // serializes it — the always-on checkpointing the drill relies on.
+    let blobs = first_error(scatter(
+        specs,
+        threads,
+        |i| i,
+        |_, spec| {
+            let mut ckpt = TenantCheckpoint::initial(spec, legs);
+            advance_tenant(&mut ckpt, split)?;
+            Ok::<Vec<u8>, FleetError>(ckpt.to_bytes())
+        },
+    ))?;
+    // The kill: shard `dead` never runs its tail legs. Lost tenants are
+    // rerouted one shard over (never back to the dead shard; threads >= 2
+    // guarantees a survivor); the rest resume on their home shard.
+    let items: Vec<(Vec<u8>, bool)> = blobs
+        .into_iter()
+        .enumerate()
+        .map(|(i, b)| (b, i % threads == dead))
+        .collect();
+    let reroute = move |i: usize| {
+        if i % threads == dead {
+            i + 1
+        } else {
+            i
+        }
+    };
+    let reports = first_error(scatter(
+        items,
+        threads,
+        reroute,
+        |_, (bytes, recovered): (Vec<u8>, bool)| {
+            let ckpt = TenantCheckpoint::from_bytes(&bytes).map_err(|e| FleetError {
+                tenant: u32::MAX,
+                suite: "kill-shard",
+                message: format!("checkpoint failed to round-trip: {e}"),
+            })?;
+            let mut report = resume_tenant(&ckpt, cfg.trace, cfg.health)?;
+            if recovered && cfg.health {
+                report
+                    .health
+                    .counters
+                    .push(("restored_from_checkpoint".into(), 1));
+            }
+            Ok::<(TenantReport, bool), FleetError>((report, recovered))
+        },
+    ))?;
+    let recoveries = reports.iter().filter(|(_, r)| *r).count() as u32;
+    let tenants = reports.into_iter().map(|(t, _)| t).collect();
+    Ok(aggregate_reports(
+        tenants,
+        threads,
+        fast_path,
+        start.elapsed().as_secs_f64(),
+        0,
+        recoveries,
+    ))
 }
 
 /// What the per-tenant delivery probe produced: lifecycle events for the
@@ -619,7 +1178,7 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
                 let Some(spec) = specs.get(i).copied() else {
                     break;
                 };
-                let result = run_tenant(spec, cfg.trace, cfg.health);
+                let result = run_tenant_legged(spec, cfg.legs, cfg.trace, cfg.health);
                 if let Ok(r) = &result {
                     shard.record((r.micros * 1000.0) as u64); // µs → ns
                 }
@@ -663,6 +1222,8 @@ pub fn run_fleet(cfg: &FleetConfig) -> Result<FleetReport, FleetError> {
         wall_seconds,
         threads,
         fast_path,
+        migrations: 0,
+        recoveries: 0,
     })
 }
 
@@ -926,6 +1487,113 @@ mod tests {
         }
         assert_eq!(fp.total_measured_instructions, fp.static_instructions);
         assert!(fp.static_cycles >= fp.static_instructions);
+    }
+
+    #[test]
+    fn tenant_checkpoint_round_trips_the_wire() {
+        let spec = TenantSpec {
+            id: 3,
+            suite: Suite::Watch,
+            seed: 0xfeed,
+            machine: MachineConfig::default().mod64_slots(false),
+        };
+        let mut ckpt = TenantCheckpoint::initial(spec, 2);
+        advance_tenant(&mut ckpt, 1).unwrap();
+        let back = TenantCheckpoint::from_bytes(&ckpt.to_bytes()).unwrap();
+        assert_eq!(back.spec.id, spec.id);
+        assert_eq!(back.spec.suite, spec.suite);
+        assert_eq!(back.spec.seed, spec.seed);
+        assert_eq!(back.spec.machine.mod64_slots, Some(false));
+        assert_eq!((back.legs_total, back.legs_done), (2, 1));
+        assert_eq!(back.micros.to_bits(), ckpt.micros.to_bits());
+        assert_eq!(
+            back.stats.as_ref().unwrap().counters,
+            ckpt.stats.as_ref().unwrap().counters
+        );
+        // Resuming the deserialized checkpoint matches resuming the local
+        // one bit-for-bit.
+        let a = resume_tenant(&ckpt, false, false).unwrap();
+        let b = resume_tenant(&back, false, false).unwrap();
+        assert_eq!(a.micros.to_bits(), b.micros.to_bits());
+        assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    fn migration_preserves_the_aggregate_fingerprint() {
+        let cfg = FleetConfig {
+            tenants: 5,
+            threads: 2,
+            legs: 2,
+            ..FleetConfig::default()
+        };
+        let baseline = run_fleet(&cfg).unwrap();
+        let migrated = run_fleet_migrate(&cfg).unwrap();
+        assert_eq!(migrated.migrations, 5, "every tenant migrated");
+        assert_eq!(
+            baseline.fingerprint(),
+            migrated.fingerprint(),
+            "live migration changed the aggregate"
+        );
+    }
+
+    #[test]
+    fn kill_shard_recovers_with_unchanged_fingerprint() {
+        let cfg = FleetConfig {
+            tenants: 5,
+            threads: 2,
+            legs: 2,
+            ..FleetConfig::default()
+        };
+        let baseline = run_fleet(&cfg).unwrap();
+        let drilled = run_fleet_kill_shard(&cfg, 0).unwrap();
+        assert!(drilled.recoveries > 0, "shard 0 owned tenants");
+        assert_eq!(
+            baseline.fingerprint(),
+            drilled.fingerprint(),
+            "crash recovery changed the aggregate"
+        );
+        // Recoveries surface on the health plane without tripping anything.
+        let mut mon = drilled.health_monitor();
+        let findings = mon.finish().to_vec();
+        assert!(findings.is_empty(), "{findings:?}");
+        assert_eq!(
+            mon.registry_ref().get("fleet", None, "recovered_tenants"),
+            Some(u64::from(drilled.recoveries))
+        );
+        let recovered_marks: u64 = drilled
+            .tenants
+            .iter()
+            .filter_map(|t| t.health.get("restored_from_checkpoint"))
+            .sum();
+        assert_eq!(recovered_marks, u64::from(drilled.recoveries));
+    }
+
+    #[test]
+    fn kill_shard_rejects_impossible_drills() {
+        let cfg = FleetConfig {
+            tenants: 2,
+            threads: 1,
+            ..FleetConfig::default()
+        };
+        assert!(run_fleet_kill_shard(&cfg, 0).is_err(), "no survivor");
+        let cfg2 = FleetConfig { threads: 2, ..cfg };
+        assert!(
+            run_fleet_kill_shard(&cfg2, 5).is_err(),
+            "victim out of range"
+        );
+    }
+
+    #[test]
+    fn legged_fleet_is_thread_count_invariant() {
+        let base = FleetConfig {
+            tenants: 5,
+            threads: 1,
+            legs: 2,
+            ..FleetConfig::default()
+        };
+        let one = run_fleet(&base).unwrap();
+        let two = run_fleet(&FleetConfig { threads: 2, ..base }).unwrap();
+        assert_eq!(one.fingerprint(), two.fingerprint());
     }
 
     #[test]

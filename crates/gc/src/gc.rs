@@ -59,7 +59,14 @@ pub enum GcError {
     /// The heap is exhausted even after a full collection.
     OutOfMemory,
     /// A field index was out of bounds for the object.
-    BadField { obj: ObjRef, index: u32, size: u32 },
+    BadField {
+        /// The object whose field was addressed.
+        obj: ObjRef,
+        /// The out-of-range field index.
+        index: u32,
+        /// The object's field count.
+        size: u32,
+    },
     /// An underlying simulation error.
     Core(CoreError),
 }

@@ -40,6 +40,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod config;
 mod gc;
 mod heap;

@@ -38,6 +38,8 @@
 //! - **Host-level degradation** — an injected fall-back to Unix-signal
 //!   costs on a `HostProcess` delivery (`host-degraded-delivery`).
 
+#![warn(missing_docs)]
+
 mod scenarios;
 
 use std::fmt;

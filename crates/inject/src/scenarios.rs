@@ -97,6 +97,12 @@ pub(crate) static REGISTRY: &[Scenario] = &[
         run: corrupt_comm_unused_word,
     },
     Scenario {
+        id: "snapshot-mid-vulnerable-window",
+        summary: "kernel snapshotted inside the save→handler window restores bit-exact",
+        expect: Expectation::BitExact,
+        run: snapshot_mid_vulnerable_window,
+    },
+    Scenario {
         id: "host-degraded-delivery",
         summary:
             "host delivery injected to fall back to Unix-signal costs, counted and snapshotted",
@@ -743,4 +749,99 @@ fn host_degraded_delivery(_seed: u64) -> Result<Observed, String> {
         cycles: h.cycles(),
         diagnostic: None,
     })
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot/restore under fire
+
+fn snapshot_mid_vulnerable_window(_seed: u64) -> Result<Observed, String> {
+    // The moment between the fast path's comm-frame save and the user
+    // handler's return jump is the delivery machinery's most vulnerable
+    // window: the frame is live guest memory and the handler is mid-flight.
+    // A checkpoint taken there must capture all of it. We run the guest
+    // uninterrupted for a baseline, then rerun it, freeze the kernel one
+    // step after the fast delivery lands in the handler, push the snapshot
+    // through its wire format, restore into a freshly booted kernel, and
+    // demand that both the interrupted original and the restored copy
+    // finish bit-exact against the baseline.
+    let mask = 1u32 << ExcCode::Breakpoint.code();
+    let program = format!(
+        r#"
+.org 0x00400000
+main:
+    li  $a0, {mask}
+    la  $a1, fast_handler
+    li  $a2, 0x7ffe0000
+    li  $v0, 7               # uexc_enable
+    syscall
+    break 0
+    li  $a0, 55
+    li  $v0, 2
+    syscall
+    nop
+fast_handler:
+    li  $t0, 0x7ffe0000
+    lw  $t1, 288($t0)        # breakpoint frame EPC
+    addiu $t1, $t1, 4
+    jr  $t1
+    nop
+"#
+    );
+
+    let (base_k, base_out) = run_guest(KernelConfig::default(), &program, |_| {})?;
+    check("baseline outcome", base_out, RunOutcome::Exited(55))?;
+    let baseline = observe(&base_k, &base_out);
+
+    // The breakpoint frame's EPC slot on the comm page: zero until the
+    // guest vector's save phase writes it, so its first nonzero read marks
+    // entry into the vulnerable window.
+    const FRAME_EPC: u32 = 0x7ffe_0000 + 288;
+
+    let mut k = Kernel::boot(KernelConfig::default()).map_err(|e| format!("boot: {e}"))?;
+    let prog = k
+        .load_user_program(&program)
+        .map_err(|e| format!("assemble/load: {e}"))?;
+    let sp = k.setup_stack(8).map_err(|e| format!("stack: {e}"))?;
+    k.exec(prog.entry(), sp);
+    let mut steps = 0u32;
+    while k.machine().peek_u32(FRAME_EPC, true).unwrap_or(0) == 0 {
+        let out = k.run_user(1).map_err(|e| format!("step: {e}"))?;
+        if out != RunOutcome::StepLimit {
+            return Err(format!("program ended before delivering: {out:?}"));
+        }
+        steps += 1;
+        if steps >= 10_000 {
+            return Err("fast delivery never happened".into());
+        }
+    }
+    // One more step: the frame is saved, the vector/handler is mid-flight,
+    // and the return jump is still ahead.
+    let out = k.run_user(1).map_err(|e| format!("step: {e}"))?;
+    check("mid-window outcome", out, RunOutcome::StepLimit)?;
+
+    let bytes = k.snapshot().to_bytes();
+    let state = efex_simos::snapshot::KernelState::from_bytes(&bytes)
+        .map_err(|e| format!("decode: {e}"))?;
+    let mut restored = Kernel::boot(KernelConfig::default()).map_err(|e| format!("reboot: {e}"))?;
+    restored
+        .restore(&state)
+        .map_err(|e| format!("restore: {e}"))?;
+
+    let k_out = k.run_user(1_000_000).map_err(|e| format!("resume: {e}"))?;
+    let r_out = restored
+        .run_user(1_000_000)
+        .map_err(|e| format!("restored run: {e}"))?;
+    let original = observe(&k, &k_out);
+    let replica = observe(&restored, &r_out);
+    if original != baseline {
+        return Err(format!(
+            "interrupted run diverged from baseline:\n  base: {baseline:?}\n  got:  {original:?}"
+        ));
+    }
+    if replica != baseline {
+        return Err(format!(
+            "restored run diverged from baseline:\n  base: {baseline:?}\n  got:  {replica:?}"
+        ));
+    }
+    Ok(replica)
 }

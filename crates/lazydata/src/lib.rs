@@ -34,6 +34,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod fullempty;
 pub mod runtime;
 

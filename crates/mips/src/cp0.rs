@@ -96,8 +96,9 @@ pub mod status {
 
 /// Cause register fields.
 pub mod cause {
-    /// Exception code shift/mask.
+    /// Exception code field shift.
     pub const EXC_SHIFT: u32 = 2;
+    /// Exception code field mask (applied after shifting).
     pub const EXC_MASK: u32 = 0x1f;
     /// Branch-delay bit: the exception occurred in a delay slot and EPC
     /// points at the branch.
@@ -107,14 +108,24 @@ pub mod cause {
 /// The system coprocessor.
 #[derive(Clone, Debug, Default)]
 pub struct Cp0 {
+    /// TLB index register (`tlbwi`/`tlbp` target slot).
     pub index: u32,
+    /// TLB random-replacement register.
     pub random: u32,
+    /// Low half of a TLB entry (PFN and protection bits).
     pub entry_lo: u32,
+    /// Context register: kernel PTE-base plus faulting VPN.
     pub context: u32,
+    /// The virtual address of the last addressing fault.
     pub bad_vaddr: u32,
+    /// High half of a TLB entry (VPN and ASID).
     pub entry_hi: u32,
+    /// Processor status: mode/interrupt stack and the efex extension bits
+    /// (see [`status`]).
     pub status: u32,
+    /// Exception cause (see [`cause`]).
     pub cause: u32,
+    /// Exception program counter: where to resume.
     pub epc: u32,
     /// User exception target (paper extension).
     pub uxt: u32,

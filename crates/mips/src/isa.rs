@@ -37,37 +37,57 @@ impl Reg {
     pub const AT: Reg = Reg(1);
     /// Function result registers.
     pub const V0: Reg = Reg(2);
+    /// Second function result register.
     pub const V1: Reg = Reg(3);
     /// Argument registers.
     pub const A0: Reg = Reg(4);
+    /// Second argument register.
     pub const A1: Reg = Reg(5);
+    /// Third argument register.
     pub const A2: Reg = Reg(6);
+    /// Fourth argument register.
     pub const A3: Reg = Reg(7);
     /// Caller-saved temporaries.
     pub const T0: Reg = Reg(8);
+    /// Caller-saved temporary $t1.
     pub const T1: Reg = Reg(9);
+    /// Caller-saved temporary $t2.
     pub const T2: Reg = Reg(10);
+    /// Caller-saved temporary $t3.
     pub const T3: Reg = Reg(11);
+    /// Caller-saved temporary $t4.
     pub const T4: Reg = Reg(12);
+    /// Caller-saved temporary $t5.
     pub const T5: Reg = Reg(13);
+    /// Caller-saved temporary $t6.
     pub const T6: Reg = Reg(14);
+    /// Caller-saved temporary $t7.
     pub const T7: Reg = Reg(15);
     /// Callee-saved registers.
     pub const S0: Reg = Reg(16);
+    /// Callee-saved register $s1.
     pub const S1: Reg = Reg(17);
+    /// Callee-saved register $s2.
     pub const S2: Reg = Reg(18);
+    /// Callee-saved register $s3.
     pub const S3: Reg = Reg(19);
+    /// Callee-saved register $s4.
     pub const S4: Reg = Reg(20);
+    /// Callee-saved register $s5.
     pub const S5: Reg = Reg(21);
+    /// Callee-saved register $s6.
     pub const S6: Reg = Reg(22);
+    /// Callee-saved register $s7.
     pub const S7: Reg = Reg(23);
     /// More caller-saved temporaries.
     pub const T8: Reg = Reg(24);
+    /// Caller-saved temporary $t9.
     pub const T9: Reg = Reg(25);
     /// Reserved for the kernel; the fast exception path uses these as the
     /// scratch registers whose contents the kernel saves for the user
     /// (Section 3.2.1).
     pub const K0: Reg = Reg(26);
+    /// Second kernel scratch register (see [`Reg::K0`]).
     pub const K1: Reg = Reg(27);
     /// Global pointer.
     pub const GP: Reg = Reg(28);
@@ -183,6 +203,9 @@ impl fmt::Display for TlbProtOp {
 /// (sign- or zero-extended according to the instruction), `target` is the
 /// 26-bit jump field, and `shamt` the 5-bit shift amount.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+// Variant names are the MIPS mnemonics themselves and the field conventions
+// are spelled out above; per-variant doc comments would only repeat them.
+#[allow(missing_docs)]
 pub enum Instruction {
     // --- ALU, R-type ---
     Sll {

@@ -56,6 +56,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod asm;
 pub mod cp0;
 pub mod cycles;
@@ -68,6 +70,7 @@ pub mod machine;
 pub mod mem;
 pub mod profile;
 pub mod sem;
+pub mod snapshot;
 pub mod tlb;
 pub mod trace;
 

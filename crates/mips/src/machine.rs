@@ -111,14 +111,30 @@ impl Cpu {
         self.hi
     }
 
+    /// Sets the multiply/divide HI register.
+    pub fn set_hi(&mut self, v: u32) {
+        self.hi = v;
+    }
+
     /// The multiply/divide LO register.
     pub fn lo(&self) -> u32 {
         self.lo
     }
 
+    /// Sets the multiply/divide LO register.
+    pub fn set_lo(&mut self, v: u32) {
+        self.lo = v;
+    }
+
     /// Snapshot of all 32 registers.
     pub fn regs(&self) -> [u32; 32] {
         self.regs
+    }
+
+    /// Replaces all 32 registers (`$zero` is forced back to 0).
+    pub fn set_regs(&mut self, regs: [u32; 32]) {
+        self.regs = regs;
+        self.regs[0] = 0;
     }
 }
 
@@ -536,6 +552,15 @@ impl Machine {
 
     /// Creates a machine with `phys_bytes` of physical memory, in kernel
     /// mode at PC 0, with an explicit per-machine configuration.
+    ///
+    /// ```
+    /// use efex_mips::machine::{ExecEngine, Machine, MachineConfig};
+    ///
+    /// let cfg = MachineConfig::default().engine(ExecEngine::Superblock);
+    /// let m = Machine::with_config(1 << 20, cfg);
+    /// assert_eq!(m.engine(), ExecEngine::Superblock);
+    /// assert_eq!(m.cycles(), 0);
+    /// ```
     pub fn with_config(phys_bytes: usize, cfg: MachineConfig) -> Machine {
         #[allow(deprecated)]
         let mod64 = cfg.mod64_slots.unwrap_or_else(decode_cache_mod64_slots);
@@ -731,6 +756,160 @@ impl Machine {
     /// Whether the machine is in user mode.
     pub fn user_mode(&self) -> bool {
         self.cp0.user_mode()
+    }
+
+    // --- checkpoint / restore --------------------------------------------
+
+    /// Captures the complete architectural state of the machine as a
+    /// [`crate::snapshot::MachineState`]: registers, CP0, every TLB slot
+    /// (empty-slot identity preserved) plus the generation counter, the
+    /// pending delay-slot flag, cycle/instret/exception counters, and the
+    /// non-zero pages of physical memory (sparse). Host-side observability —
+    /// profiler, trace hooks, decode/superblock caches and their counters —
+    /// is deliberately excluded: it is not architectural state, and the
+    /// caches are rebuilt on demand after a restore.
+    pub fn snapshot(&self) -> crate::snapshot::MachineState {
+        let mem_size = self.mem.size();
+        let mut pages = Vec::new();
+        let mut paddr = 0u32;
+        while (paddr as usize) < mem_size {
+            let page = self
+                .mem
+                .read_bytes(paddr, crate::snapshot::SNAP_PAGE)
+                .expect("page within physical memory");
+            if page.iter().any(|&b| b != 0) {
+                pages.push((paddr >> 12, page.to_vec()));
+            }
+            paddr += crate::snapshot::SNAP_PAGE as u32;
+        }
+        crate::snapshot::MachineState {
+            regs: self.cpu.regs(),
+            hi: self.cpu.hi(),
+            lo: self.cpu.lo(),
+            pc: self.cpu.pc,
+            next_pc: self.cpu.next_pc,
+            prev_was_branch: self.prev_was_branch,
+            cp0: self.cp0.clone(),
+            tlb_slots: *self.tlb.slots(),
+            tlb_generation: self.tlb.generation(),
+            cycles: self.cycles,
+            instret: self.instret,
+            exceptions_taken: self.exceptions_taken,
+            mem_size: mem_size as u32,
+            pages,
+        }
+    }
+
+    /// Restores architectural state captured by [`Machine::snapshot`].
+    ///
+    /// The receiver keeps its own host-side configuration (execution
+    /// engine, decode-cache switch, profiler, trace hooks) — a snapshot
+    /// taken under the interpreter restores onto a superblock machine and
+    /// vice versa, and both resume bit-exact. Both instruction caches are
+    /// dropped: their tags reference the *receiver's* pre-restore TLB
+    /// generation and page write-versions, and memory is rewritten below
+    /// them. Memory restore goes through the normal write path, so page
+    /// write-version counters advance and any text cached by observers of
+    /// this memory is invalidated, exactly as a guest store would.
+    ///
+    /// # Errors
+    ///
+    /// [`efex_snap::SnapError::Invalid`] if the snapshot's physical memory
+    /// size differs from the receiver's.
+    pub fn restore(
+        &mut self,
+        s: &crate::snapshot::MachineState,
+    ) -> Result<(), efex_snap::SnapError> {
+        if s.mem_size as usize != self.mem.size() {
+            return Err(efex_snap::SnapError::Invalid(format!(
+                "snapshot has {} bytes of physical memory, machine has {}",
+                s.mem_size,
+                self.mem.size()
+            )));
+        }
+        for (page_idx, bytes) in &s.pages {
+            if bytes.len() != crate::snapshot::SNAP_PAGE
+                || (*page_idx as usize) >= self.mem.size() >> 12
+            {
+                return Err(efex_snap::SnapError::Invalid(format!(
+                    "snapshot page {page_idx:#x} out of range"
+                )));
+            }
+        }
+        self.mem.zero(0, self.mem.size()).expect("zero fits");
+        for (page_idx, bytes) in &s.pages {
+            self.mem
+                .write_bytes(page_idx << 12, bytes)
+                .expect("page range checked above");
+        }
+        self.cpu.set_regs(s.regs);
+        self.cpu.set_hi(s.hi);
+        self.cpu.set_lo(s.lo);
+        self.cpu.pc = s.pc;
+        self.cpu.next_pc = s.next_pc;
+        self.prev_was_branch = s.prev_was_branch;
+        self.cp0 = s.cp0.clone();
+        self.tlb.restore(s.tlb_slots, s.tlb_generation);
+        self.cycles = s.cycles;
+        self.instret = s.instret;
+        self.exceptions_taken = s.exceptions_taken;
+        // Drop both instruction caches: their tags predate the restore.
+        self.dcache = std::array::from_fn(|_| None);
+        if !self.sbcache.is_empty() {
+            let slots = self.sbcache.len();
+            self.sbcache = (0..slots).map(|_| None).collect();
+        }
+        Ok(())
+    }
+
+    /// A cheap digest of the machine's architectural register state: GPRs,
+    /// HI/LO, both PCs, the delay-slot flag, all CP0 registers, the full
+    /// TLB (slots + generation), and the cycle/instret/exception counters.
+    /// Physical memory is *excluded* — hashing it every step would dominate
+    /// the simulation — so record-replay strides catch register-visible
+    /// divergence at the digest and fall back to memory-visible divergence
+    /// at the next faulting access.
+    pub fn step_digest(&self) -> u64 {
+        let mut d = efex_snap::Fnv64::new();
+        for r in self.cpu.regs() {
+            d.write_u32(r);
+        }
+        d.write_u32(self.cpu.hi());
+        d.write_u32(self.cpu.lo());
+        d.write_u32(self.cpu.pc);
+        d.write_u32(self.cpu.next_pc);
+        d.update(&[u8::from(self.prev_was_branch)]);
+        for v in [
+            self.cp0.index,
+            self.cp0.random,
+            self.cp0.entry_lo,
+            self.cp0.context,
+            self.cp0.bad_vaddr,
+            self.cp0.entry_hi,
+            self.cp0.status,
+            self.cp0.cause,
+            self.cp0.epc,
+            self.cp0.uxt,
+            self.cp0.uxc,
+            self.cp0.uxm,
+        ] {
+            d.write_u32(v);
+        }
+        d.write_u64(self.tlb.generation());
+        for slot in self.tlb.slots() {
+            match slot {
+                None => d.update(&[0]),
+                Some(e) => {
+                    d.update(&[1]);
+                    d.write_u32(e.entry_hi());
+                    d.write_u32(e.entry_lo());
+                }
+            }
+        }
+        d.write_u64(self.cycles);
+        d.write_u64(self.instret);
+        d.write_u64(self.exceptions_taken);
+        d.finish()
     }
 
     // --- image loading ---------------------------------------------------

@@ -280,6 +280,25 @@ impl Tlb {
     pub fn iter(&self) -> impl Iterator<Item = &TlbEntry> {
         self.entries.iter().flatten()
     }
+
+    /// The raw slot array, empty slots included. [`Tlb::read`] deliberately
+    /// collapses an empty slot and an all-zero entry into the same value
+    /// (matching `tlbr` of an unwritten slot); checkpointing must preserve
+    /// the distinction, because a restored all-zero *entry* would match
+    /// VPN 0 where an empty slot matches nothing.
+    pub fn slots(&self) -> &[Option<TlbEntry>; TLB_ENTRIES] {
+        &self.entries
+    }
+
+    /// Replaces the entire TLB — slots *and* generation counter — with
+    /// checkpointed state. Unlike [`Tlb::write`] this performs no duplicate
+    /// eviction (the snapshot came from a TLB that already enforced it) and
+    /// sets the generation exactly, so a restored run's translation-cache
+    /// tags evolve identically to the uninterrupted run it forked from.
+    pub fn restore(&mut self, slots: [Option<TlbEntry>; TLB_ENTRIES], generation: u64) {
+        self.entries = slots;
+        self.generation = generation;
+    }
 }
 
 #[cfg(test)]

@@ -23,6 +23,8 @@
 //!   not survive into our source text — and are labeled as such in
 //!   EXPERIMENTS.md).
 
+#![warn(missing_docs)]
+
 use std::fmt;
 
 /// A delivery phase in a conventional exception path.

@@ -39,6 +39,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 mod graph;
 mod store;
 pub mod workloads;

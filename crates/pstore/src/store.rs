@@ -122,7 +122,12 @@ pub enum PstoreError {
     /// Invalid configuration (e.g. lazy + protection faults).
     Invalid(String),
     /// A slot did not hold a pointer.
-    NotAPointer { vaddr: u32, word: u32 },
+    NotAPointer {
+        /// The slot's guest address.
+        vaddr: u32,
+        /// The word found there.
+        word: u32,
+    },
 }
 
 impl fmt::Display for PstoreError {

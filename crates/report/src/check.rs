@@ -28,6 +28,7 @@ pub enum Status {
 }
 
 impl Status {
+    /// Lowercase (passing) or uppercase (failing) label for tables.
     pub fn as_str(self) -> &'static str {
         match self {
             Status::Ok => "ok",
@@ -52,13 +53,18 @@ impl fmt::Display for Status {
 /// One row of the comparison.
 #[derive(Clone, PartialEq, Debug)]
 pub struct Row {
+    /// The metric's hierarchical name.
     pub name: String,
+    /// Its unit label.
     pub unit: String,
+    /// The baseline value, absent for [`Status::New`] rows.
     pub expected: Option<MetricValue>,
+    /// The current run's value, absent for [`Status::Missing`] rows.
     pub actual: Option<MetricValue>,
     /// Relative deviation `|actual - expected| / |expected|`, when both sides
     /// are present and the expected value is nonzero.
     pub rel_delta: Option<f64>,
+    /// The row's verdict.
     pub status: Status,
 }
 
@@ -77,6 +83,7 @@ impl CheckReport {
         self.rows.iter().all(|r| !r.status.is_failure())
     }
 
+    /// The failing rows, in table order.
     pub fn failures(&self) -> impl Iterator<Item = &Row> {
         self.rows.iter().filter(|r| r.status.is_failure())
     }

@@ -185,6 +185,7 @@ impl ChromeTrace {
         self.events.len()
     }
 
+    /// True when no events have been emitted.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
     }

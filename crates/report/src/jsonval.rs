@@ -13,10 +13,15 @@ use std::fmt;
 /// A parsed JSON value.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Value {
+    /// JSON `null`.
     Null,
+    /// `true` or `false`.
     Bool(bool),
+    /// Any JSON number, held as `f64`.
     Num(f64),
+    /// A string.
     Str(String),
+    /// An array.
     Arr(Vec<Value>),
     /// Object; `BTreeMap` because none of our consumers depend on source
     /// order and deterministic iteration keeps reports stable.
@@ -32,6 +37,7 @@ impl Value {
         }
     }
 
+    /// The value as a number.
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             Value::Num(n) => Some(*n),
@@ -49,6 +55,7 @@ impl Value {
         }
     }
 
+    /// The value as a string slice.
     pub fn as_str(&self) -> Option<&str> {
         match self {
             Value::Str(s) => Some(s),
@@ -56,6 +63,7 @@ impl Value {
         }
     }
 
+    /// The value as an array slice.
     pub fn as_array(&self) -> Option<&[Value]> {
         match self {
             Value::Arr(v) => Some(v),
@@ -63,6 +71,7 @@ impl Value {
         }
     }
 
+    /// The value as an object map.
     pub fn as_object(&self) -> Option<&BTreeMap<String, Value>> {
         match self {
             Value::Obj(m) => Some(m),
@@ -70,6 +79,7 @@ impl Value {
         }
     }
 
+    /// The value as a boolean.
     pub fn as_bool(&self) -> Option<bool> {
         match self {
             Value::Bool(b) => Some(*b),
@@ -81,7 +91,9 @@ impl Value {
 /// Parse failure: a message and the byte offset it occurred at.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct ParseError {
+    /// What went wrong.
     pub msg: String,
+    /// Byte offset of the failure in the input.
     pub offset: usize,
 }
 

@@ -26,6 +26,8 @@
 //! `efex-trace`); suite *running* lives in `efex-bench`, whose `report`
 //! binary records, checks, and exports.
 
+#![warn(missing_docs)]
+
 pub mod check;
 pub mod chrome;
 pub mod flame;

@@ -43,6 +43,7 @@ impl fmt::Display for MetricValue {
 pub struct Metric {
     /// Hierarchical name, `/`-separated (e.g. `table2/fast-user/breakpoint/deliver_cycles`).
     pub name: String,
+    /// The measured value.
     pub value: MetricValue,
     /// Unit label shown in reports (`cycles`, `us`, `instructions`, …).
     pub unit: String,
@@ -53,6 +54,7 @@ pub struct Metric {
 /// A full recorded baseline.
 #[derive(Clone, PartialEq, Debug, Default)]
 pub struct Baseline {
+    /// Schema version of the recorded file.
     pub version: u64,
     /// Describes how the numbers were produced (clock, package version,
     /// generator). No timestamps — re-records must be byte-identical.
@@ -62,6 +64,7 @@ pub struct Baseline {
 }
 
 impl Baseline {
+    /// An empty baseline at the current schema version.
     pub fn new() -> Baseline {
         Baseline {
             version: BASELINE_VERSION,
@@ -70,6 +73,7 @@ impl Baseline {
         }
     }
 
+    /// Records one provenance key/value pair.
     pub fn set_provenance(&mut self, key: impl Into<String>, value: impl Into<String>) {
         self.provenance.insert(key.into(), value.into());
     }

@@ -79,6 +79,24 @@ impl FrameAllocator {
         u64::from(self.limit - self.next) + self.free.len() as u64
     }
 
+    /// Raw allocator state for checkpointing: `(next, limit, free list,
+    /// total allocated)`. The free list's *order* matters — frees are
+    /// reused LIFO, so a restored allocator must hand out the same frames
+    /// in the same order as the one it was captured from.
+    pub fn raw_state(&self) -> (Pfn, Pfn, &[Pfn], u64) {
+        (self.next, self.limit, &self.free, self.allocated)
+    }
+
+    /// Rebuilds an allocator from checkpointed raw state.
+    pub fn from_raw(next: Pfn, limit: Pfn, free: Vec<Pfn>, allocated: u64) -> FrameAllocator {
+        FrameAllocator {
+            next,
+            limit,
+            free,
+            allocated,
+        }
+    }
+
     /// Total successful allocations (statistics).
     pub fn total_allocated(&self) -> u64 {
         self.allocated

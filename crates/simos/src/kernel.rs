@@ -117,6 +117,10 @@ pub enum KernelError {
     UnknownHcall(u32),
     /// The process already exited.
     NotRunning,
+    /// A checkpoint could not be decoded or applied (wrong memory size,
+    /// corrupt artifact, post-restore digest divergence). Wraps the typed
+    /// wire-format error; never a panic.
+    Snapshot(efex_snap::SnapError),
 }
 
 /// The simulator's unified error surface: kernel and delivery-path failures
@@ -138,7 +142,14 @@ impl fmt::Display for KernelError {
             }
             KernelError::UnknownHcall(n) => write!(f, "unknown hcall {n}"),
             KernelError::NotRunning => write!(f, "process is not running"),
+            KernelError::Snapshot(e) => write!(f, "snapshot error: {e}"),
         }
+    }
+}
+
+impl From<efex_snap::SnapError> for KernelError {
+    fn from(e: efex_snap::SnapError) -> KernelError {
+        KernelError::Snapshot(e)
     }
 }
 
@@ -254,6 +265,14 @@ pub struct Kernel {
     pending_injections: Vec<InjectAction>,
     /// Human-readable diagnostic from the most recent degraded delivery.
     last_diagnostic: Option<String>,
+    /// Checkpoints captured from this kernel (host-side observability).
+    snapshot_saves: u64,
+    /// Checkpoints restored into this kernel (host-side observability).
+    snapshot_restores: u64,
+    /// Restores whose post-apply machine digest did not match the digest
+    /// recorded at capture time. Always zero in a healthy system — the
+    /// health plane's restores-are-fingerprint-clean invariant watches it.
+    snapshot_restore_divergence: u64,
 }
 
 impl fmt::Debug for Kernel {
@@ -300,6 +319,9 @@ impl Kernel {
             unix_pending: Vec::new(),
             pending_injections: Vec::new(),
             last_diagnostic: None,
+            snapshot_saves: 0,
+            snapshot_restores: 0,
+            snapshot_restore_divergence: 0,
         };
         // Map and install the user-side runtime (signal trampoline).
         let tramp = assemble(TRAMPOLINE_ASM)?;
@@ -413,7 +435,145 @@ impl Kernel {
             .counter("superblock_hits", sb_hits)
             .counter("superblock_misses", sb_misses)
             .counter("superblock_invalidations", sb_invalidations)
+            .counter("snapshot_saves", self.snapshot_saves)
+            .counter("snapshot_restores", self.snapshot_restores)
+            .counter(
+                "snapshot_restore_divergence",
+                self.snapshot_restore_divergence,
+            )
             .counter("cycles", self.machine.cycles())
+    }
+
+    // --- checkpoint / restore --------------------------------------------
+
+    /// Captures the complete guest-visible state of this kernel and its
+    /// process as a [`crate::snapshot::KernelState`]: the machine image
+    /// (registers, CP0, TLB, memory — the pinned comm page rides along as
+    /// ordinary physical pages plus its pinned PTE), the page table, signal
+    /// and fast-path registrations, subpage masks, per-process stats, the
+    /// frame allocator with its LIFO free list, console output, config
+    /// knobs, and the in-flight Unix-delivery stack.
+    ///
+    /// Host-side observability (trace sink, metrics, pending injections,
+    /// the last degrade diagnostic) is excluded by design — it belongs to
+    /// the observer. Snapshots may be taken at *any* step boundary,
+    /// including inside the vulnerable window between the comm-frame state
+    /// save and handler entry: everything the resumed delivery needs is in
+    /// guest memory and CP0, so such snapshots round-trip bit-exactly.
+    pub fn snapshot(&mut self) -> crate::snapshot::KernelState {
+        use crate::snapshot::{KernelState, PteState};
+        self.snapshot_saves += 1;
+        let machine = self.machine.snapshot();
+        let (frames_next, frames_limit, frames_free, frames_allocated) = {
+            let (n, l, f, a) = self.frames.raw_state();
+            (n, l, f.to_vec(), a)
+        };
+        KernelState {
+            machine_digest: self.machine.step_digest(),
+            machine,
+            pid: self.proc.pid(),
+            asid: self.proc.space().asid(),
+            pages: self
+                .proc
+                .space()
+                .iter()
+                .map(|(&vpn, pte)| PteState {
+                    vpn,
+                    pfn: pte.pfn,
+                    prot: pte.prot,
+                    user_modifiable: pte.user_modifiable,
+                    pinned: pte.pinned,
+                    dirty: pte.dirty,
+                })
+                .collect(),
+            signal_dispositions: self.proc.signals.dispositions(),
+            signals_pending: self.proc.signals.pending_raw(),
+            fast: self.proc.fast,
+            subpage: self.proc.subpage.iter().collect(),
+            stats: self.proc.stats,
+            brk: self.proc.brk,
+            exited: self.proc.exit_code(),
+            frames_next,
+            frames_limit,
+            frames_free,
+            frames_allocated,
+            console: self.console.clone(),
+            page_in_cost: self.page_in_cost,
+            clock_mhz: self.clock_mhz,
+            fixup_unaligned: self.fixup_unaligned,
+            refill_rr: self.refill_rr as u64,
+            unix_pending: self.unix_pending.clone(),
+        }
+    }
+
+    /// Restores guest-visible state captured by [`Kernel::snapshot`] into
+    /// this (booted) kernel. The receiver keeps its own host-side
+    /// configuration: execution engine and caches (dropped and rebuilt on
+    /// demand by the machine restore), trace sink, metrics, and any pending
+    /// injections — so a snapshot taken under one engine resumes bit-exact
+    /// under the other.
+    ///
+    /// After applying the machine image, the restore recomputes the
+    /// register-state digest and compares it with the digest recorded at
+    /// capture time; a mismatch increments the `snapshot_restore_divergence`
+    /// health counter and fails, leaving no silent corruption.
+    ///
+    /// # Errors
+    ///
+    /// [`KernelError::Snapshot`] if the snapshot does not fit this kernel
+    /// (physical memory size) or fails the post-apply digest check.
+    pub fn restore(&mut self, s: &crate::snapshot::KernelState) -> Result<(), KernelError> {
+        use crate::snapshot::KernelState;
+        self.machine.restore(&s.machine)?;
+        let digest = self.machine.step_digest();
+        if digest != s.machine_digest {
+            self.snapshot_restore_divergence += 1;
+            return Err(KernelError::Snapshot(efex_snap::SnapError::Invalid(
+                format!(
+                    "post-restore machine digest {digest:#018x} != recorded {:#018x}",
+                    s.machine_digest
+                ),
+            )));
+        }
+        let mut proc = Process::new(s.pid, s.asid);
+        for p in &s.pages {
+            proc.space_mut().restore_page(p.vpn, KernelState::pte_of(p));
+        }
+        proc.signals
+            .restore_raw(s.signal_dispositions, s.signals_pending);
+        proc.fast = s.fast;
+        proc.subpage.restore_raw(s.subpage.iter().copied());
+        proc.stats = s.stats;
+        proc.brk = s.brk;
+        if let Some(code) = s.exited {
+            proc.exit(code);
+        }
+        self.proc = proc;
+        self.frames = FrameAllocator::from_raw(
+            s.frames_next,
+            s.frames_limit,
+            s.frames_free.clone(),
+            s.frames_allocated,
+        );
+        self.console = s.console.clone();
+        self.page_in_cost = s.page_in_cost;
+        self.clock_mhz = s.clock_mhz;
+        self.fixup_unaligned = s.fixup_unaligned;
+        self.refill_rr = s.refill_rr as usize;
+        self.unix_pending = s.unix_pending.clone();
+        self.snapshot_restores += 1;
+        Ok(())
+    }
+
+    /// Checkpoint activity counters: `(saves, restores, restore
+    /// divergences)`. Host-side observability — never serialized, never
+    /// charged simulated cycles.
+    pub fn snapshot_counters(&self) -> (u64, u64, u64) {
+        (
+            self.snapshot_saves,
+            self.snapshot_restores,
+            self.snapshot_restore_divergence,
+        )
     }
 
     /// Emits one lifecycle event stamped with the current cycle counter.

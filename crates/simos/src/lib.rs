@@ -27,6 +27,8 @@
 //!   instantiated with this kernel's layout contracts; debug builds check
 //!   both embedded images at boot.
 
+#![warn(missing_docs)]
+
 pub mod compose;
 pub mod costs;
 pub mod fastexc;
@@ -35,11 +37,12 @@ pub mod kernel;
 pub mod layout;
 pub mod process;
 pub mod signals;
+pub mod snapshot;
 pub mod subpage;
 pub mod syscall;
 pub mod verify;
 pub mod vm;
 
-pub use kernel::{EfexError, InjectAction, Kernel, KernelError};
+pub use kernel::{EfexError, InjectAction, Kernel, KernelError, RunOutcome};
 pub use process::Process;
 pub use vm::Prot;

@@ -135,6 +135,24 @@ impl SignalState {
         self.handlers[sig.index()]
     }
 
+    /// The raw per-signal dispositions, indexed like [`Signal::ALL`]
+    /// (checkpointing).
+    pub fn dispositions(&self) -> [Disposition; 6] {
+        self.handlers
+    }
+
+    /// The raw pending bitmask, one bit per [`Signal::ALL`] index
+    /// (checkpointing).
+    pub fn pending_raw(&self) -> u8 {
+        self.pending
+    }
+
+    /// Replaces dispositions and pending set with checkpointed state.
+    pub fn restore_raw(&mut self, handlers: [Disposition; 6], pending: u8) {
+        self.handlers = handlers;
+        self.pending = pending;
+    }
+
     /// The installed handler for a signal, if any.
     pub fn handler(&self, sig: Signal) -> Option<u32> {
         match self.handlers[sig.index()] {
@@ -176,10 +194,15 @@ pub const SIGCONTEXT_BYTES: u32 = SIGCONTEXT_WORDS * 4;
 pub mod sigcontext {
     /// `$0..$31` at words 0..32.
     pub const REGS: u32 = 0;
+    /// Multiply/divide HI register.
     pub const HI: u32 = 32 * 4;
+    /// Multiply/divide LO register.
     pub const LO: u32 = 33 * 4;
+    /// Continuation program counter.
     pub const PC: u32 = 34 * 4;
+    /// CP0 cause register at the fault.
     pub const CAUSE: u32 = 35 * 4;
+    /// CP0 bad-virtual-address register at the fault.
     pub const BADVADDR: u32 = 36 * 4;
 }
 

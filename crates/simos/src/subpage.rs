@@ -39,6 +39,17 @@ impl SubpageState {
         self.pages.contains_key(&(vaddr / PAGE_SIZE))
     }
 
+    /// Iterates managed pages as `(vpn, protected-subpage mask)` pairs,
+    /// ascending by vpn (checkpointing).
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u8)> + '_ {
+        self.pages.iter().map(|(&vpn, &mask)| (vpn, mask))
+    }
+
+    /// Replaces the whole state with checkpointed `(vpn, mask)` pairs.
+    pub fn restore_raw(&mut self, pages: impl IntoIterator<Item = (u32, u8)>) {
+        self.pages = pages.into_iter().collect();
+    }
+
     /// Whether the 1 KB subpage holding `vaddr` is protected.
     pub fn is_protected(&self, vaddr: u32) -> bool {
         let mask = self.pages.get(&(vaddr / PAGE_SIZE)).copied().unwrap_or(0);

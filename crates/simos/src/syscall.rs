@@ -44,9 +44,13 @@ pub mod nr {
 
 /// Errno values returned as `-errno` in `$v0`.
 pub mod errno {
+    /// Invalid argument.
     pub const EINVAL: i32 = 22;
+    /// Out of memory.
     pub const ENOMEM: i32 = 12;
+    /// Bad address.
     pub const EFAULT: i32 = 14;
+    /// Unknown system call.
     pub const ENOSYS: i32 = 38;
 }
 

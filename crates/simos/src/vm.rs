@@ -170,6 +170,14 @@ impl AddressSpace {
         self.pages.get_mut(&(vaddr / PAGE_SIZE))
     }
 
+    /// Installs a checkpointed PTE for virtual page `vpn`, bypassing the
+    /// mapping API's overlap/alignment policy (the snapshot came from a
+    /// space that already enforced it). Restore-time only: no frame is
+    /// allocated and no TLB entry is touched.
+    pub fn restore_page(&mut self, vpn: u32, pte: Pte) {
+        self.pages.insert(vpn, pte);
+    }
+
     /// Maps `[vaddr, vaddr+len)` with `prot`, demand-zero (frames are
     /// allocated on first touch).
     ///

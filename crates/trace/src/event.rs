@@ -28,6 +28,7 @@ pub enum EventKind {
 }
 
 impl EventKind {
+    /// Every kind, in lifecycle order.
     pub const ALL: [EventKind; 6] = [
         EventKind::FaultRaised,
         EventKind::KernelEntered,
@@ -37,6 +38,7 @@ impl EventKind {
         EventKind::Resumed,
     ];
 
+    /// Stable kebab-case label used in exports.
     pub fn as_str(self) -> &'static str {
         match self {
             EventKind::FaultRaised => "fault-raised",
@@ -70,12 +72,14 @@ pub enum TracePath {
 }
 
 impl TracePath {
+    /// Every delivery path.
     pub const ALL: [TracePath; 3] = [
         TracePath::UnixSignals,
         TracePath::FastUser,
         TracePath::HardwareVectored,
     ];
 
+    /// Stable kebab-case label used in exports.
     pub fn as_str(self) -> &'static str {
         match self {
             TracePath::UnixSignals => "unix-signals",
@@ -121,6 +125,7 @@ pub enum FaultClass {
 }
 
 impl FaultClass {
+    /// Every fault class.
     pub const ALL: [FaultClass; 7] = [
         FaultClass::Breakpoint,
         FaultClass::WriteProtect,
@@ -131,6 +136,7 @@ impl FaultClass {
         FaultClass::Other,
     ];
 
+    /// Stable kebab-case label used in exports.
     pub fn as_str(self) -> &'static str {
         match self {
             FaultClass::Breakpoint => "breakpoint",
@@ -221,6 +227,7 @@ impl EventRing {
     /// Default ring capacity used by [`crate::RingSink::new`].
     pub const DEFAULT_CAPACITY: usize = 4096;
 
+    /// An empty ring holding at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> EventRing {
         assert!(capacity > 0, "EventRing capacity must be positive");
         EventRing {
@@ -248,14 +255,17 @@ impl EventRing {
         }
     }
 
+    /// Number of events currently held.
     pub fn len(&self) -> usize {
         self.len
     }
 
+    /// True when no events are held.
     pub fn is_empty(&self) -> bool {
         self.len == 0
     }
 
+    /// Maximum number of events the ring holds before overwriting.
     pub fn capacity(&self) -> usize {
         self.cap
     }

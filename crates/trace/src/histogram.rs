@@ -33,6 +33,7 @@ impl Default for Histogram {
 }
 
 impl Histogram {
+    /// An empty histogram.
     pub fn new() -> Histogram {
         Histogram::default()
     }
@@ -59,6 +60,7 @@ impl Histogram {
         }
     }
 
+    /// Records one sample.
     pub fn record(&mut self, value: u64) {
         self.buckets[Self::bucket_index(value)] += 1;
         self.count += 1;
@@ -67,22 +69,27 @@ impl Histogram {
         self.max = self.max.max(value);
     }
 
+    /// Number of samples recorded.
     pub fn count(&self) -> u64 {
         self.count
     }
 
+    /// Saturating sum of all samples.
     pub fn sum(&self) -> u64 {
         self.sum
     }
 
+    /// Smallest sample, `None` when empty.
     pub fn min(&self) -> Option<u64> {
         (self.count > 0).then_some(self.min)
     }
 
+    /// Largest sample, `None` when empty.
     pub fn max(&self) -> Option<u64> {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Arithmetic mean, `0.0` when empty.
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
             0.0
@@ -91,6 +98,7 @@ impl Histogram {
         }
     }
 
+    /// True when no samples have been recorded.
     pub fn is_empty(&self) -> bool {
         self.count == 0
     }

@@ -42,6 +42,8 @@
 //! assert_eq!(ring.events().len(), 1);
 //! ```
 
+#![warn(missing_docs)]
+
 mod event;
 mod histogram;
 /// Hand-rolled JSON append helpers (the build is offline; no serde). Public

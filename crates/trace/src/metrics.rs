@@ -27,6 +27,7 @@ pub struct KindMetrics {
 }
 
 impl KindMetrics {
+    /// True when nothing has been recorded for this (path, class) cell.
     pub fn is_empty(&self) -> bool {
         self.count == 0
             && self.degraded == 0
@@ -36,6 +37,7 @@ impl KindMetrics {
             && self.pages.is_empty()
     }
 
+    /// Accumulates another cell's counts and histograms into this one.
     pub fn merge(&mut self, other: &KindMetrics) {
         self.count += other.count;
         self.degraded += other.degraded;
@@ -47,6 +49,7 @@ impl KindMetrics {
         }
     }
 
+    /// Serializes the cell as a JSON object.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{");
         json::field_u64(&mut out, "count", self.count);
@@ -82,14 +85,17 @@ impl Default for Metrics {
 }
 
 impl Metrics {
+    /// An empty table.
     pub fn new() -> Metrics {
         Metrics::default()
     }
 
+    /// The cell for one (path, class) pair.
     pub fn kind(&self, path: TracePath, class: FaultClass) -> &KindMetrics {
         &self.per[path.index()][class.index()]
     }
 
+    /// Mutable access to the cell for one (path, class) pair.
     pub fn kind_mut(&mut self, path: TracePath, class: FaultClass) -> &mut KindMetrics {
         &mut self.per[path.index()][class.index()]
     }
@@ -101,10 +107,12 @@ impl Metrics {
         k.deliver.record(cycles);
     }
 
+    /// Records the handler-phase cycles of one delivery.
     pub fn record_handler(&mut self, path: TracePath, class: FaultClass, cycles: u64) {
         self.kind_mut(path, class).handler.record(cycles);
     }
 
+    /// Records the return-phase cycles of one delivery.
     pub fn record_return(&mut self, path: TracePath, class: FaultClass, cycles: u64) {
         self.kind_mut(path, class).ret.record(cycles);
     }
@@ -135,6 +143,7 @@ impl Metrics {
         self.per.iter().flatten().map(|k| k.degraded).sum()
     }
 
+    /// Accumulates another table into this one, cell by cell.
     pub fn merge(&mut self, other: &Metrics) {
         for (mine, theirs) in self
             .per

@@ -14,6 +14,7 @@ use std::rc::Rc;
 
 /// Consumer of [`TraceEvent`]s.
 pub trait TraceSink {
+    /// Receives one lifecycle event.
     fn emit(&self, event: &TraceEvent);
 
     /// Flush any buffered output (no-op for in-memory sinks).
@@ -54,6 +55,7 @@ impl RingSink {
         RingSink::with_capacity(EventRing::DEFAULT_CAPACITY)
     }
 
+    /// Ring holding at most `capacity` events.
     pub fn with_capacity(capacity: usize) -> RingSink {
         RingSink {
             ring: RefCell::new(EventRing::with_capacity(capacity)),
@@ -65,10 +67,12 @@ impl RingSink {
         self.ring.borrow().iter().copied().collect()
     }
 
+    /// Number of buffered events.
     pub fn len(&self) -> usize {
         self.ring.borrow().len()
     }
 
+    /// True when no events are buffered.
     pub fn is_empty(&self) -> bool {
         self.ring.borrow().is_empty()
     }
@@ -84,6 +88,7 @@ impl RingSink {
         self.ring.borrow().overwritten()
     }
 
+    /// Lifetime count of events pushed, including overwritten ones.
     pub fn total_pushed(&self) -> u64 {
         self.ring.borrow().total_pushed()
     }
@@ -128,6 +133,7 @@ pub struct JsonLinesSink<W: Write> {
 }
 
 impl<W: Write> JsonLinesSink<W> {
+    /// Wraps a writer; one JSON object per emitted event, one per line.
     pub fn new(writer: W) -> JsonLinesSink<W> {
         JsonLinesSink {
             writer: RefCell::new(writer),
@@ -144,6 +150,7 @@ impl<W: Write> JsonLinesSink<W> {
 }
 
 impl JsonLinesSink<std::io::Stdout> {
+    /// A sink writing to standard output.
     pub fn stdout() -> JsonLinesSink<std::io::Stdout> {
         JsonLinesSink::new(std::io::stdout())
     }

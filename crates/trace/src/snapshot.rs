@@ -19,6 +19,7 @@ pub struct StatsSnapshot {
 }
 
 impl StatsSnapshot {
+    /// An empty snapshot for one component.
     pub fn new(component: &'static str) -> StatsSnapshot {
         StatsSnapshot {
             component,

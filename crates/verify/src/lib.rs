@@ -11,7 +11,7 @@
 //! [`analyze`] takes an assembled [`Program`] and a [`VerifyConfig`] and
 //! produces a [`Report`]:
 //!
-//! - **CFG construction** ([`cfg`]) over the decoded instructions reachable
+//! - **CFG construction** ([`mod@cfg`]) over the decoded instructions reachable
 //!   from the configured entry, with delay-slot-aware successor edges: the
 //!   instruction after a branch executes *before* control transfers, so its
 //!   successors are the branch's targets, not the next address.

@@ -4,7 +4,7 @@
 //! path-insensitive facts. This module is the path-*sensitive* layer: it
 //! symbolically executes the **composed** system — kernel vector +
 //! trampoline + registered guest handler, stitched together by
-//! [`Images`](crate::interproc::Images) — once per *(exception class ×
+//! [`Images`] — once per *(exception class ×
 //! delivery variant)*, enumerating every reachable path from the hardware
 //! raise to the resume of user code.
 //!

@@ -38,6 +38,8 @@
 //! # }
 //! ```
 
+#![warn(missing_docs)]
+
 use std::cell::RefCell;
 use std::error::Error;
 use std::fmt;
@@ -74,7 +76,12 @@ pub enum WatchError {
     /// Underlying simulation error.
     Core(CoreError),
     /// The range is empty or not word-aligned.
-    BadRange { addr: u32, len: u32 },
+    BadRange {
+        /// Start of the rejected range.
+        addr: u32,
+        /// Its length in bytes.
+        len: u32,
+    },
     /// Unknown watch id.
     NoSuchWatch(WatchId),
 }

@@ -1,0 +1,72 @@
+//! Snapshot a running guest mid-exception-storm, restore it into a fresh
+//! system, and prove the resumed run is bit-exact.
+//!
+//! ```text
+//! cargo run --example snapshot_resume
+//! ```
+//!
+//! Boots a fast-user-path system running the Table 2 breakpoint
+//! microbenchmark, runs it halfway, serializes the whole guest (CPU, CP0,
+//! TLB, memory, kernel tables) through the `efex-snap` wire format, restores
+//! the bytes into a freshly booted system, and finishes both runs. Their
+//! final machine digests, cycle counts, and exit codes must agree exactly.
+
+use efex::core::{DeliveryPath, System, SystemSnapshot};
+use efex::simos::RunOutcome;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = efex::core::debug_progs::fast_simple_bench(4);
+
+    // Run A: uninterrupted, for the reference fingerprint.
+    let mut a = boot(&program)?;
+    let (steps, a_out) = finish(&mut a)?;
+    let a_digest = a.kernel().machine().step_digest();
+    let a_cycles = a.kernel().machine().cycles();
+    println!("reference run : {steps} steps, {a_cycles} cycles, {a_out:?}");
+
+    // Run B: stop halfway and snapshot.
+    let mut b = boot(&program)?;
+    for _ in 0..steps / 2 {
+        b.kernel_mut().run_user(1)?;
+    }
+    let bytes = b.snapshot().to_bytes();
+    println!(
+        "snapshot      : {} bytes at step {} (checksummed, versioned)",
+        bytes.len(),
+        steps / 2
+    );
+
+    // Run C: a fresh system, restored from the wire, resumed to the end.
+    let snap = SystemSnapshot::from_bytes(&bytes)?;
+    let mut c = boot(&program)?;
+    c.restore(&snap)?;
+    let (_, c_out) = finish(&mut c)?;
+    let c_digest = c.kernel().machine().step_digest();
+    let c_cycles = c.kernel().machine().cycles();
+    println!("restored run  : {c_cycles} cycles, {c_out:?}");
+
+    assert_eq!(a_digest, c_digest, "machine digests diverged");
+    assert_eq!(a_cycles, c_cycles, "cycle counts diverged");
+    assert_eq!(a_out, c_out, "outcomes diverged");
+    println!("restored run is bit-exact against the uninterrupted run");
+    Ok(())
+}
+
+fn boot(program: &str) -> Result<System, Box<dyn std::error::Error>> {
+    let mut sys = System::builder().delivery(DeliveryPath::FastUser).build()?;
+    let prog = sys.kernel_mut().load_user_program(program)?;
+    let sp = sys.kernel_mut().setup_stack(16)?;
+    sys.kernel_mut().exec(prog.entry(), sp);
+    Ok(sys)
+}
+
+fn finish(sys: &mut System) -> Result<(u64, RunOutcome), Box<dyn std::error::Error>> {
+    let mut steps = 0u64;
+    loop {
+        steps += 1;
+        match sys.kernel_mut().run_user(1)? {
+            RunOutcome::StepLimit => continue,
+            out => return Ok((steps, out)),
+        }
+    }
+}

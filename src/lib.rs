@@ -21,6 +21,7 @@
 //! - [`lazydata`] — unbounded structures / futures / full-empty bits.
 //! - [`dsm`] — page-based distributed shared memory.
 //! - [`watch`] — conditional data watchpoints (debugger support).
+//! - [`snap`] — versioned, checksummed checkpoint wire format.
 //! - [`trace`] — exception lifecycle tracing and per-kind metrics.
 //! - [`inject`] — deterministic fault injection over the delivery paths.
 //! - [`report`] — perf baselines, regression checking, Chrome-trace and
@@ -54,6 +55,7 @@ pub use efex_oscost as oscost;
 pub use efex_pstore as pstore;
 pub use efex_report as report;
 pub use efex_simos as simos;
+pub use efex_snap as snap;
 pub use efex_trace as trace;
 pub use efex_verify as verify;
 pub use efex_watch as watch;

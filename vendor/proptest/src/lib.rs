@@ -1,8 +1,8 @@
 //! Offline drop-in subset of the `proptest` crate.
 //!
 //! The build environment cannot reach crates.io, so the workspace vendors the
-//! slice of proptest it uses: the [`proptest!`] macro, [`Strategy`] with
-//! `prop_map`/`boxed`, range and tuple strategies, [`prop_oneof!`], [`Just`],
+//! slice of proptest it uses: the [`proptest!`] macro, `Strategy` with
+//! `prop_map`/`boxed`, range and tuple strategies, `prop_oneof!`, `Just`,
 //! `any::<T>()`, `prop::collection::vec`, and the `prop_assert*`/`prop_assume!`
 //! macros.
 //!
@@ -124,7 +124,7 @@ pub mod strategy {
         }
     }
 
-    /// Uniform choice between type-erased branches; built by [`prop_oneof!`].
+    /// Uniform choice between type-erased branches; built by `prop_oneof!`.
     pub struct Union<V> {
         branches: Vec<BoxedStrategy<V>>,
     }
